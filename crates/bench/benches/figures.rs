@@ -1,0 +1,404 @@
+//! Regenerates every table and figure of the paper's evaluation (§IV).
+//!
+//! ```sh
+//! cargo bench -p eoml-bench --bench figures            # everything
+//! cargo bench -p eoml-bench --bench figures -- fig4a   # one experiment
+//! ```
+//!
+//! Each experiment prints the same rows/series the paper reports, plus the
+//! paper's measured values for side-by-side comparison. Absolute agreement
+//! is not the goal (the substrate is a calibrated simulator); the *shape*
+//! — who wins, where scaling saturates, where crossovers fall — is.
+
+use eoml_bench::TILES_PER_FILE;
+use eoml_cluster::contention::ContentionModel;
+use eoml_cluster::exec::ClusterModel;
+use eoml_cluster::spec::ClusterSpec;
+use eoml_core::campaign::{run_campaign, CampaignParams};
+use eoml_executor::simexec::{run_batch, BatchReport};
+use eoml_modis::catalog::Catalog;
+use eoml_modis::product::Platform;
+use eoml_simtime::{SimTime, Simulation};
+use eoml_transfer::endpoint::Endpoint;
+use eoml_transfer::faults::FaultPlan;
+use eoml_transfer::flownet::{FlowNetwork, HasNetwork};
+use eoml_transfer::pool::{DownloadPool, DownloadReport};
+use eoml_util::stats::Summary;
+use eoml_util::timebase::CivilDate;
+use eoml_util::units::ByteSize;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let explicit: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let want = |name: &str| explicit.is_empty() || explicit.iter().any(|a| a.as_str() == name);
+    println!("eoml — paper figure/table reproduction harness");
+    println!("================================================");
+    if want("fig3") {
+        fig3_download_speed();
+    }
+    if want("fig4a") {
+        fig4a_strong_scaling_workers();
+    }
+    if want("fig4b") {
+        fig4b_strong_scaling_nodes();
+    }
+    if want("fig5a") {
+        fig5a_weak_scaling_workers();
+    }
+    if want("fig5b") {
+        fig5b_weak_scaling_nodes();
+    }
+    if want("table1") {
+        table1_throughput();
+    }
+    if want("fig6") {
+        fig6_timeline();
+    }
+    if want("fig7") {
+        fig7_latency_breakdown();
+    }
+    if want("headline") {
+        headline_12k_tiles();
+    }
+}
+
+// ------------------------------------------------------------------ fig 3
+
+struct NetSt {
+    net: FlowNetwork<NetSt>,
+    report: Option<DownloadReport>,
+}
+
+impl HasNetwork for NetSt {
+    fn network(&mut self) -> &mut FlowNetwork<NetSt> {
+        &mut self.net
+    }
+}
+
+fn download_batch(seed: u64, n_per_product: usize, workers: usize) -> (DownloadReport, ByteSize) {
+    let cat = Catalog::new(seed);
+    let date = CivilDate::new(2022, 1, 1).expect("date");
+    let batch = cat.batch(Platform::Terra, date, n_per_product);
+    let total = eoml_modis::catalog::total_size(&batch);
+    let files: Vec<(String, ByteSize)> =
+        batch.into_iter().map(|e| (e.file_name, e.size)).collect();
+    let mut net = FlowNetwork::new(seed, FaultPlan::none());
+    net.add_endpoint(Endpoint::laads());
+    net.add_endpoint(Endpoint::ace_defiant());
+    let mut sim = Simulation::new(NetSt { net, report: None });
+    DownloadPool::run(&mut sim, "laads", "ace-defiant", files, workers, 3, |sim, r| {
+        sim.state_mut().report = Some(r)
+    });
+    sim.run();
+    (sim.into_state().report.expect("download ran"), total)
+}
+
+/// Fig. 3: download speed statistics with 3 vs 6 workers for batch sizes
+/// from ~100 MB (1 file per product) to ~30 GB (128 files per product),
+/// three iterations each.
+fn fig3_download_speed() {
+    println!("\n--- Fig. 3: download speed vs batch size, 3 vs 6 workers ---");
+    println!(
+        "{:>8} {:>11} | {:>17} | {:>17}",
+        "files/", "batch", "3 workers (MB/s)", "6 workers (MB/s)"
+    );
+    println!(
+        "{:>8} {:>11} | {:>17} | {:>17}",
+        "product", "size", "mean ± std", "mean ± std"
+    );
+    for n in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let mut cells = Vec::new();
+        let mut batch = ByteSize::ZERO;
+        for workers in [3usize, 6] {
+            let speeds: Vec<f64> = (0..3)
+                .map(|iter| {
+                    let (report, total) = download_batch(2022 + iter * 1000, n, workers);
+                    batch = total;
+                    report.aggregate_speed().as_mb_per_sec()
+                })
+                .collect();
+            let s = Summary::from_samples(speeds);
+            cells.push(format!("{:>8.2} ± {:<5.2}", s.mean(), s.std_dev()));
+        }
+        println!("{n:>8} {:>11} | {} | {}", batch.to_string(), cells[0], cells[1]);
+    }
+    println!("(paper: ≈3 MB/s mean gain with 6 workers, except for single-file batches)");
+}
+
+// ----------------------------------------------------------------- fig 4/5
+
+struct SimSt {
+    cl: ClusterModel<SimSt>,
+    report: Option<BatchReport>,
+}
+
+impl eoml_cluster::exec::HasCluster for SimSt {
+    fn cluster(&mut self) -> &mut ClusterModel<SimSt> {
+        &mut self.cl
+    }
+}
+
+/// One simulated preprocessing batch; returns the report.
+fn preprocess_batch(seed: u64, nodes: usize, wpn: usize, files: usize) -> BatchReport {
+    let mut spec = ClusterSpec::defiant();
+    spec.nodes = spec.nodes.max(nodes);
+    // Defiant nodes have 64 cores; allow oversubscription for the
+    // 128-worker point exactly as the paper does by adding the second node
+    // at the call site.
+    spec.node.cores = spec.node.cores.max(wpn);
+    let mut sim = Simulation::new(SimSt {
+        cl: ClusterModel::new(spec, ContentionModel::defiant(), seed),
+        report: None,
+    });
+    run_batch(
+        &mut sim,
+        (0..nodes).collect(),
+        wpn,
+        vec![TILES_PER_FILE; files],
+        |sim, r| sim.state_mut().report = Some(r),
+    );
+    sim.run();
+    sim.into_state().report.expect("batch ran")
+}
+
+/// Mean ± std of completion time and throughput over 5 iterations (the
+/// paper iterates each data point five times).
+fn sweep_point(nodes: usize, wpn: usize, files: usize) -> (Summary, Summary) {
+    let times: Vec<f64> = (0..5)
+        .map(|i| preprocess_batch(42 + i * 100, nodes, wpn, files).completion_s())
+        .collect();
+    let tps: Vec<f64> = times
+        .iter()
+        .map(|t| files as f64 * TILES_PER_FILE / t)
+        .collect();
+    (Summary::from_samples(times), Summary::from_samples(tps))
+}
+
+/// The worker-sweep placement: ≤64 workers on one node, 128 split over two
+/// (the paper: "the increase from 64 to 128 workers requires the use of a
+/// second node").
+fn worker_placement(w: usize) -> (usize, usize) {
+    if w <= 64 {
+        (1, w)
+    } else {
+        (2, w / 2)
+    }
+}
+
+/// Fig. 4a: strong scaling over workers (128 files fixed).
+fn fig4a_strong_scaling_workers() {
+    println!("\n--- Fig. 4a: strong scaling, completion time vs workers (128 files) ---");
+    println!(
+        "{:>8} {:>7} | {:>20} | {:>13}",
+        "workers", "nodes", "completion s (±std)", "paper tiles/s"
+    );
+    let paper = [10.52, 18.10, 25.01, 36.59, 38.74, 37.95, 37.34, 71.01];
+    for (i, w) in [1usize, 2, 4, 8, 16, 32, 64, 128].into_iter().enumerate() {
+        let (nodes, wpn) = worker_placement(w);
+        let (t, _) = sweep_point(nodes, wpn, 128);
+        println!(
+            "{w:>8} {nodes:>7} | {:>12.1} ± {:<5.1} | {:>13.2}",
+            t.mean(),
+            t.std_dev(),
+            paper[i]
+        );
+    }
+}
+
+/// Fig. 4b: strong scaling over nodes (80 files, 8 workers/node).
+fn fig4b_strong_scaling_nodes() {
+    println!("\n--- Fig. 4b: strong scaling, completion time vs nodes (80 files, 8 w/node) ---");
+    println!(
+        "{:>6} | {:>20} | {:>13}",
+        "nodes", "completion s (±std)", "paper tiles/s"
+    );
+    let paper = [36.05, 73.25, 98.73, 135.42, 177.69, 192.32, 196.70, 216.80, 264.13, 267.44];
+    for n in 1..=10usize {
+        let (t, _) = sweep_point(n, 8, 80);
+        println!(
+            "{n:>6} | {:>12.1} ± {:<5.1} | {:>13.2}",
+            t.mean(),
+            t.std_dev(),
+            paper[n - 1]
+        );
+    }
+}
+
+/// Fig. 5a: weak scaling over workers (2 files per worker).
+fn fig5a_weak_scaling_workers() {
+    println!("\n--- Fig. 5a: weak scaling, completion time vs workers (2 files/worker) ---");
+    println!(
+        "{:>8} {:>7} {:>7} | {:>20}",
+        "workers", "nodes", "files", "completion s (±std)"
+    );
+    for w in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let (nodes, wpn) = worker_placement(w);
+        let files = 2 * w;
+        let (t, _) = sweep_point(nodes, wpn, files);
+        println!(
+            "{w:>8} {nodes:>7} {files:>7} | {:>12.1} ± {:<5.1}",
+            t.mean(),
+            t.std_dev()
+        );
+    }
+    println!("(completion grows on one node past ~8 workers — on-node contention;");
+    println!(" the paper sees the same degradation in Fig. 5a)");
+}
+
+/// Fig. 5b: weak scaling over nodes (8 workers/node, 2 files/worker).
+fn fig5b_weak_scaling_nodes() {
+    println!("\n--- Fig. 5b: weak scaling, completion time vs nodes (8 w/node, 2 files/worker) ---");
+    println!("{:>6} {:>7} | {:>20}", "nodes", "files", "completion s (±std)");
+    for n in 1..=10usize {
+        let files = 2 * 8 * n;
+        let (t, _) = sweep_point(n, 8, files);
+        println!("{n:>6} {files:>7} | {:>12.1} ± {:<5.1}", t.mean(), t.std_dev());
+    }
+    println!("(near-flat completion time = near-perfect weak scaling across nodes)");
+}
+
+// ----------------------------------------------------------------- table 1
+
+/// Table I: throughput (tiles/s) for all four scaling sweeps.
+fn table1_throughput() {
+    println!("\n--- Table I: throughput (tiles/s), measured vs paper ---");
+    println!("Strong scaling");
+    println!(
+        "{:>9} {:>10} {:>8} || {:>7} {:>10} {:>8}",
+        "# workers", "tile/s", "paper", "# nodes", "tile/s", "paper"
+    );
+    let paper_w = [10.52, 18.10, 25.01, 36.59, 38.74, 37.95, 37.34, 71.01];
+    let paper_n = [36.05, 73.25, 98.73, 135.42, 177.69, 192.32, 196.70, 216.80, 264.13, 267.44];
+    let workers = [1usize, 2, 4, 8, 16, 32, 64, 128];
+    for i in 0..10 {
+        let left = if i < workers.len() {
+            let (nodes, wpn) = worker_placement(workers[i]);
+            let (_, tp) = sweep_point(nodes, wpn, 128);
+            format!("{:>9} {:>10.2} {:>8.2}", workers[i], tp.mean(), paper_w[i])
+        } else {
+            format!("{:>9} {:>10} {:>8}", "-", "-", "-")
+        };
+        let (_, tp) = sweep_point(i + 1, 8, 80);
+        println!("{left} || {:>7} {:>10.2} {:>8.2}", i + 1, tp.mean(), paper_n[i]);
+    }
+    println!("\nWeak scaling");
+    println!(
+        "{:>9} {:>10} {:>8} || {:>7} {:>10} {:>8}",
+        "# workers", "tile/s", "paper", "# nodes", "tile/s", "paper"
+    );
+    let paper_w = [21.32, 25.87, 27.23, 27.48, 32.73, 31.09, 35.36, 67.69];
+    let paper_n = [32.82, 69.34, 100.36, 126.62, 165.12, 175.61, 196.81, 188.88, 197.26, 271.68];
+    for i in 0..10 {
+        let left = if i < workers.len() {
+            let (nodes, wpn) = worker_placement(workers[i]);
+            let (_, tp) = sweep_point(nodes, wpn, 2 * workers[i]);
+            format!("{:>9} {:>10.2} {:>8.2}", workers[i], tp.mean(), paper_w[i])
+        } else {
+            format!("{:>9} {:>10} {:>8}", "-", "-", "-")
+        };
+        let (_, tp) = sweep_point(i + 1, 8, 16 * (i + 1));
+        println!("{left} || {:>7} {:>10.2} {:>8.2}", i + 1, tp.mean(), paper_n[i]);
+    }
+}
+
+// ------------------------------------------------------------------ fig 6
+
+/// Fig. 6: the automation timeline — active workers per stage over the
+/// campaign (3 download, 32 preprocess, 1 inference workers).
+fn fig6_timeline() {
+    println!("\n--- Fig. 6: automation timeline (3 download / 32 preprocess / 1 inference) ---");
+    let report = run_campaign(CampaignParams {
+        files_per_day: 32,
+        nodes: 4,
+        workers_per_node: 8,
+        ..CampaignParams::paper_demo()
+    });
+    let t_end = SimTime::from_secs_f64(report.makespan_s);
+    println!("{:>8} {:>10} {:>12} {:>11}", "t (s)", "download", "preprocess", "inference");
+    const SAMPLES: usize = 24;
+    let dl = report
+        .telemetry
+        .sample_activity("download", SimTime::ZERO, t_end, SAMPLES);
+    let pp = report
+        .telemetry
+        .sample_activity("preprocess", SimTime::ZERO, t_end, SAMPLES);
+    let inf = report
+        .telemetry
+        .sample_activity("inference", SimTime::ZERO, t_end, SAMPLES);
+    for i in 0..SAMPLES {
+        println!(
+            "{:>8.1} {:>10} {:>12} {:>11}",
+            dl[i].0, dl[i].1, pp[i].1, inf[i].1
+        );
+    }
+    println!(
+        "peaks: download {}, preprocess {}, inference {} (paper: 3 / 32 / 1)",
+        report.telemetry.peak("download"),
+        report.telemetry.peak("preprocess"),
+        report.telemetry.peak("inference"),
+    );
+    println!(
+        "inference overlaps preprocessing: {} (paper: yes)",
+        report.telemetry.stages_overlap("preprocess", "inference")
+    );
+}
+
+// ------------------------------------------------------------------ fig 7
+
+/// Fig. 7: the workflow latency breakdown.
+fn fig7_latency_breakdown() {
+    println!("\n--- Fig. 7: workflow latency breakdown ---");
+    let report = run_campaign(CampaignParams {
+        files_per_day: 32,
+        nodes: 4,
+        workers_per_node: 8,
+        ..CampaignParams::paper_demo()
+    });
+    let tel = &report.telemetry;
+    println!(
+        "download launch (Globus Compute start + LAADS connect + file list): {:>7.2}s  (paper: 5.63s)",
+        tel.total_seconds("download", "launch")
+    );
+    let preprocess_latency = tel.total_seconds("preprocess", "slurm_alloc")
+        + tel.total_seconds("preprocess", "parsl_start")
+        + tel.total_seconds("preprocess", "total");
+    println!(
+        "preprocess (Parsl start + Slurm allocation + tile creation)      : {:>7.2}s  (paper: 32.80s)",
+        preprocess_latency
+    );
+    println!(
+        "  of which: slurm {:.2}s, parsl {:.2}s, tile creation {:.2}s",
+        tel.total_seconds("preprocess", "slurm_alloc"),
+        tel.total_seconds("preprocess", "parsl_start"),
+        tel.total_seconds("preprocess", "total"),
+    );
+    println!(
+        "flow action overhead (monitor → inference hops)                  : {:>7.0}ms mean (paper: ≈50ms)",
+        tel.mean_seconds("inference", "flow_action") * 1e3
+    );
+    println!(
+        "shipment transfer                                                 : {:>7.2}s",
+        tel.total_seconds("shipment", "transfer")
+    );
+}
+
+// --------------------------------------------------------------- headline
+
+/// The abstract's headline: 12,000 tiles in 44 s using 80 workers across
+/// 10 nodes.
+fn headline_12k_tiles() {
+    println!("\n--- Headline: 12,000 tiles, 80 workers across 10 nodes ---");
+    let times: Vec<f64> = (0..5)
+        .map(|i| preprocess_batch(7 + i * 31, 10, 8, 80).completion_s())
+        .collect();
+    let s = Summary::from_samples(times);
+    println!(
+        "80 files × 150 tiles = 12,000 tiles: {:.1}s ± {:.1}s  (paper: 44s)",
+        s.mean(),
+        s.std_dev()
+    );
+    println!(
+        "throughput: {:.1} tiles/s  (paper: 272.7)",
+        12_000.0 / s.mean()
+    );
+}

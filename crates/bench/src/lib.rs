@@ -1,0 +1,11 @@
+//! `eoml-bench` — the benchmark harness.
+//!
+//! Two bench targets:
+//!
+//! * `figures` (plain harness) — regenerates every table and figure of the
+//!   paper's evaluation section; see `benches/figures.rs`;
+//! * `kernels` (criterion) — microbenchmarks of the computational kernels
+//!   plus ablations of the design choices called out in DESIGN.md.
+
+/// Tiles per full 2030×1354 MODIS granule (15 × 10 windows of 128²).
+pub const TILES_PER_FILE: f64 = 150.0;

@@ -1,0 +1,29 @@
+//! `eoml-cluster` — a virtual-time model of the OLCF ACE "Defiant" cluster.
+//!
+//! The paper's scaling experiments (Figs. 4–5, Table I) ran on a 36-node
+//! Slurm cluster with 64-core EPYC nodes and a Lustre file system. That
+//! hardware is substituted by:
+//!
+//! * [`spec`] — static cluster description (nodes, cores, memory,
+//!   interconnect, file system);
+//! * [`contention`] — the calibrated performance model that produces the
+//!   paper's scaling *shapes*: on-node memory-bandwidth saturation (worker
+//!   scaling flattens near 8–16 workers/node at ≈37–39 tiles/s) and mild
+//!   shared-file-system contention across nodes (near-linear node scaling
+//!   with a few percent droop by 10 nodes);
+//! * [`slurm`] — a Slurm-like block provider: Parsl requests blocks of
+//!   nodes, which are granted after a startup latency and released when the
+//!   executor scales down;
+//! * [`exec`] — fluid task execution: active tasks progress at rates set by
+//!   the contention model, recomputed whenever occupancy changes (the same
+//!   piecewise-constant-rate technique as the transfer flow network).
+
+pub mod contention;
+pub mod exec;
+pub mod slurm;
+pub mod spec;
+
+pub use contention::ContentionModel;
+pub use exec::{ClusterModel, HasCluster, TaskId};
+pub use slurm::{BlockId, SlurmProvider};
+pub use spec::{ClusterSpec, NodeSpec};

@@ -1,0 +1,93 @@
+//! Static cluster description.
+
+use eoml_util::units::{ByteSize, Rate};
+
+/// One compute node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSpec {
+    /// CPU cores (Defiant: 64-core AMD EPYC 7662).
+    pub cores: usize,
+    /// Main memory.
+    pub memory: ByteSize,
+    /// GPUs (Defiant: 4 × AMD MI100; unused by the CPU preprocessing
+    /// pipeline but part of the inventory).
+    pub gpus: usize,
+}
+
+/// A whole cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Cluster name.
+    pub name: String,
+    /// Number of identical nodes.
+    pub nodes: usize,
+    /// Per-node hardware.
+    pub node: NodeSpec,
+    /// Interconnect bandwidth per node.
+    pub interconnect: Rate,
+    /// Shared (Lustre) file system capacity.
+    pub fs_capacity: ByteSize,
+}
+
+impl ClusterSpec {
+    /// OLCF ACE Defiant, as described in the paper §IV: 36 nodes, 64-core
+    /// EPYC 7662, 256 GB DDR4, 4 × MI100, 12.5 GB/s Slingshot-10, 1.6 PB
+    /// Lustre.
+    pub fn defiant() -> Self {
+        Self {
+            name: "ace-defiant".into(),
+            nodes: 36,
+            node: NodeSpec {
+                cores: 64,
+                memory: ByteSize::gb(256),
+                gpus: 4,
+            },
+            interconnect: Rate::gbit_per_sec(100.0),
+            fs_capacity: ByteSize::tb(1600),
+        }
+    }
+
+    /// A small cluster for tests.
+    pub fn tiny(nodes: usize) -> Self {
+        Self {
+            name: "tiny".into(),
+            nodes,
+            node: NodeSpec {
+                cores: 8,
+                memory: ByteSize::gb(32),
+                gpus: 0,
+            },
+            interconnect: Rate::gbit_per_sec(10.0),
+            fs_capacity: ByteSize::tb(10),
+        }
+    }
+
+    /// Total cores across the cluster.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.node.cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defiant_matches_paper() {
+        let d = ClusterSpec::defiant();
+        assert_eq!(d.nodes, 36);
+        assert_eq!(d.node.cores, 64);
+        assert_eq!(d.node.memory, ByteSize::gb(256));
+        assert_eq!(d.node.gpus, 4);
+        assert_eq!(d.total_cores(), 2304);
+        assert!((d.interconnect.as_bytes_per_sec() - 12.5e9).abs() < 1.0);
+        assert_eq!(d.fs_capacity, ByteSize::tb(1600));
+    }
+
+    #[test]
+    fn tiny_cluster() {
+        let t = ClusterSpec::tiny(3);
+        assert_eq!(t.nodes, 3);
+        assert_eq!(t.total_cores(), 24);
+    }
+}

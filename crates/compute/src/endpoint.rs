@@ -1,0 +1,331 @@
+//! A compute endpoint: a real worker pool executing registered functions.
+//!
+//! Submissions return a [`TaskHandle`] future; workers are OS threads fed
+//! by a crossbeam channel. Panics inside functions are captured and
+//! reported as task failures rather than poisoning the pool.
+
+use crate::registry::{FunctionId, FunctionRegistry};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use serde_json::Value;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Terminal state of a submitted task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskResult {
+    /// Function returned a value.
+    Success(Value),
+    /// Function returned an error or panicked.
+    Failed(String),
+}
+
+impl TaskResult {
+    /// Whether the task succeeded.
+    pub fn is_success(&self) -> bool {
+        matches!(self, TaskResult::Success(_))
+    }
+
+    /// The success value, if any.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            TaskResult::Success(v) => Some(v),
+            TaskResult::Failed(_) => None,
+        }
+    }
+}
+
+struct Slot {
+    state: Mutex<Option<TaskResult>>,
+    cond: Condvar,
+}
+
+/// A future for one submitted task.
+#[derive(Clone)]
+pub struct TaskHandle {
+    slot: Arc<Slot>,
+}
+
+impl TaskHandle {
+    fn new() -> Self {
+        Self {
+            slot: Arc::new(Slot {
+                state: Mutex::new(None),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    fn fulfill(&self, result: TaskResult) {
+        let mut guard = self.slot.state.lock();
+        *guard = Some(result);
+        self.slot.cond.notify_all();
+    }
+
+    /// Block until the task completes and return its result.
+    pub fn wait(&self) -> TaskResult {
+        let mut guard = self.slot.state.lock();
+        while guard.is_none() {
+            self.slot.cond.wait(&mut guard);
+        }
+        guard.clone().expect("fulfilled")
+    }
+
+    /// Non-blocking poll.
+    pub fn try_get(&self) -> Option<TaskResult> {
+        self.slot.state.lock().clone()
+    }
+}
+
+enum Job {
+    Run {
+        func: FunctionId,
+        args: Value,
+        handle: TaskHandle,
+    },
+    Shutdown,
+}
+
+/// A compute endpoint with `workers` OS threads sharing a registry.
+pub struct ComputeEndpoint {
+    name: String,
+    tx: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+    registry: Arc<FunctionRegistry>,
+}
+
+impl ComputeEndpoint {
+    /// Start an endpoint with the given worker count.
+    pub fn start(name: impl Into<String>, registry: Arc<FunctionRegistry>, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let (tx, rx) = unbounded::<Job>();
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let rx: Receiver<Job> = rx.clone();
+            let registry = Arc::clone(&registry);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("compute-worker-{w}"))
+                    .spawn(move || worker_loop(rx, registry))
+                    .expect("spawn worker"),
+            );
+        }
+        Self {
+            name: name.into(),
+            tx,
+            workers: handles,
+            registry,
+        }
+    }
+
+    /// The endpoint's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The shared function registry.
+    pub fn registry(&self) -> &Arc<FunctionRegistry> {
+        &self.registry
+    }
+
+    /// Submit an invocation; returns immediately with a future.
+    pub fn submit(&self, func: FunctionId, args: Value) -> TaskHandle {
+        let handle = TaskHandle::new();
+        self.tx
+            .send(Job::Run {
+                func,
+                args,
+                handle: handle.clone(),
+            })
+            .expect("endpoint alive");
+        handle
+    }
+
+    /// Submit by function name (latest version).
+    pub fn submit_by_name(&self, name: &str, args: Value) -> Result<TaskHandle, String> {
+        let id = self
+            .registry
+            .lookup(name)
+            .ok_or_else(|| format!("no function named {name:?}"))?;
+        Ok(self.submit(id, args))
+    }
+
+    /// Drain and stop all workers (waits for in-flight tasks).
+    pub fn shutdown(mut self) {
+        for _ in 0..self.workers.len() {
+            let _ = self.tx.send(Job::Shutdown);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ComputeEndpoint {
+    fn drop(&mut self) {
+        // Best-effort shutdown if the user forgot to call `shutdown`.
+        for _ in 0..self.workers.len() {
+            let _ = self.tx.send(Job::Shutdown);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>, registry: Arc<FunctionRegistry>) {
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Shutdown => break,
+            Job::Run { func, args, handle } => {
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    registry.invoke(func, args)
+                }));
+                let result = match outcome {
+                    Ok(Ok(v)) => TaskResult::Success(v),
+                    Ok(Err(e)) => TaskResult::Failed(e),
+                    Err(panic) => {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "function panicked".into());
+                        TaskResult::Failed(format!("panic: {msg}"))
+                    }
+                };
+                handle.fulfill(result);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn registry_with_basics() -> Arc<FunctionRegistry> {
+        let reg = Arc::new(FunctionRegistry::new());
+        reg.register("square", |v| {
+            let x = v.as_i64().ok_or("not an int")?;
+            Ok(json!(x * x))
+        });
+        reg.register("fail", |_| Err("nope".into()));
+        reg.register("panic", |_| panic!("kaboom"));
+        reg
+    }
+
+    #[test]
+    fn submit_and_wait() {
+        let ep = ComputeEndpoint::start("test", registry_with_basics(), 2);
+        let h = ep.submit_by_name("square", json!(9)).unwrap();
+        assert_eq!(h.wait(), TaskResult::Success(json!(81)));
+        ep.shutdown();
+    }
+
+    #[test]
+    fn many_tasks_across_workers() {
+        let ep = ComputeEndpoint::start("test", registry_with_basics(), 4);
+        let handles: Vec<TaskHandle> = (0..100)
+            .map(|i| ep.submit_by_name("square", json!(i)).unwrap())
+            .collect();
+        for (i, h) in handles.iter().enumerate() {
+            let i = i as i64;
+            assert_eq!(h.wait(), TaskResult::Success(json!(i * i)));
+        }
+        ep.shutdown();
+    }
+
+    #[test]
+    fn failures_and_panics_are_captured() {
+        let ep = ComputeEndpoint::start("test", registry_with_basics(), 2);
+        let f = ep.submit_by_name("fail", json!(null)).unwrap();
+        assert_eq!(f.wait(), TaskResult::Failed("nope".into()));
+        let p = ep.submit_by_name("panic", json!(null)).unwrap();
+        match p.wait() {
+            TaskResult::Failed(msg) => assert!(msg.contains("kaboom"), "{msg}"),
+            other => panic!("expected failure, got {other:?}"),
+        }
+        // Pool still works after a panic.
+        let ok = ep.submit_by_name("square", json!(3)).unwrap();
+        assert_eq!(ok.wait(), TaskResult::Success(json!(9)));
+        ep.shutdown();
+    }
+
+    #[test]
+    fn unknown_function_name_rejected_at_submit() {
+        let ep = ComputeEndpoint::start("test", registry_with_basics(), 1);
+        assert!(ep.submit_by_name("nope", json!(null)).is_err());
+        ep.shutdown();
+    }
+
+    #[test]
+    fn try_get_is_nonblocking() {
+        let reg = Arc::new(FunctionRegistry::new());
+        let gate = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&gate);
+        reg.register("slow", move |_| {
+            while g.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            Ok(json!("done"))
+        });
+        let ep = ComputeEndpoint::start("test", reg, 1);
+        let h = ep.submit_by_name("slow", json!(null)).unwrap();
+        assert_eq!(h.try_get(), None, "still running");
+        gate.store(1, Ordering::Release);
+        assert_eq!(h.wait(), TaskResult::Success(json!("done")));
+        assert!(h.try_get().is_some());
+        ep.shutdown();
+    }
+
+    #[test]
+    fn tasks_really_run_in_parallel() {
+        // Two tasks that each wait for the other's side effect can only
+        // finish if two workers run them concurrently.
+        let reg = Arc::new(FunctionRegistry::new());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        reg.register("rendezvous", move |_| {
+            c.fetch_add(1, Ordering::AcqRel);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            while c.load(Ordering::Acquire) < 2 {
+                if std::time::Instant::now() > deadline {
+                    return Err("deadlock: tasks did not overlap".into());
+                }
+                std::thread::yield_now();
+            }
+            Ok(json!("met"))
+        });
+        let ep = ComputeEndpoint::start("test", reg, 2);
+        let a = ep.submit_by_name("rendezvous", json!(null)).unwrap();
+        let b = ep.submit_by_name("rendezvous", json!(null)).unwrap();
+        assert!(a.wait().is_success());
+        assert!(b.wait().is_success());
+        ep.shutdown();
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let ep = ComputeEndpoint::start("test", registry_with_basics(), 3);
+        let h = ep.submit_by_name("square", json!(4)).unwrap();
+        assert_eq!(h.wait(), TaskResult::Success(json!(16)));
+        drop(ep); // must not hang
+    }
+
+    #[test]
+    fn endpoint_metadata() {
+        let ep = ComputeEndpoint::start("ace", registry_with_basics(), 3);
+        assert_eq!(ep.name(), "ace");
+        assert_eq!(ep.worker_count(), 3);
+        assert_eq!(ep.registry().len(), 3);
+        ep.shutdown();
+    }
+}

@@ -1,0 +1,22 @@
+//! `eoml-config` — user-facing workflow configuration.
+//!
+//! The paper emphasizes the workflow's UX: "users configure their workflow
+//! through a locally available YAML file" naming the compute endpoint,
+//! credentials, MODIS products, time span and paths. This crate provides
+//! that experience:
+//!
+//! * [`yaml`] — a hand-rolled parser for the YAML subset such configs use
+//!   (block mappings and sequences by indentation, flow sequences, quoted
+//!   and plain scalars, comments). `serde_yaml` is not in the approved
+//!   dependency set, so the subset is implemented here and fully tested.
+//! * [`schema`] — the typed [`WorkflowConfig`] with
+//!   defaults, validation, and conversion from parsed YAML.
+
+pub mod schema;
+pub mod yaml;
+
+pub use schema::{
+    ConfigError, DownloadConfig, InferenceConfig, PreprocessConfig, ShipmentConfig, TimeSpan,
+    WorkflowConfig,
+};
+pub use yaml::{parse as parse_yaml, YamlError, YamlValue};

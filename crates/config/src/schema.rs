@@ -1,0 +1,594 @@
+//! Typed workflow configuration, mirroring the YAML files the paper's users
+//! write: compute endpoint, products, time span, per-stage resources, paths.
+
+use crate::yaml::{parse, YamlError, YamlValue};
+use eoml_util::timebase::CivilDate;
+use std::fmt;
+
+/// Validation/conversion errors for workflow configs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Underlying YAML syntax error.
+    Yaml(YamlError),
+    /// A required field is missing.
+    Missing(&'static str),
+    /// A field has the wrong type or an invalid value.
+    Invalid {
+        /// Field path, e.g. `preprocess.nodes`.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Yaml(e) => write!(f, "{e}"),
+            ConfigError::Missing(field) => write!(f, "missing required field {field:?}"),
+            ConfigError::Invalid { field, reason } => {
+                write!(f, "invalid value for {field:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<YamlError> for ConfigError {
+    fn from(e: YamlError) -> Self {
+        ConfigError::Yaml(e)
+    }
+}
+
+fn invalid(field: &'static str, reason: impl Into<String>) -> ConfigError {
+    ConfigError::Invalid {
+        field,
+        reason: reason.into(),
+    }
+}
+
+/// Time range to process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeSpan {
+    /// First day (UTC).
+    pub start: CivilDate,
+    /// Number of consecutive days (≥ 1).
+    pub days: usize,
+}
+
+/// Stage 1: download resources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DownloadConfig {
+    /// Parallel download workers (paper evaluates 3 and 6).
+    pub workers: usize,
+    /// Archive endpoint name.
+    pub endpoint: String,
+    /// Granule files per product to fetch per day; `None` means the whole
+    /// day (288).
+    pub files_per_day: Option<usize>,
+}
+
+impl Default for DownloadConfig {
+    fn default() -> Self {
+        Self {
+            workers: 3,
+            endpoint: "laads".into(),
+            files_per_day: None,
+        }
+    }
+}
+
+/// Stage 2: preprocessing resources and tile-selection thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreprocessConfig {
+    /// Compute nodes to allocate.
+    pub nodes: usize,
+    /// Parsl-style workers per node.
+    pub workers_per_node: usize,
+    /// Square tile edge in pixels (128 in the paper).
+    pub tile_size: usize,
+    /// Minimum fraction of ocean pixels for a tile to be kept.
+    pub min_ocean_fraction: f64,
+    /// Minimum fraction of cloud pixels for a tile to be kept.
+    pub min_cloud_fraction: f64,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 1,
+            workers_per_node: 8,
+            tile_size: 128,
+            min_ocean_fraction: 1.0,
+            min_cloud_fraction: 0.3,
+        }
+    }
+}
+
+/// Stage 4: inference resources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceConfig {
+    /// Inference workers (the paper's timeline uses 1).
+    pub workers: usize,
+    /// Model identifier.
+    pub model: String,
+    /// Tiles per inference batch.
+    pub batch_size: usize,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            model: "aicca-42".into(),
+            batch_size: 64,
+        }
+    }
+}
+
+/// Stage 5: shipment destination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShipmentConfig {
+    /// Destination endpoint name (e.g. `frontier-orion`).
+    pub destination: String,
+    /// Destination directory.
+    pub path: String,
+}
+
+impl Default for ShipmentConfig {
+    fn default() -> Self {
+        Self {
+            destination: "frontier-orion".into(),
+            path: "/lustre/orion/cli/aicca".into(),
+        }
+    }
+}
+
+/// Platforms accepted by the config.
+pub const KNOWN_PLATFORMS: [&str; 2] = ["Terra", "Aqua"];
+
+/// Product short names accepted by the config (Terra and Aqua variants).
+pub const KNOWN_PRODUCTS: [&str; 6] = [
+    "MOD021KM", "MOD03", "MOD06_L2", "MYD021KM", "MYD03", "MYD06_L2",
+];
+
+/// The full user-facing workflow configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowConfig {
+    /// Campaign name (used in output paths and telemetry).
+    pub name: String,
+    /// Seed for the synthetic world (archive contents, network jitter…).
+    pub seed: u64,
+    /// `Terra` or `Aqua`.
+    pub platform: String,
+    /// Product short names to download.
+    pub products: Vec<String>,
+    /// Time range.
+    pub time_span: TimeSpan,
+    /// Stage 1 settings.
+    pub download: DownloadConfig,
+    /// Stage 2 settings.
+    pub preprocess: PreprocessConfig,
+    /// Stage 4 settings.
+    pub inference: InferenceConfig,
+    /// Stage 5 settings.
+    pub shipment: ShipmentConfig,
+}
+
+impl Default for WorkflowConfig {
+    fn default() -> Self {
+        Self {
+            name: "eo-ml".into(),
+            seed: 2022,
+            platform: "Terra".into(),
+            products: vec!["MOD021KM".into(), "MOD03".into(), "MOD06_L2".into()],
+            time_span: TimeSpan {
+                start: CivilDate::new(2022, 1, 1).expect("valid date"),
+                days: 1,
+            },
+            download: DownloadConfig::default(),
+            preprocess: PreprocessConfig::default(),
+            inference: InferenceConfig::default(),
+            shipment: ShipmentConfig::default(),
+        }
+    }
+}
+
+fn get_usize(
+    map: &YamlValue,
+    key: &str,
+    field: &'static str,
+    default: usize,
+) -> Result<usize, ConfigError> {
+    match map.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let i = v
+                .as_i64()
+                .ok_or_else(|| invalid(field, "expected an integer"))?;
+            if i < 0 {
+                return Err(invalid(field, "must be non-negative"));
+            }
+            Ok(i as usize)
+        }
+    }
+}
+
+fn get_f64(
+    map: &YamlValue,
+    key: &str,
+    field: &'static str,
+    default: f64,
+) -> Result<f64, ConfigError> {
+    match map.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| invalid(field, "expected a number")),
+    }
+}
+
+fn get_string(map: &YamlValue, key: &str, default: &str) -> String {
+    map.get(key)
+        .and_then(YamlValue::as_str)
+        .unwrap_or(default)
+        .to_string()
+}
+
+fn parse_date(s: &str, field: &'static str) -> Result<CivilDate, ConfigError> {
+    let mut parts = s.split('-');
+    let bad = || invalid(field, format!("expected YYYY-MM-DD, got {s:?}"));
+    let y: i32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let m: u8 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let d: u8 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    CivilDate::new(y, m, d).ok_or_else(bad)
+}
+
+impl WorkflowConfig {
+    /// Parse and validate a YAML config document.
+    pub fn from_yaml_str(src: &str) -> Result<Self, ConfigError> {
+        let doc = parse(src)?;
+        Self::from_yaml(&doc)
+    }
+
+    /// Convert a parsed YAML value into a validated config. Absent sections
+    /// fall back to defaults; present-but-invalid values are errors.
+    pub fn from_yaml(doc: &YamlValue) -> Result<Self, ConfigError> {
+        let defaults = WorkflowConfig::default();
+        if matches!(doc, YamlValue::Null) {
+            return Ok(defaults);
+        }
+        if doc.as_map().is_none() {
+            return Err(invalid("<root>", "config must be a mapping"));
+        }
+
+        let name = get_string(doc, "name", &defaults.name);
+        let seed = get_usize(doc, "seed", "seed", defaults.seed as usize)? as u64;
+
+        let platform = get_string(doc, "platform", &defaults.platform);
+        if !KNOWN_PLATFORMS.contains(&platform.as_str()) {
+            return Err(invalid(
+                "platform",
+                format!("unknown platform {platform:?} (expected Terra or Aqua)"),
+            ));
+        }
+
+        let products: Vec<String> = match doc.get("products") {
+            None => defaults.products.clone(),
+            Some(v) => {
+                let seq = v
+                    .as_seq()
+                    .ok_or_else(|| invalid("products", "expected a sequence"))?;
+                seq.iter()
+                    .map(|p| {
+                        p.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| invalid("products", "expected strings"))
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+        };
+        if products.is_empty() {
+            return Err(invalid("products", "at least one product required"));
+        }
+        for p in &products {
+            if !KNOWN_PRODUCTS.contains(&p.as_str()) {
+                return Err(invalid("products", format!("unknown product {p:?}")));
+            }
+        }
+
+        let time_span = match doc.get("time_span") {
+            None => defaults.time_span,
+            Some(ts) => {
+                let start_str = ts
+                    .get("start")
+                    .and_then(YamlValue::as_str)
+                    .ok_or(ConfigError::Missing("time_span.start"))?;
+                let start = parse_date(start_str, "time_span.start")?;
+                let days = get_usize(ts, "days", "time_span.days", 1)?;
+                if days == 0 {
+                    return Err(invalid("time_span.days", "must be ≥ 1"));
+                }
+                TimeSpan { start, days }
+            }
+        };
+
+        let download = match doc.get("download") {
+            None => defaults.download.clone(),
+            Some(d) => {
+                let workers = get_usize(d, "workers", "download.workers", 3)?;
+                if workers == 0 {
+                    return Err(invalid("download.workers", "must be ≥ 1"));
+                }
+                let files_per_day = match d.get("files_per_day") {
+                    None => None,
+                    Some(v) => {
+                        let n = v
+                            .as_i64()
+                            .ok_or_else(|| invalid("download.files_per_day", "expected integer"))?;
+                        if !(1..=288).contains(&n) {
+                            return Err(invalid("download.files_per_day", "must be 1–288"));
+                        }
+                        Some(n as usize)
+                    }
+                };
+                DownloadConfig {
+                    workers,
+                    endpoint: get_string(d, "endpoint", "laads"),
+                    files_per_day,
+                }
+            }
+        };
+
+        let preprocess = match doc.get("preprocess") {
+            None => defaults.preprocess.clone(),
+            Some(p) => {
+                let nodes = get_usize(p, "nodes", "preprocess.nodes", 1)?;
+                let wpn = get_usize(p, "workers_per_node", "preprocess.workers_per_node", 8)?;
+                if nodes == 0 || wpn == 0 {
+                    return Err(invalid("preprocess", "nodes and workers_per_node must be ≥ 1"));
+                }
+                let tile_size = get_usize(p, "tile_size", "preprocess.tile_size", 128)?;
+                if tile_size == 0 || tile_size > 1354 {
+                    return Err(invalid("preprocess.tile_size", "must be 1–1354"));
+                }
+                let ocean = get_f64(p, "min_ocean_fraction", "preprocess.min_ocean_fraction", 1.0)?;
+                let cloud = get_f64(p, "min_cloud_fraction", "preprocess.min_cloud_fraction", 0.3)?;
+                for (v, field) in [
+                    (ocean, "preprocess.min_ocean_fraction"),
+                    (cloud, "preprocess.min_cloud_fraction"),
+                ] {
+                    if !(0.0..=1.0).contains(&v) {
+                        return Err(invalid(
+                            match field {
+                                "preprocess.min_ocean_fraction" => "preprocess.min_ocean_fraction",
+                                _ => "preprocess.min_cloud_fraction",
+                            },
+                            "must be within [0, 1]",
+                        ));
+                    }
+                }
+                PreprocessConfig {
+                    nodes,
+                    workers_per_node: wpn,
+                    tile_size,
+                    min_ocean_fraction: ocean,
+                    min_cloud_fraction: cloud,
+                }
+            }
+        };
+
+        let inference = match doc.get("inference") {
+            None => defaults.inference.clone(),
+            Some(i) => {
+                let workers = get_usize(i, "workers", "inference.workers", 1)?;
+                let batch_size = get_usize(i, "batch_size", "inference.batch_size", 64)?;
+                if workers == 0 || batch_size == 0 {
+                    return Err(invalid("inference", "workers and batch_size must be ≥ 1"));
+                }
+                InferenceConfig {
+                    workers,
+                    model: get_string(i, "model", "aicca-42"),
+                    batch_size,
+                }
+            }
+        };
+
+        let shipment = match doc.get("shipment") {
+            None => defaults.shipment.clone(),
+            Some(s) => ShipmentConfig {
+                destination: get_string(s, "destination", "frontier-orion"),
+                path: get_string(s, "path", "/lustre/orion/cli/aicca"),
+            },
+        };
+
+        Ok(WorkflowConfig {
+            name,
+            seed,
+            platform,
+            products,
+            time_span,
+            download,
+            preprocess,
+            inference,
+            shipment,
+        })
+    }
+
+    /// Render the canonical YAML for this config (parseable by
+    /// [`from_yaml_str`](Self::from_yaml_str); useful as a starting
+    /// template).
+    pub fn to_yaml_string(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("name: {}\n", self.name));
+        s.push_str(&format!("seed: {}\n", self.seed));
+        s.push_str(&format!("platform: {}\n", self.platform));
+        s.push_str(&format!("products: [{}]\n", self.products.join(", ")));
+        s.push_str("time_span:\n");
+        s.push_str(&format!("  start: {}\n", self.time_span.start));
+        s.push_str(&format!("  days: {}\n", self.time_span.days));
+        s.push_str("download:\n");
+        s.push_str(&format!("  workers: {}\n", self.download.workers));
+        s.push_str(&format!("  endpoint: {}\n", self.download.endpoint));
+        if let Some(n) = self.download.files_per_day {
+            s.push_str(&format!("  files_per_day: {n}\n"));
+        }
+        s.push_str("preprocess:\n");
+        s.push_str(&format!("  nodes: {}\n", self.preprocess.nodes));
+        s.push_str(&format!(
+            "  workers_per_node: {}\n",
+            self.preprocess.workers_per_node
+        ));
+        s.push_str(&format!("  tile_size: {}\n", self.preprocess.tile_size));
+        s.push_str(&format!(
+            "  min_ocean_fraction: {}\n",
+            self.preprocess.min_ocean_fraction
+        ));
+        s.push_str(&format!(
+            "  min_cloud_fraction: {}\n",
+            self.preprocess.min_cloud_fraction
+        ));
+        s.push_str("inference:\n");
+        s.push_str(&format!("  workers: {}\n", self.inference.workers));
+        s.push_str(&format!("  model: {}\n", self.inference.model));
+        s.push_str(&format!("  batch_size: {}\n", self.inference.batch_size));
+        s.push_str("shipment:\n");
+        s.push_str(&format!("  destination: {}\n", self.shipment.destination));
+        s.push_str(&format!("  path: {}\n", self.shipment.path));
+        s
+    }
+
+    /// Total download workers × preprocessing workers sanity: the number of
+    /// Parsl workers the preprocess stage will request.
+    pub fn preprocess_workers(&self) -> usize {
+        self.preprocess.nodes * self.preprocess.workers_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# EO-ML campaign configuration
+name: jan-2022-test
+seed: 2022
+platform: Terra
+products: [MOD021KM, MOD03, MOD06_L2]
+time_span:
+  start: 2022-01-01
+  days: 1
+download:
+  workers: 6
+  endpoint: laads
+  files_per_day: 128
+preprocess:
+  nodes: 10
+  workers_per_node: 8
+  tile_size: 128
+  min_ocean_fraction: 1.0
+  min_cloud_fraction: 0.3
+inference:
+  workers: 1
+  model: aicca-42
+  batch_size: 64
+shipment:
+  destination: frontier-orion
+  path: /lustre/orion/cli/aicca
+"#;
+
+    #[test]
+    fn sample_config_parses() {
+        let c = WorkflowConfig::from_yaml_str(SAMPLE).unwrap();
+        assert_eq!(c.name, "jan-2022-test");
+        assert_eq!(c.seed, 2022);
+        assert_eq!(c.platform, "Terra");
+        assert_eq!(c.products.len(), 3);
+        assert_eq!(c.time_span.start, CivilDate::new(2022, 1, 1).unwrap());
+        assert_eq!(c.download.workers, 6);
+        assert_eq!(c.download.files_per_day, Some(128));
+        assert_eq!(c.preprocess.nodes, 10);
+        assert_eq!(c.preprocess_workers(), 80);
+        assert_eq!(c.inference.batch_size, 64);
+        assert_eq!(c.shipment.path, "/lustre/orion/cli/aicca");
+    }
+
+    #[test]
+    fn empty_config_is_all_defaults() {
+        let c = WorkflowConfig::from_yaml_str("").unwrap();
+        assert_eq!(c, WorkflowConfig::default());
+    }
+
+    #[test]
+    fn partial_config_uses_defaults() {
+        let c = WorkflowConfig::from_yaml_str("download:\n  workers: 12\n").unwrap();
+        assert_eq!(c.download.workers, 12);
+        assert_eq!(c.preprocess, PreprocessConfig::default());
+        assert_eq!(c.platform, "Terra");
+    }
+
+    #[test]
+    fn yaml_round_trip() {
+        let c = WorkflowConfig::from_yaml_str(SAMPLE).unwrap();
+        let rendered = c.to_yaml_string();
+        let back = WorkflowConfig::from_yaml_str(&rendered).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn unknown_platform_rejected() {
+        let e = WorkflowConfig::from_yaml_str("platform: Sentinel\n").unwrap_err();
+        assert!(matches!(e, ConfigError::Invalid { field: "platform", .. }), "{e}");
+    }
+
+    #[test]
+    fn unknown_product_rejected() {
+        let e = WorkflowConfig::from_yaml_str("products: [MOD35]\n").unwrap_err();
+        assert!(matches!(e, ConfigError::Invalid { field: "products", .. }), "{e}");
+    }
+
+    #[test]
+    fn bad_date_rejected() {
+        for bad in ["2022-13-01", "2022-02-30", "not-a-date", "2022-01"] {
+            let src = format!("time_span:\n  start: {bad}\n  days: 1\n");
+            let e = WorkflowConfig::from_yaml_str(&src).unwrap_err();
+            assert!(
+                matches!(e, ConfigError::Invalid { field: "time_span.start", .. }),
+                "{bad}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_resources_rejected() {
+        assert!(WorkflowConfig::from_yaml_str("download:\n  workers: 0\n").is_err());
+        assert!(WorkflowConfig::from_yaml_str("preprocess:\n  nodes: 0\n").is_err());
+        assert!(WorkflowConfig::from_yaml_str("time_span:\n  start: 2022-01-01\n  days: 0\n").is_err());
+        assert!(WorkflowConfig::from_yaml_str("inference:\n  batch_size: 0\n").is_err());
+    }
+
+    #[test]
+    fn fraction_bounds_enforced() {
+        let e = WorkflowConfig::from_yaml_str("preprocess:\n  min_cloud_fraction: 1.5\n")
+            .unwrap_err();
+        assert!(matches!(e, ConfigError::Invalid { .. }), "{e}");
+    }
+
+    #[test]
+    fn files_per_day_bounds() {
+        assert!(WorkflowConfig::from_yaml_str("download:\n  files_per_day: 0\n").is_err());
+        assert!(WorkflowConfig::from_yaml_str("download:\n  files_per_day: 289\n").is_err());
+        let c = WorkflowConfig::from_yaml_str("download:\n  files_per_day: 288\n").unwrap();
+        assert_eq!(c.download.files_per_day, Some(288));
+    }
+
+    #[test]
+    fn missing_time_span_start_is_error() {
+        let e = WorkflowConfig::from_yaml_str("time_span:\n  days: 2\n").unwrap_err();
+        assert_eq!(e, ConfigError::Missing("time_span.start"));
+    }
+}

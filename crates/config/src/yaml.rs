@@ -1,0 +1,641 @@
+//! A YAML-subset parser.
+//!
+//! Supports the constructs that workflow configuration files actually use:
+//!
+//! * block mappings (`key: value`) nested by indentation;
+//! * block sequences (`- item`), including `- key: value` compact map items;
+//! * flow sequences (`[a, b, c]`);
+//! * plain, single-quoted and double-quoted scalars;
+//! * `true`/`false`, `null`/`~`, integers and floats;
+//! * `#` comments and blank lines.
+//!
+//! Not supported (rejected with an error where detectable): anchors, tags,
+//! flow mappings, multi-line block scalars, multiple documents.
+
+use std::fmt;
+
+/// A parsed YAML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum YamlValue {
+    /// `null` / `~` / empty value.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer scalar.
+    Int(i64),
+    /// Floating-point scalar.
+    Float(f64),
+    /// String scalar.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<YamlValue>),
+    /// Mapping with preserved key order.
+    Map(Vec<(String, YamlValue)>),
+}
+
+impl YamlValue {
+    /// Look up a key in a mapping.
+    pub fn get(&self, key: &str) -> Option<&YamlValue> {
+        match self {
+            YamlValue::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// As a string scalar.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            YamlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As an integer (accepting integral floats).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            YamlValue::Int(i) => Some(*i),
+            YamlValue::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// As a float (accepting integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            YamlValue::Float(f) => Some(*f),
+            YamlValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// As a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            YamlValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As a sequence.
+    pub fn as_seq(&self) -> Option<&[YamlValue]> {
+        match self {
+            YamlValue::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As a mapping's pairs.
+    pub fn as_map(&self) -> Option<&[(String, YamlValue)]> {
+        match self {
+            YamlValue::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// A parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YamlError {
+    /// 1-based line where the problem was detected.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for YamlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "YAML error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for YamlError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, YamlError> {
+    Err(YamlError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// One significant (non-blank, non-comment) line.
+#[derive(Debug)]
+struct Line<'a> {
+    /// 1-based source line number.
+    no: usize,
+    /// Leading-space count.
+    indent: usize,
+    /// Content with indentation stripped and trailing comment removed.
+    content: &'a str,
+}
+
+/// Strip a trailing comment that is outside quotes.
+fn strip_comment(s: &str) -> &str {
+    let mut in_single = false;
+    let mut in_double = false;
+    let bytes = s.as_bytes();
+    for i in 0..bytes.len() {
+        match bytes[i] {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
+            b'#' if !in_single && !in_double
+                // YAML requires a space (or line start) before '#'.
+                && (i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'\t') => {
+                    return s[..i].trim_end();
+                }
+            _ => {}
+        }
+    }
+    s.trim_end()
+}
+
+fn significant_lines(src: &str) -> Result<Vec<Line<'_>>, YamlError> {
+    let mut out = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let no = i + 1;
+        if raw.trim_start().starts_with('\t') || raw.starts_with('\t') {
+            return err(no, "tabs are not allowed for indentation");
+        }
+        let indent = raw.len() - raw.trim_start_matches(' ').len();
+        let content = strip_comment(&raw[indent..]);
+        if content.is_empty() {
+            continue;
+        }
+        if content == "---" {
+            if !out.is_empty() {
+                return err(no, "multiple documents are not supported");
+            }
+            continue;
+        }
+        out.push(Line {
+            no,
+            indent,
+            content,
+        });
+    }
+    Ok(out)
+}
+
+/// Parse a YAML document into a [`YamlValue`].
+pub fn parse(src: &str) -> Result<YamlValue, YamlError> {
+    let lines = significant_lines(src)?;
+    if lines.is_empty() {
+        return Ok(YamlValue::Null);
+    }
+    let mut pos = 0;
+    let root_indent = lines[0].indent;
+    let v = parse_block(&lines, &mut pos, root_indent)?;
+    if pos != lines.len() {
+        return err(lines[pos].no, "trailing content at lower indentation");
+    }
+    Ok(v)
+}
+
+fn parse_block(lines: &[Line<'_>], pos: &mut usize, indent: usize) -> Result<YamlValue, YamlError> {
+    let first = &lines[*pos];
+    if first.indent != indent {
+        return err(first.no, format!("expected indentation {indent}, found {}", first.indent));
+    }
+    if first.content.starts_with("- ") || first.content == "-" {
+        parse_sequence(lines, pos, indent)
+    } else {
+        parse_mapping(lines, pos, indent)
+    }
+}
+
+fn parse_sequence(
+    lines: &[Line<'_>],
+    pos: &mut usize,
+    indent: usize,
+) -> Result<YamlValue, YamlError> {
+    let mut items = Vec::new();
+    while *pos < lines.len() && lines[*pos].indent == indent {
+        let line = &lines[*pos];
+        if !(line.content.starts_with("- ") || line.content == "-") {
+            break;
+        }
+        let rest = line.content[1..].trim_start();
+        let no = line.no;
+        *pos += 1;
+        if rest.is_empty() {
+            // Nested block on following lines.
+            if *pos < lines.len() && lines[*pos].indent > indent {
+                let child_indent = lines[*pos].indent;
+                items.push(parse_block(lines, pos, child_indent)?);
+            } else {
+                items.push(YamlValue::Null);
+            }
+        } else if let Some((key, val)) = split_mapping_entry(rest) {
+            // Compact map item: `- key: value` possibly continued by keys
+            // indented past the dash.
+            let entry_indent = indent + (line.content.len() - rest.len());
+            let mut pairs = Vec::new();
+            push_entry(lines, pos, entry_indent, key, val, no, &mut pairs)?;
+            while *pos < lines.len() && lines[*pos].indent == entry_indent {
+                let l = &lines[*pos];
+                match split_mapping_entry(l.content) {
+                    Some((k, v)) => {
+                        let lno = l.no;
+                        *pos += 1;
+                        push_entry(lines, pos, entry_indent, k, v, lno, &mut pairs)?;
+                    }
+                    None => return err(l.no, "expected `key: value` in compact map item"),
+                }
+            }
+            items.push(YamlValue::Map(pairs));
+        } else {
+            items.push(parse_scalar(rest, no)?);
+        }
+    }
+    if *pos < lines.len() && lines[*pos].indent > indent {
+        return err(lines[*pos].no, "unexpected indentation after sequence");
+    }
+    Ok(YamlValue::Seq(items))
+}
+
+fn parse_mapping(
+    lines: &[Line<'_>],
+    pos: &mut usize,
+    indent: usize,
+) -> Result<YamlValue, YamlError> {
+    let mut pairs: Vec<(String, YamlValue)> = Vec::new();
+    while *pos < lines.len() && lines[*pos].indent == indent {
+        let line = &lines[*pos];
+        if line.content.starts_with("- ") || line.content == "-" {
+            return err(line.no, "unexpected sequence item inside mapping");
+        }
+        let (key, val) = match split_mapping_entry(line.content) {
+            Some(kv) => kv,
+            None => return err(line.no, "expected `key: value`"),
+        };
+        if pairs.iter().any(|(k, _)| k == &key) {
+            return err(line.no, format!("duplicate key {key:?}"));
+        }
+        let no = line.no;
+        *pos += 1;
+        push_entry(lines, pos, indent, key, val, no, &mut pairs)?;
+    }
+    if *pos < lines.len() && lines[*pos].indent > indent {
+        return err(lines[*pos].no, "unexpected indentation");
+    }
+    Ok(YamlValue::Map(pairs))
+}
+
+/// Handle the value part of `key: <val?>`, consuming a nested block if the
+/// value is empty, and push the pair.
+fn push_entry(
+    lines: &[Line<'_>],
+    pos: &mut usize,
+    indent: usize,
+    key: String,
+    val: Option<&str>,
+    line_no: usize,
+    pairs: &mut Vec<(String, YamlValue)>,
+) -> Result<(), YamlError> {
+    let value = match val {
+        Some(v) => parse_scalar(v, line_no)?,
+        None => {
+            if *pos < lines.len() && lines[*pos].indent > indent {
+                let child_indent = lines[*pos].indent;
+                parse_block(lines, pos, child_indent)?
+            } else {
+                YamlValue::Null
+            }
+        }
+    };
+    pairs.push((key, value));
+    Ok(())
+}
+
+/// Split `key: value` / `key:`; returns `(key, Some(value) | None)`.
+/// Respects quotes in the key.
+fn split_mapping_entry(s: &str) -> Option<(String, Option<&str>)> {
+    let (key_raw, rest) = split_on_colon(s)?;
+    let key = unquote(key_raw.trim())?;
+    let rest = rest.trim();
+    if rest.is_empty() {
+        Some((key, None))
+    } else {
+        Some((key, Some(rest)))
+    }
+}
+
+/// Find the first `:` that terminates the key (outside quotes, followed by
+/// space or end of line).
+fn split_on_colon(s: &str) -> Option<(&str, &str)> {
+    let bytes = s.as_bytes();
+    let mut in_single = false;
+    let mut in_double = false;
+    for i in 0..bytes.len() {
+        match bytes[i] {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
+            b':' if !in_single && !in_double
+                && (i + 1 == bytes.len() || bytes[i + 1] == b' ') => {
+                    return Some((&s[..i], &s[i + 1..]));
+                }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn unquote(s: &str) -> Option<String> {
+    if s.len() >= 2 && s.starts_with('\'') && s.ends_with('\'') {
+        Some(s[1..s.len() - 1].replace("''", "'"))
+    } else if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        // Minimal escape handling for double quotes.
+        let inner = &s[1..s.len() - 1];
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next()? {
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    other => {
+                        out.push('\\');
+                        out.push(other);
+                    }
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        Some(out)
+    } else if s.starts_with('\'') || s.starts_with('"') {
+        None // unbalanced quote
+    } else {
+        Some(s.to_string())
+    }
+}
+
+fn parse_scalar(s: &str, line: usize) -> Result<YamlValue, YamlError> {
+    let s = s.trim();
+    // Flow sequence.
+    if s.starts_with('[') {
+        if !s.ends_with(']') {
+            return err(line, "unterminated flow sequence");
+        }
+        let inner = &s[1..s.len() - 1];
+        if inner.trim().is_empty() {
+            return Ok(YamlValue::Seq(Vec::new()));
+        }
+        let mut items = Vec::new();
+        for piece in split_flow_items(inner, line)? {
+            items.push(parse_scalar(piece, line)?);
+        }
+        return Ok(YamlValue::Seq(items));
+    }
+    if s.starts_with('{') {
+        return err(line, "flow mappings are not supported");
+    }
+    if s.starts_with('&') || s.starts_with('*') || s.starts_with('!') {
+        return err(line, "anchors/aliases/tags are not supported");
+    }
+    if s.starts_with('|') || s.starts_with('>') {
+        return err(line, "block scalars are not supported");
+    }
+    // Quoted string.
+    if s.starts_with('\'') || s.starts_with('"') {
+        return match unquote(s) {
+            Some(v) => Ok(YamlValue::Str(v)),
+            None => err(line, "unbalanced quotes"),
+        };
+    }
+    // Plain scalar resolution.
+    Ok(match s {
+        "null" | "Null" | "NULL" | "~" => YamlValue::Null,
+        "true" | "True" | "TRUE" => YamlValue::Bool(true),
+        "false" | "False" | "FALSE" => YamlValue::Bool(false),
+        _ => {
+            if let Ok(i) = s.parse::<i64>() {
+                YamlValue::Int(i)
+            } else if let Ok(f) = s.parse::<f64>() {
+                // Reject things like "nan" being accidentally numeric? Plain
+                // "nan"/"inf" parse as floats in Rust; YAML spells them
+                // `.nan`/`.inf`, so treat the Rust spellings as strings.
+                if s.eq_ignore_ascii_case("nan")
+                    || s.eq_ignore_ascii_case("inf")
+                    || s.eq_ignore_ascii_case("-inf")
+                    || s.eq_ignore_ascii_case("infinity")
+                {
+                    YamlValue::Str(s.to_string())
+                } else {
+                    YamlValue::Float(f)
+                }
+            } else {
+                YamlValue::Str(s.to_string())
+            }
+        }
+    })
+}
+
+fn split_flow_items(inner: &str, line: usize) -> Result<Vec<&str>, YamlError> {
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut start = 0;
+    let bytes = inner.as_bytes();
+    for i in 0..bytes.len() {
+        match bytes[i] {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
+            b'[' if !in_single && !in_double => depth += 1,
+            b']' if !in_single && !in_double => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| YamlError {
+                        line,
+                        message: "unbalanced brackets".into(),
+                    })?;
+            }
+            b',' if !in_single && !in_double && depth == 0 => {
+                items.push(inner[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_single || in_double {
+        return err(line, "unbalanced brackets or quotes in flow sequence");
+    }
+    items.push(inner[start..].trim());
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_resolve_types() {
+        let doc = parse(
+            "a: 1\nb: -2\nc: 3.5\nd: true\ne: false\nf: null\ng: ~\nh: hello world\ni: '42'\nj: \"quoted\"\n",
+        )
+        .unwrap();
+        assert_eq!(doc.get("a"), Some(&YamlValue::Int(1)));
+        assert_eq!(doc.get("b"), Some(&YamlValue::Int(-2)));
+        assert_eq!(doc.get("c"), Some(&YamlValue::Float(3.5)));
+        assert_eq!(doc.get("d"), Some(&YamlValue::Bool(true)));
+        assert_eq!(doc.get("e"), Some(&YamlValue::Bool(false)));
+        assert_eq!(doc.get("f"), Some(&YamlValue::Null));
+        assert_eq!(doc.get("g"), Some(&YamlValue::Null));
+        assert_eq!(doc.get("h").unwrap().as_str(), Some("hello world"));
+        assert_eq!(doc.get("i").unwrap().as_str(), Some("42"));
+        assert_eq!(doc.get("j").unwrap().as_str(), Some("quoted"));
+    }
+
+    #[test]
+    fn nested_mappings() {
+        let doc = parse(
+            "download:\n  workers: 3\n  endpoint: laads\npreprocess:\n  nodes: 10\n  workers_per_node: 8\n",
+        )
+        .unwrap();
+        let dl = doc.get("download").unwrap();
+        assert_eq!(dl.get("workers").unwrap().as_i64(), Some(3));
+        assert_eq!(dl.get("endpoint").unwrap().as_str(), Some("laads"));
+        let pp = doc.get("preprocess").unwrap();
+        assert_eq!(pp.get("nodes").unwrap().as_i64(), Some(10));
+    }
+
+    #[test]
+    fn block_sequences() {
+        let doc = parse("products:\n  - MOD021KM\n  - MOD03\n  - MOD06_L2\n").unwrap();
+        let seq = doc.get("products").unwrap().as_seq().unwrap();
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq[0].as_str(), Some("MOD021KM"));
+        assert_eq!(seq[2].as_str(), Some("MOD06_L2"));
+    }
+
+    #[test]
+    fn flow_sequences() {
+        let doc = parse("bands: [6, 7, 20, 28, 29, 31]\nnames: [a, 'b c', \"d\"]\nempty: []\n")
+            .unwrap();
+        let bands = doc.get("bands").unwrap().as_seq().unwrap();
+        assert_eq!(bands.len(), 6);
+        assert_eq!(bands[3].as_i64(), Some(28));
+        let names = doc.get("names").unwrap().as_seq().unwrap();
+        assert_eq!(names[1].as_str(), Some("b c"));
+        assert_eq!(doc.get("empty").unwrap().as_seq().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn sequence_of_maps() {
+        let doc = parse(
+            "steps:\n  - name: download\n    workers: 3\n  - name: preprocess\n    workers: 32\n",
+        )
+        .unwrap();
+        let steps = doc.get("steps").unwrap().as_seq().unwrap();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].get("name").unwrap().as_str(), Some("download"));
+        assert_eq!(steps[1].get("workers").unwrap().as_i64(), Some(32));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let doc = parse(
+            "# campaign config\n\na: 1  # trailing comment\n\n# another\nb: 'kept # inside quotes'\n",
+        )
+        .unwrap();
+        assert_eq!(doc.get("a").unwrap().as_i64(), Some(1));
+        assert_eq!(doc.get("b").unwrap().as_str(), Some("kept # inside quotes"));
+    }
+
+    #[test]
+    fn document_marker_allowed_once() {
+        let doc = parse("---\na: 1\n").unwrap();
+        assert_eq!(doc.get("a").unwrap().as_i64(), Some(1));
+        let e = parse("a: 1\n---\nb: 2\n").unwrap_err();
+        assert!(e.message.contains("multiple documents"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let e = parse("a: 1\na: 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn tabs_rejected() {
+        let e = parse("a:\n\tb: 1\n").unwrap_err();
+        assert!(e.message.contains("tabs"), "{e}");
+    }
+
+    #[test]
+    fn unsupported_constructs_rejected() {
+        assert!(parse("a: {b: 1}\n").unwrap_err().message.contains("flow mappings"));
+        assert!(parse("a: &anchor 1\n").unwrap_err().message.contains("anchors"));
+        assert!(parse("a: |\n  text\n").unwrap_err().message.contains("block scalars"));
+        assert!(parse("a: [1, 2\n").unwrap_err().message.contains("unterminated"));
+    }
+
+    #[test]
+    fn values_with_colons_in_strings() {
+        let doc = parse("path: /lustre/orion:data\nurl: 'https://laads.gov:443/x'\n").unwrap();
+        assert_eq!(doc.get("path").unwrap().as_str(), Some("/lustre/orion:data"));
+        assert_eq!(
+            doc.get("url").unwrap().as_str(),
+            Some("https://laads.gov:443/x")
+        );
+    }
+
+    #[test]
+    fn empty_document_is_null() {
+        assert_eq!(parse("").unwrap(), YamlValue::Null);
+        assert_eq!(parse("# only comments\n\n").unwrap(), YamlValue::Null);
+    }
+
+    #[test]
+    fn top_level_sequence() {
+        let doc = parse("- 1\n- two\n- 3.0\n").unwrap();
+        let seq = doc.as_seq().unwrap();
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq[1].as_str(), Some("two"));
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let doc = parse("a:\n  b:\n    c:\n      d: deep\n").unwrap();
+        let d = doc
+            .get("a")
+            .and_then(|v| v.get("b"))
+            .and_then(|v| v.get("c"))
+            .and_then(|v| v.get("d"))
+            .unwrap();
+        assert_eq!(d.as_str(), Some("deep"));
+    }
+
+    #[test]
+    fn null_value_for_key_without_block() {
+        let doc = parse("a:\nb: 1\n").unwrap();
+        assert_eq!(doc.get("a"), Some(&YamlValue::Null));
+        assert_eq!(doc.get("b").unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn nan_inf_stay_strings() {
+        let doc = parse("a: nan\nb: inf\nc: NaN\n").unwrap();
+        assert_eq!(doc.get("a").unwrap().as_str(), Some("nan"));
+        assert_eq!(doc.get("b").unwrap().as_str(), Some("inf"));
+        assert_eq!(doc.get("c").unwrap().as_str(), Some("NaN"));
+    }
+
+    #[test]
+    fn error_line_numbers_are_accurate() {
+        let e = parse("a: 1\nb: 2\n  c: 3\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn as_helpers() {
+        assert_eq!(YamlValue::Int(3).as_f64(), Some(3.0));
+        assert_eq!(YamlValue::Float(3.0).as_i64(), Some(3));
+        assert_eq!(YamlValue::Float(3.5).as_i64(), None);
+        assert_eq!(YamlValue::Str("x".into()).as_i64(), None);
+        assert_eq!(YamlValue::Bool(true).as_bool(), Some(true));
+    }
+}

@@ -1,0 +1,47 @@
+//! `eoml-core` — the automated multi-facility EO-ML workflow (the paper's
+//! primary contribution).
+//!
+//! The workflow orchestrates five stages across facilities:
+//!
+//! 1. **Download** — MODIS granule files from the (synthetic) LAADS archive
+//!    to the cluster file system, via a worker pool over the flow network.
+//! 2. **Preprocess** — swath → ocean-cloud tiles on Slurm-provisioned nodes
+//!    through the Parsl-like executor.
+//! 3. **Monitor & Trigger** — a crawler detects finished tile files and
+//!    starts one inference flow per file; inference overlaps preprocessing
+//!    as in the paper's Fig. 6.
+//! 4. **Inference** — RICC/AICCA label assignment, labels appended to the
+//!    NetCDF files.
+//! 5. **Shipment** — labeled files transferred to the destination facility.
+//!
+//! Two execution paths share this orchestration logic:
+//!
+//! * [`campaign`] — *virtual time*: the full multi-facility system runs
+//!   inside one discrete-event simulation ([`world::World`] composes the
+//!   flow network, the cluster model, Slurm, the crawler and telemetry).
+//!   This is the path that reproduces the paper's figures at 10-node,
+//!   80-worker scale on a laptop.
+//! * [`realrun`] — *real execution*: synthesizes granules to disk, runs the
+//!   actual preprocessing kernels on a thread pool, monitors the real file
+//!   system, and runs real RICC inference — the "it actually works" path
+//!   used by the examples and integration tests.
+//!
+//! [`telemetry`] provides the instrumentation both paths feed: per-stage
+//! worker-activity timelines (Fig. 6) and span-based latency breakdowns
+//! (Fig. 7).
+
+pub mod atlas;
+pub mod campaign;
+pub mod provenance;
+pub mod realrun;
+pub mod streaming;
+pub mod telemetry;
+pub mod world;
+
+pub use atlas::{Atlas, ClassStats};
+pub use campaign::{run_campaign, CampaignParams, CampaignReport, StageReport};
+pub use provenance::{ProvRecord, ProvenanceLog};
+pub use realrun::{RealPipeline, RealRunReport};
+pub use streaming::{run_streaming_campaign, StreamingParams, StreamingReport};
+pub use telemetry::{Span, Telemetry};
+pub use world::World;

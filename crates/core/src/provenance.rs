@@ -1,0 +1,274 @@
+//! Provenance tracking — the paper's §V-A plan: "integrate advanced
+//! provenance tracking and telemetry tools for real-time workflow
+//! insights… support the creation of reliable, reusable workflows".
+//!
+//! The model is a light W3C-PROV-style graph: *activities* (download,
+//! preprocess, inference, shipment) generate *artifacts* (files) from input
+//! artifacts, attributed to an *agent* (the service that did the work).
+//! The log answers the two questions that matter operationally — "where
+//! did this labeled file come from?" (full upstream lineage) and "what was
+//! derived from this granule?" (downstream closure) — and exports JSON for
+//! external tooling.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// One provenance record: `activity` produced `artifact` from `inputs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvRecord {
+    /// The produced artifact (file name / URI).
+    pub artifact: String,
+    /// The producing activity (e.g. `"preprocess"`).
+    pub activity: String,
+    /// Input artifacts consumed.
+    pub inputs: Vec<String>,
+    /// The agent that performed the activity.
+    pub agent: String,
+    /// Virtual/wall seconds when the artifact was produced.
+    pub at_s: f64,
+    /// Free-form attributes (tile counts, sizes, …).
+    pub attrs: BTreeMap<String, String>,
+}
+
+/// An append-only provenance log.
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceLog {
+    records: Vec<ProvRecord>,
+}
+
+impl ProvenanceLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record.
+    pub fn record(
+        &mut self,
+        artifact: impl Into<String>,
+        activity: impl Into<String>,
+        inputs: Vec<String>,
+        agent: impl Into<String>,
+        at_s: f64,
+    ) -> &mut ProvRecord {
+        self.records.push(ProvRecord {
+            artifact: artifact.into(),
+            activity: activity.into(),
+            inputs,
+            agent: agent.into(),
+            at_s,
+            attrs: BTreeMap::new(),
+        });
+        self.records.last_mut().expect("just pushed")
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[ProvRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records that directly produced `artifact` (usually one).
+    pub fn producers(&self, artifact: &str) -> Vec<&ProvRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.artifact == artifact)
+            .collect()
+    }
+
+    /// Transitive upstream lineage of `artifact`: every artifact it
+    /// (recursively) derives from, in breadth-first order, deduplicated.
+    pub fn lineage(&self, artifact: &str) -> Vec<String> {
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut queue: VecDeque<String> = VecDeque::new();
+        queue.push_back(artifact.to_string());
+        let mut out = Vec::new();
+        while let Some(current) = queue.pop_front() {
+            for rec in self.producers(&current) {
+                for input in &rec.inputs {
+                    if seen.insert(input.clone()) {
+                        out.push(input.clone());
+                        queue.push_back(input.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transitive downstream closure of `artifact`: everything derived
+    /// from it.
+    pub fn downstream(&self, artifact: &str) -> Vec<String> {
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut queue: VecDeque<String> = VecDeque::new();
+        queue.push_back(artifact.to_string());
+        let mut out = Vec::new();
+        while let Some(current) = queue.pop_front() {
+            for rec in self.records.iter().filter(|r| r.inputs.contains(&current)) {
+                if seen.insert(rec.artifact.clone()) {
+                    out.push(rec.artifact.clone());
+                    queue.push_back(rec.artifact.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Verify the graph is acyclic (an artifact never being its own
+    /// ancestor) — the integrity invariant a provenance log must hold.
+    pub fn is_acyclic(&self) -> bool {
+        self.records
+            .iter()
+            .all(|r| !self.lineage(&r.artifact).contains(&r.artifact))
+    }
+
+    /// Export as PROV-flavoured JSON: `entities`, and `activities` with
+    /// `used`/`generated` edges.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut entities: HashSet<&str> = HashSet::new();
+        for r in &self.records {
+            entities.insert(&r.artifact);
+            for i in &r.inputs {
+                entities.insert(i);
+            }
+        }
+        let mut entity_list: Vec<&str> = entities.into_iter().collect();
+        entity_list.sort_unstable();
+        serde_json::json!({
+            "entities": entity_list,
+            "activities": self.records.iter().map(|r| {
+                serde_json::json!({
+                    "type": r.activity,
+                    "agent": r.agent,
+                    "at_s": r.at_s,
+                    "used": r.inputs,
+                    "generated": r.artifact,
+                    "attrs": r.attrs,
+                })
+            }).collect::<Vec<_>>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline_log() -> ProvenanceLog {
+        let mut log = ProvenanceLog::new();
+        for name in ["MOD021KM.A2022001.0005", "MOD03.A2022001.0005", "MOD06_L2.A2022001.0005"] {
+            log.record(
+                format!("defiant:{name}"),
+                "download",
+                vec![format!("laads:{name}")],
+                "download-pool",
+                10.0,
+            );
+        }
+        log.record(
+            "tiles-MOD.A2022001.0005.nc",
+            "preprocess",
+            vec![
+                "defiant:MOD021KM.A2022001.0005".into(),
+                "defiant:MOD03.A2022001.0005".into(),
+                "defiant:MOD06_L2.A2022001.0005".into(),
+            ],
+            "parsl-worker",
+            40.0,
+        )
+        .attrs
+        .insert("tiles".into(), "117".into());
+        log.record(
+            "labeled:tiles-MOD.A2022001.0005.nc",
+            "inference",
+            vec!["tiles-MOD.A2022001.0005.nc".into()],
+            "globus-flow",
+            55.0,
+        );
+        log.record(
+            "orion:tiles-MOD.A2022001.0005.nc",
+            "shipment",
+            vec!["labeled:tiles-MOD.A2022001.0005.nc".into()],
+            "globus-transfer",
+            60.0,
+        );
+        log
+    }
+
+    #[test]
+    fn lineage_reaches_the_archive() {
+        let log = pipeline_log();
+        let lineage = log.lineage("orion:tiles-MOD.A2022001.0005.nc");
+        // labeled → tiles → 3 defiant products → 3 laads originals.
+        assert_eq!(lineage.len(), 8, "{lineage:?}");
+        assert!(lineage.iter().any(|a| a == "laads:MOD021KM.A2022001.0005"));
+        assert!(lineage.iter().any(|a| a == "laads:MOD06_L2.A2022001.0005"));
+        // BFS order: the direct parent comes first.
+        assert_eq!(lineage[0], "labeled:tiles-MOD.A2022001.0005.nc");
+    }
+
+    #[test]
+    fn downstream_closure() {
+        let log = pipeline_log();
+        let down = log.downstream("laads:MOD021KM.A2022001.0005");
+        assert_eq!(down.len(), 4, "{down:?}");
+        assert!(down.iter().any(|a| a == "orion:tiles-MOD.A2022001.0005.nc"));
+        assert!(log.downstream("orion:tiles-MOD.A2022001.0005.nc").is_empty());
+    }
+
+    #[test]
+    fn acyclicity_detection() {
+        let mut log = pipeline_log();
+        assert!(log.is_acyclic());
+        // Introduce a cycle: the archive file "derives" from the shipped one.
+        log.record(
+            "laads:MOD021KM.A2022001.0005",
+            "time-travel",
+            vec!["orion:tiles-MOD.A2022001.0005.nc".into()],
+            "paradox",
+            99.0,
+        );
+        assert!(!log.is_acyclic());
+    }
+
+    #[test]
+    fn producers_and_attrs() {
+        let log = pipeline_log();
+        let p = log.producers("tiles-MOD.A2022001.0005.nc");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].activity, "preprocess");
+        assert_eq!(p[0].attrs["tiles"], "117");
+        assert!(log.producers("unknown").is_empty());
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let log = pipeline_log();
+        let j = log.to_json();
+        assert_eq!(j["activities"].as_array().unwrap().len(), 6);
+        let entities = j["entities"].as_array().unwrap();
+        assert!(entities.len() >= 9, "{entities:?}");
+        // Every activity's generated artifact appears among entities.
+        for act in j["activities"].as_array().unwrap() {
+            let artifact = act["generated"].as_str().unwrap();
+            assert!(entities.iter().any(|e| e.as_str() == Some(artifact)));
+        }
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = ProvenanceLog::new();
+        assert!(log.is_empty());
+        assert!(log.is_acyclic());
+        assert!(log.lineage("x").is_empty());
+        assert_eq!(log.to_json()["entities"].as_array().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Workflow instrumentation: spans and worker-activity timelines.
+//!
+//! Everything the paper's Figs. 6 and 7 plot comes through here: Fig. 6 is
+//! the per-stage active-worker count over time; Fig. 7 is the latency of
+//! each workflow component and the communication hops between them.
+
+use eoml_simtime::SimTime;
+use std::collections::BTreeMap;
+
+/// A named interval attributed to a stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Stage, e.g. `"download"`.
+    pub stage: String,
+    /// Component within the stage, e.g. `"launch"`, `"transfer"`.
+    pub name: String,
+    /// Start time.
+    pub start: SimTime,
+    /// End time.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Span duration in seconds.
+    pub fn seconds(&self) -> f64 {
+        (self.end - self.start).as_secs_f64()
+    }
+}
+
+/// Collected telemetry for one campaign.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// All recorded spans, in recording order.
+    pub spans: Vec<Span>,
+    /// Per-stage `(time, active workers)` change points.
+    pub activity: BTreeMap<String, Vec<(SimTime, usize)>>,
+}
+
+impl Telemetry {
+    /// Empty telemetry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed span.
+    pub fn span(&mut self, stage: &str, name: &str, start: SimTime, end: SimTime) {
+        assert!(end >= start, "span ends before it starts");
+        self.spans.push(Span {
+            stage: stage.to_string(),
+            name: name.to_string(),
+            start,
+            end,
+        });
+    }
+
+    /// Record a worker-count change for a stage.
+    pub fn activity_change(&mut self, stage: &str, t: SimTime, active: usize) {
+        self.activity
+            .entry(stage.to_string())
+            .or_default()
+            .push((t, active));
+    }
+
+    /// Merge a whole activity series (e.g. a batch report's) into a stage.
+    pub fn merge_activity(&mut self, stage: &str, series: &[(SimTime, usize)]) {
+        let entry = self.activity.entry(stage.to_string()).or_default();
+        entry.extend_from_slice(series);
+        entry.sort_by_key(|&(t, _)| t);
+    }
+
+    /// Active workers of `stage` at time `t` (step function lookup).
+    pub fn activity_at(&self, stage: &str, t: SimTime) -> usize {
+        match self.activity.get(stage) {
+            None => 0,
+            Some(series) => series
+                .iter()
+                .take_while(|&&(st, _)| st <= t)
+                .last()
+                .map(|&(_, a)| a)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Peak concurrency of a stage.
+    pub fn peak(&self, stage: &str) -> usize {
+        self.activity
+            .get(stage)
+            .map(|s| s.iter().map(|&(_, a)| a).max().unwrap_or(0))
+            .unwrap_or(0)
+    }
+
+    /// Sum of span durations matching `(stage, name)`.
+    pub fn total_seconds(&self, stage: &str, name: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.stage == stage && s.name == name)
+            .map(Span::seconds)
+            .sum()
+    }
+
+    /// Mean duration of spans matching `(stage, name)`, or 0 if none.
+    pub fn mean_seconds(&self, stage: &str, name: &str) -> f64 {
+        let matching: Vec<f64> = self
+            .spans
+            .iter()
+            .filter(|s| s.stage == stage && s.name == name)
+            .map(Span::seconds)
+            .collect();
+        if matching.is_empty() {
+            0.0
+        } else {
+            matching.iter().sum::<f64>() / matching.len() as f64
+        }
+    }
+
+    /// Whether two stages' activity overlapped in time (both nonzero at
+    /// some change point) — how Fig. 6's preprocess/inference overlap is
+    /// checked.
+    pub fn stages_overlap(&self, a: &str, b: &str) -> bool {
+        let probe = |stage: &str| self.activity.get(stage).cloned().unwrap_or_default();
+        for &(t, active) in probe(a).iter() {
+            if active > 0 && self.activity_at(b, t) > 0 {
+                return true;
+            }
+        }
+        for &(t, active) in probe(b).iter() {
+            if active > 0 && self.activity_at(a, t) > 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Export everything as JSON for external plotting/telemetry tooling
+    /// (the paper's §V-A "telemetry tools for real-time workflow insights").
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "spans": self.spans.iter().map(|s| serde_json::json!({
+                "stage": s.stage,
+                "name": s.name,
+                "start_s": s.start.as_secs_f64(),
+                "end_s": s.end.as_secs_f64(),
+            })).collect::<Vec<_>>(),
+            "activity": self.activity.iter().map(|(stage, series)| {
+                (stage.clone(), series.iter().map(|&(t, a)| {
+                    serde_json::json!([t.as_secs_f64(), a])
+                }).collect::<Vec<_>>())
+            }).collect::<std::collections::BTreeMap<_, _>>(),
+        })
+    }
+
+    /// Resample a stage's activity onto a uniform grid of `n` samples over
+    /// `[t0, t1]` — convenient for plotting Fig. 6-style timelines.
+    pub fn sample_activity(
+        &self,
+        stage: &str,
+        t0: SimTime,
+        t1: SimTime,
+        n: usize,
+    ) -> Vec<(f64, usize)> {
+        assert!(n >= 2 && t1 >= t0);
+        let span = (t1 - t0).as_secs_f64();
+        (0..n)
+            .map(|i| {
+                let dt = span * i as f64 / (n - 1) as f64;
+                let t = t0 + std::time::Duration::from_secs_f64(dt);
+                (t.as_secs_f64(), self.activity_at(stage, t))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn spans_record_and_aggregate() {
+        let mut tel = Telemetry::new();
+        tel.span("download", "launch", t(0.0), t(5.63));
+        tel.span("download", "transfer", t(5.63), t(30.0));
+        tel.span("inference", "flow_action", t(40.0), t(40.05));
+        tel.span("inference", "flow_action", t(41.0), t(41.07));
+        assert_eq!(tel.spans.len(), 4);
+        assert!((tel.total_seconds("download", "launch") - 5.63).abs() < 1e-9);
+        assert!((tel.mean_seconds("inference", "flow_action") - 0.06).abs() < 1e-9);
+        assert_eq!(tel.mean_seconds("nope", "x"), 0.0);
+    }
+
+    #[test]
+    fn activity_step_function() {
+        let mut tel = Telemetry::new();
+        tel.activity_change("preprocess", t(10.0), 8);
+        tel.activity_change("preprocess", t(20.0), 32);
+        tel.activity_change("preprocess", t(30.0), 0);
+        assert_eq!(tel.activity_at("preprocess", t(5.0)), 0);
+        assert_eq!(tel.activity_at("preprocess", t(10.0)), 8);
+        assert_eq!(tel.activity_at("preprocess", t(25.0)), 32);
+        assert_eq!(tel.activity_at("preprocess", t(35.0)), 0);
+        assert_eq!(tel.peak("preprocess"), 32);
+        assert_eq!(tel.peak("unknown"), 0);
+    }
+
+    #[test]
+    fn merge_activity_sorts() {
+        let mut tel = Telemetry::new();
+        tel.activity_change("s", t(5.0), 1);
+        tel.merge_activity("s", &[(t(1.0), 2), (t(9.0), 0)]);
+        let series = &tel.activity["s"];
+        for w in series.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(tel.activity_at("s", t(2.0)), 2);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut tel = Telemetry::new();
+        tel.activity_change("preprocess", t(0.0), 32);
+        tel.activity_change("preprocess", t(100.0), 0);
+        tel.activity_change("inference", t(50.0), 1);
+        tel.activity_change("inference", t(60.0), 0);
+        assert!(tel.stages_overlap("preprocess", "inference"));
+        let mut tel2 = Telemetry::new();
+        tel2.activity_change("a", t(0.0), 1);
+        tel2.activity_change("a", t(10.0), 0);
+        tel2.activity_change("b", t(20.0), 1);
+        tel2.activity_change("b", t(30.0), 0);
+        assert!(!tel2.stages_overlap("a", "b"));
+    }
+
+    #[test]
+    fn sample_activity_grid() {
+        let mut tel = Telemetry::new();
+        tel.activity_change("s", t(0.0), 3);
+        tel.activity_change("s", t(50.0), 0);
+        let samples = tel.sample_activity("s", t(0.0), t(100.0), 5);
+        assert_eq!(samples.len(), 5);
+        assert_eq!(samples[0], (0.0, 3));
+        assert_eq!(samples[1], (25.0, 3));
+        assert_eq!(samples[2].1, 0);
+        assert_eq!(samples[4], (100.0, 0));
+    }
+
+    #[test]
+    fn json_export_contains_spans_and_activity() {
+        let mut tel = Telemetry::new();
+        tel.span("download", "launch", t(0.0), t(5.0));
+        tel.activity_change("preprocess", t(10.0), 8);
+        let j = tel.to_json();
+        assert_eq!(j["spans"][0]["stage"], "download");
+        assert_eq!(j["spans"][0]["end_s"], 5.0);
+        assert_eq!(j["activity"]["preprocess"][0][0], 10.0);
+        assert_eq!(j["activity"]["preprocess"][0][1], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn inverted_span_panics() {
+        let mut tel = Telemetry::new();
+        tel.span("x", "y", t(2.0), t(1.0));
+    }
+}

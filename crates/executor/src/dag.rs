@@ -1,0 +1,343 @@
+//! A data-flow kernel: dependency graphs of closures on a bounded pool.
+//!
+//! Parsl's DataFlowKernel launches an app as soon as all of its inputs are
+//! ready. This is the same engine reduced to its scheduling core: nodes are
+//! `FnOnce` closures, edges are explicit dependencies, and execution uses a
+//! coordinator plus `workers` OS threads. Panics in tasks are captured and
+//! fail the run (with remaining tasks skipped), and cycles are rejected up
+//! front.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+
+eoml_util::typed_id!(
+    /// Identifier of a DAG node.
+    NodeId,
+    "node"
+);
+
+/// Errors from building or running a DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// A dependency references a node added later (or not at all).
+    UnknownDependency {
+        /// The node declaring the dependency.
+        node: String,
+        /// The missing dependency id.
+        dep: NodeId,
+    },
+    /// The graph has a cycle (detected at run time as a stall).
+    Cycle,
+    /// A task panicked.
+    TaskPanicked {
+        /// Name of the panicking node.
+        node: String,
+        /// Captured panic message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::UnknownDependency { node, dep } => {
+                write!(f, "node {node:?} depends on unknown node {dep}")
+            }
+            DagError::Cycle => write!(f, "dependency graph has a cycle"),
+            DagError::TaskPanicked { node, message } => {
+                write!(f, "task {node:?} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+type TaskFn = Box<dyn FnOnce() + Send>;
+
+struct Node {
+    name: String,
+    deps: Vec<usize>,
+    task: Option<TaskFn>,
+}
+
+/// A buildable, runnable dependency graph.
+#[derive(Default)]
+pub struct Dag {
+    nodes: Vec<Node>,
+}
+
+impl Dag {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a task depending on `deps` (which must already exist).
+    /// Use shared state (e.g. `Arc<Mutex<…>>`) to pass data between tasks.
+    pub fn add_task(
+        &mut self,
+        name: impl Into<String>,
+        deps: &[NodeId],
+        task: impl FnOnce() + Send + 'static,
+    ) -> Result<NodeId, DagError> {
+        let name = name.into();
+        let mut dep_idx = Vec::with_capacity(deps.len());
+        for d in deps {
+            let i = (d.raw() - 1) as usize;
+            if i >= self.nodes.len() {
+                return Err(DagError::UnknownDependency { node: name, dep: *d });
+            }
+            dep_idx.push(i);
+        }
+        self.nodes.push(Node {
+            name,
+            deps: dep_idx,
+            task: Some(Box::new(task)),
+        });
+        Ok(NodeId::from_raw(self.nodes.len() as u64))
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Execute the whole graph on `workers` threads. Returns the completion
+    /// order (node ids) on success.
+    pub fn run(mut self, workers: usize) -> Result<Vec<NodeId>, DagError> {
+        assert!(workers > 0);
+        let n = self.nodes.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+
+        // Indegrees and reverse edges.
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            indegree[i] = node.deps.len();
+            for &d in &node.deps {
+                dependents[d].push(i);
+            }
+        }
+
+        // Worker pool: (index, task) jobs; results (index, Result<(), msg>).
+        let (job_tx, job_rx) = unbounded::<(usize, TaskFn)>();
+        let (res_tx, res_rx) = unbounded::<(usize, Result<(), String>)>();
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let job_rx: Receiver<(usize, TaskFn)> = job_rx.clone();
+            let res_tx: Sender<(usize, Result<(), String>)> = res_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok((idx, task)) = job_rx.recv() {
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(task));
+                    let res = outcome.map_err(|p| {
+                        p.downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| p.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "panic".into())
+                    });
+                    if res_tx.send((idx, res)).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+        drop(job_rx);
+        drop(res_tx);
+
+        let mut ready: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        if ready.is_empty() {
+            // Every node has a dependency → cycle.
+            drop(job_tx);
+            for h in handles {
+                let _ = h.join();
+            }
+            return Err(DagError::Cycle);
+        }
+
+        let mut completed = Vec::with_capacity(n);
+        let mut in_flight = 0usize;
+        let mut first_error: Option<DagError> = None;
+        loop {
+            // Dispatch everything ready (unless failing fast).
+            while first_error.is_none() {
+                match ready.pop_front() {
+                    Some(i) => {
+                        let task = self.nodes[i].task.take().expect("dispatched once");
+                        job_tx.send((i, task)).expect("workers alive");
+                        in_flight += 1;
+                    }
+                    None => break,
+                }
+            }
+            if in_flight == 0 {
+                break;
+            }
+            let (idx, res) = res_rx.recv().expect("workers alive");
+            in_flight -= 1;
+            match res {
+                Ok(()) => {
+                    completed.push(NodeId::from_raw(idx as u64 + 1));
+                    for &dep in &dependents[idx] {
+                        indegree[dep] -= 1;
+                        if indegree[dep] == 0 {
+                            ready.push_back(dep);
+                        }
+                    }
+                }
+                Err(message) => {
+                    if first_error.is_none() {
+                        first_error = Some(DagError::TaskPanicked {
+                            node: self.nodes[idx].name.clone(),
+                            message,
+                        });
+                    }
+                }
+            }
+        }
+        drop(job_tx);
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        if completed.len() != n {
+            return Err(DagError::Cycle);
+        }
+        Ok(completed)
+    }
+}
+
+impl std::fmt::Debug for Dag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dag").field("nodes", &self.nodes.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn linear_chain_runs_in_order() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut dag = Dag::new();
+        let l1 = Arc::clone(&log);
+        let a = dag.add_task("a", &[], move || l1.lock().unwrap().push("a")).unwrap();
+        let l2 = Arc::clone(&log);
+        let b = dag
+            .add_task("b", &[a], move || l2.lock().unwrap().push("b"))
+            .unwrap();
+        let l3 = Arc::clone(&log);
+        dag.add_task("c", &[b], move || l3.lock().unwrap().push("c"))
+            .unwrap();
+        let order = dag.run(4).unwrap();
+        assert_eq!(order.len(), 3);
+        assert_eq!(*log.lock().unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn diamond_respects_dependencies() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut dag = Dag::new();
+        let push = |log: &Arc<Mutex<Vec<&'static str>>>, s: &'static str| {
+            let l = Arc::clone(log);
+            move || l.lock().unwrap().push(s)
+        };
+        let a = dag.add_task("a", &[], push(&log, "a")).unwrap();
+        let b = dag.add_task("b", &[a], push(&log, "b")).unwrap();
+        let c = dag.add_task("c", &[a], push(&log, "c")).unwrap();
+        dag.add_task("d", &[b, c], push(&log, "d")).unwrap();
+        dag.run(4).unwrap();
+        let log = log.lock().unwrap();
+        assert_eq!(log[0], "a");
+        assert_eq!(log[3], "d");
+        assert!(log[1..3].contains(&"b") && log[1..3].contains(&"c"));
+    }
+
+    #[test]
+    fn independent_tasks_run_concurrently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let active = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut dag = Dag::new();
+        for i in 0..4 {
+            let active = Arc::clone(&active);
+            let peak = Arc::clone(&peak);
+            dag.add_task(format!("t{i}"), &[], move || {
+                let a = active.fetch_add(1, Ordering::AcqRel) + 1;
+                peak.fetch_max(a, Ordering::AcqRel);
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                active.fetch_sub(1, Ordering::AcqRel);
+            })
+            .unwrap();
+        }
+        dag.run(4).unwrap();
+        assert!(
+            peak.load(Ordering::Acquire) >= 2,
+            "tasks should overlap, peak {}",
+            peak.load(Ordering::Acquire)
+        );
+    }
+
+    #[test]
+    fn unknown_dependency_rejected_at_build() {
+        let mut dag = Dag::new();
+        let err = dag
+            .add_task("x", &[NodeId::from_raw(5)], || {})
+            .unwrap_err();
+        assert!(matches!(err, DagError::UnknownDependency { .. }));
+    }
+
+    #[test]
+    fn panic_fails_run_and_skips_dependents() {
+        let ran = Arc::new(Mutex::new(false));
+        let mut dag = Dag::new();
+        let a = dag
+            .add_task("boom", &[], || panic!("exploded"))
+            .unwrap();
+        let r = Arc::clone(&ran);
+        dag.add_task("after", &[a], move || *r.lock().unwrap() = true)
+            .unwrap();
+        match dag.run(2) {
+            Err(DagError::TaskPanicked { node, message }) => {
+                assert_eq!(node, "boom");
+                assert!(message.contains("exploded"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(!*ran.lock().unwrap(), "dependent must not run");
+    }
+
+    #[test]
+    fn empty_dag_is_ok() {
+        assert_eq!(Dag::new().run(2).unwrap(), Vec::new());
+        assert!(Dag::new().is_empty());
+    }
+
+    #[test]
+    fn wide_dag_completes() {
+        let counter = Arc::new(Mutex::new(0u32));
+        let mut dag = Dag::new();
+        let mut roots = Vec::new();
+        for i in 0..50 {
+            let c = Arc::clone(&counter);
+            roots.push(dag.add_task(format!("r{i}"), &[], move || *c.lock().unwrap() += 1).unwrap());
+        }
+        let c = Arc::clone(&counter);
+        dag.add_task("sink", &roots, move || *c.lock().unwrap() += 100)
+            .unwrap();
+        dag.run(3).unwrap();
+        assert_eq!(*counter.lock().unwrap(), 150);
+    }
+}

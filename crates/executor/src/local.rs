@@ -1,0 +1,147 @@
+//! Real thread-pool execution with per-task timing.
+
+use std::time::{Duration, Instant};
+
+/// A Parsl-style local executor: a fixed pool of `workers` threads
+/// executing data-parallel maps.
+pub struct LocalExecutor {
+    pool: rayon::ThreadPool,
+    workers: usize,
+}
+
+impl std::fmt::Debug for LocalExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalExecutor")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl LocalExecutor {
+    /// Build a pool with exactly `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .thread_name(|i| format!("eoml-worker-{i}"))
+            .build()
+            .expect("build thread pool");
+        Self { pool, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Parallel map preserving input order.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        use rayon::prelude::*;
+        self.pool
+            .install(|| items.into_par_iter().map(&f).collect())
+    }
+
+    /// Parallel map that also reports per-item wall time and the batch
+    /// total — the measurements the scaling experiments need.
+    pub fn map_timed<T, R, F>(&self, items: Vec<T>, f: F) -> (Vec<R>, Vec<Duration>, Duration)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let start = Instant::now();
+        let pairs = self.map(items, |x| {
+            let t0 = Instant::now();
+            let r = f(x);
+            (r, t0.elapsed())
+        });
+        let total = start.elapsed();
+        let (results, times) = pairs.into_iter().unzip();
+        (results, times, total)
+    }
+
+    /// Run one closure on the pool (for nesting rayon iterators inside).
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        self.pool.install(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let ex = LocalExecutor::new(2);
+        let out = ex.map((0..100).collect(), |x: i32| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn map_uses_bounded_workers() {
+        let ex = LocalExecutor::new(2);
+        let peak = AtomicUsize::new(0);
+        let active = AtomicUsize::new(0);
+        ex.map((0..64).collect::<Vec<i32>>(), |_| {
+            let a = active.fetch_add(1, Ordering::AcqRel) + 1;
+            peak.fetch_max(a, Ordering::AcqRel);
+            std::thread::sleep(Duration::from_micros(200));
+            active.fetch_sub(1, Ordering::AcqRel);
+        });
+        assert!(peak.load(Ordering::Acquire) <= 2, "pool leaked threads");
+    }
+
+    #[test]
+    fn map_timed_reports_durations() {
+        let ex = LocalExecutor::new(2);
+        let (out, times, total) = ex.map_timed(vec![1u64, 2, 3, 4], |x| {
+            std::thread::sleep(Duration::from_millis(x));
+            x
+        });
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        assert_eq!(times.len(), 4);
+        for (x, t) in out.iter().zip(&times) {
+            assert!(t.as_millis() as u64 >= *x, "{t:?} for {x}");
+        }
+        assert!(total >= *times.iter().max().unwrap());
+    }
+
+    #[test]
+    fn workers_accessor() {
+        assert_eq!(LocalExecutor::new(3).workers(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        LocalExecutor::new(0);
+    }
+
+    #[test]
+    fn parallelism_speeds_up_compute() {
+        // Compare 1 vs 2 workers on CPU-bound work; allow generous slack
+        // since CI machines vary (this machine has 2 cores).
+        fn busy(ms: u64) {
+            let t0 = Instant::now();
+            let mut x = 0u64;
+            while t0.elapsed() < Duration::from_millis(ms) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            std::hint::black_box(x);
+        }
+        let e1 = LocalExecutor::new(1);
+        let e2 = LocalExecutor::new(2);
+        let (_, _, t1) = e1.map_timed(vec![20u64; 8], busy);
+        let (_, _, t2) = e2.map_timed(vec![20u64; 8], busy);
+        assert!(
+            t2.as_secs_f64() < t1.as_secs_f64() * 0.8,
+            "2 workers {t2:?} vs 1 worker {t1:?}"
+        );
+    }
+}

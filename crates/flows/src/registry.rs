@@ -1,0 +1,237 @@
+//! A shareable flow registry — the paper's §V-A vision of a "federated
+//! pipeline-as-a-service platform that offers a shareable and publicly
+//! accessible repository of complete workflows or individual workflow
+//! steps".
+//!
+//! Flow definitions are registered under names with monotonically
+//! increasing versions; consumers resolve `name` (latest) or
+//! `name@version` (pinned). Registration validates the definition, so
+//! everything in the registry is runnable.
+
+use crate::definition::{DefinitionError, FlowDefinition};
+use std::collections::HashMap;
+
+/// A registered flow: definition plus metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisteredFlow {
+    /// Flow name.
+    pub name: String,
+    /// Version (1-based, monotone per name).
+    pub version: u32,
+    /// Who registered it.
+    pub owner: String,
+    /// Free-form description.
+    pub description: String,
+    /// The validated definition.
+    pub definition: FlowDefinition,
+}
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// The definition failed validation.
+    Invalid(DefinitionError),
+    /// No flow with this name (or name@version).
+    NotFound(String),
+    /// Malformed `name@version` reference.
+    BadReference(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Invalid(e) => write!(f, "invalid flow definition: {e}"),
+            RegistryError::NotFound(r) => write!(f, "no registered flow {r:?}"),
+            RegistryError::BadReference(r) => write!(f, "malformed flow reference {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The registry: append-only, versioned, name-addressed flows.
+#[derive(Debug, Clone, Default)]
+pub struct FlowRegistry {
+    flows: Vec<RegisteredFlow>,
+    latest: HashMap<String, usize>,
+}
+
+impl FlowRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or re-register, bumping the version) a flow from its JSON
+    /// definition text.
+    pub fn register_json(
+        &mut self,
+        name: impl Into<String>,
+        owner: impl Into<String>,
+        description: impl Into<String>,
+        definition_json: &str,
+    ) -> Result<&RegisteredFlow, RegistryError> {
+        let definition =
+            FlowDefinition::from_json_str(definition_json).map_err(RegistryError::Invalid)?;
+        self.register(name, owner, description, definition)
+    }
+
+    /// Register a pre-built (already validated) definition.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        owner: impl Into<String>,
+        description: impl Into<String>,
+        definition: FlowDefinition,
+    ) -> Result<&RegisteredFlow, RegistryError> {
+        let name = name.into();
+        let version = self
+            .flows
+            .iter()
+            .filter(|f| f.name == name)
+            .map(|f| f.version)
+            .max()
+            .map(|v| v + 1)
+            .unwrap_or(1);
+        let idx = self.flows.len();
+        self.flows.push(RegisteredFlow {
+            name: name.clone(),
+            version,
+            owner: owner.into(),
+            description: description.into(),
+            definition,
+        });
+        self.latest.insert(name, idx);
+        Ok(&self.flows[idx])
+    }
+
+    /// Resolve `name` (latest version) or `name@version` (pinned).
+    pub fn resolve(&self, reference: &str) -> Result<&RegisteredFlow, RegistryError> {
+        match reference.split_once('@') {
+            None => self
+                .latest
+                .get(reference)
+                .map(|&i| &self.flows[i])
+                .ok_or_else(|| RegistryError::NotFound(reference.to_string())),
+            Some((name, version)) => {
+                let version: u32 = version
+                    .parse()
+                    .map_err(|_| RegistryError::BadReference(reference.to_string()))?;
+                self.flows
+                    .iter()
+                    .find(|f| f.name == name && f.version == version)
+                    .ok_or_else(|| RegistryError::NotFound(reference.to_string()))
+            }
+        }
+    }
+
+    /// All `(name, latest version)` pairs, sorted by name — the "publicly
+    /// accessible repository" listing.
+    pub fn list(&self) -> Vec<(&str, u32)> {
+        let mut out: Vec<(&str, u32)> = self
+            .latest
+            .values()
+            .map(|&i| (self.flows[i].name.as_str(), self.flows[i].version))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of registered entries (all versions).
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{FlowRunner, RunStatus};
+    use serde_json::json;
+
+    const TRIVIAL: &str = r#"{
+        "start_at": "Done",
+        "states": {"Done": {"type": "succeed"}}
+    }"#;
+
+    #[test]
+    fn register_and_resolve_latest() {
+        let mut reg = FlowRegistry::new();
+        reg.register_json("eo-ml-inference", "olcf", "paper stage 3-4", TRIVIAL)
+            .unwrap();
+        let f = reg.resolve("eo-ml-inference").unwrap();
+        assert_eq!(f.version, 1);
+        assert_eq!(f.owner, "olcf");
+    }
+
+    #[test]
+    fn versions_bump_and_pin() {
+        let mut reg = FlowRegistry::new();
+        reg.register_json("f", "a", "v1", TRIVIAL).unwrap();
+        reg.register("f", "b", "v2", FlowDefinition::inference_flow())
+            .unwrap();
+        assert_eq!(reg.resolve("f").unwrap().version, 2);
+        assert_eq!(reg.resolve("f@1").unwrap().description, "v1");
+        assert_eq!(reg.resolve("f@2").unwrap().owner, "b");
+        assert_eq!(reg.len(), 2);
+        assert!(matches!(
+            reg.resolve("f@3").unwrap_err(),
+            RegistryError::NotFound(_)
+        ));
+    }
+
+    #[test]
+    fn invalid_definitions_rejected() {
+        let mut reg = FlowRegistry::new();
+        let err = reg
+            .register_json("bad", "x", "", r#"{"start_at": "A", "states": {}}"#)
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Invalid(_)));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn bad_references() {
+        let reg = FlowRegistry::new();
+        assert!(matches!(
+            reg.resolve("nope").unwrap_err(),
+            RegistryError::NotFound(_)
+        ));
+        let mut reg = FlowRegistry::new();
+        reg.register_json("f", "a", "", TRIVIAL).unwrap();
+        assert!(matches!(
+            reg.resolve("f@notanumber").unwrap_err(),
+            RegistryError::BadReference(_)
+        ));
+    }
+
+    #[test]
+    fn listing_shows_latest_only() {
+        let mut reg = FlowRegistry::new();
+        reg.register_json("b", "x", "", TRIVIAL).unwrap();
+        reg.register_json("a", "x", "", TRIVIAL).unwrap();
+        reg.register_json("b", "x", "", TRIVIAL).unwrap();
+        assert_eq!(reg.list(), vec![("a", 1), ("b", 2)]);
+    }
+
+    #[test]
+    fn resolved_flow_is_runnable() {
+        let mut reg = FlowRegistry::new();
+        reg.register("infer", "olcf", "the paper's flow", FlowDefinition::inference_flow())
+            .unwrap();
+        let flow = &reg.resolve("infer").unwrap().definition;
+        let mut ok = |_: &str, _: &serde_json::Value, _: &serde_json::Value| Ok(json!({}));
+        let mut runner = FlowRunner::new();
+        runner.register("inference", &mut ok);
+        // Only one provider registered → the run fails at Append, but it
+        // *runs*, proving the registry hands back executable definitions.
+        let run = runner.run(flow, json!({"file": "x.nc"}));
+        assert!(matches!(run.status, RunStatus::Failed(_)));
+        assert_eq!(run.events[0].state, "Infer");
+    }
+}

@@ -1,0 +1,194 @@
+//! Spherical-earth coordinates and great-circle math.
+
+use crate::EARTH_RADIUS_KM;
+use std::fmt;
+
+/// A geographic coordinate in degrees. Latitude in `[-90, 90]`, longitude
+/// normalized to `(-180, 180]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatLon {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+/// Normalize a longitude to `(-180, 180]`.
+pub fn normalize_lon(lon: f64) -> f64 {
+    let mut l = (lon + 180.0).rem_euclid(360.0) - 180.0;
+    if l == -180.0 {
+        l = 180.0;
+    }
+    l
+}
+
+impl LatLon {
+    /// Construct, clamping latitude and normalizing longitude.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        Self {
+            lat: lat.clamp(-90.0, 90.0),
+            lon: normalize_lon(lon),
+        }
+    }
+
+    /// Latitude in radians.
+    pub fn lat_rad(&self) -> f64 {
+        self.lat.to_radians()
+    }
+
+    /// Longitude in radians.
+    pub fn lon_rad(&self) -> f64 {
+        self.lon.to_radians()
+    }
+
+    /// Great-circle (haversine) distance to `other` in kilometers.
+    pub fn distance_km(&self, other: &LatLon) -> f64 {
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2)
+            + self.lat_rad().cos() * other.lat_rad().cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// Initial great-circle bearing toward `other`, degrees clockwise from
+    /// north in `[0, 360)`.
+    pub fn bearing_to(&self, other: &LatLon) -> f64 {
+        let dlon = (other.lon - self.lon).to_radians();
+        let y = dlon.sin() * other.lat_rad().cos();
+        let x = self.lat_rad().cos() * other.lat_rad().sin()
+            - self.lat_rad().sin() * other.lat_rad().cos() * dlon.cos();
+        (y.atan2(x).to_degrees() + 360.0) % 360.0
+    }
+
+    /// The point `distance_km` away along the great circle at initial
+    /// `bearing_deg` (clockwise from north).
+    pub fn destination(&self, bearing_deg: f64, distance_km: f64) -> LatLon {
+        let delta = distance_km / EARTH_RADIUS_KM;
+        let theta = bearing_deg.to_radians();
+        let phi1 = self.lat_rad();
+        let lam1 = self.lon_rad();
+        let phi2 =
+            (phi1.sin() * delta.cos() + phi1.cos() * delta.sin() * theta.cos()).asin();
+        let lam2 = lam1
+            + (theta.sin() * delta.sin() * phi1.cos())
+                .atan2(delta.cos() - phi1.sin() * phi2.sin());
+        LatLon::new(phi2.to_degrees(), lam2.to_degrees())
+    }
+
+    /// Whether this point falls inside the lat/lon box (handles boxes that
+    /// cross the antimeridian).
+    pub fn in_box(&self, south: f64, north: f64, west: f64, east: f64) -> bool {
+        if self.lat < south || self.lat > north {
+            return false;
+        }
+        if west <= east {
+            self.lon >= west && self.lon <= east
+        } else {
+            self.lon >= west || self.lon <= east
+        }
+    }
+}
+
+impl fmt::Display for LatLon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = if self.lat >= 0.0 { 'N' } else { 'S' };
+        let ew = if self.lon >= 0.0 { 'E' } else { 'W' };
+        write!(f, "{:.3}°{} {:.3}°{}", self.lat.abs(), ns, self.lon.abs(), ew)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_lon_wraps() {
+        assert_eq!(normalize_lon(0.0), 0.0);
+        assert_eq!(normalize_lon(190.0), -170.0);
+        assert_eq!(normalize_lon(-190.0), 170.0);
+        assert_eq!(normalize_lon(540.0), 180.0);
+        assert_eq!(normalize_lon(-180.0), 180.0);
+        assert_eq!(normalize_lon(360.0), 0.0);
+    }
+
+    #[test]
+    fn constructor_clamps_and_normalizes() {
+        let p = LatLon::new(95.0, 200.0);
+        assert_eq!(p.lat, 90.0);
+        assert_eq!(p.lon, -160.0);
+    }
+
+    #[test]
+    fn distance_known_values() {
+        // Quarter circumference: pole to equator.
+        let pole = LatLon::new(90.0, 0.0);
+        let eq = LatLon::new(0.0, 0.0);
+        let quarter = std::f64::consts::PI * EARTH_RADIUS_KM / 2.0;
+        assert!((pole.distance_km(&eq) - quarter).abs() < 1.0);
+        // Antipodal points: half circumference.
+        let a = LatLon::new(0.0, 0.0);
+        let b = LatLon::new(0.0, 180.0);
+        assert!((a.distance_km(&b) - std::f64::consts::PI * EARTH_RADIUS_KM).abs() < 1.0);
+        // Identity.
+        assert!(a.distance_km(&a) < 1e-9);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = LatLon::new(35.2, -97.4);
+        let b = LatLon::new(-12.0, 130.8);
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let origin = LatLon::new(0.0, 0.0);
+        assert!((origin.bearing_to(&LatLon::new(10.0, 0.0)) - 0.0).abs() < 1e-6);
+        assert!((origin.bearing_to(&LatLon::new(0.0, 10.0)) - 90.0).abs() < 1e-6);
+        assert!((origin.bearing_to(&LatLon::new(-10.0, 0.0)) - 180.0).abs() < 1e-6);
+        assert!((origin.bearing_to(&LatLon::new(0.0, -10.0)) - 270.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn destination_round_trip() {
+        let start = LatLon::new(20.0, -30.0);
+        for bearing in [0.0, 45.0, 137.0, 260.0] {
+            for dist in [10.0, 500.0, 3000.0] {
+                let end = start.destination(bearing, dist);
+                let measured = start.distance_km(&end);
+                assert!(
+                    (measured - dist).abs() < 1.0,
+                    "bearing {bearing} dist {dist}: measured {measured}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn in_box_simple_and_antimeridian() {
+        let p = LatLon::new(10.0, -100.0);
+        assert!(p.in_box(0.0, 20.0, -110.0, -90.0));
+        assert!(!p.in_box(11.0, 20.0, -110.0, -90.0));
+        // Box crossing the antimeridian: 170E..-170E (20° wide).
+        let q = LatLon::new(0.0, 175.0);
+        assert!(q.in_box(-5.0, 5.0, 170.0, -170.0));
+        let r = LatLon::new(0.0, 0.0);
+        assert!(!r.in_box(-5.0, 5.0, 170.0, -170.0));
+    }
+
+    #[test]
+    fn display_formats_hemispheres() {
+        assert_eq!(LatLon::new(-10.5, -76.25).to_string(), "10.500°S 76.250°W");
+        assert_eq!(LatLon::new(45.0, 30.0).to_string(), "45.000°N 30.000°E");
+    }
+
+    #[test]
+    fn paper_fig1_region_box() {
+        // Fig 1 of the paper: swath off the west coast of South America,
+        // 18S–3N, 76W–104W. Sanity-check in_box with that region.
+        let inside = LatLon::new(-10.0, -90.0);
+        let outside = LatLon::new(-10.0, -60.0);
+        assert!(inside.in_box(-18.0, 3.0, -104.0, -76.0));
+        assert!(!outside.in_box(-18.0, 3.0, -104.0, -76.0));
+    }
+}

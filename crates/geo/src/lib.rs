@@ -1,0 +1,29 @@
+//! `eoml-geo` — geodesy for the synthetic MODIS generator.
+//!
+//! Three pieces:
+//!
+//! * [`latlon`] — spherical-earth coordinates, great-circle math, bearings.
+//! * [`orbit`] — a sun-synchronous circular-orbit propagator producing the
+//!   ground track and cross-track swath geometry of the Terra/Aqua
+//!   platforms; this is what stands in for the MOD03 geolocation product.
+//! * [`landmask`] — a deterministic procedural land/ocean mask with a
+//!   realistic (~29 %) land fraction, replacing the paper's reliance on the
+//!   MOD03 land/sea flags.
+//! * [`solar`] — solar declination/zenith geometry for day/night
+//!   discrimination (the real MOD03 carries per-pixel solar zenith).
+
+pub mod landmask;
+pub mod latlon;
+pub mod orbit;
+pub mod solar;
+
+pub use landmask::LandMask;
+pub use latlon::LatLon;
+pub use orbit::{OrbitParams, SunSyncOrbit, SwathGeometry};
+pub use solar::solar_zenith_deg;
+
+/// Mean Earth radius in kilometers (spherical model).
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Sidereal day length in seconds (Earth rotation period).
+pub const SIDEREAL_DAY_S: f64 = 86_164.090_5;

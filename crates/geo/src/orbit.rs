@@ -1,0 +1,353 @@
+//! Sun-synchronous circular-orbit propagation and swath geometry.
+//!
+//! This module stands in for the MOD03 geolocation product: given a platform
+//! (Terra or Aqua) and a time, it produces the sub-satellite ground track and
+//! the lat/lon of every pixel in a cross-track scan line, from which the
+//! synthetic MOD03 granules are assembled.
+//!
+//! The model is a spherical-earth circular orbit with secular nodal
+//! precession — accurate to tens of kilometers over a day, which is far more
+//! fidelity than the downstream pipeline needs (it consumes lat/lon only for
+//! ocean masking and per-tile metadata).
+
+use crate::latlon::LatLon;
+use crate::{EARTH_RADIUS_KM, SIDEREAL_DAY_S};
+
+/// Earth gravitational parameter, km³/s².
+const MU_EARTH: f64 = 398_600.441_8;
+
+/// Seconds in a tropical year (for sun-synchronous nodal precession).
+const TROPICAL_YEAR_S: f64 = 365.242_19 * 86_400.0;
+
+/// Static description of a circular orbit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrbitParams {
+    /// Altitude above the spherical earth, km.
+    pub altitude_km: f64,
+    /// Inclination, degrees (>90 ⇒ retrograde, as for sun-sync).
+    pub inclination_deg: f64,
+    /// Right ascension of ascending node at epoch, degrees.
+    pub raan_deg: f64,
+    /// Argument of latitude at epoch, degrees.
+    pub arg_lat_deg: f64,
+}
+
+impl OrbitParams {
+    /// NASA Terra (EOS AM-1): ~10:30 descending-node sun-sync orbit.
+    pub fn terra() -> Self {
+        Self {
+            altitude_km: 705.0,
+            inclination_deg: 98.2,
+            raan_deg: 0.0,
+            arg_lat_deg: 0.0,
+        }
+    }
+
+    /// NASA Aqua (EOS PM-1): ~13:30 ascending-node sun-sync orbit.
+    pub fn aqua() -> Self {
+        Self {
+            altitude_km: 705.0,
+            inclination_deg: 98.2,
+            raan_deg: 45.0,
+            arg_lat_deg: 180.0,
+        }
+    }
+}
+
+/// A propagatable sun-synchronous orbit.
+#[derive(Debug, Clone, Copy)]
+pub struct SunSyncOrbit {
+    params: OrbitParams,
+    /// Mean motion, rad/s.
+    n: f64,
+    /// Nodal precession rate, rad/s (sun-sync: 2π per tropical year).
+    raan_dot: f64,
+}
+
+impl SunSyncOrbit {
+    /// Build from parameters; the nodal precession is fixed to the
+    /// sun-synchronous rate rather than derived from J2 (same effect, no
+    /// gravity-field model needed).
+    pub fn new(params: OrbitParams) -> Self {
+        let a = EARTH_RADIUS_KM + params.altitude_km;
+        let n = (MU_EARTH / (a * a * a)).sqrt();
+        Self {
+            params,
+            n,
+            raan_dot: std::f64::consts::TAU / TROPICAL_YEAR_S,
+        }
+    }
+
+    /// Orbital period in seconds (~5933 s / 98.9 min for MODIS platforms).
+    pub fn period_s(&self) -> f64 {
+        std::f64::consts::TAU / self.n
+    }
+
+    /// Ground speed of the sub-satellite point, km/s (~6.7 for MODIS).
+    pub fn ground_speed_km_s(&self) -> f64 {
+        EARTH_RADIUS_KM * self.n
+    }
+
+    /// Sub-satellite point at `t` seconds after epoch. Earth rotation uses
+    /// the sidereal rate; longitudes assume RAAN is measured from the
+    /// Greenwich meridian at epoch (adequate for synthetic data).
+    pub fn ground_point(&self, t: f64) -> LatLon {
+        let i = self.params.inclination_deg.to_radians();
+        let u = self.params.arg_lat_deg.to_radians() + self.n * t;
+        let lat = (i.sin() * u.sin()).asin();
+        // Longitude of the satellite in the inertial frame relative to the
+        // ascending node, then shifted by the (precessing) node and earth
+        // rotation.
+        let dlon_inertial = (i.cos() * u.sin()).atan2(u.cos());
+        let raan = self.params.raan_deg.to_radians() + self.raan_dot * t;
+        let earth_rot = std::f64::consts::TAU / SIDEREAL_DAY_S * t;
+        let lon = dlon_inertial + raan - earth_rot;
+        LatLon::new(lat.to_degrees(), lon.to_degrees())
+    }
+
+    /// Ground-track heading (degrees clockwise from north) at time `t`,
+    /// via symmetric finite difference.
+    pub fn heading_deg(&self, t: f64) -> f64 {
+        let dt = 0.5;
+        let a = self.ground_point(t - dt);
+        let b = self.ground_point(t + dt);
+        a.bearing_to(&b)
+    }
+
+    /// Times (within `[t0, t1]`) at which the ground track crosses the
+    /// equator, found by sign-change bisection on latitude.
+    pub fn equator_crossings(&self, t0: f64, t1: f64) -> Vec<f64> {
+        let mut crossings = Vec::new();
+        let step = 30.0;
+        let mut prev_t = t0;
+        let mut prev_lat = self.ground_point(t0).lat;
+        let mut t = t0 + step;
+        while t <= t1 {
+            let lat = self.ground_point(t).lat;
+            if prev_lat == 0.0 || (prev_lat < 0.0) != (lat < 0.0) {
+                // Bisect to ~1 ms.
+                let (mut lo, mut hi) = (prev_t, t);
+                for _ in 0..40 {
+                    let mid = 0.5 * (lo + hi);
+                    let mlat = self.ground_point(mid).lat;
+                    if (self.ground_point(lo).lat < 0.0) == (mlat < 0.0) {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                crossings.push(0.5 * (lo + hi));
+            }
+            prev_t = t;
+            prev_lat = lat;
+            t += step;
+        }
+        crossings
+    }
+}
+
+/// Cross-track swath geometry: maps `(scan time, pixel index)` to lat/lon.
+#[derive(Debug, Clone, Copy)]
+pub struct SwathGeometry {
+    orbit: SunSyncOrbit,
+    /// Full swath width on the ground, km (MODIS: 2330).
+    pub swath_width_km: f64,
+    /// Pixels per scan line (MODIS 1-km: 1354).
+    pub pixels_per_line: usize,
+    /// Along-track distance between scan lines, km (MODIS 1-km: ~1).
+    pub line_spacing_km: f64,
+}
+
+impl SwathGeometry {
+    /// MODIS 1-km-resolution swath on the given orbit.
+    pub fn modis_1km(orbit: SunSyncOrbit) -> Self {
+        Self {
+            orbit,
+            swath_width_km: 2330.0,
+            pixels_per_line: 1354,
+            line_spacing_km: 1.0,
+        }
+    }
+
+    /// The underlying orbit.
+    pub fn orbit(&self) -> &SunSyncOrbit {
+        &self.orbit
+    }
+
+    /// Seconds between successive scan lines.
+    pub fn line_period_s(&self) -> f64 {
+        self.line_spacing_km / self.orbit.ground_speed_km_s()
+    }
+
+    /// Geolocate a full scan line observed at `t`: pixel 0 is at the left
+    /// edge of the swath (relative to flight direction).
+    pub fn scan_line(&self, t: f64) -> Vec<LatLon> {
+        let center = self.orbit.ground_point(t);
+        let heading = self.orbit.heading_deg(t);
+        let n = self.pixels_per_line;
+        (0..n)
+            .map(|k| {
+                let frac = (k as f64 + 0.5) / n as f64 - 0.5;
+                let cross = frac * self.swath_width_km;
+                if cross >= 0.0 {
+                    center.destination(heading + 90.0, cross)
+                } else {
+                    center.destination(heading - 90.0, -cross)
+                }
+            })
+            .collect()
+    }
+
+    /// Geolocate a single pixel without building the whole line.
+    pub fn pixel(&self, t: f64, k: usize) -> LatLon {
+        let center = self.orbit.ground_point(t);
+        let heading = self.orbit.heading_deg(t);
+        let frac = (k as f64 + 0.5) / self.pixels_per_line as f64 - 0.5;
+        let cross = frac * self.swath_width_km;
+        if cross >= 0.0 {
+            center.destination(heading + 90.0, cross)
+        } else {
+            center.destination(heading - 90.0, -cross)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terra() -> SunSyncOrbit {
+        SunSyncOrbit::new(OrbitParams::terra())
+    }
+
+    #[test]
+    fn period_matches_modis_platforms() {
+        let p = terra().period_s();
+        // Published Terra/Aqua period: ~98.8–99 minutes.
+        assert!((p / 60.0 - 98.9).abs() < 0.5, "period {} min", p / 60.0);
+    }
+
+    #[test]
+    fn ground_speed_is_about_6_7_km_s() {
+        let v = terra().ground_speed_km_s();
+        assert!((v - 6.74).abs() < 0.1, "speed {v}");
+    }
+
+    #[test]
+    fn latitude_bounded_by_inclination() {
+        let orbit = terra();
+        let mut max_lat: f64 = 0.0;
+        for i in 0..6000 {
+            let lat = orbit.ground_point(i as f64).lat.abs();
+            max_lat = max_lat.max(lat);
+        }
+        // Max |lat| for i=98.2° is 180−98.2 = 81.8°.
+        assert!(max_lat <= 81.9, "max lat {max_lat}");
+        assert!(max_lat > 80.0, "orbit should reach high latitudes, got {max_lat}");
+    }
+
+    #[test]
+    fn ground_track_is_continuous() {
+        let orbit = terra();
+        for i in 0..1000 {
+            let a = orbit.ground_point(i as f64);
+            let b = orbit.ground_point(i as f64 + 1.0);
+            let d = a.distance_km(&b);
+            // One second of flight ≈ ground speed (+ up to ~0.5 km/s of
+            // earth-rotation sweep at the equator).
+            assert!(d < 7.5 && d > 6.0, "step {i}: {d} km");
+        }
+    }
+
+    #[test]
+    fn sun_synchronous_local_time_is_stable() {
+        // The defining property: local solar time of same-direction equator
+        // crossings stays fixed. Check over one day (~14.5 orbits).
+        let orbit = terra();
+        let crossings = orbit.equator_crossings(0.0, 86_400.0);
+        assert!(crossings.len() >= 28, "expected ≥28 crossings, got {}", crossings.len());
+        // Ascending crossings are every other one; compute local solar time
+        // = UTC hours + lon/15 (UTC here = t seconds, epoch midnight).
+        let lst: Vec<f64> = crossings
+            .iter()
+            .step_by(2)
+            .map(|&t| {
+                let lon = orbit.ground_point(t).lon;
+                ((t / 3600.0) + lon / 15.0).rem_euclid(24.0)
+            })
+            .collect();
+        let spread = lst
+            .iter()
+            .map(|&x| {
+                // circular distance to the first crossing's LST
+                let d = (x - lst[0]).abs();
+                d.min(24.0 - d)
+            })
+            .fold(0.0f64, f64::max);
+        assert!(spread < 0.25, "LST drift {spread} h over one day: {lst:?}");
+    }
+
+    #[test]
+    fn orbits_per_day_is_about_14_and_a_half() {
+        let orbit = terra();
+        let orbits = 86_400.0 / orbit.period_s();
+        assert!((orbits - 14.56).abs() < 0.2, "{orbits} orbits/day");
+    }
+
+    #[test]
+    fn swath_width_matches_modis() {
+        let g = SwathGeometry::modis_1km(terra());
+        let line = g.scan_line(1000.0);
+        assert_eq!(line.len(), 1354);
+        let width = line[0].distance_km(&line[1353]);
+        // Edge-pixel centers are half a pixel in from each edge.
+        let expected = 2330.0 * (1353.0 / 1354.0);
+        assert!((width - expected).abs() < 5.0, "swath width {width}");
+    }
+
+    #[test]
+    fn scan_line_center_is_on_ground_track(){
+        let g = SwathGeometry::modis_1km(terra());
+        let t = 2345.0;
+        let line = g.scan_line(t);
+        let center_pair_mid = {
+            let a = line[676];
+            let b = line[677];
+            LatLon::new((a.lat + b.lat) / 2.0, (a.lon + b.lon) / 2.0)
+        };
+        let sub = g.orbit().ground_point(t);
+        assert!(center_pair_mid.distance_km(&sub) < 2.0);
+    }
+
+    #[test]
+    fn pixel_matches_scan_line() {
+        let g = SwathGeometry::modis_1km(terra());
+        let t = 777.0;
+        let line = g.scan_line(t);
+        for k in [0, 100, 677, 1353] {
+            let p = g.pixel(t, k);
+            assert!(p.distance_km(&line[k]) < 1e-6, "pixel {k}");
+        }
+    }
+
+    #[test]
+    fn line_period_yields_2030_lines_per_granule() {
+        // A 5-minute MODIS granule contains ~2030 1-km scan lines; with our
+        // spherical model the line period must make that come out right to
+        // within a few percent.
+        let g = SwathGeometry::modis_1km(terra());
+        let lines_per_granule = 300.0 / g.line_period_s();
+        assert!(
+            (lines_per_granule - 2030.0).abs() < 80.0,
+            "{lines_per_granule} lines per 5-min granule"
+        );
+    }
+
+    #[test]
+    fn terra_and_aqua_tracks_differ() {
+        let t = SunSyncOrbit::new(OrbitParams::terra());
+        let a = SunSyncOrbit::new(OrbitParams::aqua());
+        let d = t.ground_point(0.0).distance_km(&a.ground_point(0.0));
+        assert!(d > 1000.0, "platforms should start far apart: {d} km");
+    }
+}

@@ -1,0 +1,133 @@
+//! Solar geometry: declination, equation of time, solar zenith angle.
+//!
+//! MODIS reflective bands are only meaningful in sunlight, so the pipeline
+//! needs day/night discrimination. The real MOD03 product carries per-pixel
+//! solar zenith angles; this module computes them from first principles
+//! (low-precision NOAA-style formulas, accurate to a fraction of a degree —
+//! far better than the pipeline needs).
+
+use crate::latlon::LatLon;
+use eoml_util::timebase::UtcTime;
+
+/// Solar declination in degrees for a given day-of-year (1–366).
+/// Cooper's formula (±0.5° accuracy).
+pub fn declination_deg(doy: u16) -> f64 {
+    23.45 * (std::f64::consts::TAU * (284.0 + doy as f64) / 365.0).sin()
+}
+
+/// Equation of time in minutes (apparent solar time − mean solar time).
+pub fn equation_of_time_min(doy: u16) -> f64 {
+    let b = std::f64::consts::TAU * (doy as f64 - 81.0) / 364.0;
+    9.87 * (2.0 * b).sin() - 7.53 * b.cos() - 1.5 * b.sin()
+}
+
+/// Solar hour angle in degrees at a longitude and UTC instant (0 at local
+/// solar noon, negative in the morning).
+pub fn hour_angle_deg(lon: f64, t: UtcTime) -> f64 {
+    let doy = t.date().ordinal();
+    let solar_minutes =
+        t.seconds_of_day() / 60.0 + 4.0 * lon + equation_of_time_min(doy);
+    // Wrap (solar_minutes/4 − 180°) into [−180°, 180°).
+    (solar_minutes / 4.0).rem_euclid(360.0) - 180.0
+}
+
+/// Solar zenith angle in degrees at a point and instant (0 = sun overhead,
+/// 90 = horizon, >90 = night).
+pub fn solar_zenith_deg(p: &LatLon, t: UtcTime) -> f64 {
+    let decl = declination_deg(t.date().ordinal()).to_radians();
+    let h = hour_angle_deg(p.lon, t).to_radians();
+    let lat = p.lat_rad();
+    let cos_z = lat.sin() * decl.sin() + lat.cos() * decl.cos() * h.cos();
+    cos_z.clamp(-1.0, 1.0).acos().to_degrees()
+}
+
+/// Whether the sun is above the `max_zenith` threshold commonly used for
+/// daytime remote sensing (defaults in callers are ~81–85°).
+pub fn is_daylit(p: &LatLon, t: UtcTime, max_zenith_deg: f64) -> bool {
+    solar_zenith_deg(p, t) < max_zenith_deg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eoml_util::timebase::CivilDate;
+
+    fn at(y: i32, m: u8, d: u8, hh: u8, mm: u8) -> UtcTime {
+        UtcTime::from_date_hms(CivilDate::new(y, m, d).unwrap(), hh, mm, 0.0)
+    }
+
+    #[test]
+    fn declination_extremes() {
+        // Solstices: ±23.45°; equinoxes: ≈0.
+        let jun21 = CivilDate::new(2022, 6, 21).unwrap().ordinal();
+        let dec21 = CivilDate::new(2022, 12, 21).unwrap().ordinal();
+        let mar21 = CivilDate::new(2022, 3, 21).unwrap().ordinal();
+        assert!((declination_deg(jun21) - 23.45).abs() < 0.5);
+        assert!((declination_deg(dec21) + 23.45).abs() < 0.5);
+        assert!(declination_deg(mar21).abs() < 1.5);
+    }
+
+    #[test]
+    fn equation_of_time_bounds() {
+        // EoT stays within about ±17 minutes over the year.
+        for doy in 1..=365 {
+            let e = equation_of_time_min(doy);
+            assert!((-17.0..=17.0).contains(&e), "doy {doy}: {e}");
+        }
+        // Known extreme: early November ≈ +16 min.
+        let nov3 = CivilDate::new(2022, 11, 3).unwrap().ordinal();
+        assert!(equation_of_time_min(nov3) > 14.0);
+    }
+
+    #[test]
+    fn zenith_at_subsolar_point_is_small() {
+        // Equinox, local solar noon at lon 0 → sun nearly overhead at the
+        // equator.
+        let z = solar_zenith_deg(&LatLon::new(0.0, 0.0), at(2022, 3, 21, 12, 7));
+        assert!(z < 3.0, "zenith {z}");
+    }
+
+    #[test]
+    fn midnight_is_night() {
+        let z = solar_zenith_deg(&LatLon::new(0.0, 0.0), at(2022, 3, 21, 0, 0));
+        assert!(z > 150.0, "zenith {z}");
+        assert!(!is_daylit(&LatLon::new(0.0, 0.0), at(2022, 3, 21, 0, 0), 85.0));
+    }
+
+    #[test]
+    fn longitude_shifts_local_noon() {
+        // At 90°W, solar noon is ~18:00 UTC.
+        let z_noon = solar_zenith_deg(&LatLon::new(0.0, -90.0), at(2022, 3, 21, 18, 7));
+        let z_off = solar_zenith_deg(&LatLon::new(0.0, -90.0), at(2022, 3, 21, 12, 0));
+        assert!(z_noon < 5.0, "{z_noon}");
+        assert!(z_off > 80.0, "{z_off}");
+    }
+
+    #[test]
+    fn polar_night_and_midnight_sun() {
+        // Late December: 80°N never sees the sun; 80°S always does.
+        for hh in [0, 6, 12, 18] {
+            let north = solar_zenith_deg(&LatLon::new(80.0, 0.0), at(2022, 12, 21, hh, 0));
+            let south = solar_zenith_deg(&LatLon::new(-80.0, 0.0), at(2022, 12, 21, hh, 0));
+            assert!(north > 85.0, "north at {hh}h: {north}");
+            assert!(south < 90.0, "south at {hh}h: {south}");
+        }
+    }
+
+    #[test]
+    fn zenith_is_continuous_in_time() {
+        let p = LatLon::new(35.0, -84.0);
+        let mut prev = solar_zenith_deg(&p, at(2022, 7, 1, 0, 0));
+        for step in 1..96 {
+            let t = UtcTime::from_date_hms(
+                CivilDate::new(2022, 7, 1).unwrap(),
+                (step * 15 / 60) as u8,
+                (step * 15 % 60) as u8,
+                0.0,
+            );
+            let z = solar_zenith_deg(&p, t);
+            assert!((z - prev).abs() < 6.0, "jump at step {step}: {prev} → {z}");
+            prev = z;
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! LAADS-style archive catalog: what files exist and how big they are.
+//!
+//! The download experiments (paper Fig. 3) depend on realistic file-size
+//! statistics: ~288 granule files per product per day, averaging ≈111 MB for
+//! MOD02, ≈29 MB for MOD03 and ≈62 MB for MOD06, summing to the daily
+//! volumes the paper quotes (32 / 8.4 / 18 GB). Sizes here are sampled from
+//! a deterministic lognormal around those means, with MOD02 day granules
+//! larger than night granules (reflective bands carry no information at
+//! night and compress away, a real effect the paper alludes to).
+
+use crate::granule::{GranuleId, SLOTS_PER_DAY};
+use crate::product::{Platform, ProductKind};
+use eoml_util::rng::{Rng64, SplitMix64, Xoshiro256};
+use eoml_util::timebase::CivilDate;
+use eoml_util::units::ByteSize;
+
+/// One downloadable archive file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Which granule.
+    pub granule: GranuleId,
+    /// Which product.
+    pub product: ProductKind,
+    /// Archive file name (LAADS convention).
+    pub file_name: String,
+    /// File size.
+    pub size: ByteSize,
+}
+
+/// Deterministic catalog of the synthetic archive.
+#[derive(Debug, Clone, Copy)]
+pub struct Catalog {
+    seed: u64,
+    gap_probability: f64,
+}
+
+impl Catalog {
+    /// Catalog for the archive identified by `seed` (must match the
+    /// synthesizer seed for a coherent world).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            gap_probability: 0.0,
+        }
+    }
+
+    /// Archive with data gaps: each granule file is independently missing
+    /// with probability `p` (deterministic per granule). Real MODIS
+    /// archives have such gaps — instrument safe-holds, downlink losses —
+    /// and a robust workflow must tolerate them.
+    pub fn with_gaps(seed: u64, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p));
+        Self {
+            seed,
+            gap_probability: p,
+        }
+    }
+
+    /// Whether the archive holds this granule file (false = data gap).
+    pub fn exists(&self, granule: GranuleId, product: ProductKind) -> bool {
+        if self.gap_probability == 0.0 {
+            return true;
+        }
+        let key = SplitMix64::mix(
+            self.seed
+                ^ SplitMix64::mix(granule.orbit_time_s() as u64).rotate_left(13)
+                ^ ((product as u64) << 40)
+                ^ 0x6A95,
+        );
+        let mut rng = Xoshiro256::seed_from(key);
+        !rng.chance(self.gap_probability)
+    }
+
+    /// Deterministic file size for one granule file.
+    pub fn file_size(&self, granule: GranuleId, product: ProductKind) -> ByteSize {
+        let mean = product.nominal_daily_bytes() as f64 / SLOTS_PER_DAY as f64;
+        // Key the stream on (seed, granule, product) so listings are stable
+        // regardless of query order.
+        let key = SplitMix64::mix(
+            self.seed
+                ^ SplitMix64::mix(granule.orbit_time_s() as u64)
+                ^ ((product as u64) << 56)
+                ^ ((granule.platform as u64) << 48),
+        );
+        let mut rng = Xoshiro256::seed_from(key);
+        // MOD02 halves at night (no reflective-band payload).
+        let day_factor = if product == ProductKind::Mod02 {
+            // Day/night alternates with the orbit: half of each ~99-minute
+            // orbit is sunlit.
+            let phase = (granule.orbit_time_s() / 5_933.0) * std::f64::consts::TAU;
+            if phase.sin() > 0.0 {
+                1.35
+            } else {
+                0.65
+            }
+        } else {
+            1.0
+        };
+        let size = rng.lognormal_mean_cv(mean * day_factor, 0.12);
+        ByteSize::bytes(size.max(1.0) as u64)
+    }
+
+    /// All files for `product` on `date` from `platform`, slot order
+    /// (granules lost to archive gaps are omitted).
+    pub fn day_listing(
+        &self,
+        platform: Platform,
+        product: ProductKind,
+        date: CivilDate,
+    ) -> Vec<CatalogEntry> {
+        GranuleId::day_granules(platform, date)
+            .filter(|&g| self.exists(g, product))
+            .map(|g| CatalogEntry {
+                granule: g,
+                product,
+                file_name: g.file_name(product),
+                size: self.file_size(g, product),
+            })
+            .collect()
+    }
+
+    /// Listing spanning `ndays` consecutive days.
+    pub fn range_listing(
+        &self,
+        platform: Platform,
+        product: ProductKind,
+        start: CivilDate,
+        ndays: usize,
+    ) -> Vec<CatalogEntry> {
+        start
+            .iter_days(ndays)
+            .flat_map(|d| self.day_listing(platform, product, d))
+            .collect()
+    }
+
+    /// A batch of the first `n` files of a day across all three products —
+    /// the unit the download benchmarks sweep over (paper Fig. 3 scales
+    /// from 1 file ≈ 100 MB per product up to ~128 files ≈ 30 GB).
+    pub fn batch(
+        &self,
+        platform: Platform,
+        date: CivilDate,
+        n_per_product: usize,
+    ) -> Vec<CatalogEntry> {
+        assert!(n_per_product <= SLOTS_PER_DAY as usize);
+        ProductKind::all()
+            .into_iter()
+            .flat_map(|p| {
+                self.day_listing(platform, p, date)
+                    .into_iter()
+                    .take(n_per_product)
+            })
+            .collect()
+    }
+}
+
+/// Sum of entry sizes.
+pub fn total_size(entries: &[CatalogEntry]) -> ByteSize {
+    entries.iter().map(|e| e.size).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day1() -> CivilDate {
+        CivilDate::new(2022, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn listing_has_288_entries_in_slot_order() {
+        let cat = Catalog::new(2022);
+        let l = cat.day_listing(Platform::Terra, ProductKind::Mod02, day1());
+        assert_eq!(l.len(), 288);
+        for (i, e) in l.iter().enumerate() {
+            assert_eq!(e.granule.slot, i as u16);
+            assert_eq!(e.product, ProductKind::Mod02);
+            assert!(e.size.as_u64() > 0);
+        }
+    }
+
+    #[test]
+    fn listing_is_deterministic() {
+        let a = Catalog::new(7).day_listing(Platform::Aqua, ProductKind::Mod06, day1());
+        let b = Catalog::new(7).day_listing(Platform::Aqua, ProductKind::Mod06, day1());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn daily_totals_match_paper_volumes() {
+        let cat = Catalog::new(2022);
+        for (product, nominal) in [
+            (ProductKind::Mod02, 32.0e9),
+            (ProductKind::Mod03, 8.4e9),
+            (ProductKind::Mod06, 18.0e9),
+        ] {
+            let l = cat.day_listing(Platform::Terra, product, day1());
+            let total = total_size(&l).as_u64() as f64;
+            assert!(
+                (total - nominal).abs() / nominal < 0.10,
+                "{product}: {total} vs nominal {nominal}"
+            );
+        }
+    }
+
+    #[test]
+    fn mod02_day_files_larger_than_night() {
+        let cat = Catalog::new(2022);
+        let l = cat.day_listing(Platform::Terra, ProductKind::Mod02, day1());
+        let mut sizes: Vec<u64> = l.iter().map(|e| e.size.as_u64()).collect();
+        sizes.sort_unstable();
+        // Bimodal: the top quartile should be ≥ 1.5× the bottom quartile.
+        let lo = sizes[sizes.len() / 4] as f64;
+        let hi = sizes[3 * sizes.len() / 4] as f64;
+        assert!(hi / lo > 1.5, "expected bimodal sizes, got {lo} vs {hi}");
+    }
+
+    #[test]
+    fn file_names_parse_back() {
+        let cat = Catalog::new(1);
+        let l = cat.day_listing(Platform::Terra, ProductKind::Mod03, day1());
+        for e in l.iter().step_by(37) {
+            let (g, p) = GranuleId::parse_file_name(&e.file_name).unwrap();
+            assert_eq!(g, e.granule);
+            assert_eq!(p, ProductKind::Mod03);
+        }
+    }
+
+    #[test]
+    fn range_listing_spans_days() {
+        let cat = Catalog::new(3);
+        let l = cat.range_listing(Platform::Terra, ProductKind::Mod03, day1(), 3);
+        assert_eq!(l.len(), 3 * 288);
+        assert_eq!(l[0].granule.date, day1());
+        assert_eq!(l[2 * 288].granule.date, CivilDate::new(2022, 1, 3).unwrap());
+    }
+
+    #[test]
+    fn batch_covers_all_products() {
+        let cat = Catalog::new(2022);
+        let b = cat.batch(Platform::Terra, day1(), 1);
+        assert_eq!(b.len(), 3);
+        // One file of each product ≈ 111 + 29 + 62 ≈ 200 MB give or take.
+        let total = total_size(&b).as_mb();
+        assert!((100.0..400.0).contains(&total), "batch size {total} MB");
+        let b128 = cat.batch(Platform::Terra, day1(), 128);
+        assert_eq!(b128.len(), 384);
+        // ~128/288 of a full day ≈ 26 GB.
+        let total = total_size(&b128).as_gb();
+        assert!((18.0..34.0).contains(&total), "batch size {total} GB");
+    }
+
+    #[test]
+    fn different_seeds_give_different_sizes() {
+        let a = Catalog::new(1).file_size(
+            GranuleId::new(Platform::Terra, day1(), 0),
+            ProductKind::Mod02,
+        );
+        let b = Catalog::new(2).file_size(
+            GranuleId::new(Platform::Terra, day1(), 0),
+            ProductKind::Mod02,
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gaps_remove_a_deterministic_subset() {
+        let gappy = Catalog::with_gaps(2022, 0.1);
+        let l1 = gappy.day_listing(Platform::Terra, ProductKind::Mod02, day1());
+        let l2 = gappy.day_listing(Platform::Terra, ProductKind::Mod02, day1());
+        assert_eq!(l1, l2, "gaps are deterministic");
+        let missing = 288 - l1.len();
+        assert!((10..=50).contains(&missing), "{missing} gaps at p=0.1");
+        // A gap-free catalog is complete.
+        assert_eq!(
+            Catalog::new(2022)
+                .day_listing(Platform::Terra, ProductKind::Mod02, day1())
+                .len(),
+            288
+        );
+        // Gaps are independent across products: the same slot can exist
+        // for one product and not another.
+        let l03 = gappy.day_listing(Platform::Terra, ProductKind::Mod03, day1());
+        let slots02: std::collections::HashSet<u16> =
+            l1.iter().map(|e| e.granule.slot).collect();
+        let slots03: std::collections::HashSet<u16> =
+            l03.iter().map(|e| e.granule.slot).collect();
+        assert_ne!(slots02, slots03);
+    }
+
+    #[test]
+    fn product_size_ordering_holds_on_average() {
+        let cat = Catalog::new(2022);
+        let avg = |p: ProductKind| {
+            let l = cat.day_listing(Platform::Terra, p, day1());
+            total_size(&l).as_u64() / l.len() as u64
+        };
+        let m02 = avg(ProductKind::Mod02);
+        let m03 = avg(ProductKind::Mod03);
+        let m06 = avg(ProductKind::Mod06);
+        assert!(m02 > m06 && m06 > m03, "{m02} {m06} {m03}");
+    }
+}

@@ -1,0 +1,339 @@
+//! Tiles ↔ NetCDF.
+//!
+//! Each preprocessed granule becomes one NetCDF file with a `tile` record
+//! dimension; stage 4 later *appends* an `aicca_label` variable to the same
+//! file — the exact interchange pattern of the paper's pipeline.
+
+use crate::tiles::Tile;
+use eoml_modis::granule::GranuleId;
+use eoml_ncdf::{NcFile, NcType, NcValues};
+
+/// Errors from tile NetCDF encoding/decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TileNcError {
+    /// Tile list was empty (nothing to write).
+    NoTiles,
+    /// Tiles disagree in shape/bands/granule.
+    InconsistentTiles,
+    /// Underlying NetCDF error.
+    Nc(eoml_ncdf::NcError),
+    /// File lacks a required variable/attribute or has a bad shape.
+    Malformed(String),
+    /// Label count does not match tile count, or labels already present.
+    BadLabels(String),
+}
+
+impl std::fmt::Display for TileNcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TileNcError::NoTiles => write!(f, "no tiles to write"),
+            TileNcError::InconsistentTiles => write!(f, "tiles have inconsistent shapes"),
+            TileNcError::Nc(e) => write!(f, "netcdf error: {e}"),
+            TileNcError::Malformed(m) => write!(f, "malformed tile file: {m}"),
+            TileNcError::BadLabels(m) => write!(f, "bad labels: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TileNcError {}
+
+impl From<eoml_ncdf::NcError> for TileNcError {
+    fn from(e: eoml_ncdf::NcError) -> Self {
+        TileNcError::Nc(e)
+    }
+}
+
+/// Build the NetCDF dataset for one granule's tiles.
+pub fn write_tiles_nc(tiles: &[Tile]) -> Result<NcFile, TileNcError> {
+    let first = tiles.first().ok_or(TileNcError::NoTiles)?;
+    let size = first.size;
+    let bands = &first.bands;
+    if tiles.iter().any(|t| {
+        t.size != size || &t.bands != bands || t.granule != first.granule
+    }) {
+        return Err(TileNcError::InconsistentTiles);
+    }
+
+    let mut f = NcFile::new();
+    let tile_dim = f.add_record_dim("tile")?;
+    let band_dim = f.add_dim("band", bands.len());
+    let y_dim = f.add_dim("y", size);
+    let x_dim = f.add_dim("x", size);
+
+    f.add_global_attr("granule", NcValues::text(&first.granule.to_string()));
+    f.add_global_attr(
+        "platform",
+        NcValues::text(&first.granule.platform.to_string()),
+    );
+    f.add_global_attr("date", NcValues::text(&first.granule.date.to_string()));
+    f.add_global_attr("slot", NcValues::Int(vec![first.granule.slot as i32]));
+    f.add_global_attr(
+        "bands",
+        NcValues::Int(bands.iter().map(|&b| b as i32).collect()),
+    );
+    f.add_global_attr("source", NcValues::text("eoml-preprocess"));
+
+    let rad = f.add_var("radiance", NcType::Float, vec![tile_dim, band_dim, y_dim, x_dim])?;
+    let lat = f.add_var("center_lat", NcType::Float, vec![tile_dim])?;
+    let lon = f.add_var("center_lon", NcType::Float, vec![tile_dim])?;
+    let ocean = f.add_var("ocean_fraction", NcType::Float, vec![tile_dim])?;
+    let cloud = f.add_var("cloud_fraction", NcType::Float, vec![tile_dim])?;
+    let cot = f.add_var("mean_cot", NcType::Float, vec![tile_dim])?;
+    let ctp = f.add_var("mean_ctp", NcType::Float, vec![tile_dim])?;
+    let cer = f.add_var("mean_cer", NcType::Float, vec![tile_dim])?;
+    let row = f.add_var("tile_row", NcType::Int, vec![tile_dim])?;
+    let col = f.add_var("tile_col", NcType::Int, vec![tile_dim])?;
+    f.add_var_attr(rad, "long_name", NcValues::text("standardized radiance tile"))?;
+    f.add_var_attr(ctp, "units", NcValues::text("hPa"))?;
+    f.add_var_attr(cer, "units", NcValues::text("micron"))?;
+
+    for t in tiles {
+        f.append_record(vec![
+            (rad, NcValues::Float(t.data.clone())),
+            (lat, NcValues::Float(vec![t.center_lat])),
+            (lon, NcValues::Float(vec![t.center_lon])),
+            (ocean, NcValues::Float(vec![t.ocean_fraction])),
+            (cloud, NcValues::Float(vec![t.cloud_fraction])),
+            (cot, NcValues::Float(vec![t.mean_cot])),
+            (ctp, NcValues::Float(vec![t.mean_ctp])),
+            (cer, NcValues::Float(vec![t.mean_cer])),
+            (row, NcValues::Int(vec![t.row as i32])),
+            (col, NcValues::Int(vec![t.col as i32])),
+        ])?;
+    }
+    Ok(f)
+}
+
+/// Append per-tile class labels as the `aicca_label` variable — stage 4's
+/// write-back. Fails if labels are already present or the count is wrong.
+pub fn append_labels(f: &mut NcFile, labels: &[i32]) -> Result<(), TileNcError> {
+    if f.var_by_name("aicca_label").is_some() {
+        return Err(TileNcError::BadLabels("labels already present".into()));
+    }
+    if labels.len() != f.numrecs {
+        return Err(TileNcError::BadLabels(format!(
+            "{} labels for {} tiles",
+            labels.len(),
+            f.numrecs
+        )));
+    }
+    let tile_dim = f
+        .record_dim()
+        .ok_or_else(|| TileNcError::Malformed("no tile dimension".into()))?;
+    let v = f.add_var("aicca_label", NcType::Int, vec![tile_dim])?;
+    f.add_var_attr(
+        v,
+        "long_name",
+        NcValues::text("AICCA cloud class (0-41)"),
+    )?;
+    // The variable is a record variable; backfill its data directly so the
+    // file stays consistent with numrecs.
+    f.vars[v.0].data = NcValues::Int(labels.to_vec());
+    Ok(())
+}
+
+/// Read tiles (and labels, if present) back from a tile NetCDF dataset.
+pub fn read_tiles_nc(f: &NcFile) -> Result<(Vec<Tile>, Option<Vec<i32>>), TileNcError> {
+    let bad = |m: &str| TileNcError::Malformed(m.to_string());
+    let granule_str = f
+        .global_attr("granule")
+        .and_then(|a| a.values.as_text())
+        .ok_or_else(|| bad("missing granule attr"))?;
+    // "MOD.A2022001.0005" — reconstruct the id from its parts.
+    let granule = parse_granule_attr(granule_str).ok_or_else(|| bad("bad granule attr"))?;
+    let bands: Vec<u8> = f
+        .global_attr("bands")
+        .and_then(|a| a.values.as_i32())
+        .ok_or_else(|| bad("missing bands attr"))?
+        .iter()
+        .map(|&b| b as u8)
+        .collect();
+    let size = f
+        .dim_by_name("y")
+        .ok_or_else(|| bad("missing y dim"))?
+        .1
+        .len;
+    let n = f.numrecs;
+    let get_f32 = |name: &str| -> Result<&[f32], TileNcError> {
+        f.var_by_name(name)
+            .and_then(|v| v.data.as_f32())
+            .ok_or_else(|| bad(&format!("missing {name}")))
+    };
+    let get_i32 = |name: &str| -> Result<&[i32], TileNcError> {
+        f.var_by_name(name)
+            .and_then(|v| v.data.as_i32())
+            .ok_or_else(|| bad(&format!("missing {name}")))
+    };
+    let rad = get_f32("radiance")?;
+    let lat = get_f32("center_lat")?;
+    let lon = get_f32("center_lon")?;
+    let ocean = get_f32("ocean_fraction")?;
+    let cloud = get_f32("cloud_fraction")?;
+    let cot = get_f32("mean_cot")?;
+    let ctp = get_f32("mean_ctp")?;
+    let cer = get_f32("mean_cer")?;
+    let row = get_i32("tile_row")?;
+    let col = get_i32("tile_col")?;
+    let slab = bands.len() * size * size;
+    if rad.len() != n * slab {
+        return Err(bad("radiance shape mismatch"));
+    }
+    let mut tiles = Vec::with_capacity(n);
+    for i in 0..n {
+        tiles.push(Tile {
+            granule,
+            row: row[i] as usize,
+            col: col[i] as usize,
+            data: rad[i * slab..(i + 1) * slab].to_vec(),
+            bands: bands.clone(),
+            size,
+            center_lat: lat[i],
+            center_lon: lon[i],
+            ocean_fraction: ocean[i],
+            cloud_fraction: cloud[i],
+            mean_cot: cot[i],
+            mean_ctp: ctp[i],
+            mean_cer: cer[i],
+        });
+    }
+    let labels = f
+        .var_by_name("aicca_label")
+        .and_then(|v| v.data.as_i32())
+        .map(|l| l.to_vec());
+    Ok((tiles, labels))
+}
+
+fn parse_granule_attr(s: &str) -> Option<GranuleId> {
+    // Format from GranuleId::Display: "{MOD|MYD}.A{yyyy}{ddd}.{hhmm}"
+    use eoml_modis::product::Platform;
+    use eoml_util::timebase::CivilDate;
+    let mut parts = s.split('.');
+    let platform = match parts.next()? {
+        "MOD" => Platform::Terra,
+        "MYD" => Platform::Aqua,
+        _ => return None,
+    };
+    let adate = parts.next()?;
+    if !adate.starts_with('A') || adate.len() != 8 {
+        return None;
+    }
+    let year: i32 = adate[1..5].parse().ok()?;
+    let doy: u16 = adate[5..8].parse().ok()?;
+    let date = CivilDate::from_ordinal(year, doy)?;
+    let hhmm = parts.next()?;
+    let hh: u16 = hhmm.get(..2)?.parse().ok()?;
+    let mm: u16 = hhmm.get(2..4)?.parse().ok()?;
+    if !mm.is_multiple_of(5) || hh >= 24 {
+        return None;
+    }
+    Some(GranuleId::new(platform, date, hh * 12 + mm / 5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiles::{extract_tiles, TileCriteria};
+    use eoml_modis::product::Platform;
+    use eoml_modis::synth::{SwathDims, SwathSynthesizer};
+    use eoml_util::timebase::CivilDate;
+
+    fn some_tiles() -> Vec<Tile> {
+        let sy = SwathSynthesizer::new(2022, SwathDims::small());
+        let crit = TileCriteria {
+            min_ocean_fraction: 0.0,
+            min_cloud_fraction: 0.0,
+            ..TileCriteria::default()
+        };
+        for slot in 0..288 {
+            let s = sy.synthesize(GranuleId::new(
+                Platform::Terra,
+                CivilDate::new(2022, 1, 1).unwrap(),
+                slot,
+            ));
+            let set = extract_tiles(&s, &crit);
+            if set.len() >= 2 {
+                return set.tiles;
+            }
+        }
+        panic!("no tiles found");
+    }
+
+    #[test]
+    fn tiles_round_trip_through_netcdf_bytes() {
+        let tiles = some_tiles();
+        let f = write_tiles_nc(&tiles).unwrap();
+        let bytes = f.encode().unwrap();
+        let back = NcFile::decode(&bytes).unwrap();
+        let (tiles2, labels) = read_tiles_nc(&back).unwrap();
+        assert_eq!(tiles2, tiles);
+        assert!(labels.is_none());
+    }
+
+    #[test]
+    fn append_labels_round_trips() {
+        let tiles = some_tiles();
+        let mut f = write_tiles_nc(&tiles).unwrap();
+        let labels: Vec<i32> = (0..tiles.len() as i32).map(|i| i % 42).collect();
+        append_labels(&mut f, &labels).unwrap();
+        let back = NcFile::decode(&f.encode().unwrap()).unwrap();
+        let (tiles2, labels2) = read_tiles_nc(&back).unwrap();
+        assert_eq!(tiles2.len(), tiles.len());
+        assert_eq!(labels2, Some(labels));
+    }
+
+    #[test]
+    fn append_labels_validates() {
+        let tiles = some_tiles();
+        let mut f = write_tiles_nc(&tiles).unwrap();
+        assert!(matches!(
+            append_labels(&mut f, &[1]),
+            Err(TileNcError::BadLabels(_))
+        ));
+        let labels = vec![0i32; tiles.len()];
+        append_labels(&mut f, &labels).unwrap();
+        assert!(matches!(
+            append_labels(&mut f, &labels),
+            Err(TileNcError::BadLabels(_))
+        ));
+    }
+
+    #[test]
+    fn empty_tiles_rejected() {
+        assert_eq!(write_tiles_nc(&[]), Err(TileNcError::NoTiles));
+    }
+
+    #[test]
+    fn inconsistent_tiles_rejected() {
+        let mut tiles = some_tiles();
+        tiles[1].size = 64;
+        tiles[1].data.truncate(6 * 64 * 64);
+        assert_eq!(write_tiles_nc(&tiles), Err(TileNcError::InconsistentTiles));
+    }
+
+    #[test]
+    fn file_has_expected_structure() {
+        let tiles = some_tiles();
+        let f = write_tiles_nc(&tiles).unwrap();
+        assert_eq!(f.numrecs, tiles.len());
+        assert!(f.var_by_name("radiance").is_some());
+        assert!(f.var_by_name("cloud_fraction").is_some());
+        assert_eq!(f.dim_by_name("band").unwrap().1.len, 6);
+        assert_eq!(f.dim_by_name("x").unwrap().1.len, 128);
+        assert_eq!(
+            f.global_attr("platform").unwrap().values.as_text(),
+            Some("Terra")
+        );
+    }
+
+    #[test]
+    fn granule_attr_parses_back() {
+        let g = GranuleId::new(
+            Platform::Aqua,
+            CivilDate::new(2022, 3, 5).unwrap(),
+            130,
+        );
+        assert_eq!(parse_granule_attr(&g.to_string()), Some(g));
+        assert_eq!(parse_granule_attr("garbage"), None);
+        assert_eq!(parse_granule_attr("MOD.A2022999.0000"), None);
+    }
+}

@@ -1,0 +1,233 @@
+//! The AICCA model: encoder + 42 cluster centroids.
+//!
+//! Stage 4 of the workflow loads "the trained autoencoder and centroids"
+//! and predicts a cloud label for every tile of unseen data. This module is
+//! that artifact: [`AiccaModel::fit`] builds it from an encoder and a tile
+//! sample (the paper's "RICC training" + "label assignment" stages), and
+//! [`AiccaModel::predict`] is the inference kernel.
+//!
+//! Because the paper's 1 M-tile GPU training run is out of scope for a CPU
+//! reproduction, [`AiccaModel::pretrained`] provides a deterministic stand-
+//! in: an untrained (random-projection) encoder whose distance structure is
+//! still informative (Johnson–Lindenstrauss), with centroids fitted on a
+//! procedurally generated sample of cloud-like textures. The pipeline code
+//! paths — encode, nearest centroid, append label — are identical either
+//! way.
+
+use crate::autoencoder::{AeConfig, ConvAutoencoder};
+use crate::cluster::{agglomerate, assign, centroids};
+use crate::tensor::Tensor;
+use crate::AICCA_CLASSES;
+use eoml_util::noise::Fbm;
+use rayon::prelude::*;
+
+/// Encoder + centroids.
+#[derive(Debug, Clone)]
+pub struct AiccaModel {
+    /// The (possibly trained) autoencoder whose encoder defines the latent
+    /// space.
+    pub encoder: ConvAutoencoder,
+    /// One centroid per cloud class.
+    pub centroids: Vec<Vec<f32>>,
+}
+
+impl AiccaModel {
+    /// Number of classes (42 for AICCA).
+    pub fn num_classes(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Fit centroids by encoding `sample` tiles, agglomerating to `k`
+    /// clusters (Ward) and taking cluster means.
+    pub fn fit(encoder: ConvAutoencoder, sample: &[Tensor], k: usize) -> Self {
+        assert!(
+            sample.len() >= k,
+            "need at least k={k} sample tiles, got {}",
+            sample.len()
+        );
+        let latents: Vec<Vec<f32>> = sample.par_iter().map(|t| encoder.encode(t)).collect();
+        let dendro = agglomerate(&latents);
+        let labels = dendro.cut(k);
+        let cents = centroids(&latents, &labels, k);
+        Self {
+            encoder,
+            centroids: cents,
+        }
+    }
+
+    /// Deterministic stand-in for the published trained model: random
+    /// encoder + centroids fitted on `4 × AICCA_CLASSES` synthetic texture
+    /// tiles spanning a range of cloud morphologies.
+    pub fn pretrained(cfg: AeConfig, seed: u64) -> Self {
+        let encoder = ConvAutoencoder::new(cfg, seed);
+        let sample = synthetic_texture_sample(cfg, 4 * AICCA_CLASSES, seed ^ 0x7117E5);
+        Self::fit(encoder, &sample, AICCA_CLASSES)
+    }
+
+    /// Predict the class of one tile.
+    pub fn predict(&self, tile: &Tensor) -> usize {
+        let z = self.encoder.encode(tile);
+        nearest(&z, &self.centroids)
+    }
+
+    /// Predict a batch (rayon-parallel).
+    pub fn predict_batch(&self, tiles: &[Tensor]) -> Vec<usize> {
+        tiles.par_iter().map(|t| self.predict(t)).collect()
+    }
+
+    /// Latent representation of one tile.
+    pub fn embed(&self, tile: &Tensor) -> Vec<f32> {
+        self.encoder.encode(tile)
+    }
+}
+
+fn nearest(z: &[f32], cents: &[Vec<f32>]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in cents.iter().enumerate() {
+        let d: f64 = z
+            .iter()
+            .zip(c)
+            .map(|(a, b)| {
+                let d = (*a - *b) as f64;
+                d * d
+            })
+            .sum();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Assign labels to already-encoded latents.
+pub fn predict_latents(latents: &[Vec<f32>], cents: &[Vec<f32>]) -> Vec<usize> {
+    assign(latents, cents)
+}
+
+/// Generate `n` cloud-texture-like tiles of the model's input shape,
+/// spanning a spread of spatial frequencies, anisotropies and ridge
+/// morphologies (the stand-in for the paper's training sample).
+pub fn synthetic_texture_sample(cfg: AeConfig, n: usize, seed: u64) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| {
+            let octaves = 2 + (i % 5) as u32;
+            let gain = 0.35 + 0.12 * ((i / 5) % 5) as f64;
+            let f = Fbm::with_params(seed.wrapping_add(i as u64 * 7919), octaves, 2.0, gain);
+            let scale = 0.06 + 0.05 * ((i / 25) % 4) as f64;
+            let ridged = i % 3 == 0;
+            let mut t = Tensor::zeros(cfg.in_ch, cfg.input, cfg.input);
+            for c in 0..cfg.in_ch {
+                let off = c as f64 * 31.7;
+                for y in 0..cfg.input {
+                    for x in 0..cfg.input {
+                        let (fx, fy) = (x as f64 * scale + off, y as f64 * scale - off);
+                        let v = if ridged { f.ridged(fx, fy) } else { f.sample(fx, fy) };
+                        *t.at_mut(c, y, x) = (v as f32 - 0.5) * 2.0;
+                    }
+                }
+            }
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> AiccaModel {
+        AiccaModel::pretrained(AeConfig::tiny(), 2022)
+    }
+
+    #[test]
+    fn pretrained_has_42_classes() {
+        let m = tiny_model();
+        assert_eq!(m.num_classes(), 42);
+        assert_eq!(m.centroids.len(), 42);
+        for c in &m.centroids {
+            assert_eq!(c.len(), AeConfig::tiny().latent);
+        }
+    }
+
+    #[test]
+    fn predictions_are_valid_and_deterministic() {
+        let m = tiny_model();
+        let tiles = synthetic_texture_sample(AeConfig::tiny(), 20, 5);
+        let labels = m.predict_batch(&tiles);
+        assert_eq!(labels.len(), 20);
+        for &l in &labels {
+            assert!(l < 42);
+        }
+        assert_eq!(labels, m.predict_batch(&tiles));
+        // Same construction gives the same model.
+        let m2 = tiny_model();
+        assert_eq!(labels, m2.predict_batch(&tiles));
+    }
+
+    #[test]
+    fn predictions_use_many_classes() {
+        let m = tiny_model();
+        let tiles = synthetic_texture_sample(AeConfig::tiny(), 100, 77);
+        let labels = m.predict_batch(&tiles);
+        let mut uniq = labels.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(
+            uniq.len() >= 8,
+            "a texture spread should hit many classes, got {}",
+            uniq.len()
+        );
+    }
+
+    #[test]
+    fn similar_tiles_get_same_class_more_often_than_different() {
+        let m = tiny_model();
+        let tiles = synthetic_texture_sample(AeConfig::tiny(), 30, 9);
+        // A tile and a slightly perturbed copy should agree far more often
+        // than two unrelated tiles.
+        let mut same = 0;
+        for t in &tiles {
+            let mut p = t.clone();
+            for v in &mut p.data {
+                *v += 0.01;
+            }
+            if m.predict(t) == m.predict(&p) {
+                same += 1;
+            }
+        }
+        assert!(same >= 28, "perturbation flipped {} of 30 labels", 30 - same);
+    }
+
+    #[test]
+    fn fit_requires_enough_samples() {
+        let enc = ConvAutoencoder::new(AeConfig::tiny(), 1);
+        let tiles = synthetic_texture_sample(AeConfig::tiny(), 5, 1);
+        let result = std::panic::catch_unwind(|| AiccaModel::fit(enc, &tiles, 42));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn fit_with_small_k() {
+        let enc = ConvAutoencoder::new(AeConfig::tiny(), 3);
+        let tiles = synthetic_texture_sample(AeConfig::tiny(), 12, 3);
+        let m = AiccaModel::fit(enc, &tiles, 4);
+        assert_eq!(m.num_classes(), 4);
+        let labels = m.predict_batch(&tiles);
+        let mut uniq = labels;
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() >= 2);
+    }
+
+    #[test]
+    fn predict_latents_matches_predict() {
+        let m = tiny_model();
+        let tiles = synthetic_texture_sample(AeConfig::tiny(), 10, 4);
+        let latents: Vec<Vec<f32>> = tiles.iter().map(|t| m.embed(t)).collect();
+        let a = predict_latents(&latents, &m.centroids);
+        let b = m.predict_batch(&tiles);
+        assert_eq!(a, b);
+    }
+}

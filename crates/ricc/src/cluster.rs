@@ -1,0 +1,370 @@
+//! Agglomerative hierarchical clustering with Ward linkage.
+//!
+//! RICC clusters the autoencoder's latent vectors bottom-up: start with
+//! every point as its own cluster and repeatedly merge the pair whose merge
+//! minimizes the increase in within-cluster variance (Ward's criterion).
+//! The implementation uses the Lance–Williams update with the
+//! nearest-neighbor-chain algorithm — O(n²) time and memory, exact (not a
+//! heuristic), which comfortably handles the latent-sample sizes the model
+//! fit uses.
+
+// Index-based loops mirror the maths (i/j/o/k subscripts) in these
+// numeric kernels; iterator adaptors would obscure the indexing.
+#![allow(clippy::needless_range_loop)]
+
+/// One merge step of the dendrogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged cluster (see [`Dendrogram`] id scheme).
+    pub a: usize,
+    /// Second merged cluster.
+    pub b: usize,
+    /// Ward distance at which the merge happened.
+    pub distance: f64,
+    /// Size of the merged cluster.
+    pub size: usize,
+}
+
+/// The full merge tree. Cluster ids: `0..n` are the original points;
+/// `n + i` is the cluster created by `merges[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    /// Number of original points.
+    pub n: usize,
+    /// The `n − 1` merges in order of increasing distance.
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Flat cluster assignment with exactly `k` clusters (labels `0..k`,
+    /// relabeled to be contiguous and ordered by first occurrence).
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        assert!(k >= 1 && k <= self.n, "k must be in 1..=n");
+        // Union-find over the first n − k merges.
+        let mut parent: Vec<usize> = (0..self.n + self.merges.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (i, m) in self.merges.iter().take(self.n - k).enumerate() {
+            let new_id = self.n + i;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = new_id;
+            parent[rb] = new_id;
+        }
+        let mut labels = vec![usize::MAX; self.n];
+        let mut remap: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for p in 0..self.n {
+            let root = find(&mut parent, p);
+            let next = remap.len();
+            let label = *remap.entry(root).or_insert(next);
+            labels[p] = label;
+        }
+        labels
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (*x - *y) as f64;
+            d * d
+        })
+        .sum()
+}
+
+/// Ward-linkage agglomerative clustering of `points` (each a feature
+/// vector of equal length). Returns the dendrogram.
+pub fn agglomerate(points: &[Vec<f32>]) -> Dendrogram {
+    let n = points.len();
+    assert!(n >= 1, "need at least one point");
+    if n == 1 {
+        return Dendrogram {
+            n,
+            merges: Vec::new(),
+        };
+    }
+    // Active clusters: index into `dist` matrix rows. We keep a full n×n
+    // distance matrix over *slots* and reuse slot `a` for merged clusters.
+    // Initial Ward distance between singletons: ½‖x−y‖² (scaled so the
+    // Lance–Williams update is exact for Ward's criterion).
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<usize> = vec![1; n];
+    // Map from slot to dendrogram cluster id.
+    let mut cluster_id: Vec<usize> = (0..n).collect();
+    let mut dist = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = 0.5 * sq_dist(&points[i], &points[j]);
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+
+    let mut merges = Vec::with_capacity(n - 1);
+    // Nearest-neighbor chain.
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    let mut next_id = n;
+    while merges.len() < n - 1 {
+        if chain.is_empty() {
+            let start = (0..n).find(|&i| active[i]).expect("active cluster");
+            chain.push(start);
+        }
+        loop {
+            let top = *chain.last().expect("non-empty chain");
+            // Nearest active neighbor of `top`.
+            let mut best = usize::MAX;
+            let mut best_d = f64::INFINITY;
+            for j in 0..n {
+                if j != top && active[j] {
+                    let d = dist[top * n + j];
+                    if d < best_d {
+                        best_d = d;
+                        best = j;
+                    }
+                }
+            }
+            debug_assert!(best != usize::MAX);
+            if chain.len() >= 2 && chain[chain.len() - 2] == best {
+                // Reciprocal nearest neighbors: merge top and best.
+                chain.pop();
+                chain.pop();
+                let (a, b) = (top.min(best), top.max(best));
+                let (sa, sb) = (size[a], size[b]);
+                merges.push(Merge {
+                    a: cluster_id[a],
+                    b: cluster_id[b],
+                    distance: best_d,
+                    size: sa + sb,
+                });
+                // Merge b into slot a with Lance–Williams (Ward):
+                // d(a∪b, k) = [(s_a+s_k)d(a,k) + (s_b+s_k)d(b,k) − s_k d(a,b)]
+                //             / (s_a + s_b + s_k)
+                for k in 0..n {
+                    if k != a && k != b && active[k] {
+                        let sk = size[k] as f64;
+                        let dak = dist[a * n + k];
+                        let dbk = dist[b * n + k];
+                        let dab = dist[a * n + b];
+                        let d = ((sa as f64 + sk) * dak + (sb as f64 + sk) * dbk - sk * dab)
+                            / (sa as f64 + sb as f64 + sk);
+                        dist[a * n + k] = d;
+                        dist[k * n + a] = d;
+                    }
+                }
+                active[b] = false;
+                size[a] = sa + sb;
+                cluster_id[a] = next_id;
+                next_id += 1;
+                break;
+            }
+            chain.push(best);
+        }
+    }
+    Dendrogram { n, merges }
+}
+
+/// Mean vector of each cluster under a flat labeling.
+pub fn centroids(points: &[Vec<f32>], labels: &[usize], k: usize) -> Vec<Vec<f32>> {
+    assert_eq!(points.len(), labels.len());
+    let dim = points.first().map(|p| p.len()).unwrap_or(0);
+    let mut sums = vec![vec![0.0f64; dim]; k];
+    let mut counts = vec![0usize; k];
+    for (p, &l) in points.iter().zip(labels) {
+        assert!(l < k, "label {l} out of range");
+        counts[l] += 1;
+        for (s, &v) in sums[l].iter_mut().zip(p) {
+            *s += v as f64;
+        }
+    }
+    sums.into_iter()
+        .zip(counts)
+        .map(|(s, c)| {
+            assert!(c > 0, "empty cluster");
+            s.into_iter().map(|v| (v / c as f64) as f32).collect()
+        })
+        .collect()
+}
+
+/// Assign each point to its nearest centroid (squared Euclidean).
+pub fn assign(points: &[Vec<f32>], centroids: &[Vec<f32>]) -> Vec<usize> {
+    points
+        .iter()
+        .map(|p| {
+            centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    sq_dist(p, a).partial_cmp(&sq_dist(p, b)).expect("finite")
+                })
+                .map(|(i, _)| i)
+                .expect("at least one centroid")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eoml_util::rng::{Rng64, Xoshiro256};
+
+    /// Three well-separated Gaussian blobs.
+    fn blobs(per: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let centers = [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for _ in 0..per {
+                points.push(vec![
+                    (c[0] + rng.normal(0.0, 0.5)) as f32,
+                    (c[1] + rng.normal(0.0, 0.5)) as f32,
+                ]);
+                truth.push(ci);
+            }
+        }
+        (points, truth)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let (points, truth) = blobs(20, 1);
+        let dendro = agglomerate(&points);
+        let labels = dendro.cut(3);
+        // Perfect recovery up to label permutation: points with the same
+        // truth share a label, different truths differ.
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                assert_eq!(
+                    truth[i] == truth[j],
+                    labels[i] == labels[j],
+                    "points {i},{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_count_and_monotone_heights() {
+        let (points, _) = blobs(10, 2);
+        let d = agglomerate(&points);
+        assert_eq!(d.merges.len(), points.len() - 1);
+        // Ward distances from NN-chain are sorted after the fact — the
+        // merge *sequence* need not be globally monotone, but the final
+        // merge must be the largest (joining the blobs).
+        let last = d.merges.last().unwrap().distance;
+        let max = d
+            .merges
+            .iter()
+            .map(|m| m.distance)
+            .fold(0.0f64, f64::max);
+        assert!((last - max).abs() < 1e-9, "last {last} vs max {max}");
+        assert_eq!(d.merges.last().unwrap().size, points.len());
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let (points, _) = blobs(5, 3);
+        let d = agglomerate(&points);
+        let all_one = d.cut(1);
+        assert!(all_one.iter().all(|&l| l == 0));
+        let singletons = d.cut(points.len());
+        let mut sorted = singletons.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), points.len());
+    }
+
+    #[test]
+    fn permutation_invariance() {
+        // Clustering structure must not depend on point order.
+        let (mut points, mut truth) = blobs(8, 4);
+        let d1 = agglomerate(&points);
+        let l1 = d1.cut(3);
+        // Reverse the order.
+        points.reverse();
+        truth.reverse();
+        let d2 = agglomerate(&points);
+        let l2 = d2.cut(3);
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                assert_eq!(l2[i] == l2[j], l1[points.len() - 1 - i] == l1[points.len() - 1 - j]);
+            }
+        }
+        let _ = truth;
+    }
+
+    #[test]
+    fn centroids_are_cluster_means() {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![2.0, 0.0],
+            vec![10.0, 10.0],
+            vec![12.0, 10.0],
+        ];
+        let labels = vec![0, 0, 1, 1];
+        let c = centroids(&points, &labels, 2);
+        assert_eq!(c[0], vec![1.0, 0.0]);
+        assert_eq!(c[1], vec![11.0, 10.0]);
+    }
+
+    #[test]
+    fn assign_picks_nearest() {
+        let cents = vec![vec![0.0f32, 0.0], vec![10.0, 10.0]];
+        let points = vec![vec![1.0f32, 1.0], vec![9.0, 9.5], vec![4.9, 4.9]];
+        assert_eq!(assign(&points, &cents), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn ward_prefers_balanced_merges() {
+        // Ward distance between a big cluster and a point grows with
+        // cluster size; verify the classic 1-D example: {0, 1} vs {10}.
+        // Merging 0 and 1 first is mandatory.
+        let points = vec![vec![0.0f32], vec![1.0], vec![10.0]];
+        let d = agglomerate(&points);
+        assert_eq!(d.merges[0].distance, 0.5); // ½·1²
+        let labels = d.cut(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn single_point_dendrogram() {
+        let d = agglomerate(&[vec![1.0f32, 2.0]]);
+        assert_eq!(d.merges.len(), 0);
+        assert_eq!(d.cut(1), vec![0]);
+    }
+
+    #[test]
+    fn forty_two_clusters_from_many_points() {
+        // The AICCA use case: cut at k = 42 on a few hundred latents.
+        let mut rng = Xoshiro256::seed_from(9);
+        let points: Vec<Vec<f32>> = (0..300)
+            .map(|_| (0..8).map(|_| rng.normal(0.0, 1.0) as f32).collect())
+            .collect();
+        let d = agglomerate(&points);
+        let labels = d.cut(42);
+        let mut uniq = labels.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 42);
+        let c = centroids(&points, &labels, 42);
+        assert_eq!(c.len(), 42);
+        // Re-assigning points to the centroids mostly reproduces labels.
+        let re = assign(&points, &c);
+        let agree = re
+            .iter()
+            .zip(&labels)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            agree as f64 / labels.len() as f64 > 0.7,
+            "centroid assignment agreement {agree}/300"
+        );
+    }
+}

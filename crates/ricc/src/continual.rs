@@ -1,0 +1,225 @@
+//! Continual learning — the paper's §V extension: "AI applications are
+//! continually trained periodically on new data without catastrophically
+//! forgetting what had been learned previously".
+//!
+//! The mechanism here is *rehearsal*: a bounded reservoir of previously
+//! seen tiles is mixed into every new training batch, so the encoder keeps
+//! seeing old cloud morphologies while adapting to new ones. Reservoir
+//! sampling keeps the buffer an unbiased sample of everything seen, in
+//! O(capacity) memory — the property that matters when "everything seen"
+//! is a decades-long satellite record.
+
+use crate::autoencoder::ConvAutoencoder;
+use crate::tensor::Tensor;
+use eoml_util::rng::{Rng64, Xoshiro256};
+
+/// Result of learning one wave of new data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveReport {
+    /// Mean loss on the wave before training.
+    pub loss_before: f32,
+    /// Mean loss on the wave after training.
+    pub loss_after: f32,
+    /// Tiles rehearsed per epoch alongside the wave.
+    pub rehearsed: usize,
+}
+
+/// A model plus a rehearsal buffer.
+#[derive(Debug, Clone)]
+pub struct ContinualTrainer {
+    /// The model being continually trained.
+    pub model: ConvAutoencoder,
+    buffer: Vec<Tensor>,
+    capacity: usize,
+    seen: u64,
+    rng: Xoshiro256,
+}
+
+impl ContinualTrainer {
+    /// Wrap a model with a rehearsal buffer of `capacity` tiles
+    /// (`capacity = 0` disables rehearsal — plain sequential fine-tuning,
+    /// the baseline that forgets).
+    pub fn new(model: ConvAutoencoder, capacity: usize, seed: u64) -> Self {
+        Self {
+            model,
+            buffer: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+            rng: Xoshiro256::seed_from(seed ^ 0xC0117),
+        }
+    }
+
+    /// Current rehearsal-buffer occupancy.
+    pub fn buffer_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Total tiles ever offered to the buffer.
+    pub fn tiles_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Reservoir-sample one tile into the buffer.
+    fn offer(&mut self, tile: &Tensor) {
+        self.seen += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buffer.len() < self.capacity {
+            self.buffer.push(tile.clone());
+        } else {
+            // Classic reservoir sampling: replace with probability cap/seen.
+            let j = self.rng.next_below(self.seen) as usize;
+            if j < self.capacity {
+                self.buffer[j] = tile.clone();
+            }
+        }
+    }
+
+    /// Train on a new wave for `epochs` passes, mixing in the whole
+    /// rehearsal buffer each epoch, then absorb the wave into the buffer.
+    pub fn learn_wave(&mut self, wave: &[Tensor], epochs: usize) -> WaveReport {
+        assert!(!wave.is_empty());
+        let loss_before = self.model.eval_loss(wave);
+        let rehearsed = self.buffer.len();
+        for _ in 0..epochs {
+            let mut batch: Vec<Tensor> = wave.to_vec();
+            batch.extend(self.buffer.iter().cloned());
+            self.model.train_batch(&batch);
+        }
+        let loss_after = self.model.eval_loss(wave);
+        for t in wave {
+            self.offer(t);
+        }
+        WaveReport {
+            loss_before,
+            loss_after,
+            rehearsed,
+        }
+    }
+
+    /// Mean loss on a held-out set (for forgetting measurements).
+    pub fn eval(&self, tiles: &[Tensor]) -> f32 {
+        self.model.eval_loss(tiles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoencoder::AeConfig;
+    use eoml_util::noise::Fbm;
+
+    /// Two visually distinct tile populations: smooth low-frequency decks
+    /// vs ridged high-frequency filaments.
+    fn wave(kind: u8, n: usize, seed: u64) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| {
+                let mut t = Tensor::zeros(2, 16, 16);
+                let f = match kind {
+                    0 => Fbm::with_params(seed + i as u64, 2, 2.0, 0.4),
+                    _ => Fbm::with_params(seed + i as u64, 6, 2.0, 0.9),
+                };
+                for c in 0..2 {
+                    for y in 0..16 {
+                        for x in 0..16 {
+                            let (fx, fy) = if kind == 0 {
+                                (x as f64 * 0.1, y as f64 * 0.1 + c as f64 * 9.0)
+                            } else {
+                                (x as f64 * 0.8, y as f64 * 0.8 + c as f64 * 9.0)
+                            };
+                            let v = if kind == 0 { f.sample(fx, fy) } else { f.ridged(fx, fy) };
+                            *t.at_mut(c, y, x) = (v as f32 - 0.5) * 2.0;
+                        }
+                    }
+                }
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reservoir_respects_capacity_and_samples_everything() {
+        let model = ConvAutoencoder::new(AeConfig::tiny(), 1);
+        let mut tr = ContinualTrainer::new(model, 8, 3);
+        let tiles = wave(0, 40, 500);
+        for t in &tiles {
+            tr.offer(t);
+        }
+        assert_eq!(tr.buffer_len(), 8);
+        assert_eq!(tr.tiles_seen(), 40);
+        // The buffer is not just the first 8 offered (reservoir replaced
+        // some) — compare against the first 8 tiles.
+        let first8: Vec<&Tensor> = tiles.iter().take(8).collect();
+        let identical = tr
+            .buffer
+            .iter()
+            .zip(first8)
+            .filter(|(a, b)| a.data == b.data)
+            .count();
+        assert!(identical < 8, "reservoir never replaced anything");
+    }
+
+    #[test]
+    fn zero_capacity_keeps_no_buffer() {
+        let model = ConvAutoencoder::new(AeConfig::tiny(), 1);
+        let mut tr = ContinualTrainer::new(model, 0, 3);
+        let report = tr.learn_wave(&wave(0, 6, 1), 2);
+        assert_eq!(tr.buffer_len(), 0);
+        assert_eq!(report.rehearsed, 0);
+    }
+
+    #[test]
+    fn learning_a_wave_reduces_its_loss() {
+        let model = ConvAutoencoder::new(AeConfig::tiny(), 5);
+        let mut tr = ContinualTrainer::new(model, 16, 5);
+        let report = tr.learn_wave(&wave(0, 10, 100), 60);
+        assert!(
+            report.loss_after < report.loss_before,
+            "{} → {}",
+            report.loss_before,
+            report.loss_after
+        );
+    }
+
+    #[test]
+    fn rehearsal_mitigates_forgetting() {
+        // Train both trainers on wave A, then fine-tune on a very
+        // different wave B; the rehearsal trainer must retain wave A
+        // better than the naive one.
+        let wave_a = wave(0, 10, 1000);
+        let wave_b = wave(1, 10, 2000);
+        let base = ConvAutoencoder::new(AeConfig::tiny(), 9);
+
+        let mut naive = ContinualTrainer::new(base.clone(), 0, 7);
+        naive.learn_wave(&wave_a, 60);
+        let naive_a_before = naive.eval(&wave_a);
+        naive.learn_wave(&wave_b, 60);
+        let naive_a_after = naive.eval(&wave_a);
+
+        let mut rehearsal = ContinualTrainer::new(base, 10, 7);
+        rehearsal.learn_wave(&wave_a, 60);
+        rehearsal.learn_wave(&wave_b, 60);
+        let rehearsal_a_after = rehearsal.eval(&wave_a);
+
+        assert!(
+            naive_a_after > naive_a_before,
+            "naive fine-tuning should forget wave A: {naive_a_before} → {naive_a_after}"
+        );
+        assert!(
+            rehearsal_a_after < naive_a_after,
+            "rehearsal ({rehearsal_a_after}) should retain wave A better than naive ({naive_a_after})"
+        );
+    }
+
+    #[test]
+    fn wave_reports_track_rehearsal_counts() {
+        let model = ConvAutoencoder::new(AeConfig::tiny(), 2);
+        let mut tr = ContinualTrainer::new(model, 32, 2);
+        let r1 = tr.learn_wave(&wave(0, 6, 10), 1);
+        assert_eq!(r1.rehearsed, 0, "nothing to rehearse on the first wave");
+        let r2 = tr.learn_wave(&wave(1, 6, 20), 1);
+        assert_eq!(r2.rehearsed, 6, "first wave is in the buffer");
+        assert_eq!(tr.buffer_len(), 12);
+    }
+}

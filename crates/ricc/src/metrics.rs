@@ -1,0 +1,259 @@
+//! The cluster-evaluation protocol.
+//!
+//! The paper's stage 3 ("Cluster evaluation") scores resulting clusters
+//! before accepting them; following the RICC/AICCA protocol the relevant
+//! criteria are cluster compactness/separation (silhouette, intra/inter
+//! ratio), stability across seeds (adjusted Rand index) and rotation
+//! invariance of the representation.
+
+use crate::rotation::rot90;
+use crate::tensor::Tensor;
+
+fn dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (*x - *y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Mean silhouette coefficient over all points (−1 … 1, higher = better
+/// separated clusters). O(n²); singleton clusters score 0 per convention.
+pub fn silhouette(points: &[Vec<f32>], labels: &[usize]) -> f64 {
+    assert_eq!(points.len(), labels.len());
+    let n = points.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let k = labels.iter().max().map(|&m| m + 1).unwrap_or(0);
+    let mut total = 0.0;
+    for i in 0..n {
+        // Mean distance to each cluster.
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += dist(&points[i], &points[j]);
+                counts[labels[j]] += 1;
+            }
+        }
+        let own = labels[i];
+        if counts[own] == 0 {
+            // Singleton cluster.
+            continue;
+        }
+        let a = sums[own] / counts[own] as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f64
+}
+
+/// Ratio of mean intra-cluster distance to mean inter-centroid distance
+/// (lower = tighter, better-separated clusters).
+pub fn intra_inter_ratio(points: &[Vec<f32>], labels: &[usize], cents: &[Vec<f32>]) -> f64 {
+    let mut intra = 0.0;
+    let mut n = 0usize;
+    for (p, &l) in points.iter().zip(labels) {
+        intra += dist(p, &cents[l]);
+        n += 1;
+    }
+    let intra = intra / n.max(1) as f64;
+    let mut inter = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..cents.len() {
+        for j in i + 1..cents.len() {
+            inter += dist(&cents[i], &cents[j]);
+            pairs += 1;
+        }
+    }
+    let inter = inter / pairs.max(1) as f64;
+    if inter == 0.0 {
+        return f64::INFINITY;
+    }
+    intra / inter
+}
+
+/// Adjusted Rand index between two labelings (1 = identical partitions,
+/// ≈0 = random agreement).
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ka = a.iter().max().map(|&m| m + 1).unwrap_or(0);
+    let kb = b.iter().max().map(|&m| m + 1).unwrap_or(0);
+    let mut table = vec![0u64; ka * kb];
+    let mut row = vec![0u64; ka];
+    let mut col = vec![0u64; kb];
+    for i in 0..n {
+        table[a[i] * kb + b[i]] += 1;
+        row[a[i]] += 1;
+        col[b[i]] += 1;
+    }
+    fn c2(x: u64) -> f64 {
+        (x as f64) * (x as f64 - 1.0) / 2.0
+    }
+    let sum_ij: f64 = table.iter().map(|&x| c2(x)).sum();
+    let sum_a: f64 = row.iter().map(|&x| c2(x)).sum();
+    let sum_b: f64 = col.iter().map(|&x| c2(x)).sum();
+    let total = c2(n as u64);
+    let expected = sum_a * sum_b / total;
+    let max = 0.5 * (sum_a + sum_b);
+    if (max - expected).abs() < 1e-12 {
+        return 1.0;
+    }
+    (sum_ij - expected) / (max - expected)
+}
+
+/// Rotation-invariance score of an embedding: mean latent distance between
+/// a tile and its 90° rotation, normalized by the mean distance between
+/// *different* tiles. 0 = perfectly invariant; ≥1 = rotations look like
+/// unrelated tiles.
+pub fn rotation_invariance_score(
+    embed: impl Fn(&Tensor) -> Vec<f32>,
+    tiles: &[Tensor],
+) -> f64 {
+    assert!(tiles.len() >= 2);
+    let latents: Vec<Vec<f32>> = tiles.iter().map(&embed).collect();
+    let mut rot_d = 0.0;
+    for (t, z) in tiles.iter().zip(&latents) {
+        let zr = embed(&rot90(t, 1));
+        rot_d += dist(z, &zr);
+    }
+    rot_d /= tiles.len() as f64;
+    let mut pair_d = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..latents.len() {
+        for j in i + 1..latents.len() {
+            pair_d += dist(&latents[i], &latents[j]);
+            pairs += 1;
+        }
+    }
+    pair_d /= pairs as f64;
+    if pair_d == 0.0 {
+        return 0.0;
+    }
+    rot_d / pair_d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eoml_util::rng::{Rng64, Xoshiro256};
+
+    fn blobs(per: usize, spread: f64, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let centers = [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for _ in 0..per {
+                points.push(vec![
+                    (c[0] + rng.normal(0.0, spread)) as f32,
+                    (c[1] + rng.normal(0.0, spread)) as f32,
+                ]);
+                labels.push(ci);
+            }
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_low_for_mixed() {
+        let (points, labels) = blobs(15, 0.5, 1);
+        let good = silhouette(&points, &labels);
+        assert!(good > 0.7, "good clustering silhouette {good}");
+        // Scramble the labels.
+        let mut rng = Xoshiro256::seed_from(2);
+        let bad_labels: Vec<usize> = labels.iter().map(|_| rng.next_below(3) as usize).collect();
+        let bad = silhouette(&points, &bad_labels);
+        assert!(bad < 0.2, "scrambled silhouette {bad}");
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn silhouette_edge_cases() {
+        assert_eq!(silhouette(&[vec![1.0]], &[0]), 0.0);
+        // All in one cluster: no b term → 0 contribution.
+        let points = vec![vec![0.0f32], vec![1.0]];
+        assert_eq!(silhouette(&points, &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn intra_inter_ratio_orders_clusterings() {
+        let (points, labels) = blobs(15, 0.5, 3);
+        let cents = crate::cluster::centroids(&points, &labels, 3);
+        let tight = intra_inter_ratio(&points, &labels, &cents);
+        let (loose_pts, loose_labels) = blobs(15, 3.0, 3);
+        let loose_cents = crate::cluster::centroids(&loose_pts, &loose_labels, 3);
+        let loose = intra_inter_ratio(&loose_pts, &loose_labels, &loose_cents);
+        assert!(tight < loose, "{tight} vs {loose}");
+        assert!(tight < 0.2);
+    }
+
+    #[test]
+    fn ari_identical_is_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        // Label permutation is still a perfect match.
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_random_is_near_zero() {
+        let mut rng = Xoshiro256::seed_from(4);
+        let a: Vec<usize> = (0..2000).map(|_| rng.next_below(5) as usize).collect();
+        let b: Vec<usize> = (0..2000).map(|_| rng.next_below(5) as usize).collect();
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.05, "random ARI {ari}");
+    }
+
+    #[test]
+    fn ari_partial_agreement_is_between() {
+        let a = vec![0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let mut b = a.clone();
+        b[0] = 1;
+        b[3] = 2;
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari > 0.2 && ari < 1.0, "{ari}");
+    }
+
+    #[test]
+    fn rotation_invariance_score_detects_invariance() {
+        // Embedding = mean per channel (rotation invariant by construction)
+        // vs embedding = first row (not invariant).
+        let mut rng = Xoshiro256::seed_from(6);
+        let tiles: Vec<Tensor> = (0..8)
+            .map(|_| {
+                Tensor::from_data(
+                    1,
+                    8,
+                    8,
+                    (0..64).map(|_| rng.normal(0.0, 1.0) as f32).collect(),
+                )
+            })
+            .collect();
+        let invariant = |t: &Tensor| -> Vec<f32> {
+            vec![
+                t.data.iter().sum::<f32>() / t.data.len() as f32,
+                t.data.iter().map(|v| v * v).sum::<f32>() / t.data.len() as f32,
+            ]
+        };
+        let sensitive = |t: &Tensor| -> Vec<f32> { t.data[..8].to_vec() };
+        let s_inv = rotation_invariance_score(invariant, &tiles);
+        let s_sens = rotation_invariance_score(sensitive, &tiles);
+        assert!(s_inv < 1e-6, "invariant embedding score {s_inv}");
+        assert!(s_sens > 0.5, "sensitive embedding score {s_sens}");
+    }
+}

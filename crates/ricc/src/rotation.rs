@@ -1,0 +1,167 @@
+//! 90°-rotation ops and the rotation-invariant loss.
+//!
+//! RICC's training objective makes the learned representation invariant to
+//! tile orientation: a cloud deck rotated 90° is the same cloud deck. Two
+//! terms implement this (following Kurihana et al. 2021, simplified):
+//!
+//! * **restoration** — the decoder output is compared against the *best*
+//!   of the four rotations of the input (min over rotations), so the model
+//!   is not penalized for reconstructing in a canonical orientation;
+//! * **invariance** — the encoder's latent for `x` is pulled toward the
+//!   latents of the rotated copies (treated as stop-gradient targets, a
+//!   standard simplification).
+
+use crate::tensor::Tensor;
+
+/// Rotate a CHW tensor 90° counter-clockwise `times` times (square tensors
+/// only).
+pub fn rot90(x: &Tensor, times: usize) -> Tensor {
+    assert_eq!(x.h, x.w, "rot90 requires square tiles");
+    let times = times % 4;
+    if times == 0 {
+        return x.clone();
+    }
+    let n = x.h;
+    let mut y = Tensor::zeros(x.c, n, n);
+    for c in 0..x.c {
+        for yy in 0..n {
+            for xx in 0..n {
+                let (sy, sx) = match times {
+                    1 => (xx, n - 1 - yy),
+                    2 => (n - 1 - yy, n - 1 - xx),
+                    3 => (n - 1 - xx, yy),
+                    _ => unreachable!(),
+                };
+                *y.at_mut(c, yy, xx) = x.at(c, sy, sx);
+            }
+        }
+    }
+    y
+}
+
+/// The rotation-minimum restoration loss: `min_r MSE(recon, rot_r(x))`.
+/// Returns `(loss, argmin rotation)`.
+pub fn min_rotation_mse(recon: &Tensor, x: &Tensor) -> (f32, usize) {
+    let mut best = f32::INFINITY;
+    let mut best_r = 0;
+    for r in 0..4 {
+        let target = rot90(x, r);
+        let mse = recon.mse(&target);
+        if mse < best {
+            best = mse;
+            best_r = r;
+        }
+    }
+    (best, best_r)
+}
+
+/// Full rotation-invariant loss given the reconstruction, the input, the
+/// latent of `x` and the latents of its rotations:
+/// `min_r MSE(recon, rot_r(x)) + λ · mean_r ||z − z_r||²`.
+pub fn rotation_invariant_loss(
+    recon: &Tensor,
+    x: &Tensor,
+    z: &[f32],
+    z_rots: &[Vec<f32>],
+    lambda: f32,
+) -> (f32, usize) {
+    let (restore, best_r) = min_rotation_mse(recon, x);
+    let mut inv = 0.0f32;
+    for zr in z_rots {
+        assert_eq!(zr.len(), z.len());
+        inv += z
+            .iter()
+            .zip(zr)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / z.len() as f32;
+    }
+    if !z_rots.is_empty() {
+        inv /= z_rots.len() as f32;
+    }
+    (restore + lambda * inv, best_r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        Tensor::from_data(
+            1,
+            2,
+            2,
+            vec![
+                1.0, 2.0, //
+                3.0, 4.0,
+            ],
+        )
+    }
+
+    #[test]
+    fn rot90_single() {
+        let x = sample();
+        let r = rot90(&x, 1);
+        // CCW: top row becomes right column.
+        assert_eq!(r.data, vec![2.0, 4.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn rot90_four_times_is_identity() {
+        let x = sample();
+        assert_eq!(rot90(&x, 4), x);
+        assert_eq!(rot90(&rot90(&rot90(&rot90(&x, 1), 1), 1), 1), x);
+    }
+
+    #[test]
+    fn rot90_composition() {
+        let x = sample();
+        assert_eq!(rot90(&rot90(&x, 1), 1), rot90(&x, 2));
+        assert_eq!(rot90(&rot90(&x, 2), 1), rot90(&x, 3));
+    }
+
+    #[test]
+    fn rot90_preserves_values() {
+        let x = Tensor::from_data(2, 3, 3, (0..18).map(|i| i as f32).collect());
+        for r in 0..4 {
+            let mut a = rot90(&x, r).data;
+            let mut b = x.data.clone();
+            a.sort_by(f32::total_cmp);
+            b.sort_by(f32::total_cmp);
+            assert_eq!(a, b, "rotation {r} must permute values");
+        }
+    }
+
+    #[test]
+    fn min_rotation_mse_finds_best_orientation() {
+        let x = sample();
+        // Pretend the reconstruction is exactly the 270° rotation.
+        let recon = rot90(&x, 3);
+        let (loss, r) = min_rotation_mse(&recon, &x);
+        assert!(loss < 1e-12);
+        assert_eq!(r, 3);
+        // A reconstruction equal to x itself picks rotation 0.
+        let (loss0, r0) = min_rotation_mse(&x, &x);
+        assert!(loss0 < 1e-12);
+        assert_eq!(r0, 0);
+    }
+
+    #[test]
+    fn invariance_term_penalizes_unstable_latents() {
+        let x = sample();
+        let recon = x.clone();
+        let z = vec![1.0, 0.0];
+        let stable = vec![vec![1.0, 0.0]; 3];
+        let unstable = vec![vec![0.0, 1.0]; 3];
+        let (l_stable, _) = rotation_invariant_loss(&recon, &x, &z, &stable, 0.5);
+        let (l_unstable, _) = rotation_invariant_loss(&recon, &x, &z, &unstable, 0.5);
+        assert!(l_stable < 1e-12);
+        assert!((l_unstable - 0.5).abs() < 1e-6, "{l_unstable}");
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rotation_panics() {
+        rot90(&Tensor::zeros(1, 2, 3), 1);
+    }
+}

@@ -1,0 +1,570 @@
+//! Minimal CHW tensors and neural-network ops with explicit backward
+//! passes.
+//!
+//! Everything operates on a single sample (channels × height × width);
+//! batching is a loop at the training level (rayon-parallel there). Ops are
+//! written for clarity and verified by finite-difference gradient checks in
+//! the test suite — correctness over peak speed, with the hot inner loops
+//! kept allocation-free.
+
+// Index-based loops mirror the maths (i/j/o/k subscripts) in these
+// numeric kernels; iterator adaptors would obscure the indexing.
+#![allow(clippy::needless_range_loop)]
+
+/// A dense CHW tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Row-major data, `data[ch * h * w + y * w + x]`.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Zero-filled tensor.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        Self {
+            c,
+            h,
+            w,
+            data: vec![0.0; c * h * w],
+        }
+    }
+
+    /// From existing data (length must match).
+    pub fn from_data(c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), c * h * w, "shape/data mismatch");
+        Self { c, h, w, data }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, ch: usize, y: usize, x: usize) -> f32 {
+        self.data[(ch * self.h + y) * self.w + x]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, ch: usize, y: usize, x: usize) -> &mut f32 {
+        &mut self.data[(ch * self.h + y) * self.w + x]
+    }
+
+    /// Mean squared difference to another tensor of the same shape.
+    pub fn mse(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.data.len(), other.data.len());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / self.data.len() as f32
+    }
+}
+
+/// Convolution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Kernel height/width (square kernels).
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on each side.
+    pub pad: usize,
+}
+
+impl ConvSpec {
+    /// Output spatial size for an input of size `n`.
+    pub fn out_size(&self, n: usize) -> usize {
+        (n + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Transposed-conv output size for an input of size `n`.
+    pub fn tconv_out_size(&self, n: usize) -> usize {
+        (n - 1) * self.stride + self.k - 2 * self.pad
+    }
+}
+
+/// Forward convolution. `w` is `[c_out][c_in][k][k]` flattened; `b` is per
+/// output channel.
+pub fn conv2d_fwd(x: &Tensor, w: &[f32], b: &[f32], c_out: usize, spec: ConvSpec) -> Tensor {
+    let c_in = x.c;
+    assert_eq!(w.len(), c_out * c_in * spec.k * spec.k);
+    assert_eq!(b.len(), c_out);
+    let oh = spec.out_size(x.h);
+    let ow = spec.out_size(x.w);
+    let mut y = Tensor::zeros(c_out, oh, ow);
+    for o in 0..c_out {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b[o];
+                for i in 0..c_in {
+                    for ky in 0..spec.k {
+                        let sy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                        if sy < 0 || sy >= x.h as isize {
+                            continue;
+                        }
+                        for kx in 0..spec.k {
+                            let sx = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                            if sx < 0 || sx >= x.w as isize {
+                                continue;
+                            }
+                            acc += x.at(i, sy as usize, sx as usize)
+                                * w[((o * c_in + i) * spec.k + ky) * spec.k + kx];
+                        }
+                    }
+                }
+                *y.at_mut(o, oy, ox) = acc;
+            }
+        }
+    }
+    y
+}
+
+/// Backward convolution: returns `(dx, dw, db)` for upstream gradient `dy`.
+pub fn conv2d_bwd(
+    x: &Tensor,
+    w: &[f32],
+    dy: &Tensor,
+    c_out: usize,
+    spec: ConvSpec,
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let c_in = x.c;
+    let mut dx = Tensor::zeros(x.c, x.h, x.w);
+    let mut dw = vec![0.0f32; w.len()];
+    let mut db = vec![0.0f32; c_out];
+    for o in 0..c_out {
+        for oy in 0..dy.h {
+            for ox in 0..dy.w {
+                let g = dy.at(o, oy, ox);
+                db[o] += g;
+                for i in 0..c_in {
+                    for ky in 0..spec.k {
+                        let sy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                        if sy < 0 || sy >= x.h as isize {
+                            continue;
+                        }
+                        for kx in 0..spec.k {
+                            let sx = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                            if sx < 0 || sx >= x.w as isize {
+                                continue;
+                            }
+                            let wi = ((o * c_in + i) * spec.k + ky) * spec.k + kx;
+                            dw[wi] += g * x.at(i, sy as usize, sx as usize);
+                            *dx.at_mut(i, sy as usize, sx as usize) += g * w[wi];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (dx, dw, db)
+}
+
+/// Forward transposed convolution. `w` is `[c_in][c_out][k][k]` flattened.
+pub fn tconv2d_fwd(x: &Tensor, w: &[f32], b: &[f32], c_out: usize, spec: ConvSpec) -> Tensor {
+    let c_in = x.c;
+    assert_eq!(w.len(), c_in * c_out * spec.k * spec.k);
+    assert_eq!(b.len(), c_out);
+    let oh = spec.tconv_out_size(x.h);
+    let ow = spec.tconv_out_size(x.w);
+    let mut y = Tensor::zeros(c_out, oh, ow);
+    for o in 0..c_out {
+        for e in y.data[o * oh * ow..(o + 1) * oh * ow].iter_mut() {
+            *e = b[o];
+        }
+    }
+    for i in 0..c_in {
+        for sy in 0..x.h {
+            for sx in 0..x.w {
+                let v = x.at(i, sy, sx);
+                for o in 0..c_out {
+                    for ky in 0..spec.k {
+                        let oy = (sy * spec.stride + ky) as isize - spec.pad as isize;
+                        if oy < 0 || oy >= oh as isize {
+                            continue;
+                        }
+                        for kx in 0..spec.k {
+                            let ox = (sx * spec.stride + kx) as isize - spec.pad as isize;
+                            if ox < 0 || ox >= ow as isize {
+                                continue;
+                            }
+                            *y.at_mut(o, oy as usize, ox as usize) +=
+                                v * w[((i * c_out + o) * spec.k + ky) * spec.k + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Backward transposed convolution: `(dx, dw, db)`.
+pub fn tconv2d_bwd(
+    x: &Tensor,
+    w: &[f32],
+    dy: &Tensor,
+    c_out: usize,
+    spec: ConvSpec,
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let c_in = x.c;
+    let mut dx = Tensor::zeros(x.c, x.h, x.w);
+    let mut dw = vec![0.0f32; w.len()];
+    let mut db = vec![0.0f32; c_out];
+    let (oh, ow) = (dy.h, dy.w);
+    for o in 0..c_out {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                db[o] += dy.at(o, oy, ox);
+            }
+        }
+    }
+    for i in 0..c_in {
+        for sy in 0..x.h {
+            for sx in 0..x.w {
+                let v = x.at(i, sy, sx);
+                let mut acc = 0.0f32;
+                for o in 0..c_out {
+                    for ky in 0..spec.k {
+                        let oy = (sy * spec.stride + ky) as isize - spec.pad as isize;
+                        if oy < 0 || oy >= oh as isize {
+                            continue;
+                        }
+                        for kx in 0..spec.k {
+                            let ox = (sx * spec.stride + kx) as isize - spec.pad as isize;
+                            if ox < 0 || ox >= ow as isize {
+                                continue;
+                            }
+                            let g = dy.at(o, oy as usize, ox as usize);
+                            let wi = ((i * c_out + o) * spec.k + ky) * spec.k + kx;
+                            acc += g * w[wi];
+                            dw[wi] += g * v;
+                        }
+                    }
+                }
+                *dx.at_mut(i, sy, sx) = acc;
+            }
+        }
+    }
+    (dx, dw, db)
+}
+
+/// Leaky ReLU forward (slope 0.1 for negatives).
+pub fn leaky_relu_fwd(x: &Tensor) -> Tensor {
+    let mut y = x.clone();
+    for v in &mut y.data {
+        if *v < 0.0 {
+            *v *= 0.1;
+        }
+    }
+    y
+}
+
+/// Leaky ReLU backward: `dx = dy ⊙ f'(x)`.
+pub fn leaky_relu_bwd(x: &Tensor, dy: &Tensor) -> Tensor {
+    let mut dx = dy.clone();
+    for (d, &xv) in dx.data.iter_mut().zip(&x.data) {
+        if xv < 0.0 {
+            *d *= 0.1;
+        }
+    }
+    dx
+}
+
+/// Dense forward: `y = W·x + b`, `W` is `[out][in]` flattened.
+pub fn dense_fwd(x: &[f32], w: &[f32], b: &[f32]) -> Vec<f32> {
+    let n_out = b.len();
+    let n_in = x.len();
+    assert_eq!(w.len(), n_out * n_in);
+    let mut y = b.to_vec();
+    for o in 0..n_out {
+        let row = &w[o * n_in..(o + 1) * n_in];
+        let mut acc = 0.0f32;
+        for (wi, xi) in row.iter().zip(x) {
+            acc += wi * xi;
+        }
+        y[o] += acc;
+    }
+    y
+}
+
+/// Dense backward: `(dx, dw, db)`.
+pub fn dense_bwd(x: &[f32], w: &[f32], dy: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let n_out = dy.len();
+    let n_in = x.len();
+    let mut dx = vec![0.0f32; n_in];
+    let mut dw = vec![0.0f32; w.len()];
+    for o in 0..n_out {
+        let g = dy[o];
+        let row = &w[o * n_in..(o + 1) * n_in];
+        let drow = &mut dw[o * n_in..(o + 1) * n_in];
+        for i in 0..n_in {
+            dx[i] += g * row[i];
+            drow[i] = g * x[i];
+        }
+    }
+    (dx, dw, dy.to_vec())
+}
+
+/// Adam optimizer state for one parameter buffer.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Adam {
+    /// State for a buffer of `n` parameters.
+    pub fn new(n: usize, lr: f32) -> Self {
+        Self {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+            lr,
+        }
+    }
+
+    /// Apply one update step in place.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len());
+        assert_eq!(grads.len(), self.m.len());
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        self.t += 1;
+        let bc1 = 1.0 - B1.powi(self.t as i32);
+        let bc2 = 1.0 - B2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * grads[i];
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * grads[i] * grads[i];
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + EPS);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eoml_util::rng::{Rng64, Xoshiro256};
+
+    fn rand_tensor(rng: &mut Xoshiro256, c: usize, h: usize, w: usize) -> Tensor {
+        Tensor::from_data(
+            c,
+            h,
+            w,
+            (0..c * h * w).map(|_| rng.normal(0.0, 1.0) as f32).collect(),
+        )
+    }
+
+    fn rand_vec(rng: &mut Xoshiro256, n: usize) -> Vec<f32> {
+        (0..n).map(|_| rng.normal(0.0, 0.5) as f32).collect()
+    }
+
+    /// Scalar loss = sum(y) for gradient checking (so dL/dy = 1).
+    fn grad_check_conv(stride: usize, pad: usize) {
+        let mut rng = Xoshiro256::seed_from(42);
+        let spec = ConvSpec { k: 3, stride, pad };
+        let (c_in, c_out) = (2, 3);
+        let x = rand_tensor(&mut rng, c_in, 6, 6);
+        let w = rand_vec(&mut rng, c_out * c_in * 9);
+        let b = rand_vec(&mut rng, c_out);
+        let y = conv2d_fwd(&x, &w, &b, c_out, spec);
+        let dy = Tensor::from_data(y.c, y.h, y.w, vec![1.0; y.len()]);
+        let (dx, dw, db) = conv2d_bwd(&x, &w, &dy, c_out, spec);
+        let eps = 1e-3f32;
+        let loss = |x: &Tensor, w: &[f32], b: &[f32]| -> f32 {
+            conv2d_fwd(x, w, b, c_out, spec).data.iter().sum()
+        };
+        // Check a scatter of coordinates in each buffer.
+        for idx in [0usize, 7, 20, x.len() - 1] {
+            let mut xp = x.clone();
+            xp.data[idx] += eps;
+            let num = (loss(&xp, &w, &b) - loss(&x, &w, &b)) / eps;
+            assert!((num - dx.data[idx]).abs() < 0.05, "dx[{idx}] {num} vs {}", dx.data[idx]);
+        }
+        for idx in [0usize, 5, w.len() - 1] {
+            let mut wp = w.clone();
+            wp[idx] += eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &w, &b)) / eps;
+            assert!((num - dw[idx]).abs() < 0.05, "dw[{idx}] {num} vs {}", dw[idx]);
+        }
+        for idx in 0..b.len() {
+            let mut bp = b.clone();
+            bp[idx] += eps;
+            let num = (loss(&x, &w, &bp) - loss(&x, &w, &b)) / eps;
+            assert!((num - db[idx]).abs() < 0.05, "db[{idx}] {num} vs {}", db[idx]);
+        }
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        grad_check_conv(1, 1);
+        grad_check_conv(2, 1);
+        grad_check_conv(1, 0);
+    }
+
+    #[test]
+    fn tconv_gradients_match_finite_differences() {
+        let mut rng = Xoshiro256::seed_from(43);
+        let spec = ConvSpec {
+            k: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let (c_in, c_out) = (3, 2);
+        let x = rand_tensor(&mut rng, c_in, 4, 4);
+        let w = rand_vec(&mut rng, c_in * c_out * 9);
+        let b = rand_vec(&mut rng, c_out);
+        let y = tconv2d_fwd(&x, &w, &b, c_out, spec);
+        let dy = Tensor::from_data(y.c, y.h, y.w, vec![1.0; y.len()]);
+        let (dx, dw, db) = tconv2d_bwd(&x, &w, &dy, c_out, spec);
+        let eps = 1e-3f32;
+        let loss = |x: &Tensor, w: &[f32], b: &[f32]| -> f32 {
+            tconv2d_fwd(x, w, b, c_out, spec).data.iter().sum()
+        };
+        for idx in [0usize, 13, x.len() - 1] {
+            let mut xp = x.clone();
+            xp.data[idx] += eps;
+            let num = (loss(&xp, &w, &b) - loss(&x, &w, &b)) / eps;
+            assert!((num - dx.data[idx]).abs() < 0.05, "dx[{idx}]");
+        }
+        for idx in [0usize, 11, w.len() - 1] {
+            let mut wp = w.clone();
+            wp[idx] += eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &w, &b)) / eps;
+            assert!((num - dw[idx]).abs() < 0.05, "dw[{idx}]");
+        }
+        for idx in 0..b.len() {
+            let mut bp = b.clone();
+            bp[idx] += eps;
+            let num = (loss(&x, &w, &bp) - loss(&x, &w, &b)) / eps;
+            assert!((num - db[idx]).abs() < 0.05, "db[{idx}]");
+        }
+    }
+
+    #[test]
+    fn dense_gradients_match_finite_differences() {
+        let mut rng = Xoshiro256::seed_from(44);
+        let x = rand_vec(&mut rng, 10);
+        let w = rand_vec(&mut rng, 4 * 10);
+        let b = rand_vec(&mut rng, 4);
+        let dy = vec![1.0f32; 4];
+        let (dx, dw, db) = dense_bwd(&x, &w, &dy);
+        let eps = 1e-3f32;
+        let loss = |x: &[f32], w: &[f32], b: &[f32]| -> f32 { dense_fwd(x, w, b).iter().sum() };
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp[idx] += eps;
+            let num = (loss(&xp, &w, &b) - loss(&x, &w, &b)) / eps;
+            assert!((num - dx[idx]).abs() < 0.02, "dx[{idx}]");
+        }
+        for idx in [0usize, 17, 39] {
+            let mut wp = w.clone();
+            wp[idx] += eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &w, &b)) / eps;
+            assert!((num - dw[idx]).abs() < 0.02, "dw[{idx}]");
+        }
+        assert_eq!(db, dy);
+    }
+
+    #[test]
+    fn conv_output_shapes() {
+        // Down-sampling uses k=3/s=2/p=1; exact doubling back up needs
+        // k=4/s=2/p=1 (k=3 would give 2n−1).
+        let down = ConvSpec {
+            k: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let up = ConvSpec {
+            k: 4,
+            stride: 2,
+            pad: 1,
+        };
+        assert_eq!(down.out_size(16), 8);
+        assert_eq!(up.tconv_out_size(8), 16);
+        let x = Tensor::zeros(6, 16, 16);
+        let w = vec![0.0; 8 * 6 * 9];
+        let b = vec![0.0; 8];
+        let y = conv2d_fwd(&x, &w, &b, 8, down);
+        assert_eq!((y.c, y.h, y.w), (8, 8, 8));
+        let wt = vec![0.0; 8 * 6 * 16];
+        let bt = vec![0.0; 6];
+        let z = tconv2d_fwd(&y, &wt, &bt, 6, up);
+        assert_eq!((z.c, z.h, z.w), (6, 16, 16));
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // A 1×1 kernel with weight 1 and zero bias reproduces the input.
+        let mut rng = Xoshiro256::seed_from(3);
+        let x = rand_tensor(&mut rng, 1, 5, 5);
+        let spec = ConvSpec {
+            k: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let y = conv2d_fwd(&x, &[1.0], &[0.0], 1, spec);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn leaky_relu_fwd_bwd() {
+        let x = Tensor::from_data(1, 1, 4, vec![-2.0, -0.5, 0.5, 2.0]);
+        let y = leaky_relu_fwd(&x);
+        assert_eq!(y.data, vec![-0.2, -0.05, 0.5, 2.0]);
+        let dy = Tensor::from_data(1, 1, 4, vec![1.0; 4]);
+        let dx = leaky_relu_bwd(&x, &dy);
+        assert_eq!(dx.data, vec![0.1, 0.1, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // Minimize ||p − target||² — Adam should converge quickly.
+        let target = [3.0f32, -2.0, 0.5];
+        let mut p = vec![0.0f32; 3];
+        let mut opt = Adam::new(3, 0.05);
+        for _ in 0..500 {
+            let grads: Vec<f32> = p.iter().zip(&target).map(|(pi, t)| 2.0 * (pi - t)).collect();
+            opt.step(&mut p, &grads);
+        }
+        for (pi, t) in p.iter().zip(&target) {
+            assert!((pi - t).abs() < 0.01, "{pi} vs {t}");
+        }
+    }
+
+    #[test]
+    fn tensor_accessors_and_mse() {
+        let mut t = Tensor::zeros(2, 3, 4);
+        *t.at_mut(1, 2, 3) = 5.0;
+        assert_eq!(t.at(1, 2, 3), 5.0);
+        assert_eq!(t.len(), 24);
+        let z = Tensor::zeros(2, 3, 4);
+        assert!((t.mse(&z) - 25.0 / 24.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn bad_shape_panics() {
+        Tensor::from_data(1, 2, 2, vec![0.0; 5]);
+    }
+}

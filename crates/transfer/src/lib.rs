@@ -1,0 +1,34 @@
+//! `eoml-transfer` — data movement fabric (Globus Transfer + LAADS HTTPS
+//! substitute).
+//!
+//! The paper moves data twice: stage 1 *downloads* MODIS granules from the
+//! NASA LAADS DAAC over HTTPS with a pool of Globus Compute workers, and
+//! stage 5 *ships* labeled NetCDF files to Frontier's Orion file system with
+//! Globus Transfer. Neither external service exists here, so this crate
+//! provides:
+//!
+//! * [`endpoint`] — named endpoints with ingress/egress capacity, per-stream
+//!   caps and per-request overhead (the knobs that shape paper Fig. 3);
+//! * [`flownet`] — a max-min fair-share flow network living inside the
+//!   discrete-event simulation: concurrent flows share link capacity, and
+//!   every change to the active-flow set reschedules the next completion;
+//! * [`faults`] — fault injection (connection drops, checksum corruption)
+//!   with bounded retries;
+//! * [`service`] — a Globus-Transfer-like batch service (a task = many
+//!   files, `parallel_streams` concurrent flows, checksum verification,
+//!   automatic retry) built on the flow network;
+//! * [`pool`] — the LAADS download pool: N workers pulling catalog files
+//!   off a shared queue, one flow each, exactly the structure of the
+//!   paper's remotely executed download function.
+
+pub mod endpoint;
+pub mod faults;
+pub mod flownet;
+pub mod pool;
+pub mod service;
+
+pub use endpoint::{Endpoint, EndpointId};
+pub use faults::{FaultPlan, FlowOutcome};
+pub use flownet::{FlowId, FlowNetwork, HasNetwork};
+pub use pool::{DownloadPool, DownloadReport, FileTiming};
+pub use service::{submit_transfer, TransferOptions, TransferReport, TransferTaskId};

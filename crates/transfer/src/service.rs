@@ -1,0 +1,390 @@
+//! A Globus-Transfer-like batch transfer service.
+//!
+//! A *task* names a source endpoint, a destination endpoint and a list of
+//! files. The service moves the files with up to `parallel_streams`
+//! concurrent flows, verifies integrity, retries failed files up to
+//! `retry_limit` times, and reports aggregate statistics — the behaviour the
+//! paper's stage 5 (shipment to Frontier's Orion) relies on.
+
+use crate::faults::FlowOutcome;
+use crate::flownet::{start_flow, HasNetwork};
+use eoml_simtime::{SimTime, Simulation};
+use eoml_util::units::ByteSize;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+eoml_util::typed_id!(
+    /// Identifier of a submitted transfer task.
+    TransferTaskId,
+    "xfer"
+);
+
+/// Task-level options.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferOptions {
+    /// Maximum concurrent file flows (Globus's `parallelism`).
+    pub parallel_streams: usize,
+    /// Retry budget per file.
+    pub retry_limit: usize,
+}
+
+impl Default for TransferOptions {
+    fn default() -> Self {
+        Self {
+            parallel_streams: 4,
+            retry_limit: 3,
+        }
+    }
+}
+
+/// Final report for a transfer task.
+#[derive(Debug, Clone)]
+pub struct TransferReport {
+    /// Task id.
+    pub task: TransferTaskId,
+    /// Files delivered successfully.
+    pub files_ok: usize,
+    /// Files abandoned after exhausting retries.
+    pub files_failed: usize,
+    /// Bytes of successfully delivered files.
+    pub bytes: ByteSize,
+    /// Total retry attempts made.
+    pub retries: usize,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time.
+    pub finished: SimTime,
+    /// Per-file `(name, seconds)` for delivered files.
+    pub file_times: Vec<(String, f64)>,
+}
+
+impl TransferReport {
+    /// Wall-clock duration of the whole task.
+    pub fn duration_s(&self) -> f64 {
+        (self.finished - self.submitted).as_secs_f64()
+    }
+
+    /// Effective aggregate throughput (delivered bytes / task duration).
+    pub fn effective_rate(&self) -> eoml_util::units::Rate {
+        let d = self.duration_s();
+        if d <= 0.0 {
+            return eoml_util::units::Rate::bytes_per_sec(0.0);
+        }
+        eoml_util::units::Rate::bytes_per_sec(self.bytes.as_u64() as f64 / d)
+    }
+}
+
+type TaskDoneFn<S> = Box<dyn FnOnce(&mut Simulation<S>, TransferReport)>;
+
+struct TaskState<S> {
+    id: TransferTaskId,
+    src: String,
+    dst: String,
+    queue: VecDeque<(String, ByteSize, usize)>, // name, size, attempts so far
+    in_flight: usize,
+    options: TransferOptions,
+    files_ok: usize,
+    files_failed: usize,
+    bytes: ByteSize,
+    retries: usize,
+    submitted: SimTime,
+    file_times: Vec<(String, f64)>,
+    file_started: std::collections::HashMap<String, SimTime>,
+    on_done: Option<TaskDoneFn<S>>,
+}
+
+/// Submit a batch transfer; `on_done` receives the final report.
+pub fn submit_transfer<S: HasNetwork>(
+    sim: &mut Simulation<S>,
+    src: &str,
+    dst: &str,
+    files: Vec<(String, ByteSize)>,
+    options: TransferOptions,
+    on_done: impl FnOnce(&mut Simulation<S>, TransferReport) + 'static,
+) -> TransferTaskId {
+    assert!(options.parallel_streams > 0, "need at least one stream");
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    let id = TransferTaskId::from_raw(NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
+    let state = Rc::new(RefCell::new(TaskState {
+        id,
+        src: src.to_string(),
+        dst: dst.to_string(),
+        queue: files.into_iter().map(|(n, s)| (n, s, 0)).collect(),
+        in_flight: 0,
+        options,
+        files_ok: 0,
+        files_failed: 0,
+        bytes: ByteSize::ZERO,
+        retries: 0,
+        submitted: sim.now(),
+        file_times: Vec::new(),
+        file_started: std::collections::HashMap::new(),
+        on_done: Some(Box::new(on_done)),
+    }));
+    pump(sim, &state);
+    id
+}
+
+/// Launch flows until the stream budget is used or the queue is empty; if
+/// everything is done, emit the report.
+fn pump<S: HasNetwork>(sim: &mut Simulation<S>, state: &Rc<RefCell<TaskState<S>>>) {
+    loop {
+        let next = {
+            let mut st = state.borrow_mut();
+            if st.in_flight >= st.options.parallel_streams {
+                None
+            } else if let Some(item) = st.queue.pop_front() {
+                st.in_flight += 1;
+                st.file_started.entry(item.0.clone()).or_insert(sim.now());
+                Some((st.src.clone(), st.dst.clone(), item))
+            } else {
+                None
+            }
+        };
+        let Some((src, dst, (name, size, attempts))) = next else {
+            break;
+        };
+        let state2 = Rc::clone(state);
+        start_flow(sim, &src, &dst, size, move |sim, outcome| {
+            on_flow_done(sim, &state2, name, size, attempts, outcome);
+        });
+    }
+    maybe_finish(sim, state);
+}
+
+fn on_flow_done<S: HasNetwork>(
+    sim: &mut Simulation<S>,
+    state: &Rc<RefCell<TaskState<S>>>,
+    name: String,
+    size: ByteSize,
+    attempts: usize,
+    outcome: FlowOutcome,
+) {
+    {
+        let mut st = state.borrow_mut();
+        st.in_flight -= 1;
+        match outcome {
+            FlowOutcome::Success => {
+                st.files_ok += 1;
+                st.bytes += size;
+                let started = st.file_started[&name];
+                let elapsed = (sim.now() - started).as_secs_f64();
+                st.file_times.push((name, elapsed));
+            }
+            FlowOutcome::ConnectionDropped | FlowOutcome::ChecksumMismatch => {
+                if attempts < st.options.retry_limit {
+                    st.retries += 1;
+                    st.queue.push_back((name, size, attempts + 1));
+                } else {
+                    st.files_failed += 1;
+                }
+            }
+        }
+    }
+    if outcome.is_success() {
+        sim.state_mut().network().note_delivered(size);
+    }
+    pump(sim, state);
+}
+
+fn maybe_finish<S: HasNetwork>(sim: &mut Simulation<S>, state: &Rc<RefCell<TaskState<S>>>) {
+    let report = {
+        let mut st = state.borrow_mut();
+        if st.in_flight > 0 || !st.queue.is_empty() || st.on_done.is_none() {
+            return;
+        }
+        let on_done = st.on_done.take().expect("checked");
+        let report = TransferReport {
+            task: st.id,
+            files_ok: st.files_ok,
+            files_failed: st.files_failed,
+            bytes: st.bytes,
+            retries: st.retries,
+            submitted: st.submitted,
+            finished: sim.now(),
+            file_times: std::mem::take(&mut st.file_times),
+        };
+        Some((on_done, report))
+    };
+    if let Some((on_done, report)) = report {
+        on_done(sim, report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::Endpoint;
+    use crate::faults::FaultPlan;
+    use crate::flownet::FlowNetwork;
+    use eoml_util::units::Rate;
+    use std::time::Duration;
+
+    struct St {
+        net: FlowNetwork<St>,
+        report: Option<TransferReport>,
+    }
+
+    impl HasNetwork for St {
+        fn network(&mut self) -> &mut FlowNetwork<St> {
+            &mut self.net
+        }
+    }
+
+    fn sim(fault: FaultPlan) -> Simulation<St> {
+        let mut net = FlowNetwork::new(11, fault);
+        net.add_endpoint(Endpoint::new(
+            "src",
+            Rate::mb_per_sec(40.0),
+            Rate::mb_per_sec(40.0),
+            Rate::mb_per_sec(10.0),
+            Duration::ZERO,
+        ));
+        net.add_endpoint(Endpoint::new(
+            "dst",
+            Rate::mb_per_sec(1000.0),
+            Rate::mb_per_sec(1000.0),
+            Rate::mb_per_sec(1000.0),
+            Duration::ZERO,
+        ));
+        Simulation::new(St { net, report: None })
+    }
+
+    fn files(n: usize, mb: u64) -> Vec<(String, ByteSize)> {
+        (0..n)
+            .map(|i| (format!("file{i}"), ByteSize::mb(mb)))
+            .collect()
+    }
+
+    #[test]
+    fn all_files_delivered() {
+        let mut s = sim(FaultPlan::none());
+        submit_transfer(
+            &mut s,
+            "src",
+            "dst",
+            files(8, 10),
+            TransferOptions::default(),
+            |sim, r| sim.state_mut().report = Some(r),
+        );
+        s.run();
+        let r = s.state().report.as_ref().expect("report");
+        assert_eq!(r.files_ok, 8);
+        assert_eq!(r.files_failed, 0);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.bytes, ByteSize::mb(80));
+        // 4 streams × 10 MB/s (cap) = 40 MB/s aggregate → 80 MB in 2 s.
+        assert!((r.duration_s() - 2.0).abs() < 1e-6, "{}", r.duration_s());
+        assert!((r.effective_rate().as_mb_per_sec() - 40.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn parallel_streams_bound_concurrency() {
+        let mut s = sim(FaultPlan::none());
+        submit_transfer(
+            &mut s,
+            "src",
+            "dst",
+            files(6, 10),
+            TransferOptions {
+                parallel_streams: 1,
+                retry_limit: 0,
+            },
+            |sim, r| sim.state_mut().report = Some(r),
+        );
+        s.run();
+        let r = s.state().report.as_ref().expect("report");
+        // Serial: 6 files × 1 s each at 10 MB/s.
+        assert!((r.duration_s() - 6.0).abs() < 1e-6, "{}", r.duration_s());
+    }
+
+    #[test]
+    fn failures_are_retried_until_delivered() {
+        // 100 % drop on first attempts is impossible to recover from, so use
+        // a seeded moderate drop rate and a generous retry budget.
+        let mut s = sim(FaultPlan {
+            drop_probability: 0.4,
+            corrupt_probability: 0.1,
+        });
+        submit_transfer(
+            &mut s,
+            "src",
+            "dst",
+            files(20, 5),
+            TransferOptions {
+                parallel_streams: 4,
+                retry_limit: 50,
+            },
+            |sim, r| sim.state_mut().report = Some(r),
+        );
+        s.run();
+        let r = s.state().report.as_ref().expect("report");
+        assert_eq!(r.files_ok, 20);
+        assert_eq!(r.files_failed, 0);
+        assert!(r.retries > 0, "with 50 % fault rate some retries must happen");
+        assert_eq!(r.bytes, ByteSize::mb(100));
+    }
+
+    #[test]
+    fn retry_exhaustion_counts_failures() {
+        let mut s = sim(FaultPlan {
+            drop_probability: 1.0,
+            corrupt_probability: 0.0,
+        });
+        submit_transfer(
+            &mut s,
+            "src",
+            "dst",
+            files(3, 5),
+            TransferOptions {
+                parallel_streams: 2,
+                retry_limit: 2,
+            },
+            |sim, r| sim.state_mut().report = Some(r),
+        );
+        s.run();
+        let r = s.state().report.as_ref().expect("report");
+        assert_eq!(r.files_ok, 0);
+        assert_eq!(r.files_failed, 3);
+        assert_eq!(r.retries, 6, "3 files × 2 retries");
+        assert_eq!(r.bytes, ByteSize::ZERO);
+    }
+
+    #[test]
+    fn empty_task_completes_immediately() {
+        let mut s = sim(FaultPlan::none());
+        submit_transfer(
+            &mut s,
+            "src",
+            "dst",
+            Vec::new(),
+            TransferOptions::default(),
+            |sim, r| sim.state_mut().report = Some(r),
+        );
+        s.run();
+        let r = s.state().report.as_ref().expect("report");
+        assert_eq!(r.files_ok, 0);
+        assert_eq!(r.duration_s(), 0.0);
+    }
+
+    #[test]
+    fn file_times_recorded_for_successes() {
+        let mut s = sim(FaultPlan::none());
+        submit_transfer(
+            &mut s,
+            "src",
+            "dst",
+            files(4, 10),
+            TransferOptions::default(),
+            |sim, r| sim.state_mut().report = Some(r),
+        );
+        s.run();
+        let r = s.state().report.as_ref().expect("report");
+        assert_eq!(r.file_times.len(), 4);
+        for (name, t) in &r.file_times {
+            assert!(name.starts_with("file"));
+            assert!((t - 1.0).abs() < 1e-6, "{name}: {t}");
+        }
+    }
+}

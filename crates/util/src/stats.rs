@@ -1,0 +1,348 @@
+//! Streaming statistics and summaries used by the benchmark harness and the
+//! telemetry subsystem.
+
+/// Welford's online algorithm: numerically stable running mean/variance
+/// without storing samples. Used for per-stage latency accounting where the
+/// sample count can be large.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Merge another accumulator (parallel Welford / Chan et al.).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A full-sample summary with percentiles — the benchmark harness stores all
+/// iteration timings (counts are small) and reports this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    samples: Vec<f64>,
+}
+
+impl Summary {
+    /// Build from raw samples (order irrelevant).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        Self { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the summary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        (self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+    }
+
+    /// Linear-interpolated percentile, `q` in `[0, 100]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&q));
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if self.samples.len() == 1 {
+            return self.samples[0];
+        }
+        let rank = q / 100.0 * (self.samples.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.samples.first().copied().unwrap_or(0.0)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        self.samples.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with overflow/underflow buckets.
+/// Used by the telemetry subsystem for latency distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// `nbuckets` equal-width buckets spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, nbuckets: usize) -> Self {
+        assert!(hi > lo && nbuckets > 0);
+        Self {
+            lo,
+            hi,
+            buckets: vec![0; nbuckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.buckets.len();
+            let idx = ((x - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.buckets[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Number of buckets.
+    pub fn nbuckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// `[lo, hi)` bounds of bucket `i`.
+    pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Total recorded count including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Observations below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let s = Summary::from_samples((1..=100).map(|i| i as f64).collect());
+        assert!((s.median() - 50.5).abs() < 1e-9);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 100.0);
+        assert!((s.percentile(0.0) - 1.0).abs() < 1e-9);
+        assert!((s.percentile(100.0) - 100.0).abs() < 1e-9);
+        assert!((s.percentile(25.0) - 25.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_samples(vec![42.0]);
+        assert_eq!(s.median(), 42.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.percentile(99.0), 42.0);
+    }
+
+    #[test]
+    fn summary_mean_std() {
+        let s = Summary::from_samples(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // sample std dev with Bessel correction: sqrt(32/7)
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        h.record(-1.0);
+        h.record(10.0);
+        h.record(100.0);
+        for i in 0..10 {
+            assert_eq!(h.bucket(i), 1, "bucket {i}");
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 13);
+        let (lo, hi) = h.bucket_bounds(3);
+        assert!((lo - 3.0).abs() < 1e-12 && (hi - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,262 @@
+//! Byte sizes and transfer rates.
+//!
+//! The download experiments (paper Fig. 3) are expressed in MB and MB/s using
+//! decimal (SI) prefixes, matching how LAADS reports file sizes; these types
+//! keep the arithmetic honest and the display consistent.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+use std::time::Duration;
+
+/// A size in bytes. Decimal (SI) constructors are provided because the data
+/// products in the paper are quoted in decimal units (e.g. "32 GB of MOD02").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// From raw bytes.
+    pub const fn bytes(n: u64) -> Self {
+        ByteSize(n)
+    }
+
+    /// From kilobytes (10^3).
+    pub const fn kb(n: u64) -> Self {
+        ByteSize(n * 1_000)
+    }
+
+    /// From megabytes (10^6).
+    pub const fn mb(n: u64) -> Self {
+        ByteSize(n * 1_000_000)
+    }
+
+    /// From gigabytes (10^9).
+    pub const fn gb(n: u64) -> Self {
+        ByteSize(n * 1_000_000_000)
+    }
+
+    /// From terabytes (10^12).
+    pub const fn tb(n: u64) -> Self {
+        ByteSize(n * 1_000_000_000_000)
+    }
+
+    /// From a fractional number of megabytes.
+    pub fn mb_f64(n: f64) -> Self {
+        ByteSize((n * 1e6).round() as u64)
+    }
+
+    /// Raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional megabytes.
+    pub fn as_mb(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// As fractional gigabytes.
+    pub fn as_gb(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time to move this many bytes at `rate` (panics on zero rate).
+    pub fn time_at(self, rate: Rate) -> Duration {
+        assert!(rate.0 > 0.0, "rate must be positive");
+        Duration::from_secs_f64(self.0 as f64 / rate.0)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl Div<Duration> for ByteSize {
+    type Output = Rate;
+    fn div(self, rhs: Duration) -> Rate {
+        Rate(self.0 as f64 / rhs.as_secs_f64())
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        ByteSize(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0 as f64;
+        if b >= 1e12 {
+            write!(f, "{:.2} TB", b / 1e12)
+        } else if b >= 1e9 {
+            write!(f, "{:.2} GB", b / 1e9)
+        } else if b >= 1e6 {
+            write!(f, "{:.2} MB", b / 1e6)
+        } else if b >= 1e3 {
+            write!(f, "{:.2} kB", b / 1e3)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+/// A transfer rate in bytes per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Rate(pub f64);
+
+impl Rate {
+    /// From bytes per second.
+    pub fn bytes_per_sec(r: f64) -> Self {
+        Rate(r)
+    }
+
+    /// From megabytes per second (10^6).
+    pub fn mb_per_sec(r: f64) -> Self {
+        Rate(r * 1e6)
+    }
+
+    /// From gigabits per second (10^9 bits).
+    pub fn gbit_per_sec(r: f64) -> Self {
+        Rate(r * 1e9 / 8.0)
+    }
+
+    /// As megabytes per second.
+    pub fn as_mb_per_sec(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// As raw bytes per second.
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Bytes moved in `dt` at this rate.
+    pub fn bytes_in(self, dt: Duration) -> ByteSize {
+        ByteSize((self.0 * dt.as_secs_f64()).round() as u64)
+    }
+}
+
+impl Add for Rate {
+    type Output = Rate;
+    fn add(self, rhs: Rate) -> Rate {
+        Rate(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Rate {
+    type Output = Rate;
+    fn mul(self, rhs: f64) -> Rate {
+        Rate(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Rate {
+    type Output = Rate;
+    fn div(self, rhs: f64) -> Rate {
+        Rate(self.0 / rhs)
+    }
+}
+
+impl Sum for Rate {
+    fn sum<I: Iterator<Item = Rate>>(iter: I) -> Rate {
+        Rate(iter.map(|r| r.0).sum())
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e9 {
+            write!(f, "{:.2} GB/s", self.0 / 1e9)
+        } else if self.0 >= 1e6 {
+            write!(f, "{:.2} MB/s", self.0 / 1e6)
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.2} kB/s", self.0 / 1e3)
+        } else {
+            write!(f, "{:.1} B/s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_conversions() {
+        assert_eq!(ByteSize::kb(2).as_u64(), 2_000);
+        assert_eq!(ByteSize::mb(32).as_u64(), 32_000_000);
+        assert_eq!(ByteSize::gb(1).as_u64(), 1_000_000_000);
+        assert_eq!(ByteSize::tb(1).as_u64(), 1_000_000_000_000);
+        assert!((ByteSize::gb(18).as_gb() - 18.0).abs() < 1e-12);
+        assert!((ByteSize::mb_f64(8.4).as_mb() - 8.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ByteSize::mb(10) + ByteSize::mb(5);
+        assert_eq!(a, ByteSize::mb(15));
+        assert_eq!(a - ByteSize::mb(5), ByteSize::mb(10));
+        assert_eq!(ByteSize::mb(3) * 4, ByteSize::mb(12));
+        assert_eq!(ByteSize::mb(5).saturating_sub(ByteSize::mb(9)), ByteSize::ZERO);
+        let total: ByteSize = [ByteSize::mb(1), ByteSize::mb(2)].into_iter().sum();
+        assert_eq!(total, ByteSize::mb(3));
+    }
+
+    #[test]
+    fn rate_and_time() {
+        let r = Rate::mb_per_sec(10.0);
+        let d = ByteSize::mb(100).time_at(r);
+        assert!((d.as_secs_f64() - 10.0).abs() < 1e-9);
+        let moved = r.bytes_in(Duration::from_secs(3));
+        assert_eq!(moved, ByteSize::mb(30));
+        let derived = ByteSize::mb(50) / Duration::from_secs(5);
+        assert!((derived.as_mb_per_sec() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gbit_conversion() {
+        // 12.5 GB/s Slingshot-10 link == 100 Gbit/s
+        let r = Rate::gbit_per_sec(100.0);
+        assert!((r.as_bytes_per_sec() - 12.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ByteSize::bytes(512).to_string(), "512 B");
+        assert_eq!(ByteSize::mb(32).to_string(), "32.00 MB");
+        assert_eq!(ByteSize::gb(2).to_string(), "2.00 GB");
+        assert_eq!(Rate::mb_per_sec(12.5).to_string(), "12.50 MB/s");
+    }
+}

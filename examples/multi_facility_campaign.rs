@@ -1,0 +1,139 @@
+//! A multi-facility campaign study: sweep the per-stage resource
+//! allocation in virtual time and render a Fig.-6-style worker timeline.
+//!
+//! ```sh
+//! cargo run --release --example multi_facility_campaign
+//! ```
+
+use eoml::core::campaign::{run_campaign, CampaignParams};
+use eoml::core::streaming::{run_streaming_campaign, StreamingParams};
+use eoml::simtime::SimTime;
+use eoml::transfer::faults::FaultPlan;
+
+fn main() {
+    // 1) Download-worker sweep (paper Fig. 3's 3 vs 6 workers).
+    println!("== download workers sweep (one day, 32 files/product) ==");
+    for workers in [3, 6] {
+        let report = run_campaign(CampaignParams {
+            files_per_day: 32,
+            download_workers: workers,
+            ..CampaignParams::paper_demo()
+        });
+        println!(
+            "  {workers} workers: downloaded {} in {:.1}s  (aggregate {}, mean file {})",
+            report.download.bytes,
+            (report.download.finished - report.download.started).as_secs_f64(),
+            report.download.aggregate_speed(),
+            report.download.mean_file_speed(),
+        );
+    }
+
+    // 2) Node sweep for preprocessing.
+    println!();
+    println!("== preprocessing node sweep (8 workers/node) ==");
+    for nodes in [1, 2, 4, 8, 10] {
+        let report = run_campaign(CampaignParams {
+            files_per_day: 48,
+            nodes,
+            ..CampaignParams::paper_demo()
+        });
+        let pp = report.stage("preprocess").expect("stage ran");
+        println!(
+            "  {nodes:>2} nodes: preprocess {:>7.1}s  ({:.0} tiles, {:.1} tiles/s), makespan {:>7.1}s",
+            pp.seconds(),
+            report.total_tiles,
+            report.total_tiles / pp.seconds(),
+            report.makespan_s
+        );
+    }
+
+    // 3) A flaky WAN still completes (retries in stage 1/5).
+    println!();
+    println!("== fault injection (2% drops, 0.5% corruption) ==");
+    let clean = run_campaign(CampaignParams::paper_demo());
+    let flaky = run_campaign(CampaignParams {
+        faults: FaultPlan::flaky_wan(),
+        ..CampaignParams::paper_demo()
+    });
+    println!(
+        "  clean WAN: {} files, {} retries, makespan {:.1}s",
+        clean.download.files.len(),
+        clean.download.retries,
+        clean.makespan_s
+    );
+    println!(
+        "  flaky WAN: {} files, {} retries, makespan {:.1}s",
+        flaky.download.files.len(),
+        flaky.download.retries,
+        flaky.makespan_s
+    );
+
+    // 4) Fig.-6-style timeline of the paper-demo allocation.
+    println!();
+    println!("== automation timeline (3 download / 32 preprocess / 1 inference workers) ==");
+    let report = run_campaign(CampaignParams {
+        files_per_day: 24,
+        ..CampaignParams::paper_demo()
+    });
+    let t_end = SimTime::from_secs_f64(report.makespan_s);
+    const COLS: usize = 72;
+    for stage in ["download", "preprocess", "inference"] {
+        let samples = report
+            .telemetry
+            .sample_activity(stage, SimTime::ZERO, t_end, COLS);
+        let peak = report.telemetry.peak(stage).max(1);
+        let bar: String = samples
+            .iter()
+            .map(|&(_, a)| {
+                if a == 0 {
+                    ' '
+                } else {
+                    let level = (a * 8).div_ceil(peak).min(8);
+                    [' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}',
+                     '\u{2586}', '\u{2587}', '\u{2588}'][level]
+                }
+            })
+            .collect();
+        println!("  {stage:<11} |{bar}| peak {peak}");
+    }
+    println!(
+        "  {:<11} 0s{:>width$.0}s",
+        "time",
+        report.makespan_s,
+        width = COLS - 1
+    );
+    println!(
+        "\n  preprocess/inference overlap: {}",
+        report.telemetry.stages_overlap("preprocess", "inference")
+    );
+
+    // 5) Streaming mode: granules arrive on the (compressed) acquisition
+    //    timeline and all five stages pipeline.
+    println!();
+    println!("== streaming mode (20x-compressed acquisition day) ==");
+    let streaming = run_streaming_campaign(StreamingParams {
+        base: CampaignParams {
+            files_per_day: 48,
+            ..CampaignParams::paper_demo()
+        },
+        ..StreamingParams::demo()
+    });
+    println!(
+        "  {} granules downloaded, {} preprocessed, {} labeled files shipped",
+        streaming.granules_downloaded, streaming.granules_preprocessed, streaming.shipped_files
+    );
+    for stage in &streaming.stages {
+        println!(
+            "  {:<11} window {:>7.1}s  ({} items, {})",
+            stage.name,
+            stage.seconds(),
+            stage.items,
+            stage.bytes
+        );
+    }
+    println!(
+        "  makespan {:.1}s; download/preprocess overlap: {}",
+        streaming.makespan_s,
+        streaming.telemetry.stages_overlap("download", "preprocess")
+    );
+}

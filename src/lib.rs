@@ -1,0 +1,22 @@
+//! Umbrella crate re-exporting the `eoml` workspace public API.
+//!
+//! Downstream users can depend on this single crate and reach every
+//! subsystem: the five-stage multi-facility workflow ([`core`]), the
+//! synthetic MODIS archive ([`modis`]), the Parsl-like executor
+//! ([`executor`]), the Globus-like fabric ([`transfer`], [`compute`],
+//! [`flows`]), and the RICC/AICCA model ([`ricc`]).
+
+pub use eoml_cluster as cluster;
+pub use eoml_compute as compute;
+pub use eoml_config as config;
+pub use eoml_core as core;
+pub use eoml_executor as executor;
+pub use eoml_flows as flows;
+pub use eoml_geo as geo;
+pub use eoml_modis as modis;
+pub use eoml_ncdf as ncdf;
+pub use eoml_preprocess as preprocess;
+pub use eoml_ricc as ricc;
+pub use eoml_simtime as simtime;
+pub use eoml_transfer as transfer;
+pub use eoml_util as util;

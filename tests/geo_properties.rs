@@ -1,0 +1,101 @@
+//! Property-based tests of the geodesy substrate: great-circle identities,
+//! orbital invariants, solar geometry, and land-mask determinism — the
+//! foundations the synthetic MOD03 product rests on.
+
+use eoml::geo::landmask::LandMask;
+use eoml::geo::latlon::{normalize_lon, LatLon};
+use eoml::geo::orbit::{OrbitParams, SunSyncOrbit};
+use eoml::geo::solar::solar_zenith_deg;
+use eoml::util::timebase::{CivilDate, UtcTime};
+use proptest::prelude::*;
+
+fn lat() -> impl Strategy<Value = f64> {
+    -85.0f64..85.0
+}
+
+fn lon() -> impl Strategy<Value = f64> {
+    -180.0f64..180.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn distance_is_a_metric(
+        (la1, lo1) in (lat(), lon()),
+        (la2, lo2) in (lat(), lon()),
+        (la3, lo3) in (lat(), lon()),
+    ) {
+        let a = LatLon::new(la1, lo1);
+        let b = LatLon::new(la2, lo2);
+        let c = LatLon::new(la3, lo3);
+        // Symmetry.
+        prop_assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-6);
+        // Identity.
+        prop_assert!(a.distance_km(&a) < 1e-6);
+        // Triangle inequality (numerical slack).
+        prop_assert!(a.distance_km(&c) <= a.distance_km(&b) + b.distance_km(&c) + 1e-6);
+        // Bounded by half the circumference.
+        prop_assert!(a.distance_km(&b) <= std::f64::consts::PI * 6371.0 + 1e-6);
+    }
+
+    #[test]
+    fn destination_round_trips_distance_and_bearing(
+        (la, lo) in (lat(), lon()),
+        bearing in 0.0f64..360.0,
+        dist in 1.0f64..5000.0,
+    ) {
+        let start = LatLon::new(la, lo);
+        let end = start.destination(bearing, dist);
+        prop_assert!((start.distance_km(&end) - dist).abs() < 1.0,
+            "distance {} vs requested {dist}", start.distance_km(&end));
+        // Walking back along the reverse bearing returns near the start
+        // (use the bearing measured at the destination).
+        let back_bearing = end.bearing_to(&start);
+        let back = end.destination(back_bearing, dist);
+        prop_assert!(back.distance_km(&start) < 2.0,
+            "returned {} km from start", back.distance_km(&start));
+    }
+
+    #[test]
+    fn normalize_lon_is_idempotent_and_periodic(l in -1000.0f64..1000.0) {
+        let n = normalize_lon(l);
+        prop_assert!((-180.0..=180.0).contains(&n));
+        prop_assert_eq!(normalize_lon(n), n);
+        prop_assert!((normalize_lon(l + 360.0) - n).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ground_track_stays_on_the_sphere_and_below_max_lat(t in 0.0f64..200_000.0) {
+        let orbit = SunSyncOrbit::new(OrbitParams::terra());
+        let p = orbit.ground_point(t);
+        prop_assert!(p.lat.abs() <= 81.9, "lat {} at t={t}", p.lat);
+        prop_assert!((-180.0..=180.0).contains(&p.lon));
+    }
+
+    #[test]
+    fn solar_zenith_is_bounded_and_antipodally_complementary(
+        (la, lo) in (lat(), lon()),
+        secs in 0.0f64..86_400.0,
+    ) {
+        let t = UtcTime::from_date(CivilDate::new(2022, 3, 21).unwrap())
+            + std::time::Duration::from_secs_f64(secs);
+        let p = LatLon::new(la, lo);
+        let z = solar_zenith_deg(&p, t);
+        prop_assert!((0.0..=180.0).contains(&z));
+        // At the equinox the sun is over the equator: the antipode's zenith
+        // is the supplement (within the low-precision formulas' tolerance).
+        let anti = LatLon::new(-la, lo + 180.0);
+        let za = solar_zenith_deg(&anti, t);
+        prop_assert!((z + za - 180.0).abs() < 3.0, "z {z} + antipode {za}");
+    }
+
+    #[test]
+    fn landmask_is_pure(la in lat(), lo in lon()) {
+        let m = LandMask::earth_like(2022);
+        let p = LatLon::new(la, lo);
+        prop_assert_eq!(m.is_land(&p), m.is_land(&p));
+        let v = m.field_value(&p);
+        prop_assert!((0.0..1.0).contains(&v));
+    }
+}

@@ -1,0 +1,225 @@
+//! Shape tests for the paper's evaluation: the qualitative claims of
+//! §IV must hold in the reproduction — who wins, where scaling saturates,
+//! where crossovers fall. These are integration tests over
+//! `eoml-cluster` + `eoml-executor` (the scaling substrate) and
+//! `eoml-transfer` (the download substrate).
+
+use eoml::cluster::contention::ContentionModel;
+use eoml::cluster::exec::ClusterModel;
+use eoml::cluster::spec::ClusterSpec;
+use eoml::executor::simexec::{run_batch, BatchReport};
+use eoml::modis::catalog::Catalog;
+use eoml::modis::product::Platform;
+use eoml::simtime::Simulation;
+use eoml::transfer::endpoint::Endpoint;
+use eoml::transfer::faults::FaultPlan;
+use eoml::transfer::flownet::{FlowNetwork, HasNetwork};
+use eoml::transfer::pool::{DownloadPool, DownloadReport};
+use eoml::util::timebase::CivilDate;
+use eoml::util::units::ByteSize;
+
+const TILES_PER_FILE: f64 = 150.0;
+
+struct ClSt {
+    cl: ClusterModel<ClSt>,
+    report: Option<BatchReport>,
+}
+
+impl eoml::cluster::exec::HasCluster for ClSt {
+    fn cluster(&mut self) -> &mut ClusterModel<ClSt> {
+        &mut self.cl
+    }
+}
+
+fn batch(seed: u64, nodes: usize, wpn: usize, files: usize) -> BatchReport {
+    let mut spec = ClusterSpec::defiant();
+    spec.node.cores = spec.node.cores.max(wpn);
+    let mut sim = Simulation::new(ClSt {
+        cl: ClusterModel::new(spec, ContentionModel::defiant(), seed),
+        report: None,
+    });
+    run_batch(
+        &mut sim,
+        (0..nodes).collect(),
+        wpn,
+        vec![TILES_PER_FILE; files],
+        |sim, r| sim.state_mut().report = Some(r),
+    );
+    sim.run();
+    sim.into_state().report.expect("batch ran")
+}
+
+fn mean_time(nodes: usize, wpn: usize, files: usize) -> f64 {
+    (0..3)
+        .map(|i| batch(11 + i * 53, nodes, wpn, files).completion_s())
+        .sum::<f64>()
+        / 3.0
+}
+
+#[test]
+fn fig4a_shape_worker_scaling_saturates_then_second_node_helps() {
+    // Strong scaling over workers, 128 files.
+    let t1 = mean_time(1, 1, 128);
+    let t2 = mean_time(1, 2, 128);
+    let t8 = mean_time(1, 8, 128);
+    let t16 = mean_time(1, 16, 128);
+    let t64 = mean_time(1, 64, 128);
+    let t128 = mean_time(2, 64, 128);
+    // Sub-linear but real speedup at low counts.
+    assert!(t2 < t1 * 0.65, "1→2 workers: {t1:.0} → {t2:.0}");
+    assert!(t8 < t2 * 0.65, "2→8 workers: {t2:.0} → {t8:.0}");
+    // Saturation: 16→64 gains almost nothing.
+    assert!(
+        (t64 / t16 - 1.0).abs() < 0.10,
+        "16→64 should be flat: {t16:.0} vs {t64:.0}"
+    );
+    // The second node roughly halves completion (the Fig. 4a cliff).
+    assert!(
+        t128 < t64 * 0.65,
+        "64→128 (2nd node): {t64:.0} → {t128:.0}"
+    );
+}
+
+#[test]
+fn fig4b_shape_node_scaling_is_near_linear() {
+    let t1 = mean_time(1, 8, 80);
+    let t5 = mean_time(5, 8, 80);
+    let t10 = mean_time(10, 8, 80);
+    let s5 = t1 / t5;
+    let s10 = t1 / t10;
+    assert!((3.4..5.0).contains(&s5), "5-node speedup {s5:.2}");
+    assert!((6.0..9.5).contains(&s10), "10-node speedup {s10:.2}");
+}
+
+#[test]
+fn fig5_shape_weak_scaling_flat_across_nodes_degrades_within_node() {
+    // Across nodes (8 w/node, 2 files/worker): near-flat.
+    let w1 = mean_time(1, 8, 16);
+    let w10 = mean_time(10, 8, 160);
+    assert!(
+        w10 < w1 * 1.6,
+        "weak scaling across nodes should stay near-flat: {w1:.0} → {w10:.0}"
+    );
+    // Within a node (2 files/worker): completion grows past saturation.
+    let v2 = mean_time(1, 2, 4);
+    let v32 = mean_time(1, 32, 64);
+    assert!(
+        v32 > v2 * 2.0,
+        "within-node weak scaling should degrade: {v2:.0} → {v32:.0}"
+    );
+}
+
+#[test]
+fn table1_throughput_levels_match_paper_within_20_percent() {
+    // Spot-check the anchor points of Table I.
+    let tp = |nodes: usize, wpn: usize, files: usize| {
+        files as f64 * TILES_PER_FILE / mean_time(nodes, wpn, files)
+    };
+    let anchors = [
+        (1, 1, 128, 10.52),
+        (1, 8, 128, 36.59),
+        (1, 64, 128, 37.34),
+        (2, 64, 128, 71.01),
+        (1, 8, 80, 36.05),
+        (10, 8, 80, 267.44),
+    ];
+    for (nodes, wpn, files, paper) in anchors {
+        let measured = tp(nodes, wpn, files);
+        let err = (measured - paper).abs() / paper;
+        assert!(
+            err < 0.20,
+            "{nodes} nodes × {wpn} workers: {measured:.1} vs paper {paper} ({:.0}% off)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn headline_12000_tiles_within_25_percent_of_44s() {
+    let t = mean_time(10, 8, 80);
+    assert!(
+        (t - 44.0).abs() / 44.0 < 0.25,
+        "12k tiles on 80 workers took {t:.1}s (paper: 44s)"
+    );
+}
+
+// ----------------------------------------------------------- download shape
+
+struct NetSt {
+    net: FlowNetwork<NetSt>,
+    report: Option<DownloadReport>,
+}
+
+impl HasNetwork for NetSt {
+    fn network(&mut self) -> &mut FlowNetwork<NetSt> {
+        &mut self.net
+    }
+}
+
+fn download(seed: u64, n_per_product: usize, workers: usize) -> DownloadReport {
+    let cat = Catalog::new(seed);
+    let date = CivilDate::new(2022, 1, 1).unwrap();
+    let files: Vec<(String, ByteSize)> = cat
+        .batch(Platform::Terra, date, n_per_product)
+        .into_iter()
+        .map(|e| (e.file_name, e.size))
+        .collect();
+    let mut net = FlowNetwork::new(seed, FaultPlan::none());
+    net.add_endpoint(Endpoint::laads());
+    net.add_endpoint(Endpoint::ace_defiant());
+    let mut sim = Simulation::new(NetSt { net, report: None });
+    DownloadPool::run(&mut sim, "laads", "ace-defiant", files, workers, 3, |sim, r| {
+        sim.state_mut().report = Some(r)
+    });
+    sim.run();
+    sim.into_state().report.expect("download ran")
+}
+
+#[test]
+fn fig3_shape_six_workers_gain_a_few_mb_per_s_on_average() {
+    // The paper: "Increasing the number of download workers boosts the
+    // average download speeds by an average of 3 MB/sec, except when
+    // downloading a single file".
+    let speed = |n: usize, w: usize| download(2022, n, w).aggregate_speed().as_mb_per_sec();
+    let sizes = [2usize, 4, 8, 16, 32, 64];
+    let mean_gain: f64 = sizes
+        .iter()
+        .map(|&n| speed(n, 6) - speed(n, 3))
+        .sum::<f64>()
+        / sizes.len() as f64;
+    assert!(
+        (1.0..7.0).contains(&mean_gain),
+        "mean multi-file gain {mean_gain:.1} MB/s (paper: ≈3)"
+    );
+    // Single file per product: 3 workers already cover all 3 files, so
+    // extra workers change nothing.
+    let gain_small = speed(1, 6) - speed(1, 3);
+    assert!(
+        gain_small.abs() < 0.8,
+        "single-file gain should vanish, got {gain_small:.2} MB/s"
+    );
+}
+
+#[test]
+fn fig3_shape_small_files_are_overhead_dominated() {
+    // The per-request overhead amortizes over file size, so small MOD03
+    // files see lower effective speeds than large MOD02 files — Fig. 3's
+    // rising curve over product size.
+    let r = download(2022, 16, 3);
+    let mean_speed = |pred: &dyn Fn(u64) -> bool| {
+        let speeds: Vec<f64> = r
+            .files
+            .iter()
+            .filter(|f| pred(f.size.as_u64()))
+            .map(|f| f.speed().as_mb_per_sec())
+            .collect();
+        assert!(!speeds.is_empty());
+        speeds.iter().sum::<f64>() / speeds.len() as f64
+    };
+    let small = mean_speed(&|b| b < 40_000_000);
+    let large = mean_speed(&|b| b > 80_000_000);
+    assert!(
+        small < large * 0.85,
+        "small files {small:.2} MB/s should lag large files {large:.2} MB/s"
+    );
+}

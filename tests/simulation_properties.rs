@@ -1,0 +1,223 @@
+//! Property-based tests of the simulation substrates: the discrete-event
+//! engine's ordering guarantees, the flow network's conservation laws, and
+//! the cluster model's work conservation. These invariants are what make
+//! the figure reproductions trustworthy.
+
+use eoml::cluster::contention::ContentionModel;
+use eoml::cluster::exec::{submit_task, ClusterModel, HasCluster};
+use eoml::cluster::spec::ClusterSpec;
+use eoml::simtime::{SimTime, Simulation};
+use eoml::transfer::endpoint::Endpoint;
+use eoml::transfer::faults::FaultPlan;
+use eoml::transfer::flownet::{start_flow, FlowNetwork, HasNetwork};
+use eoml::util::units::{ByteSize, Rate};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+// ------------------------------------------------------------ simtime
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events always fire in nondecreasing time order, whatever order they
+    /// were scheduled in.
+    #[test]
+    fn events_fire_in_time_order(times in proptest::collection::vec(0u64..1_000_000, 1..60)) {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        for &t in &times {
+            sim.schedule_at(SimTime::from_nanos(t), move |s| {
+                let now = s.now().as_nanos();
+                s.state_mut().push(now);
+            });
+        }
+        sim.run();
+        let fired = sim.into_state();
+        prop_assert_eq!(fired.len(), times.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(fired, sorted);
+    }
+
+    /// `run_until(t)` executes exactly the events at or before `t`.
+    #[test]
+    fn run_until_partitions_events(
+        times in proptest::collection::vec(0u64..1000, 1..40),
+        cut in 0u64..1000,
+    ) {
+        let mut sim = Simulation::new(0usize);
+        for &t in &times {
+            sim.schedule_at(SimTime::from_nanos(t), |s| *s.state_mut() += 1);
+        }
+        sim.run_until(SimTime::from_nanos(cut));
+        let expected = times.iter().filter(|&&t| t <= cut).count();
+        prop_assert_eq!(*sim.state(), expected);
+        prop_assert!(sim.now() >= SimTime::from_nanos(cut));
+        sim.run();
+        prop_assert_eq!(*sim.state(), times.len());
+    }
+}
+
+// --------------------------------------------------------- flow network
+
+struct NetSt {
+    net: FlowNetwork<NetSt>,
+}
+
+impl HasNetwork for NetSt {
+    fn network(&mut self) -> &mut FlowNetwork<NetSt> {
+        &mut self.net
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every flow completes, completion times are consistent with link
+    /// capacity (never faster than the bottleneck allows), and the total
+    /// transferred equals the sum of sizes.
+    #[test]
+    fn flows_complete_and_respect_capacity(
+        sizes_mb in proptest::collection::vec(1u64..200, 1..12),
+        egress_mb in 5.0f64..100.0,
+        stream_mb in 1.0f64..50.0,
+    ) {
+        let mut net = FlowNetwork::new(1, FaultPlan::none());
+        net.add_endpoint(Endpoint::new(
+            "src",
+            Rate::mb_per_sec(egress_mb),
+            Rate::mb_per_sec(1e6),
+            Rate::mb_per_sec(stream_mb),
+            Duration::ZERO,
+        ));
+        net.add_endpoint(Endpoint::new(
+            "dst",
+            Rate::mb_per_sec(1e6),
+            Rate::mb_per_sec(1e6),
+            Rate::mb_per_sec(1e6),
+            Duration::ZERO,
+        ));
+        let mut sim = Simulation::new(NetSt { net });
+        let done: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+        for &mb in &sizes_mb {
+            let done = Rc::clone(&done);
+            start_flow(&mut sim, "src", "dst", ByteSize::mb(mb), move |sim, out| {
+                assert!(out.is_success());
+                done.borrow_mut().push(sim.now().as_secs_f64());
+            });
+        }
+        sim.run();
+        let done = done.borrow();
+        prop_assert_eq!(done.len(), sizes_mb.len());
+        let total_mb: u64 = sizes_mb.iter().sum();
+        let makespan = done.iter().cloned().fold(0.0, f64::max);
+        // Aggregate bound: cannot beat the egress link.
+        prop_assert!(
+            makespan + 1e-6 >= total_mb as f64 / egress_mb,
+            "makespan {makespan} beats egress bound"
+        );
+        // Per-flow bound: no flow beats its own stream cap.
+        let min_size = *sizes_mb.iter().min().unwrap() as f64;
+        let earliest = done.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(earliest + 1e-6 >= min_size / stream_mb.min(egress_mb));
+    }
+
+    /// Work-conserving: with a single unconstrained-per-flow link, the
+    /// makespan equals total bytes / egress exactly (fluid model).
+    #[test]
+    fn saturated_link_is_work_conserving(
+        sizes_mb in proptest::collection::vec(10u64..100, 2..10),
+    ) {
+        let egress = 25.0;
+        let mut net = FlowNetwork::new(2, FaultPlan::none());
+        net.add_endpoint(Endpoint::new(
+            "src",
+            Rate::mb_per_sec(egress),
+            Rate::mb_per_sec(1e6),
+            Rate::mb_per_sec(1e6),
+            Duration::ZERO,
+        ));
+        net.add_endpoint(Endpoint::new(
+            "dst",
+            Rate::mb_per_sec(1e6),
+            Rate::mb_per_sec(1e6),
+            Rate::mb_per_sec(1e6),
+            Duration::ZERO,
+        ));
+        let mut sim = Simulation::new(NetSt { net });
+        let last = Rc::new(RefCell::new(0.0f64));
+        for &mb in &sizes_mb {
+            let last = Rc::clone(&last);
+            start_flow(&mut sim, "src", "dst", ByteSize::mb(mb), move |sim, _| {
+                let t = sim.now().as_secs_f64();
+                let mut l = last.borrow_mut();
+                if t > *l {
+                    *l = t;
+                }
+            });
+        }
+        sim.run();
+        let expected = sizes_mb.iter().sum::<u64>() as f64 / egress;
+        let measured = *last.borrow();
+        prop_assert!(
+            (measured - expected).abs() / expected < 1e-6,
+            "makespan {measured} vs fluid bound {expected}"
+        );
+    }
+}
+
+// -------------------------------------------------------------- cluster
+
+struct ClSt {
+    cl: ClusterModel<ClSt>,
+}
+
+impl eoml::cluster::exec::HasCluster for ClSt {
+    fn cluster(&mut self) -> &mut ClusterModel<ClSt> {
+        &mut self.cl
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// All submitted tasks complete, occupancy returns to zero, and the
+    /// node never beats its modeled aggregate throughput.
+    #[test]
+    fn cluster_tasks_complete_within_model_bounds(
+        works in proptest::collection::vec(10.0f64..300.0, 1..12),
+    ) {
+        let model = ContentionModel {
+            work_cv: 0.0,
+            ..ContentionModel::defiant()
+        };
+        let mut spec = ClusterSpec::defiant();
+        spec.nodes = 1;
+        let mut sim = Simulation::new(ClSt {
+            cl: ClusterModel::new(spec, model, 3),
+        });
+        let done = Rc::new(RefCell::new(0usize));
+        for &w in &works {
+            let done = Rc::clone(&done);
+            submit_task(&mut sim, 0, w, move |_| {
+                *done.borrow_mut() += 1;
+            });
+        }
+        sim.run();
+        prop_assert_eq!(*done.borrow(), works.len());
+        let total: f64 = works.iter().sum();
+        let elapsed = sim.now().as_secs_f64();
+        // Can't beat the peak node throughput at this concurrency.
+        let peak = model.node_throughput(works.len());
+        prop_assert!(
+            total / elapsed <= peak * (1.0 + 1e-9),
+            "throughput {} exceeds model peak {peak}",
+            total / elapsed
+        );
+        prop_assert_eq!(sim.state_mut().cluster().active_workers(), 0);
+    }
+}
