@@ -80,15 +80,20 @@ fn download_batch(seed: u64, n_per_product: usize, workers: usize) -> (DownloadR
     let date = CivilDate::new(2022, 1, 1).expect("date");
     let batch = cat.batch(Platform::Terra, date, n_per_product);
     let total = eoml_modis::catalog::total_size(&batch);
-    let files: Vec<(String, ByteSize)> =
-        batch.into_iter().map(|e| (e.file_name, e.size)).collect();
+    let files: Vec<(String, ByteSize)> = batch.into_iter().map(|e| (e.file_name, e.size)).collect();
     let mut net = FlowNetwork::new(seed, FaultPlan::none());
     net.add_endpoint(Endpoint::laads());
     net.add_endpoint(Endpoint::ace_defiant());
     let mut sim = Simulation::new(NetSt { net, report: None });
-    DownloadPool::run(&mut sim, "laads", "ace-defiant", files, workers, 3, |sim, r| {
-        sim.state_mut().report = Some(r)
-    });
+    DownloadPool::run(
+        &mut sim,
+        "laads",
+        "ace-defiant",
+        files,
+        workers,
+        3,
+        |sim, r| sim.state_mut().report = Some(r),
+    );
     sim.run();
     (sim.into_state().report.expect("download ran"), total)
 }
@@ -120,7 +125,12 @@ fn fig3_download_speed() {
             let s = Summary::from_samples(speeds);
             cells.push(format!("{:>8.2} ± {:<5.2}", s.mean(), s.std_dev()));
         }
-        println!("{n:>8} {:>11} | {} | {}", batch.to_string(), cells[0], cells[1]);
+        println!(
+            "{n:>8} {:>11} | {} | {}",
+            batch.to_string(),
+            cells[0],
+            cells[1]
+        );
     }
     println!("(paper: ≈3 MB/s mean gain with 6 workers, except for single-file batches)");
 }
@@ -212,7 +222,9 @@ fn fig4b_strong_scaling_nodes() {
         "{:>6} | {:>20} | {:>13}",
         "nodes", "completion s (±std)", "paper tiles/s"
     );
-    let paper = [36.05, 73.25, 98.73, 135.42, 177.69, 192.32, 196.70, 216.80, 264.13, 267.44];
+    let paper = [
+        36.05, 73.25, 98.73, 135.42, 177.69, 192.32, 196.70, 216.80, 264.13, 267.44,
+    ];
     for n in 1..=10usize {
         let (t, _) = sweep_point(n, 8, 80);
         println!(
@@ -247,12 +259,21 @@ fn fig5a_weak_scaling_workers() {
 
 /// Fig. 5b: weak scaling over nodes (8 workers/node, 2 files/worker).
 fn fig5b_weak_scaling_nodes() {
-    println!("\n--- Fig. 5b: weak scaling, completion time vs nodes (8 w/node, 2 files/worker) ---");
-    println!("{:>6} {:>7} | {:>20}", "nodes", "files", "completion s (±std)");
+    println!(
+        "\n--- Fig. 5b: weak scaling, completion time vs nodes (8 w/node, 2 files/worker) ---"
+    );
+    println!(
+        "{:>6} {:>7} | {:>20}",
+        "nodes", "files", "completion s (±std)"
+    );
     for n in 1..=10usize {
         let files = 2 * 8 * n;
         let (t, _) = sweep_point(n, 8, files);
-        println!("{n:>6} {files:>7} | {:>12.1} ± {:<5.1}", t.mean(), t.std_dev());
+        println!(
+            "{n:>6} {files:>7} | {:>12.1} ± {:<5.1}",
+            t.mean(),
+            t.std_dev()
+        );
     }
     println!("(near-flat completion time = near-perfect weak scaling across nodes)");
 }
@@ -268,7 +289,9 @@ fn table1_throughput() {
         "# workers", "tile/s", "paper", "# nodes", "tile/s", "paper"
     );
     let paper_w = [10.52, 18.10, 25.01, 36.59, 38.74, 37.95, 37.34, 71.01];
-    let paper_n = [36.05, 73.25, 98.73, 135.42, 177.69, 192.32, 196.70, 216.80, 264.13, 267.44];
+    let paper_n = [
+        36.05, 73.25, 98.73, 135.42, 177.69, 192.32, 196.70, 216.80, 264.13, 267.44,
+    ];
     let workers = [1usize, 2, 4, 8, 16, 32, 64, 128];
     for i in 0..10 {
         let left = if i < workers.len() {
@@ -279,7 +302,12 @@ fn table1_throughput() {
             format!("{:>9} {:>10} {:>8}", "-", "-", "-")
         };
         let (_, tp) = sweep_point(i + 1, 8, 80);
-        println!("{left} || {:>7} {:>10.2} {:>8.2}", i + 1, tp.mean(), paper_n[i]);
+        println!(
+            "{left} || {:>7} {:>10.2} {:>8.2}",
+            i + 1,
+            tp.mean(),
+            paper_n[i]
+        );
     }
     println!("\nWeak scaling");
     println!(
@@ -287,7 +315,9 @@ fn table1_throughput() {
         "# workers", "tile/s", "paper", "# nodes", "tile/s", "paper"
     );
     let paper_w = [21.32, 25.87, 27.23, 27.48, 32.73, 31.09, 35.36, 67.69];
-    let paper_n = [32.82, 69.34, 100.36, 126.62, 165.12, 175.61, 196.81, 188.88, 197.26, 271.68];
+    let paper_n = [
+        32.82, 69.34, 100.36, 126.62, 165.12, 175.61, 196.81, 188.88, 197.26, 271.68,
+    ];
     for i in 0..10 {
         let left = if i < workers.len() {
             let (nodes, wpn) = worker_placement(workers[i]);
@@ -297,7 +327,12 @@ fn table1_throughput() {
             format!("{:>9} {:>10} {:>8}", "-", "-", "-")
         };
         let (_, tp) = sweep_point(i + 1, 8, 16 * (i + 1));
-        println!("{left} || {:>7} {:>10.2} {:>8.2}", i + 1, tp.mean(), paper_n[i]);
+        println!(
+            "{left} || {:>7} {:>10.2} {:>8.2}",
+            i + 1,
+            tp.mean(),
+            paper_n[i]
+        );
     }
 }
 
@@ -314,7 +349,10 @@ fn fig6_timeline() {
         ..CampaignParams::paper_demo()
     });
     let t_end = SimTime::from_secs_f64(report.makespan_s);
-    println!("{:>8} {:>10} {:>12} {:>11}", "t (s)", "download", "preprocess", "inference");
+    println!(
+        "{:>8} {:>10} {:>12} {:>11}",
+        "t (s)", "download", "preprocess", "inference"
+    );
     const SAMPLES: usize = 24;
     let dl = report
         .telemetry

@@ -51,7 +51,10 @@ fn bench_tile_extraction(c: &mut Criterion) {
     g.sample_size(10);
     for threads in [1usize, 2] {
         g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .unwrap();
             b.iter(|| pool.install(|| black_box(extract_tiles(&swath, &crit)).len()));
         });
     }
@@ -105,7 +108,9 @@ fn bench_contention_ablation(c: &mut Criterion) {
         ..ContentionModel::defiant()
     });
     let ideal = completion(ContentionModel::ideal(10.52));
-    println!("[ablation] 64 files / 32 workers / 1 node: contention {real:.1}s vs ideal {ideal:.1}s");
+    println!(
+        "[ablation] 64 files / 32 workers / 1 node: contention {real:.1}s vs ideal {ideal:.1}s"
+    );
     let mut g = c.benchmark_group("contention_ablation");
     g.sample_size(10);
     g.bench_function("defiant_model", |b| {
@@ -155,7 +160,10 @@ fn bench_transfer_streams(c: &mut Criterion) {
         sim.into_state().done.expect("ran")
     }
     for s in [1usize, 2, 4, 8] {
-        println!("[ablation] shipment with {s} parallel streams: {:.2}s (virtual)", ship(s));
+        println!(
+            "[ablation] shipment with {s} parallel streams: {:.2}s (virtual)",
+            ship(s)
+        );
     }
     let mut g = c.benchmark_group("transfer_streams");
     g.sample_size(10);
@@ -248,8 +256,7 @@ fn naive_ward(points: &[Vec<f32>], k: usize) -> Vec<usize> {
                 let Some(mj) = &members[j] else { continue };
                 let cj = centroid(mj);
                 let d2: f64 = ci.iter().zip(&cj).map(|(a, b)| (a - b) * (a - b)).sum();
-                let ward =
-                    (mi.len() * mj.len()) as f64 / (mi.len() + mj.len()) as f64 * d2;
+                let ward = (mi.len() * mj.len()) as f64 / (mi.len() + mj.len()) as f64 * d2;
                 if ward < best.2 {
                     best = (i, j, ward);
                 }

@@ -406,10 +406,7 @@ mod tests {
         let model = no_jitter();
         let mut s = sim(1, model);
         let remaining = Rc::new(RefCell::new(64usize));
-        fn launch(
-            sim: &mut Simulation<St>,
-            remaining: &Rc<RefCell<usize>>,
-        ) {
+        fn launch(sim: &mut Simulation<St>, remaining: &Rc<RefCell<usize>>) {
             if *remaining.borrow() == 0 {
                 return;
             }

@@ -184,9 +184,8 @@ fn worker_loop(rx: Receiver<Job>, registry: Arc<FunctionRegistry>) {
         match job {
             Job::Shutdown => break,
             Job::Run { func, args, handle } => {
-                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    registry.invoke(func, args)
-                }));
+                let outcome =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| registry.invoke(func, args)));
                 let result = match outcome {
                     Ok(Ok(v)) => TaskResult::Success(v),
                     Ok(Err(e)) => TaskResult::Failed(e),

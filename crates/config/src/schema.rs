@@ -350,14 +350,27 @@ impl WorkflowConfig {
                 let nodes = get_usize(p, "nodes", "preprocess.nodes", 1)?;
                 let wpn = get_usize(p, "workers_per_node", "preprocess.workers_per_node", 8)?;
                 if nodes == 0 || wpn == 0 {
-                    return Err(invalid("preprocess", "nodes and workers_per_node must be ≥ 1"));
+                    return Err(invalid(
+                        "preprocess",
+                        "nodes and workers_per_node must be ≥ 1",
+                    ));
                 }
                 let tile_size = get_usize(p, "tile_size", "preprocess.tile_size", 128)?;
                 if tile_size == 0 || tile_size > 1354 {
                     return Err(invalid("preprocess.tile_size", "must be 1–1354"));
                 }
-                let ocean = get_f64(p, "min_ocean_fraction", "preprocess.min_ocean_fraction", 1.0)?;
-                let cloud = get_f64(p, "min_cloud_fraction", "preprocess.min_cloud_fraction", 0.3)?;
+                let ocean = get_f64(
+                    p,
+                    "min_ocean_fraction",
+                    "preprocess.min_ocean_fraction",
+                    1.0,
+                )?;
+                let cloud = get_f64(
+                    p,
+                    "min_cloud_fraction",
+                    "preprocess.min_cloud_fraction",
+                    0.3,
+                )?;
                 for (v, field) in [
                     (ocean, "preprocess.min_ocean_fraction"),
                     (cloud, "preprocess.min_cloud_fraction"),
@@ -542,13 +555,31 @@ shipment:
     #[test]
     fn unknown_platform_rejected() {
         let e = WorkflowConfig::from_yaml_str("platform: Sentinel\n").unwrap_err();
-        assert!(matches!(e, ConfigError::Invalid { field: "platform", .. }), "{e}");
+        assert!(
+            matches!(
+                e,
+                ConfigError::Invalid {
+                    field: "platform",
+                    ..
+                }
+            ),
+            "{e}"
+        );
     }
 
     #[test]
     fn unknown_product_rejected() {
         let e = WorkflowConfig::from_yaml_str("products: [MOD35]\n").unwrap_err();
-        assert!(matches!(e, ConfigError::Invalid { field: "products", .. }), "{e}");
+        assert!(
+            matches!(
+                e,
+                ConfigError::Invalid {
+                    field: "products",
+                    ..
+                }
+            ),
+            "{e}"
+        );
     }
 
     #[test]
@@ -557,7 +588,13 @@ shipment:
             let src = format!("time_span:\n  start: {bad}\n  days: 1\n");
             let e = WorkflowConfig::from_yaml_str(&src).unwrap_err();
             assert!(
-                matches!(e, ConfigError::Invalid { field: "time_span.start", .. }),
+                matches!(
+                    e,
+                    ConfigError::Invalid {
+                        field: "time_span.start",
+                        ..
+                    }
+                ),
                 "{bad}: {e}"
             );
         }
@@ -567,14 +604,16 @@ shipment:
     fn zero_resources_rejected() {
         assert!(WorkflowConfig::from_yaml_str("download:\n  workers: 0\n").is_err());
         assert!(WorkflowConfig::from_yaml_str("preprocess:\n  nodes: 0\n").is_err());
-        assert!(WorkflowConfig::from_yaml_str("time_span:\n  start: 2022-01-01\n  days: 0\n").is_err());
+        assert!(
+            WorkflowConfig::from_yaml_str("time_span:\n  start: 2022-01-01\n  days: 0\n").is_err()
+        );
         assert!(WorkflowConfig::from_yaml_str("inference:\n  batch_size: 0\n").is_err());
     }
 
     #[test]
     fn fraction_bounds_enforced() {
-        let e = WorkflowConfig::from_yaml_str("preprocess:\n  min_cloud_fraction: 1.5\n")
-            .unwrap_err();
+        let e =
+            WorkflowConfig::from_yaml_str("preprocess:\n  min_cloud_fraction: 1.5\n").unwrap_err();
         assert!(matches!(e, ConfigError::Invalid { .. }), "{e}");
     }
 

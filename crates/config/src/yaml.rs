@@ -139,9 +139,10 @@ fn strip_comment(s: &str) -> &str {
             b'"' if !in_single => in_double = !in_double,
             b'#' if !in_single && !in_double
                 // YAML requires a space (or line start) before '#'.
-                && (i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'\t') => {
-                    return s[..i].trim_end();
-                }
+                && (i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'\t') =>
+            {
+                return s[..i].trim_end();
+            }
             _ => {}
         }
     }
@@ -193,7 +194,10 @@ pub fn parse(src: &str) -> Result<YamlValue, YamlError> {
 fn parse_block(lines: &[Line<'_>], pos: &mut usize, indent: usize) -> Result<YamlValue, YamlError> {
     let first = &lines[*pos];
     if first.indent != indent {
-        return err(first.no, format!("expected indentation {indent}, found {}", first.indent));
+        return err(
+            first.no,
+            format!("expected indentation {indent}, found {}", first.indent),
+        );
     }
     if first.content.starts_with("- ") || first.content == "-" {
         parse_sequence(lines, pos, indent)
@@ -329,10 +333,9 @@ fn split_on_colon(s: &str) -> Option<(&str, &str)> {
         match bytes[i] {
             b'\'' if !in_double => in_single = !in_single,
             b'"' if !in_single => in_double = !in_double,
-            b':' if !in_single && !in_double
-                && (i + 1 == bytes.len() || bytes[i + 1] == b' ') => {
-                    return Some((&s[..i], &s[i + 1..]));
-                }
+            b':' if !in_single && !in_double && (i + 1 == bytes.len() || bytes[i + 1] == b' ') => {
+                return Some((&s[..i], &s[i + 1..]));
+            }
             _ => {}
         }
     }
@@ -445,12 +448,10 @@ fn split_flow_items(inner: &str, line: usize) -> Result<Vec<&str>, YamlError> {
             b'"' if !in_single => in_double = !in_double,
             b'[' if !in_single && !in_double => depth += 1,
             b']' if !in_single && !in_double => {
-                depth = depth
-                    .checked_sub(1)
-                    .ok_or_else(|| YamlError {
-                        line,
-                        message: "unbalanced brackets".into(),
-                    })?;
+                depth = depth.checked_sub(1).ok_or_else(|| YamlError {
+                    line,
+                    message: "unbalanced brackets".into(),
+                })?;
             }
             b',' if !in_single && !in_double && depth == 0 => {
                 items.push(inner[start..i].trim());
@@ -512,8 +513,8 @@ mod tests {
 
     #[test]
     fn flow_sequences() {
-        let doc = parse("bands: [6, 7, 20, 28, 29, 31]\nnames: [a, 'b c', \"d\"]\nempty: []\n")
-            .unwrap();
+        let doc =
+            parse("bands: [6, 7, 20, 28, 29, 31]\nnames: [a, 'b c', \"d\"]\nempty: []\n").unwrap();
         let bands = doc.get("bands").unwrap().as_seq().unwrap();
         assert_eq!(bands.len(), 6);
         assert_eq!(bands[3].as_i64(), Some(28));
@@ -567,16 +568,31 @@ mod tests {
 
     #[test]
     fn unsupported_constructs_rejected() {
-        assert!(parse("a: {b: 1}\n").unwrap_err().message.contains("flow mappings"));
-        assert!(parse("a: &anchor 1\n").unwrap_err().message.contains("anchors"));
-        assert!(parse("a: |\n  text\n").unwrap_err().message.contains("block scalars"));
-        assert!(parse("a: [1, 2\n").unwrap_err().message.contains("unterminated"));
+        assert!(parse("a: {b: 1}\n")
+            .unwrap_err()
+            .message
+            .contains("flow mappings"));
+        assert!(parse("a: &anchor 1\n")
+            .unwrap_err()
+            .message
+            .contains("anchors"));
+        assert!(parse("a: |\n  text\n")
+            .unwrap_err()
+            .message
+            .contains("block scalars"));
+        assert!(parse("a: [1, 2\n")
+            .unwrap_err()
+            .message
+            .contains("unterminated"));
     }
 
     #[test]
     fn values_with_colons_in_strings() {
         let doc = parse("path: /lustre/orion:data\nurl: 'https://laads.gov:443/x'\n").unwrap();
-        assert_eq!(doc.get("path").unwrap().as_str(), Some("/lustre/orion:data"));
+        assert_eq!(
+            doc.get("path").unwrap().as_str(),
+            Some("/lustre/orion:data")
+        );
         assert_eq!(
             doc.get("url").unwrap().as_str(),
             Some("https://laads.gov:443/x")

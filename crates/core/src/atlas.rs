@@ -83,11 +83,7 @@ impl ClassStats {
         if self.count == 0 {
             return None;
         }
-        let (band, _) = self
-            .lat_hist
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, c)| *c)?;
+        let (band, _) = self.lat_hist.iter().enumerate().max_by_key(|&(_, c)| *c)?;
         Some(-90.0 + 10.0 * band as f64 + 5.0)
     }
 }
@@ -121,11 +117,7 @@ impl Atlas {
     /// rejected.
     pub fn add_tiles(&mut self, tiles: &[Tile], labels: &[i32]) -> Result<(), String> {
         if tiles.len() != labels.len() {
-            return Err(format!(
-                "{} tiles but {} labels",
-                tiles.len(),
-                labels.len()
-            ));
+            return Err(format!("{} tiles but {} labels", tiles.len(), labels.len()));
         }
         for (t, &l) in tiles.iter().zip(labels) {
             if l < 0 || l as usize >= self.classes.len() {

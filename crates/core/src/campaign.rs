@@ -12,20 +12,34 @@ use crate::world::World;
 use eoml_cluster::exec::submit_task;
 use eoml_cluster::slurm::request_block;
 use eoml_config::WorkflowConfig;
+use eoml_journal::{CampaignState, Journal, JournalError, JournalEvent, Storage};
 use eoml_modis::catalog::Catalog;
 use eoml_modis::granule::GranuleId;
 use eoml_modis::product::{Platform, ProductKind};
 use eoml_simtime::{SimTime, Simulation};
 use eoml_transfer::faults::FaultPlan;
-use eoml_transfer::pool::{DownloadPool, DownloadReport};
-use eoml_transfer::service::{submit_transfer, TransferOptions, TransferReport};
+use eoml_transfer::pool::{DownloadPool, DownloadReport, FileTiming};
+use eoml_transfer::service::{submit_transfer, TransferOptions, TransferReport, TransferTaskId};
 use eoml_util::rng::{Rng64, SplitMix64, Xoshiro256};
 use eoml_util::timebase::CivilDate;
 use eoml_util::units::ByteSize;
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 use std::time::Duration;
+
+/// Object-safe journal handle the campaign driver appends through; lets the
+/// driver stay non-generic over the journal's [`Storage`] backend.
+pub trait JournalSink {
+    /// Append one event durably.
+    fn append(&mut self, event: JournalEvent) -> Result<(), JournalError>;
+}
+
+impl<S: Storage> JournalSink for Journal<S> {
+    fn append(&mut self, event: JournalEvent) -> Result<(), JournalError> {
+        Journal::append(self, event)
+    }
+}
 
 /// Everything a campaign needs to run (derived from the user's YAML
 /// [`WorkflowConfig`] or built directly for experiments).
@@ -135,6 +149,19 @@ impl StageReport {
     pub fn seconds(&self) -> f64 {
         (self.finished - self.started).as_secs_f64()
     }
+
+    /// Export the stage summary as JSON (same conventions as
+    /// [`Telemetry::to_json`]).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "name": self.name,
+            "started_s": self.started.as_secs_f64(),
+            "finished_s": self.finished.as_secs_f64(),
+            "seconds": self.seconds(),
+            "items": self.items,
+            "bytes": self.bytes.as_u64(),
+        })
+    }
 }
 
 /// Full campaign result.
@@ -197,6 +224,32 @@ impl CampaignReport {
         let _ = writeln!(out, "makespan              : {:.1}s", self.makespan_s);
         out
     }
+
+    /// Export the campaign result as JSON for external plotting/telemetry
+    /// tooling (same conventions as [`Telemetry::to_json`]).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "stages": self.stages.iter().map(StageReport::to_json).collect::<Vec<_>>(),
+            "granules": self.granules,
+            "tile_files": self.tile_files,
+            "total_tiles": self.total_tiles,
+            "labeled_files": self.labeled_files,
+            "download": {
+                "files": self.download.files.len(),
+                "failed": self.download.failed.len(),
+                "bytes": self.download.bytes.as_u64(),
+                "retries": self.download.retries,
+            },
+            "shipment": {
+                "files_ok": self.shipment.files_ok,
+                "files_failed": self.shipment.files_failed,
+                "bytes": self.shipment.bytes.as_u64(),
+                "retries": self.shipment.retries,
+            },
+            "makespan_s": self.makespan_s,
+            "telemetry": self.telemetry.to_json(),
+        })
+    }
 }
 
 /// Expected selected tiles for a granule (0 for night granules, which have
@@ -223,8 +276,10 @@ struct Progress {
     preprocess_started: SimTime,
     granules_done: usize,
     granules_total: usize,
-    tile_files: usize,
-    total_tiles: f64,
+    /// Selected tiles per completed day granule. Totals are summed in key
+    /// order, so an interrupted-and-resumed campaign reproduces the exact
+    /// f64 totals of an uninterrupted one regardless of completion order.
+    day_tiles: BTreeMap<GranuleId, f64>,
     preprocess_done: bool,
     block_nodes: Vec<usize>,
     // inference
@@ -233,12 +288,114 @@ struct Progress {
     labeled: Vec<(String, ByteSize)>,
     // control
     shipped: bool,
+    // journaling (None → plain in-memory campaign, identical to the
+    // original behaviour)
+    journal: Option<Rc<RefCell<dyn JournalSink>>>,
+    resume: CampaignState,
+    halted: bool,
+}
+
+impl Progress {
+    fn tile_files(&self) -> usize {
+        self.day_tiles.len()
+    }
+
+    fn total_tiles(&self) -> f64 {
+        self.day_tiles.values().sum()
+    }
 }
 
 type P = Rc<RefCell<Progress>>;
 
+/// Append `event` to the campaign's journal, if any. Returns `false` when
+/// the journal refused the append (crash point reached): the campaign must
+/// stop scheduling work — the event, and everything after it, is not durable.
+fn journal_record(progress: &P, event: JournalEvent) -> bool {
+    let sink = progress.borrow().journal.clone();
+    match sink {
+        None => true,
+        Some(journal) => {
+            if journal.borrow_mut().append(event).is_ok() {
+                true
+            } else {
+                progress.borrow_mut().halted = true;
+                false
+            }
+        }
+    }
+}
+
+fn is_halted(progress: &P) -> bool {
+    progress.borrow().halted
+}
+
+/// Journal a `StageStarted` event unless the resume state already has it.
+/// Returns `false` when the append hit the crash point.
+fn journal_started(progress: &P, stage: &str) -> bool {
+    if progress.borrow().resume.stages_started.contains(stage) {
+        return true;
+    }
+    journal_record(
+        progress,
+        JournalEvent::StageStarted {
+            stage: stage.into(),
+        },
+    )
+}
+
+/// The durable completion key for a granule's preprocessing: day granules
+/// produce a tile file, night granules only a scan record.
+pub(crate) fn preprocess_key(granule: GranuleId, tiles: f64) -> String {
+    if tiles > 0.0 {
+        format!("tiles-{granule}.nc")
+    } else {
+        format!("scan-{granule}")
+    }
+}
+
 /// Run a full five-stage campaign in virtual time.
 pub fn run_campaign(params: CampaignParams) -> CampaignReport {
+    run_inner(params, None, CampaignState::default()).expect("journal-free campaign cannot crash")
+}
+
+/// Run a campaign against a write-ahead `journal`, resuming any work the
+/// journal already records as complete. Journaled-complete downloads, tile
+/// files, labels, and shipments are replayed into the report without being
+/// re-executed; per-stage item/byte/tile totals come out identical to an
+/// uninterrupted run.
+///
+/// Returns [`JournalError::Crashed`] when the journal's injected kill point
+/// fires mid-campaign (see [`Journal::crash_after`]); reopening the journal
+/// over the same storage and calling this again resumes from the durable
+/// prefix.
+pub fn run_campaign_resumable<S: Storage + 'static>(
+    params: CampaignParams,
+    journal: Journal<S>,
+) -> Result<CampaignReport, JournalError> {
+    let resume = journal.state().clone();
+    if let Some(seed) = resume.seed {
+        if seed != params.seed {
+            return Err(JournalError::Io(format!(
+                "journal belongs to seed {seed}, campaign params use seed {}",
+                params.seed
+            )));
+        }
+    }
+    let sink: Rc<RefCell<dyn JournalSink>> = Rc::new(RefCell::new(journal));
+    if resume.seed.is_none() {
+        sink.borrow_mut().append(JournalEvent::CampaignStarted {
+            seed: params.seed,
+            label: "batch-campaign".into(),
+        })?;
+    }
+    run_inner(params, Some(sink), resume)
+}
+
+fn run_inner(
+    params: CampaignParams,
+    journal: Option<Rc<RefCell<dyn JournalSink>>>,
+    resume: CampaignState,
+) -> Result<CampaignReport, JournalError> {
     assert!(params.files_per_day >= 1 && params.files_per_day <= 288);
     assert!(params.nodes >= 1 && params.workers_per_node >= 1);
     let world = World::new(params.seed, params.faults);
@@ -255,14 +412,16 @@ pub fn run_campaign(params: CampaignParams) -> CampaignReport {
         preprocess_started: SimTime::ZERO,
         granules_done: 0,
         granules_total: 0,
-        tile_files: 0,
-        total_tiles: 0.0,
+        day_tiles: BTreeMap::new(),
         preprocess_done: false,
         block_nodes: Vec::new(),
         inference_queue: VecDeque::new(),
         inference_active: 0,
         labeled: Vec::new(),
         shipped: false,
+        journal,
+        resume,
+        halted: false,
     }));
 
     stage_download(&mut sim, &progress);
@@ -272,23 +431,28 @@ pub fn run_campaign(params: CampaignParams) -> CampaignReport {
     let p = Rc::try_unwrap(progress)
         .unwrap_or_else(|_| panic!("campaign closures leaked"))
         .into_inner();
+    if p.halted {
+        return Err(JournalError::Crashed);
+    }
     let makespan_s = p
         .stages
         .iter()
         .map(|s| s.finished.as_secs_f64())
         .fold(0.0, f64::max);
-    CampaignReport {
+    let tile_files = p.tile_files();
+    let total_tiles = p.total_tiles();
+    Ok(CampaignReport {
         provenance: world.provenance,
         labeled_files: p.labeled.len(),
         download: p.download.expect("download stage ran"),
         shipment: p.shipment.expect("shipment stage ran"),
         granules: p.granules_done,
-        tile_files: p.tile_files,
-        total_tiles: p.total_tiles,
+        tile_files,
+        total_tiles,
         stages: p.stages,
         telemetry: world.telemetry,
         makespan_s,
-    }
+    })
 }
 
 // --------------------------------------------------------- stage 1: download
@@ -301,6 +465,9 @@ fn stage_download(sim: &mut Simulation<World>, progress: &P) {
         .span("download", "launch", t0, t0 + launch);
     let progress = Rc::clone(progress);
     sim.schedule_in(launch, move |sim| {
+        if is_halted(&progress) {
+            return;
+        }
         let (files, workers) = {
             let p = progress.borrow();
             let cat = Catalog::new(p.params.seed);
@@ -317,59 +484,168 @@ fn stage_download(sim: &mut Simulation<World>, progress: &P) {
             }
             (files, p.params.download_workers)
         };
+        let stage_was_started = progress.borrow().resume.stages_started.contains("download");
+        if !stage_was_started
+            && !journal_record(
+                &progress,
+                JournalEvent::StageStarted {
+                    stage: "download".into(),
+                },
+            )
+        {
+            return;
+        }
         let started = sim.now();
+        // Files the journal already records as delivered: replayed into the
+        // report (zero virtual transfer time), never re-downloaded.
+        let replayed: Vec<FileTiming> = {
+            let p = progress.borrow();
+            files
+                .iter()
+                .filter_map(|(name, _)| {
+                    p.resume.downloaded.get(name).map(|&bytes| FileTiming {
+                        name: name.clone(),
+                        size: ByteSize::bytes(bytes),
+                        started,
+                        finished: started,
+                        attempts: 1,
+                    })
+                })
+                .collect()
+        };
+        if progress.borrow().resume.stage_done("download") {
+            let bytes = replayed.iter().map(|f| f.size).sum();
+            let report = DownloadReport {
+                files: replayed,
+                failed: Vec::new(),
+                bytes,
+                started,
+                finished: started,
+                activity: vec![(started, 0)],
+                retries: 0,
+            };
+            finish_download(sim, &progress, started, report);
+            return;
+        }
+        let pending: Vec<(String, ByteSize)> = {
+            let p = progress.borrow();
+            files
+                .into_iter()
+                .filter(|(name, _)| !p.resume.is_downloaded(name))
+                .collect()
+        };
+        let hook_progress = Rc::clone(&progress);
         let progress2 = Rc::clone(&progress);
-        DownloadPool::run(
+        DownloadPool::run_with_hook(
             sim,
             "laads",
             "ace-defiant",
-            files,
+            pending,
             workers,
             3,
-            move |sim, report| {
-                let now = sim.now();
-                {
-                    let tel = &mut sim.state_mut().telemetry;
-                    tel.span("download", "transfer", started, now);
-                    tel.merge_activity("download", &report.activity);
+            move |_sim, timing: &FileTiming| {
+                if is_halted(&hook_progress) {
+                    return;
                 }
-                {
-                    let now_s = now.as_secs_f64();
-                    let prov = &mut sim.state_mut().provenance;
-                    for f in &report.files {
-                        let rec = prov.record(
-                            format!("defiant:{}", f.name),
-                            "download",
-                            vec![format!("laads:{}", f.name)],
-                            "download-pool",
-                            now_s,
-                        );
-                        rec.attrs.insert("bytes".into(), f.size.as_u64().to_string());
-                        rec.attrs.insert("attempts".into(), f.attempts.to_string());
-                    }
+                journal_record(
+                    &hook_progress,
+                    JournalEvent::FileDownloaded {
+                        file: timing.name.clone(),
+                        bytes: timing.size.as_u64(),
+                    },
+                );
+            },
+            move |sim, mut report| {
+                if is_halted(&progress2) {
+                    return;
                 }
-                {
-                    let mut p = progress2.borrow_mut();
-                    p.stages.push(StageReport {
-                        name: "download".into(),
-                        started: SimTime::ZERO,
-                        finished: now,
-                        items: report.files.len(),
-                        bytes: report.bytes,
-                    });
-                    p.download = Some(report);
+                if !journal_record(
+                    &progress2,
+                    JournalEvent::StageFinished {
+                        stage: "download".into(),
+                    },
+                ) {
+                    return;
                 }
-                stage_preprocess(sim, &progress2);
+                // Stage totals cover journal-replayed and fresh files alike.
+                let mut all = replayed;
+                all.extend(report.files);
+                report.files = all;
+                report.bytes = report.files.iter().map(|f| f.size).sum();
+                finish_download(sim, &progress2, started, report);
             },
         );
     });
 }
 
+fn finish_download(
+    sim: &mut Simulation<World>,
+    progress: &P,
+    started: SimTime,
+    report: DownloadReport,
+) {
+    let now = sim.now();
+    {
+        let tel = &mut sim.state_mut().telemetry;
+        tel.span("download", "transfer", started, now);
+        tel.merge_activity("download", &report.activity);
+    }
+    {
+        let now_s = now.as_secs_f64();
+        let prov = &mut sim.state_mut().provenance;
+        for f in &report.files {
+            let rec = prov.record(
+                format!("defiant:{}", f.name),
+                "download",
+                vec![format!("laads:{}", f.name)],
+                "download-pool",
+                now_s,
+            );
+            rec.attrs
+                .insert("bytes".into(), f.size.as_u64().to_string());
+            rec.attrs.insert("attempts".into(), f.attempts.to_string());
+        }
+    }
+    {
+        let mut p = progress.borrow_mut();
+        p.stages.push(StageReport {
+            name: "download".into(),
+            started: SimTime::ZERO,
+            finished: now,
+            items: report.files.len(),
+            bytes: report.bytes,
+        });
+        p.download = Some(report);
+    }
+    stage_preprocess(sim, progress);
+}
+
 // ------------------------------------------------------- stage 2: preprocess
 
 fn stage_preprocess(sim: &mut Simulation<World>, progress: &P) {
-    // Build the granule work list from the downloaded MOD02 files.
+    if is_halted(progress) {
+        return;
+    }
+    let stage_was_started = progress
+        .borrow()
+        .resume
+        .stages_started
+        .contains("preprocess");
+    if !stage_was_started
+        && !journal_record(
+            progress,
+            JournalEvent::StageStarted {
+                stage: "preprocess".into(),
+            },
+        )
     {
+        return;
+    }
+    // Build the granule work list from the downloaded MOD02 files, skipping
+    // granules the journal records as already preprocessed. Completed day
+    // granules either re-enter the monitor (labels still pending) or replay
+    // straight into the labeled set.
+    let announce = {
         let mut p = progress.borrow_mut();
         let seed = p.params.seed;
         let report = p.download.as_ref().expect("download done");
@@ -384,8 +660,32 @@ fn stage_preprocess(sim: &mut Simulation<World>, progress: &P) {
         }
         work.sort_by_key(|&(g, _)| g);
         p.granules_total = work.len();
-        p.work_queue = work.into();
+        let mut pending = Vec::new();
+        let mut announce = Vec::new();
+        for (granule, tiles) in work {
+            let key = preprocess_key(granule, tiles);
+            if !p.resume.has_tile_file(&key) {
+                pending.push((granule, tiles));
+                continue;
+            }
+            p.granules_done += 1;
+            if tiles > 0.0 {
+                p.day_tiles.insert(granule, tiles);
+                if let Some(&(_, bytes)) = p.resume.labeled.get(&key) {
+                    p.labeled.push((key, ByteSize::bytes(bytes)));
+                } else {
+                    // Tile file durable but labels are not: hand the file
+                    // back to the monitor so inference re-runs.
+                    announce.push(key);
+                }
+            }
+        }
+        p.work_queue = pending.into();
         p.preprocess_started = sim.now();
+        announce
+    };
+    for file in announce {
+        sim.state_mut().crawler.announce(file);
     }
     let alloc_start = sim.now();
     let nodes = progress.borrow().params.nodes;
@@ -400,9 +700,7 @@ fn stage_preprocess(sim: &mut Simulation<World>, progress: &P) {
                 .telemetry
                 .span("preprocess", "slurm_alloc", alloc_start, now);
             // Parsl interchange/worker start overhead.
-            let parsl = Duration::from_secs_f64(
-                sim.state_mut().rng.lognormal_mean_cv(1.6, 0.3),
-            );
+            let parsl = Duration::from_secs_f64(sim.state_mut().rng.lognormal_mean_cv(1.6, 0.3));
             sim.state_mut()
                 .telemetry
                 .span("preprocess", "parsl_start", now, now + parsl);
@@ -413,9 +711,12 @@ fn stage_preprocess(sim: &mut Simulation<World>, progress: &P) {
                 }
                 let wpn = progress3.borrow().params.workers_per_node;
                 let tile_start = sim.now();
-                sim.state_mut()
-                    .telemetry
-                    .span("preprocess", "tile_creation_start", tile_start, tile_start);
+                sim.state_mut().telemetry.span(
+                    "preprocess",
+                    "tile_creation_start",
+                    tile_start,
+                    tile_start,
+                );
                 // Fill every worker slot; start the monitor alongside.
                 for _ in 0..wpn {
                     for node_idx in 0..node_list.len() {
@@ -431,6 +732,9 @@ fn stage_preprocess(sim: &mut Simulation<World>, progress: &P) {
 }
 
 fn preprocess_pull(sim: &mut Simulation<World>, progress: &P, node_idx: usize) {
+    if is_halted(progress) {
+        return;
+    }
     let job = {
         let mut p = progress.borrow_mut();
         match p.work_queue.pop_front() {
@@ -455,6 +759,20 @@ fn preprocess_pull(sim: &mut Simulation<World>, progress: &P, node_idx: usize) {
     let progress2 = Rc::clone(progress);
     let tile_start = progress.borrow().preprocess_started;
     submit_task(sim, node, work, move |sim| {
+        if is_halted(&progress2) {
+            return;
+        }
+        // The completion record must be durable before the counters move:
+        // a crash between the two re-runs this granule, never loses it.
+        if !journal_record(
+            &progress2,
+            JournalEvent::TileFileWritten {
+                file: preprocess_key(granule, tiles),
+                tiles: tiles.round() as u64,
+            },
+        ) {
+            return;
+        }
         let now = sim.now();
         let produced = {
             let mut p = progress2.borrow_mut();
@@ -467,8 +785,7 @@ fn preprocess_pull(sim: &mut Simulation<World>, progress: &P, node_idx: usize) {
                 .activity_change("preprocess", now, active);
             let mut p = progress2.borrow_mut();
             if tiles > 0.0 {
-                p.tile_files += 1;
-                p.total_tiles += tiles;
+                p.day_tiles.insert(granule, tiles);
                 Some(format!("tiles-{granule}.nc"))
             } else {
                 None
@@ -494,6 +811,9 @@ fn preprocess_pull(sim: &mut Simulation<World>, progress: &P, node_idx: usize) {
 }
 
 fn maybe_finish_preprocess(sim: &mut Simulation<World>, progress: &P, _tile_start: SimTime) {
+    if is_halted(progress) {
+        return;
+    }
     let finished = {
         let mut p = progress.borrow_mut();
         if p.preprocess_done
@@ -508,10 +828,21 @@ fn maybe_finish_preprocess(sim: &mut Simulation<World>, progress: &P, _tile_star
         }
     };
     if finished {
+        let stage_was_done = progress.borrow().resume.stage_done("preprocess");
+        if !stage_was_done
+            && !journal_record(
+                progress,
+                JournalEvent::StageFinished {
+                    stage: "preprocess".into(),
+                },
+            )
+        {
+            return;
+        }
         let now = sim.now();
         let (started, items, tiles) = {
             let p = progress.borrow();
-            (p.preprocess_started, p.granules_done, p.total_tiles)
+            (p.preprocess_started, p.granules_done, p.total_tiles())
         };
         sim.state_mut()
             .telemetry
@@ -533,21 +864,44 @@ fn maybe_finish_preprocess(sim: &mut Simulation<World>, progress: &P, _tile_star
 // ------------------------------------------------ stage 3+4: monitor & infer
 
 fn monitor_poll(sim: &mut Simulation<World>, progress: &P) {
+    if is_halted(progress) {
+        return;
+    }
     // Crawl for new tile files and enqueue inference jobs.
     let fresh = sim.state_mut().crawler.crawl();
-    if !fresh.is_empty() {
-        let mut p = progress.borrow_mut();
-        let seed = p.params.seed;
-        for file in fresh {
-            // Recover the tile count from the file name's granule.
-            let tiles = file
-                .strip_prefix("tiles-")
-                .and_then(|rest| rest.strip_suffix(".nc"))
-                .and_then(parse_granule_display)
-                .map(|g| granule_tiles(seed, g))
-                .unwrap_or(100.0);
-            p.inference_queue.push_back((file, tiles));
+    for file in fresh {
+        let (seed, labeled_already, seen_before) = {
+            let p = progress.borrow();
+            (
+                p.params.seed,
+                p.resume.is_labeled(&file),
+                p.resume.monitor_saw(&file),
+            )
+        };
+        if labeled_already {
+            // Dedup across restarts: the journal shows inference already
+            // completed for this file; its labels were replayed at resume.
+            continue;
         }
+        if !seen_before
+            && !journal_record(
+                progress,
+                JournalEvent::MonitorTriggered { file: file.clone() },
+            )
+        {
+            return;
+        }
+        // Recover the tile count from the file name's granule.
+        let tiles = file
+            .strip_prefix("tiles-")
+            .and_then(|rest| rest.strip_suffix(".nc"))
+            .and_then(parse_granule_display)
+            .map(|g| granule_tiles(seed, g))
+            .unwrap_or(100.0);
+        progress
+            .borrow_mut()
+            .inference_queue
+            .push_back((file, tiles));
     }
     pump_inference(sim, progress);
 
@@ -556,7 +910,7 @@ fn monitor_poll(sim: &mut Simulation<World>, progress: &P) {
         p.preprocess_done
             && p.inference_queue.is_empty()
             && p.inference_active == 0
-            && p.labeled.len() == p.tile_files
+            && p.labeled.len() == p.tile_files()
     };
     if !stop {
         let period = Duration::from_secs_f64(progress.borrow().params.monitor_period_s);
@@ -613,26 +967,48 @@ fn pump_inference(sim: &mut Simulation<World>, progress: &P) {
         for _ in 0..4 {
             let hop = sim.state_mut().flow_overhead.sample().total();
             let now = sim.now();
-            sim.state_mut()
-                .telemetry
-                .span("inference", "flow_action", now + overhead, now + overhead + hop);
+            sim.state_mut().telemetry.span(
+                "inference",
+                "flow_action",
+                now + overhead,
+                now + overhead + hop,
+            );
             overhead += hop;
         }
         let rate = progress.borrow().params.inference_rate;
         let compute = Duration::from_secs_f64(tiles / rate);
         let now = sim.now();
-        sim.state_mut()
-            .telemetry
-            .span("inference", "compute", now + overhead, now + overhead + compute);
+        sim.state_mut().telemetry.span(
+            "inference",
+            "compute",
+            now + overhead,
+            now + overhead + compute,
+        );
         let total = overhead + compute;
         let progress2 = Rc::clone(progress);
         sim.schedule_in(total, move |sim| {
+            if is_halted(&progress2) {
+                return;
+            }
+            let bytes_u64 = {
+                let p = progress2.borrow();
+                (tiles * p.params.tile_nc_bytes as f64) as u64
+            };
+            if !journal_record(
+                &progress2,
+                JournalEvent::LabelsAppended {
+                    file: file.clone(),
+                    labels: tiles.round() as u64,
+                    bytes: bytes_u64,
+                },
+            ) {
+                return;
+            }
             let now = sim.now();
             {
                 let mut p = progress2.borrow_mut();
                 p.inference_active -= 1;
-                let bytes = ByteSize::bytes((tiles * p.params.tile_nc_bytes as f64) as u64);
-                p.labeled.push((file.clone(), bytes));
+                p.labeled.push((file.clone(), ByteSize::bytes(bytes_u64)));
                 let active = p.inference_active;
                 drop(p);
                 sim.state_mut()
@@ -655,7 +1031,7 @@ fn pump_inference(sim: &mut Simulation<World>, progress: &P) {
                 p.preprocess_done
                     && p.inference_queue.is_empty()
                     && p.inference_active == 0
-                    && p.labeled.len() == p.tile_files
+                    && p.labeled.len() == p.tile_files()
             };
             if stop {
                 maybe_ship(sim, &progress2);
@@ -667,20 +1043,55 @@ fn pump_inference(sim: &mut Simulation<World>, progress: &P) {
 // --------------------------------------------------------- stage 5: shipment
 
 fn maybe_ship(sim: &mut Simulation<World>, progress: &P) {
-    let files = {
+    if is_halted(progress) {
+        return;
+    }
+    let (files, replay_shipment) = {
         let mut p = progress.borrow_mut();
         let ready = p.preprocess_done
             && p.inference_queue.is_empty()
             && p.inference_active == 0
-            && p.labeled.len() == p.tile_files
+            && p.labeled.len() == p.tile_files()
             && !p.shipped;
         if !ready {
             return;
         }
         p.shipped = true;
-        p.labeled.clone()
+        let replay = if p.resume.stage_done("shipment") {
+            p.resume.shipped
+        } else {
+            None
+        };
+        (p.labeled.clone(), replay)
     };
     let started = sim.now();
+    if !journal_started(progress, "shipment") {
+        return;
+    }
+    // Journal says the shipment already completed before the crash: rebuild
+    // the report from the recorded totals instead of re-transferring.
+    if let Some((files_ok, bytes)) = replay_shipment {
+        let report = TransferReport {
+            task: TransferTaskId::from_raw(0),
+            files_ok: files_ok as usize,
+            files_failed: 0,
+            bytes: ByteSize::bytes(bytes),
+            retries: 0,
+            submitted: started,
+            finished: started,
+            file_times: files.iter().map(|(n, _)| (n.clone(), 0.0)).collect(),
+        };
+        let mut p = progress.borrow_mut();
+        p.stages.push(StageReport {
+            name: "shipment".into(),
+            started,
+            finished: started,
+            items: report.files_ok,
+            bytes: report.bytes,
+        });
+        p.shipment = Some(report);
+        return;
+    }
     let progress2 = Rc::clone(progress);
     submit_transfer(
         sim,
@@ -689,6 +1100,26 @@ fn maybe_ship(sim: &mut Simulation<World>, progress: &P) {
         files,
         TransferOptions::default(),
         move |sim, report| {
+            if is_halted(&progress2) {
+                return;
+            }
+            if !journal_record(
+                &progress2,
+                JournalEvent::ShipmentFinished {
+                    files: report.files_ok as u64,
+                    bytes: report.bytes.as_u64(),
+                },
+            ) {
+                return;
+            }
+            if !journal_record(
+                &progress2,
+                JournalEvent::StageFinished {
+                    stage: "shipment".into(),
+                },
+            ) {
+                return;
+            }
             let now = sim.now();
             sim.state_mut()
                 .telemetry
@@ -886,7 +1317,10 @@ mod tests {
         // download + preprocess + inference + shipment records all exist.
         for activity in ["download", "preprocess", "inference", "shipment"] {
             assert!(
-                r.provenance.records().iter().any(|x| x.activity == activity),
+                r.provenance
+                    .records()
+                    .iter()
+                    .any(|x| x.activity == activity),
                 "missing {activity} records"
             );
         }
@@ -922,5 +1356,73 @@ mod tests {
         });
         assert_eq!(flaky.labeled_files, flaky.tile_files);
         assert_eq!(flaky.download.files.len(), clean.download.files.len());
+    }
+
+    #[test]
+    fn report_to_json_round_trips_headline_counters() {
+        let r = small_report();
+        let j = r.to_json();
+        assert_eq!(j["granules"], serde_json::json!(r.granules));
+        assert_eq!(j["labeled_files"], serde_json::json!(r.labeled_files));
+        assert_eq!(j["makespan_s"], serde_json::json!(r.makespan_s));
+        assert_eq!(
+            j["download"]["bytes"],
+            serde_json::json!(r.download.bytes.as_u64())
+        );
+        assert_eq!(j["stages"].as_array().unwrap().len(), r.stages.len());
+        let s0 = &j["stages"][0];
+        assert_eq!(s0["name"], serde_json::json!(r.stages[0].name));
+        assert_eq!(s0["items"], serde_json::json!(r.stages[0].items));
+        assert!(j["telemetry"]["spans"].as_array().is_some());
+    }
+
+    #[test]
+    fn resumable_without_crash_matches_plain_run() {
+        use eoml_journal::MemStorage;
+        let plain = run_campaign(CampaignParams::small());
+        let (journal, _) = Journal::open(MemStorage::new()).unwrap();
+        let resumed = run_campaign_resumable(CampaignParams::small(), journal).unwrap();
+        assert_eq!(resumed.granules, plain.granules);
+        assert_eq!(resumed.tile_files, plain.tile_files);
+        assert_eq!(resumed.total_tiles, plain.total_tiles);
+        assert_eq!(resumed.labeled_files, plain.labeled_files);
+        assert_eq!(resumed.download.bytes, plain.download.bytes);
+        assert_eq!(resumed.shipment.files_ok, plain.shipment.files_ok);
+        assert_eq!(resumed.shipment.bytes, plain.shipment.bytes);
+    }
+
+    #[test]
+    fn crash_mid_campaign_then_resume_matches_uninterrupted() {
+        use eoml_journal::MemStorage;
+        let baseline = run_campaign(CampaignParams::small());
+        let store = MemStorage::new();
+        let (mut journal, _) = Journal::open(store.clone()).unwrap();
+        journal.crash_after(7);
+        let crashed = run_campaign_resumable(CampaignParams::small(), journal);
+        assert!(matches!(crashed, Err(JournalError::Crashed)));
+        let (journal, recovery) = Journal::open(store).unwrap();
+        assert!(recovery.events > 0, "crash left no durable events");
+        let resumed = run_campaign_resumable(CampaignParams::small(), journal).unwrap();
+        assert_eq!(resumed.granules, baseline.granules);
+        assert_eq!(resumed.tile_files, baseline.tile_files);
+        assert_eq!(resumed.total_tiles, baseline.total_tiles);
+        assert_eq!(resumed.labeled_files, baseline.labeled_files);
+        assert_eq!(resumed.download.bytes, baseline.download.bytes);
+        assert_eq!(resumed.shipment.bytes, baseline.shipment.bytes);
+    }
+
+    #[test]
+    fn resume_rejects_a_different_seed() {
+        use eoml_journal::MemStorage;
+        let store = MemStorage::new();
+        let (mut journal, _) = Journal::open(store.clone()).unwrap();
+        journal.crash_after(3);
+        let _ = run_campaign_resumable(CampaignParams::small(), journal);
+        let (journal, _) = Journal::open(store).unwrap();
+        let other = CampaignParams {
+            seed: 77,
+            ..CampaignParams::small()
+        };
+        assert!(run_campaign_resumable(other, journal).is_err());
     }
 }

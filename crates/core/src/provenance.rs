@@ -164,7 +164,11 @@ mod tests {
 
     fn pipeline_log() -> ProvenanceLog {
         let mut log = ProvenanceLog::new();
-        for name in ["MOD021KM.A2022001.0005", "MOD03.A2022001.0005", "MOD06_L2.A2022001.0005"] {
+        for name in [
+            "MOD021KM.A2022001.0005",
+            "MOD03.A2022001.0005",
+            "MOD06_L2.A2022001.0005",
+        ] {
             log.record(
                 format!("defiant:{name}"),
                 "download",
@@ -221,7 +225,9 @@ mod tests {
         let down = log.downstream("laads:MOD021KM.A2022001.0005");
         assert_eq!(down.len(), 4, "{down:?}");
         assert!(down.iter().any(|a| a == "orion:tiles-MOD.A2022001.0005.nc"));
-        assert!(log.downstream("orion:tiles-MOD.A2022001.0005.nc").is_empty());
+        assert!(log
+            .downstream("orion:tiles-MOD.A2022001.0005.nc")
+            .is_empty());
     }
 
     #[test]

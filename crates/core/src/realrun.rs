@@ -405,7 +405,10 @@ mod tests {
         // Default criteria: ocean-only + ≥30 % cloud.
         let granules = day_granules(3);
         let report = pipeline.run(&granules).unwrap();
-        assert!(report.total_tiles < 3 * 64, "criteria must reject some windows");
+        assert!(
+            report.total_tiles < 3 * 64,
+            "criteria must reject some windows"
+        );
         assert_eq!(report.labeled_tiles, report.total_tiles);
         std::fs::remove_dir_all(&dir).unwrap();
     }

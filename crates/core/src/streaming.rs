@@ -9,11 +9,20 @@
 //! per finished tile file, and every labeled file ships individually. All
 //! five stages run concurrently as a pipeline — downloads of granule *k*
 //! overlap inference on granule *k − n*.
+//!
+//! [`run_streaming_campaign_resumable`] runs the same pipeline against a
+//! write-ahead journal: per-product downloads, tile files, monitor triggers
+//! and label/ship completions are journaled as they happen, and a restart
+//! resumes from the durable prefix without re-executing completed work. In
+//! particular, monitor triggers are deduplicated across restarts — a tile
+//! file whose label round-trip is journaled never re-enters the inference
+//! queue.
 
-use crate::campaign::{granule_tiles, CampaignParams, StageReport};
+use crate::campaign::{granule_tiles, preprocess_key, CampaignParams, JournalSink, StageReport};
 use crate::world::World;
 use eoml_cluster::exec::submit_task;
 use eoml_cluster::slurm::request_block;
+use eoml_journal::{CampaignState, Journal, JournalError, JournalEvent, Storage};
 use eoml_modis::catalog::Catalog;
 use eoml_modis::granule::GranuleId;
 use eoml_modis::product::ProductKind;
@@ -108,50 +117,188 @@ struct StState {
     shipped: ByteSize,
     last_ship: SimTime,
     finished: bool,
+    // journaling
+    journal: Option<Rc<RefCell<dyn JournalSink>>>,
+    resume: CampaignState,
+    halted: bool,
 }
 
 type S = Rc<RefCell<StState>>;
 
+/// Append `event` to the campaign's journal, if any. Returns `false` when
+/// the append failed (crash point reached): the pipeline must stop — the
+/// event, and everything after it, is not durable.
+fn st_record(st: &S, event: JournalEvent) -> bool {
+    let sink = st.borrow().journal.clone();
+    match sink {
+        None => true,
+        Some(journal) => {
+            if journal.borrow_mut().append(event).is_ok() {
+                true
+            } else {
+                st.borrow_mut().halted = true;
+                false
+            }
+        }
+    }
+}
+
+fn st_halted(st: &S) -> bool {
+    st.borrow().halted
+}
+
 /// Run a streaming campaign. The archive releases granules on the
 /// (compressed) acquisition timeline; every stage runs concurrently.
 pub fn run_streaming_campaign(params: StreamingParams) -> StreamingReport {
+    run_streaming_inner(params, None, CampaignState::default())
+        .expect("journal-free streaming campaign cannot crash")
+}
+
+/// Run a streaming campaign against a write-ahead `journal`, resuming any
+/// work the journal already records as complete. A granule whose label/ship
+/// round-trip is journaled is replayed into the totals without touching the
+/// archive, the cluster, or the WAN; partially complete granules restart
+/// from their last durable step (missing product files re-download, tile
+/// files re-infer).
+///
+/// Returns [`JournalError::Crashed`] when the journal's injected kill point
+/// fires mid-campaign (see [`Journal::crash_after`]).
+pub fn run_streaming_campaign_resumable<St: Storage + 'static>(
+    params: StreamingParams,
+    journal: Journal<St>,
+) -> Result<StreamingReport, JournalError> {
+    let resume = journal.state().clone();
+    if let Some(seed) = resume.seed {
+        if seed != params.base.seed {
+            return Err(JournalError::Io(format!(
+                "journal belongs to seed {seed}, campaign params use seed {}",
+                params.base.seed
+            )));
+        }
+    }
+    if let Some(label) = &resume.label {
+        if label != "streaming-campaign" {
+            return Err(JournalError::Io(format!(
+                "journal belongs to a {label:?} run, not a streaming campaign"
+            )));
+        }
+    }
+    let sink: Rc<RefCell<dyn JournalSink>> = Rc::new(RefCell::new(journal));
+    if resume.seed.is_none() {
+        sink.borrow_mut().append(JournalEvent::CampaignStarted {
+            seed: params.base.seed,
+            label: "streaming-campaign".into(),
+        })?;
+    }
+    run_streaming_inner(params, Some(sink), resume)
+}
+
+fn run_streaming_inner(
+    params: StreamingParams,
+    journal: Option<Rc<RefCell<dyn JournalSink>>>,
+    resume: CampaignState,
+) -> Result<StreamingReport, JournalError> {
     assert_eq!(params.base.days, 1, "streaming demo covers one day");
     let world = World::new(params.base.seed, params.base.faults);
     let mut sim = Simulation::new(world);
 
-    let granules: VecDeque<GranuleId> = GranuleId::day_granules(
-        params.base.platform,
-        params.base.start,
-    )
-    .take(params.base.files_per_day)
-    .collect();
-    let expected = granules.len();
+    let all: Vec<GranuleId> = GranuleId::day_granules(params.base.platform, params.base.start)
+        .take(params.base.files_per_day)
+        .collect();
+    let expected = all.len();
+    let seed = params.base.seed;
+
+    // Partition the day by how far the journal says each granule got.
+    let mut pending_granules = VecDeque::new();
+    let mut preprocess_queue = VecDeque::new();
+    let mut inference_seed: Vec<(String, f64)> = Vec::new();
+    let mut parts_arrived = HashMap::new();
+    let mut granules_downloaded = 0usize;
+    let mut downloaded = ByteSize::ZERO;
+    let mut granules_preprocessed = 0usize;
+    let mut labeled = 0usize;
+    let mut shipped_files = 0usize;
+    let mut shipped = ByteSize::ZERO;
+    for &g in &all {
+        let tiles = granule_tiles(seed, g);
+        let key = preprocess_key(g, tiles);
+        let dl_bytes: u64 = ProductKind::all()
+            .into_iter()
+            .filter_map(|p| resume.downloaded.get(&g.file_name(p)).copied())
+            .sum();
+        let dl_parts = ProductKind::all()
+            .into_iter()
+            .filter(|&p| resume.is_downloaded(&g.file_name(p)))
+            .count();
+        if let Some(&(_, bytes)) = resume.labeled.get(&key) {
+            // Label + ship journaled: the granule is fully replayed.
+            granules_downloaded += 1;
+            downloaded += ByteSize::bytes(dl_bytes);
+            granules_preprocessed += 1;
+            labeled += 1;
+            shipped_files += 1;
+            shipped += ByteSize::bytes(bytes);
+        } else if resume.has_tile_file(&key) {
+            // Preprocessed but not labeled: re-enter at inference.
+            granules_downloaded += 1;
+            downloaded += ByteSize::bytes(dl_bytes);
+            granules_preprocessed += 1;
+            if tiles > 0.0 {
+                inference_seed.push((format!("tiles-{g}.nc"), tiles));
+            }
+        } else if dl_parts == 3 {
+            // All products durable: re-enter at preprocessing.
+            granules_downloaded += 1;
+            downloaded += ByteSize::bytes(dl_bytes);
+            preprocess_queue.push_back((g, tiles));
+        } else {
+            // Waits for the archive; journaled products are pre-credited and
+            // skipped when the granule is released.
+            if dl_parts > 0 {
+                downloaded += ByteSize::bytes(dl_bytes);
+                parts_arrived.insert(g, dl_parts);
+            }
+            pending_granules.push_back(g);
+        }
+    }
 
     let st: S = Rc::new(RefCell::new(StState {
         params: params.clone(),
-        pending_granules: granules,
+        pending_granules,
         download_queue: VecDeque::new(),
         download_active: 0,
-        parts_arrived: HashMap::new(),
-        granules_downloaded: 0,
-        downloaded: ByteSize::ZERO,
+        parts_arrived,
+        granules_downloaded,
+        downloaded,
         first_download: None,
         last_download: SimTime::ZERO,
         block_nodes: Vec::new(),
-        preprocess_queue: VecDeque::new(),
+        preprocess_queue,
         preprocess_active: 0,
-        granules_preprocessed: 0,
+        granules_preprocessed,
         first_preprocess: None,
         last_preprocess: SimTime::ZERO,
-        inference_queue: VecDeque::new(),
+        inference_queue: inference_seed.iter().cloned().collect(),
         inference_active: 0,
-        labeled: 0,
+        labeled,
         shipping: 0,
-        shipped_files: 0,
-        shipped: ByteSize::ZERO,
+        shipped_files,
+        shipped,
         last_ship: SimTime::ZERO,
         finished: false,
+        journal,
+        resume,
+        halted: false,
     }));
+
+    // Re-entering at inference counts as a monitor trigger unless one is
+    // already journaled for the file (dedup across restarts).
+    for (file, _) in &inference_seed {
+        let seen = st.borrow().resume.monitor_saw(file);
+        if !seen && !st_record(&st, JournalEvent::MonitorTriggered { file: file.clone() }) {
+            break;
+        }
+    }
 
     // Allocate the preprocessing block up front; polling starts once the
     // nodes are up.
@@ -164,6 +311,8 @@ pub fn run_streaming_campaign(params: StreamingParams) -> StreamingReport {
         move |sim, _block, node_list| {
             st2.borrow_mut().block_nodes = node_list;
             poll_archive(sim, &st2);
+            pump_preprocess(sim, &st2);
+            pump_inference(sim, &st2);
         },
     )
     .expect("cluster has enough nodes");
@@ -173,6 +322,9 @@ pub fn run_streaming_campaign(params: StreamingParams) -> StreamingReport {
     let s = Rc::try_unwrap(st)
         .unwrap_or_else(|_| panic!("streaming closures leaked"))
         .into_inner();
+    if s.halted {
+        return Err(JournalError::Crashed);
+    }
     assert_eq!(s.granules_downloaded, expected, "archive fully drained");
     let mut stages = Vec::new();
     if let Some(t0) = s.first_download {
@@ -204,7 +356,7 @@ pub fn run_streaming_campaign(params: StreamingParams) -> StreamingReport {
         .into_iter()
         .map(|t| t.as_secs_f64())
         .fold(0.0, f64::max);
-    StreamingReport {
+    Ok(StreamingReport {
         granules_downloaded: s.granules_downloaded,
         granules_preprocessed: s.granules_preprocessed,
         labeled_files: s.labeled,
@@ -214,12 +366,15 @@ pub fn run_streaming_campaign(params: StreamingParams) -> StreamingReport {
         makespan_s,
         stages,
         telemetry: world.telemetry,
-    }
+    })
 }
 
 /// Poll the archive: release granules whose availability time has passed
 /// into the download queue; reschedule until the archive is drained.
 fn poll_archive(sim: &mut Simulation<World>, st: &S) {
+    if st_halted(st) {
+        return;
+    }
     {
         let mut s = st.borrow_mut();
         let now = sim.now();
@@ -231,13 +386,17 @@ fn poll_archive(sim: &mut Simulation<World>, st: &S) {
             s.pending_granules.pop_front();
             for product in ProductKind::all() {
                 let name = g.file_name(product);
+                if s.resume.is_downloaded(&name) {
+                    // Journaled before the crash; pre-credited at setup.
+                    continue;
+                }
                 let size = cat.file_size(g, product);
                 s.download_queue.push_back((g, product, name, size));
             }
         }
     }
     pump_downloads(sim, st);
-    let keep_polling = !st.borrow().pending_granules.is_empty();
+    let keep_polling = !st.borrow().pending_granules.is_empty() && !st_halted(st);
     if keep_polling {
         let period = Duration::from_secs_f64(st.borrow().params.poll_period_s);
         let st2 = Rc::clone(st);
@@ -246,6 +405,9 @@ fn poll_archive(sim: &mut Simulation<World>, st: &S) {
 }
 
 fn pump_downloads(sim: &mut Simulation<World>, st: &S) {
+    if st_halted(st) {
+        return;
+    }
     loop {
         let job = {
             let mut s = st.borrow_mut();
@@ -267,11 +429,14 @@ fn pump_downloads(sim: &mut Simulation<World>, st: &S) {
                 None
             }
         };
-        let Some((granule, _product, _name, size)) = job else {
+        let Some((granule, product, name, size)) = job else {
             break;
         };
         let st2 = Rc::clone(st);
         start_flow(sim, "laads", "ace-defiant", size, move |sim, outcome| {
+            if st_halted(&st2) {
+                return;
+            }
             let now = sim.now();
             {
                 let mut s = st2.borrow_mut();
@@ -281,6 +446,17 @@ fn pump_downloads(sim: &mut Simulation<World>, st: &S) {
                 sim.state_mut()
                     .telemetry
                     .activity_change("download", now, active);
+            }
+            if outcome.is_success()
+                && !st_record(
+                    &st2,
+                    JournalEvent::FileDownloaded {
+                        file: name.clone(),
+                        bytes: size.as_u64(),
+                    },
+                )
+            {
+                return;
             }
             let granule_ready = {
                 let mut s = st2.borrow_mut();
@@ -300,9 +476,8 @@ fn pump_downloads(sim: &mut Simulation<World>, st: &S) {
                     }
                 } else {
                     // Retry: re-enqueue the file.
-                    let name = String::new();
                     s.download_queue
-                        .push_back((granule, ProductKind::Mod02, name, size));
+                        .push_back((granule, product, name.clone(), size));
                     false
                 }
             };
@@ -315,6 +490,9 @@ fn pump_downloads(sim: &mut Simulation<World>, st: &S) {
 }
 
 fn pump_preprocess(sim: &mut Simulation<World>, st: &S) {
+    if st_halted(st) {
+        return;
+    }
     loop {
         let job = {
             let mut s = st.borrow_mut();
@@ -343,6 +521,28 @@ fn pump_preprocess(sim: &mut Simulation<World>, st: &S) {
         };
         let st2 = Rc::clone(st);
         submit_task(sim, node, tiles.max(12.0), move |sim| {
+            if st_halted(&st2) {
+                return;
+            }
+            if !st_record(
+                &st2,
+                JournalEvent::TileFileWritten {
+                    file: preprocess_key(granule, tiles),
+                    tiles: tiles.round() as u64,
+                },
+            ) {
+                return;
+            }
+            if tiles > 0.0
+                && !st_record(
+                    &st2,
+                    JournalEvent::MonitorTriggered {
+                        file: format!("tiles-{granule}.nc"),
+                    },
+                )
+            {
+                return;
+            }
             let now = sim.now();
             {
                 let mut s = st2.borrow_mut();
@@ -367,6 +567,9 @@ fn pump_preprocess(sim: &mut Simulation<World>, st: &S) {
 }
 
 fn pump_inference(sim: &mut Simulation<World>, st: &S) {
+    if st_halted(st) {
+        return;
+    }
     loop {
         let job = {
             let mut s = st.borrow_mut();
@@ -396,36 +599,62 @@ fn pump_inference(sim: &mut Simulation<World>, st: &S) {
         let compute = Duration::from_secs_f64(tiles / rate);
         let st2 = Rc::clone(st);
         sim.schedule_in(overhead + compute, move |sim| {
+            if st_halted(&st2) {
+                return;
+            }
             let now = sim.now();
             {
                 let mut s = st2.borrow_mut();
                 s.inference_active -= 1;
-                s.labeled += 1;
                 let active = s.inference_active;
                 drop(s);
                 sim.state_mut()
                     .telemetry
                     .activity_change("inference", now, active);
             }
-            // Ship this labeled file immediately (streaming shipment).
+            // Ship this labeled file immediately (streaming shipment). The
+            // label only becomes durable — and is only counted — once the
+            // shipment lands, so a crash between inference and shipment
+            // re-runs both on resume.
             let size = ByteSize::bytes((tiles * tile_bytes as f64) as u64);
             {
                 st2.borrow_mut().shipping += 1;
             }
             let st3 = Rc::clone(&st2);
-            let _ = file;
-            start_flow(sim, "ace-defiant", "frontier-orion", size, move |sim, out| {
-                {
-                    let mut s = st3.borrow_mut();
-                    s.shipping -= 1;
-                    if out.is_success() {
-                        s.shipped_files += 1;
-                        s.shipped += size;
-                        s.last_ship = sim.now();
+            start_flow(
+                sim,
+                "ace-defiant",
+                "frontier-orion",
+                size,
+                move |sim, out| {
+                    if st_halted(&st3) {
+                        return;
                     }
-                }
-                maybe_finish(sim, &st3);
-            });
+                    if out.is_success()
+                        && !st_record(
+                            &st3,
+                            JournalEvent::LabelsAppended {
+                                file: file.clone(),
+                                labels: tiles.round() as u64,
+                                bytes: size.as_u64(),
+                            },
+                        )
+                    {
+                        return;
+                    }
+                    {
+                        let mut s = st3.borrow_mut();
+                        s.shipping -= 1;
+                        if out.is_success() {
+                            s.labeled += 1;
+                            s.shipped_files += 1;
+                            s.shipped += size;
+                            s.last_ship = sim.now();
+                        }
+                    }
+                    maybe_finish(sim, &st3);
+                },
+            );
             pump_inference(sim, &st2);
             maybe_finish(sim, &st2);
         });
@@ -433,26 +662,37 @@ fn pump_inference(sim: &mut Simulation<World>, st: &S) {
 }
 
 fn maybe_finish(_sim: &mut Simulation<World>, st: &S) {
-    let mut s = st.borrow_mut();
-    if s.finished {
+    {
+        let s = st.borrow();
+        if s.finished || s.halted {
+            return;
+        }
+        let done = s.pending_granules.is_empty()
+            && s.download_queue.is_empty()
+            && s.download_active == 0
+            && s.preprocess_queue.is_empty()
+            && s.preprocess_active == 0
+            && s.inference_queue.is_empty()
+            && s.inference_active == 0
+            && s.shipping == 0;
+        if !done {
+            return;
+        }
+    }
+    let (files, bytes) = {
+        let s = st.borrow();
+        (s.shipped_files as u64, s.shipped.as_u64())
+    };
+    if !st_record(st, JournalEvent::ShipmentFinished { files, bytes }) {
         return;
     }
-    let done = s.pending_granules.is_empty()
-        && s.download_queue.is_empty()
-        && s.download_active == 0
-        && s.preprocess_queue.is_empty()
-        && s.preprocess_active == 0
-        && s.inference_queue.is_empty()
-        && s.inference_active == 0
-        && s.shipping == 0;
-    if done {
-        s.finished = true;
-    }
+    st.borrow_mut().finished = true;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eoml_journal::MemStorage;
 
     fn small() -> StreamingParams {
         StreamingParams {
@@ -531,5 +771,61 @@ mod tests {
             r.makespan_s,
             stage_sum
         );
+    }
+
+    #[test]
+    fn resumable_streaming_without_crash_matches_plain() {
+        let plain = run_streaming_campaign(small());
+        let (journal, _) = Journal::open(MemStorage::new()).unwrap();
+        let r = run_streaming_campaign_resumable(small(), journal).unwrap();
+        assert_eq!(r.granules_downloaded, plain.granules_downloaded);
+        assert_eq!(r.granules_preprocessed, plain.granules_preprocessed);
+        assert_eq!(r.labeled_files, plain.labeled_files);
+        assert_eq!(r.shipped_files, plain.shipped_files);
+        assert_eq!(r.downloaded, plain.downloaded);
+        assert_eq!(r.shipped, plain.shipped);
+    }
+
+    #[test]
+    fn crashed_streaming_campaign_resumes_to_identical_totals() {
+        let baseline = run_streaming_campaign(small());
+        for kill_at in [5, 23, 47] {
+            let store = MemStorage::new();
+            let (mut journal, _) = Journal::open(store.clone()).unwrap();
+            journal.crash_after(kill_at);
+            let crashed = run_streaming_campaign_resumable(small(), journal);
+            assert!(
+                matches!(crashed, Err(JournalError::Crashed)),
+                "kill {kill_at}"
+            );
+            let (journal, _) = Journal::open(store).unwrap();
+            let r = run_streaming_campaign_resumable(small(), journal).unwrap();
+            assert_eq!(r.granules_downloaded, baseline.granules_downloaded);
+            assert_eq!(r.granules_preprocessed, baseline.granules_preprocessed);
+            assert_eq!(r.labeled_files, baseline.labeled_files, "kill {kill_at}");
+            assert_eq!(r.shipped_files, baseline.shipped_files);
+            assert_eq!(r.downloaded, baseline.downloaded, "kill {kill_at}");
+            assert_eq!(r.shipped, baseline.shipped, "kill {kill_at}");
+        }
+    }
+
+    #[test]
+    fn monitor_triggers_are_deduplicated_across_restarts() {
+        // Crash late (after some labels landed), resume, and check that the
+        // final journal has no duplicate MonitorTriggered events.
+        let store = MemStorage::new();
+        let (mut journal, _) = Journal::open(store.clone()).unwrap();
+        journal.crash_after(40);
+        let _ = run_streaming_campaign_resumable(small(), journal);
+        let (journal, _) = Journal::open(store.clone()).unwrap();
+        run_streaming_campaign_resumable(small(), journal).unwrap();
+        let (journal, _) = Journal::open(store).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for event in journal.events() {
+            if let JournalEvent::MonitorTriggered { file } = event {
+                assert!(seen.insert(file.clone()), "duplicate trigger for {file}");
+            }
+        }
+        assert!(!seen.is_empty(), "no monitor triggers journaled");
     }
 }

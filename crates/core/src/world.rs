@@ -111,9 +111,15 @@ mod tests {
         let mut sim = Simulation::new(World::new(2, FaultPlan::none()));
         let done = Rc::new(RefCell::new(Vec::new()));
         let d1 = Rc::clone(&done);
-        start_flow(&mut sim, "laads", "ace-defiant", ByteSize::mb(90), move |sim, _| {
-            d1.borrow_mut().push(("flow", sim.now().as_secs_f64()));
-        });
+        start_flow(
+            &mut sim,
+            "laads",
+            "ace-defiant",
+            ByteSize::mb(90),
+            move |sim, _| {
+                d1.borrow_mut().push(("flow", sim.now().as_secs_f64()));
+            },
+        );
         let d2 = Rc::clone(&done);
         eoml_cluster::exec::submit_task(&mut sim, 0, 150.0, move |sim| {
             d2.borrow_mut().push(("task", sim.now().as_secs_f64()));

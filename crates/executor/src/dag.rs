@@ -87,7 +87,10 @@ impl Dag {
         for d in deps {
             let i = (d.raw() - 1) as usize;
             if i >= self.nodes.len() {
-                return Err(DagError::UnknownDependency { node: name, dep: *d });
+                return Err(DagError::UnknownDependency {
+                    node: name,
+                    dep: *d,
+                });
             }
             dep_idx.push(i);
         }
@@ -219,7 +222,9 @@ impl Dag {
 
 impl std::fmt::Debug for Dag {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Dag").field("nodes", &self.nodes.len()).finish()
+        f.debug_struct("Dag")
+            .field("nodes", &self.nodes.len())
+            .finish()
     }
 }
 
@@ -233,7 +238,9 @@ mod tests {
         let log = Arc::new(Mutex::new(Vec::new()));
         let mut dag = Dag::new();
         let l1 = Arc::clone(&log);
-        let a = dag.add_task("a", &[], move || l1.lock().unwrap().push("a")).unwrap();
+        let a = dag
+            .add_task("a", &[], move || l1.lock().unwrap().push("a"))
+            .unwrap();
         let l2 = Arc::clone(&log);
         let b = dag
             .add_task("b", &[a], move || l2.lock().unwrap().push("b"))
@@ -303,9 +310,7 @@ mod tests {
     fn panic_fails_run_and_skips_dependents() {
         let ran = Arc::new(Mutex::new(false));
         let mut dag = Dag::new();
-        let a = dag
-            .add_task("boom", &[], || panic!("exploded"))
-            .unwrap();
+        let a = dag.add_task("boom", &[], || panic!("exploded")).unwrap();
         let r = Arc::clone(&ran);
         dag.add_task("after", &[a], move || *r.lock().unwrap() = true)
             .unwrap();
@@ -332,7 +337,10 @@ mod tests {
         let mut roots = Vec::new();
         for i in 0..50 {
             let c = Arc::clone(&counter);
-            roots.push(dag.add_task(format!("r{i}"), &[], move || *c.lock().unwrap() += 1).unwrap());
+            roots.push(
+                dag.add_task(format!("r{i}"), &[], move || *c.lock().unwrap() += 1)
+                    .unwrap(),
+            );
         }
         let c = Arc::clone(&counter);
         dag.add_task("sink", &roots, move || *c.lock().unwrap() += 100)

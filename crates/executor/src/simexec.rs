@@ -312,7 +312,10 @@ mod tests {
         let t1 = tp(1);
         let t8 = tp(8);
         let t32 = tp(32);
-        assert!(t8 > 3.0 * t1, "1→8 workers should speed up ({t1:.1}→{t8:.1})");
+        assert!(
+            t8 > 3.0 * t1,
+            "1→8 workers should speed up ({t1:.1}→{t8:.1})"
+        );
         assert!(
             t32 < t8 * 1.15,
             "8→32 workers should saturate ({t8:.1}→{t32:.1})"
@@ -361,15 +364,9 @@ mod tests {
     #[test]
     fn crashes_are_retried_and_work_completes() {
         let mut s = sim(2, false);
-        run_batch_faulty(
-            &mut s,
-            vec![0, 1],
-            4,
-            vec![150.0; 20],
-            0.3,
-            10,
-            |sim, r| sim.state_mut().report = Some(r),
-        );
+        run_batch_faulty(&mut s, vec![0, 1], 4, vec![150.0; 20], 0.3, 10, |sim, r| {
+            sim.state_mut().report = Some(r)
+        });
         s.run();
         let r = s.state().report.clone().expect("report");
         assert_eq!(r.tasks.len(), 20, "all tasks eventually succeed");
@@ -381,15 +378,9 @@ mod tests {
     #[test]
     fn retry_exhaustion_abandons_tasks() {
         let mut s = sim(1, false);
-        run_batch_faulty(
-            &mut s,
-            vec![0],
-            2,
-            vec![150.0; 4],
-            0.999,
-            2,
-            |sim, r| sim.state_mut().report = Some(r),
-        );
+        run_batch_faulty(&mut s, vec![0], 2, vec![150.0; 4], 0.999, 2, |sim, r| {
+            sim.state_mut().report = Some(r)
+        });
         s.run();
         let r = s.state().report.clone().expect("report");
         assert!(r.abandoned > 0, "near-certain crashes exhaust retries");

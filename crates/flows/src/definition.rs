@@ -67,7 +67,9 @@ pub enum FlowState {
 impl FlowState {
     fn next_states(&self) -> Vec<&str> {
         match self {
-            FlowState::Action { next, .. } | FlowState::Wait { next, .. } | FlowState::Pass { next } => {
+            FlowState::Action { next, .. }
+            | FlowState::Wait { next, .. }
+            | FlowState::Pass { next } => {
                 vec![next]
             }
             FlowState::Choice { cases, default, .. } => {
@@ -217,7 +219,9 @@ impl FlowDefinition {
                     .ok_or_else(|| malformed(format!("state {name:?} missing seconds")))?,
                 next: next("next")?,
             },
-            "pass" => FlowState::Pass { next: next("next")? },
+            "pass" => FlowState::Pass {
+                next: next("next")?,
+            },
             "succeed" => FlowState::Succeed,
             "fail" => FlowState::Fail {
                 error: obj
@@ -226,7 +230,11 @@ impl FlowDefinition {
                     .unwrap_or("failed")
                     .to_string(),
             },
-            other => return Err(malformed(format!("state {name:?} has unknown type {other:?}"))),
+            other => {
+                return Err(malformed(format!(
+                    "state {name:?} has unknown type {other:?}"
+                )))
+            }
         })
     }
 
@@ -352,7 +360,10 @@ mod tests {
                 "B": {"type": "pass", "next": "A"}
             }
         });
-        assert_eq!(FlowDefinition::from_json(&doc), Err(DefinitionError::NoTerminal));
+        assert_eq!(
+            FlowDefinition::from_json(&doc),
+            Err(DefinitionError::NoTerminal)
+        );
     }
 
     #[test]

@@ -222,8 +222,13 @@ mod tests {
     #[test]
     fn resolved_flow_is_runnable() {
         let mut reg = FlowRegistry::new();
-        reg.register("infer", "olcf", "the paper's flow", FlowDefinition::inference_flow())
-            .unwrap();
+        reg.register(
+            "infer",
+            "olcf",
+            "the paper's flow",
+            FlowDefinition::inference_flow(),
+        )
+        .unwrap();
         let flow = &reg.resolve("infer").unwrap().definition;
         let mut ok = |_: &str, _: &serde_json::Value, _: &serde_json::Value| Ok(json!({}));
         let mut runner = FlowRunner::new();

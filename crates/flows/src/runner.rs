@@ -2,6 +2,7 @@
 //! recording a per-transition event log.
 
 use crate::definition::{FlowDefinition, FlowState};
+use eoml_journal::{Journal, JournalError, JournalEvent, Storage};
 use serde_json::{Map, Value};
 use std::collections::HashMap;
 use std::fmt;
@@ -144,6 +145,83 @@ impl<'a> FlowRunner<'a> {
         self.providers.insert(name.into(), provider);
     }
 
+    /// Execute one state of `flow`, mutating `ctx` in place. Returns either
+    /// the terminal status or the next state to enter, plus the virtual time
+    /// spent in the state.
+    fn step(&mut self, flow: &FlowDefinition, current: &str, ctx: &mut Value) -> Step {
+        let state = flow.states.get(current).expect("validated definition");
+        match state {
+            FlowState::Succeed => Step::Done {
+                status: RunStatus::Succeeded,
+                duration: self.transition_overhead,
+            },
+            FlowState::Fail { error } => Step::Done {
+                status: RunStatus::Failed(error.clone()),
+                duration: self.transition_overhead,
+            },
+            FlowState::Pass { next } => Step::Next {
+                state: next.clone(),
+                duration: self.transition_overhead,
+            },
+            FlowState::Wait { seconds, next } => Step::Next {
+                state: next.clone(),
+                duration: self.transition_overhead + seconds,
+            },
+            FlowState::Choice {
+                variable,
+                cases,
+                default,
+            } => {
+                let path = variable.strip_prefix("$.").unwrap_or(variable);
+                let actual = lookup_path(ctx, path).cloned().unwrap_or(Value::Null);
+                let target = cases
+                    .iter()
+                    .find(|(v, _)| *v == actual)
+                    .map(|(_, n)| n.clone())
+                    .unwrap_or_else(|| default.clone());
+                Step::Next {
+                    state: target,
+                    duration: self.transition_overhead,
+                }
+            }
+            FlowState::Action {
+                provider,
+                parameters,
+                result_path,
+                next,
+            } => {
+                let resolved = resolve_params(parameters, ctx);
+                match self.providers.get_mut(provider.as_str()) {
+                    None => Step::Done {
+                        status: RunStatus::Failed(format!("no provider named {provider:?}")),
+                        duration: self.transition_overhead,
+                    },
+                    Some(p) => match p.invoke(provider, &resolved, ctx) {
+                        Ok(result) => {
+                            // Actions may report their own virtual
+                            // duration via a `_duration` field.
+                            let action_time = result
+                                .get("_duration")
+                                .and_then(Value::as_f64)
+                                .unwrap_or(0.0);
+                            if let Some(rp) = result_path {
+                                ctx[rp.as_str()] = result;
+                            }
+                            Step::Next {
+                                state: next.clone(),
+                                duration: self.transition_overhead + action_time,
+                            }
+                        }
+                        Err(e) => Step::Done {
+                            status: RunStatus::Failed(e),
+                            duration: self.transition_overhead,
+                        },
+                    },
+                }
+            }
+        }
+    }
+
     /// Execute `flow` with the given initial `input` (stored at
     /// `context.input`).
     pub fn run(&mut self, flow: &FlowDefinition, input: Value) -> FlowRun {
@@ -155,98 +233,29 @@ impl<'a> FlowRunner<'a> {
         let mut current = flow.start_at.clone();
 
         for _ in 0..self.max_steps {
-            let state = flow.states.get(&current).expect("validated definition");
             let entered_at = clock;
-            let (duration, outcome) = match state {
-                FlowState::Succeed => {
+            match self.step(flow, &current, &mut ctx) {
+                Step::Done { status, duration } => {
                     events.push(FlowEvent {
-                        state: current.clone(),
+                        state: current,
                         entered_at,
-                        duration: self.transition_overhead,
+                        duration,
                     });
                     return FlowRun {
                         id,
-                        status: RunStatus::Succeeded,
+                        status,
                         context: ctx,
                         events,
                     };
                 }
-                FlowState::Fail { error } => {
+                Step::Next { state, duration } => {
+                    clock += duration;
                     events.push(FlowEvent {
                         state: current.clone(),
                         entered_at,
-                        duration: self.transition_overhead,
+                        duration,
                     });
-                    return FlowRun {
-                        id,
-                        status: RunStatus::Failed(error.clone()),
-                        context: ctx,
-                        events,
-                    };
-                }
-                FlowState::Pass { next } => (self.transition_overhead, Ok(next.clone())),
-                FlowState::Wait { seconds, next } => {
-                    (self.transition_overhead + seconds, Ok(next.clone()))
-                }
-                FlowState::Choice {
-                    variable,
-                    cases,
-                    default,
-                } => {
-                    let path = variable.strip_prefix("$.").unwrap_or(variable);
-                    let actual = lookup_path(&ctx, path).cloned().unwrap_or(Value::Null);
-                    let target = cases
-                        .iter()
-                        .find(|(v, _)| *v == actual)
-                        .map(|(_, n)| n.clone())
-                        .unwrap_or_else(|| default.clone());
-                    (self.transition_overhead, Ok(target))
-                }
-                FlowState::Action {
-                    provider,
-                    parameters,
-                    result_path,
-                    next,
-                } => {
-                    let resolved = resolve_params(parameters, &ctx);
-                    match self.providers.get_mut(provider.as_str()) {
-                        None => (
-                            self.transition_overhead,
-                            Err(format!("no provider named {provider:?}")),
-                        ),
-                        Some(p) => match p.invoke(provider, &resolved, &ctx) {
-                            Ok(result) => {
-                                // Actions may report their own virtual
-                                // duration via a `_duration` field.
-                                let action_time = result
-                                    .get("_duration")
-                                    .and_then(Value::as_f64)
-                                    .unwrap_or(0.0);
-                                if let Some(rp) = result_path {
-                                    ctx[rp.as_str()] = result;
-                                }
-                                (self.transition_overhead + action_time, Ok(next.clone()))
-                            }
-                            Err(e) => (self.transition_overhead, Err(e)),
-                        },
-                    }
-                }
-            };
-            clock += duration;
-            events.push(FlowEvent {
-                state: current.clone(),
-                entered_at,
-                duration,
-            });
-            match outcome {
-                Ok(next) => current = next,
-                Err(e) => {
-                    return FlowRun {
-                        id,
-                        status: RunStatus::Failed(e),
-                        context: ctx,
-                        events,
-                    };
+                    current = state;
                 }
             }
         }
@@ -257,6 +266,115 @@ impl<'a> FlowRunner<'a> {
             events,
         }
     }
+
+    /// Execute `flow` against a write-ahead `journal`, resuming run `run`
+    /// from its last journaled transition.
+    ///
+    /// Every state entry is journaled as a [`JournalEvent::FlowTransition`]
+    /// carrying the context accumulated so far, and the terminal outcome as a
+    /// [`JournalEvent::FlowFinished`]. On restart:
+    ///
+    /// - a run the journal records as finished returns its terminal status
+    ///   immediately, invoking no providers (context is not retained past the
+    ///   finish event and comes back as `Null`);
+    /// - an in-flight run resumes from the last durable transition with the
+    ///   journaled context — states before it are never re-executed, while
+    ///   the state that was in flight at the crash re-runs (at-least-once,
+    ///   as with any write-ahead log).
+    ///
+    /// A failed append aborts the run with the journal's error; nothing past
+    /// the failure is executed.
+    pub fn run_journaled<S: Storage>(
+        &mut self,
+        flow: &FlowDefinition,
+        input: Value,
+        journal: &mut Journal<S>,
+        run: u64,
+    ) -> Result<FlowRun, JournalError> {
+        let id = RunId::from_raw(run);
+        if let Some(status) = journal.state().flows_finished.get(&run) {
+            let status = match status.strip_prefix("failed:") {
+                Some(e) => RunStatus::Failed(e.to_string()),
+                None => RunStatus::Succeeded,
+            };
+            return Ok(FlowRun {
+                id,
+                status,
+                context: Value::Null,
+                events: Vec::new(),
+            });
+        }
+        let (mut current, mut ctx) = match journal.state().flow_states.get(&run) {
+            Some((state, context)) => (state.clone(), context.clone()),
+            None => {
+                let ctx = serde_json::json!({ "input": input });
+                journal.append(JournalEvent::FlowTransition {
+                    run,
+                    state: flow.start_at.clone(),
+                    context: ctx.clone(),
+                })?;
+                (flow.start_at.clone(), ctx)
+            }
+        };
+        let mut events = Vec::new();
+        let mut clock = 0.0f64;
+        for _ in 0..self.max_steps {
+            let entered_at = clock;
+            match self.step(flow, &current, &mut ctx) {
+                Step::Done { status, duration } => {
+                    events.push(FlowEvent {
+                        state: current,
+                        entered_at,
+                        duration,
+                    });
+                    let tag = match &status {
+                        RunStatus::Succeeded => "succeeded".to_string(),
+                        RunStatus::Failed(e) => format!("failed:{e}"),
+                    };
+                    journal.append(JournalEvent::FlowFinished { run, status: tag })?;
+                    return Ok(FlowRun {
+                        id,
+                        status,
+                        context: ctx,
+                        events,
+                    });
+                }
+                Step::Next { state, duration } => {
+                    clock += duration;
+                    events.push(FlowEvent {
+                        state: current.clone(),
+                        entered_at,
+                        duration,
+                    });
+                    journal.append(JournalEvent::FlowTransition {
+                        run,
+                        state: state.clone(),
+                        context: ctx.clone(),
+                    })?;
+                    current = state;
+                }
+            }
+        }
+        let status = RunStatus::Failed(format!("exceeded {} steps", self.max_steps));
+        journal.append(JournalEvent::FlowFinished {
+            run,
+            status: format!("failed:exceeded {} steps", self.max_steps),
+        })?;
+        Ok(FlowRun {
+            id,
+            status,
+            context: ctx,
+            events,
+        })
+    }
+}
+
+/// Outcome of executing a single state.
+enum Step {
+    /// The run reached a terminal state (or failed).
+    Done { status: RunStatus, duration: f64 },
+    /// Continue to the named state.
+    Next { state: String, duration: f64 },
 }
 
 impl Default for FlowRunner<'_> {
@@ -311,8 +429,9 @@ mod tests {
 
     #[test]
     fn action_error_fails_run() {
-        let mut provider =
-            |_: &str, _: &Value, _: &Value| -> Result<Value, String> { Err("inference OOM".into()) };
+        let mut provider = |_: &str, _: &Value, _: &Value| -> Result<Value, String> {
+            Err("inference OOM".into())
+        };
         let mut runner = FlowRunner::new();
         runner.register("stamp", &mut provider);
         let run = runner.run(&linear_flow(), json!({}));
@@ -344,7 +463,10 @@ mod tests {
         }))
         .unwrap();
         let mut runner = FlowRunner::new();
-        assert!(runner.run(&flow, json!({"kind": "day"})).status.is_success());
+        assert!(runner
+            .run(&flow, json!({"kind": "day"}))
+            .status
+            .is_success());
         assert_eq!(
             runner.run(&flow, json!({"kind": "night"})).status,
             RunStatus::Failed("night granule".into())
@@ -368,7 +490,11 @@ mod tests {
         .unwrap();
         let mut runner = FlowRunner::new();
         let run = runner.run(&flow, json!({}));
-        assert!((run.total_duration() - 2.6).abs() < 1e-9, "{}", run.total_duration());
+        assert!(
+            (run.total_duration() - 2.6).abs() < 1e-9,
+            "{}",
+            run.total_duration()
+        );
     }
 
     #[test]
@@ -428,6 +554,122 @@ mod tests {
         assert_eq!(r["list"], json!(["x", "literal"]));
         assert_eq!(r["missing"], Value::Null);
         assert_eq!(r["plain"], 42);
+    }
+
+    #[test]
+    fn journaled_run_without_crash_matches_plain() {
+        use eoml_journal::MemStorage;
+        let mut provider = |_: &str, params: &Value, _: &Value| {
+            Ok(json!({"tag": params["tag"], "_duration": 1.0}))
+        };
+        let plain = {
+            let mut p = provider;
+            let mut runner = FlowRunner::new();
+            runner.register("stamp", &mut p);
+            runner.run(&linear_flow(), json!({"file": "tiles.nc"}))
+        };
+        let (mut journal, _) = Journal::open(MemStorage::new()).unwrap();
+        let mut runner = FlowRunner::new();
+        runner.register("stamp", &mut provider);
+        let journaled = runner
+            .run_journaled(&linear_flow(), json!({"file": "tiles.nc"}), &mut journal, 7)
+            .unwrap();
+        assert_eq!(journaled.status, plain.status);
+        assert_eq!(journaled.context, plain.context);
+        assert_eq!(journaled.events.len(), plain.events.len());
+        assert_eq!(journal.state().flows_finished.get(&7).unwrap(), "succeeded");
+    }
+
+    #[test]
+    fn crashed_flow_resumes_from_last_transition() {
+        use eoml_journal::MemStorage;
+        use std::cell::Cell;
+        let invocations = Cell::new(0usize);
+        let mut provider = |_: &str, params: &Value, _: &Value| {
+            invocations.set(invocations.get() + 1);
+            Ok(json!({"tag": params["tag"], "_duration": 1.0}))
+        };
+        let baseline = {
+            let mut p = |_: &str, params: &Value, _: &Value| -> Result<Value, String> {
+                Ok(json!({"tag": params["tag"], "_duration": 1.0}))
+            };
+            let mut runner = FlowRunner::new();
+            runner.register("stamp", &mut p);
+            runner.run(&linear_flow(), json!({"file": "tiles.nc"}))
+        };
+
+        let store = MemStorage::new();
+        let (mut journal, _) = Journal::open(store.clone()).unwrap();
+        // Durable budget: start transition + A's successor transition, then
+        // crash journaling the transition out of B.
+        journal.crash_after(2);
+        let mut runner = FlowRunner::new();
+        runner.register("stamp", &mut provider);
+        let crashed =
+            runner.run_journaled(&linear_flow(), json!({"file": "tiles.nc"}), &mut journal, 7);
+        assert!(crashed.is_err());
+        let ran_before_crash = invocations.get();
+        assert!(ran_before_crash >= 1, "crash fired before any state ran");
+
+        let (mut journal, recovery) = Journal::open(store).unwrap();
+        assert_eq!(recovery.events, 2);
+        let resumed = runner
+            .run_journaled(&linear_flow(), json!({"file": "tiles.nc"}), &mut journal, 7)
+            .unwrap();
+        assert_eq!(resumed.status, baseline.status);
+        assert_eq!(resumed.context, baseline.context);
+        // The durable prefix (state A) is skipped: the resumed run replays
+        // fewer states than the full flow.
+        assert!(resumed.events.len() < baseline.events.len());
+        assert_eq!(journal.state().flows_finished.get(&7).unwrap(), "succeeded");
+    }
+
+    #[test]
+    fn finished_flow_is_not_reexecuted() {
+        use eoml_journal::MemStorage;
+        use std::cell::Cell;
+        let invocations = Cell::new(0usize);
+        let mut provider = |_: &str, params: &Value, _: &Value| {
+            invocations.set(invocations.get() + 1);
+            Ok(json!({"tag": params["tag"], "_duration": 1.0}))
+        };
+        let (mut journal, _) = Journal::open(MemStorage::new()).unwrap();
+        let mut runner = FlowRunner::new();
+        runner.register("stamp", &mut provider);
+        let first = runner
+            .run_journaled(&linear_flow(), json!({"file": "tiles.nc"}), &mut journal, 3)
+            .unwrap();
+        let after_first = invocations.get();
+        let again = runner
+            .run_journaled(&linear_flow(), json!({"file": "tiles.nc"}), &mut journal, 3)
+            .unwrap();
+        assert_eq!(
+            invocations.get(),
+            after_first,
+            "finished flow re-invoked providers"
+        );
+        assert_eq!(again.status, first.status);
+        assert!(again.events.is_empty());
+    }
+
+    #[test]
+    fn journaled_failure_status_round_trips() {
+        use eoml_journal::MemStorage;
+        let flow = FlowDefinition::from_json(&json!({
+            "start_at": "Boom",
+            "states": {"Boom": {"type": "fail", "error": "night granule"}}
+        }))
+        .unwrap();
+        let (mut journal, _) = Journal::open(MemStorage::new()).unwrap();
+        let mut runner = FlowRunner::new();
+        let first = runner
+            .run_journaled(&flow, json!({}), &mut journal, 9)
+            .unwrap();
+        assert_eq!(first.status, RunStatus::Failed("night granule".into()));
+        let again = runner
+            .run_journaled(&flow, json!({}), &mut journal, 9)
+            .unwrap();
+        assert_eq!(again.status, RunStatus::Failed("night granule".into()));
     }
 
     #[test]

@@ -97,7 +97,10 @@ mod tests {
         let m1 = LandMask::earth_like(2022);
         let m2 = LandMask::earth_like(2022);
         for i in 0..100 {
-            let p = LatLon::new((i as f64 * 1.7) % 80.0 - 40.0, (i as f64 * 3.1) % 360.0 - 180.0);
+            let p = LatLon::new(
+                (i as f64 * 1.7) % 80.0 - 40.0,
+                (i as f64 * 3.1) % 360.0 - 180.0,
+            );
             assert_eq!(m1.is_land(&p), m2.is_land(&p));
         }
     }
@@ -150,7 +153,11 @@ mod tests {
             let lat = i as f64 * 2.0 - 50.0;
             let w = m.field_value(&LatLon::new(lat, 179.95));
             let e = m.field_value(&LatLon::new(lat, -179.95));
-            assert!((w - e).abs() < 0.05, "seam jump {} at lat {lat}", (w - e).abs());
+            assert!(
+                (w - e).abs() < 0.05,
+                "seam jump {} at lat {lat}",
+                (w - e).abs()
+            );
         }
     }
 
@@ -160,7 +167,10 @@ mod tests {
         let b = LandMask::earth_like(2);
         let diffs = (0..200)
             .filter(|&i| {
-                let p = LatLon::new((i as f64 * 0.83) % 120.0 - 60.0, (i as f64 * 2.9) % 360.0 - 180.0);
+                let p = LatLon::new(
+                    (i as f64 * 0.83) % 120.0 - 60.0,
+                    (i as f64 * 2.9) % 360.0 - 180.0,
+                );
                 a.is_land(&p) != b.is_land(&p)
             })
             .count();
@@ -171,7 +181,10 @@ mod tests {
     fn field_value_in_range() {
         let m = LandMask::earth_like(5);
         for i in 0..300 {
-            let p = LatLon::new((i as f64 * 0.61) % 180.0 - 90.0, (i as f64 * 1.27) % 360.0 - 180.0);
+            let p = LatLon::new(
+                (i as f64 * 0.61) % 180.0 - 90.0,
+                (i as f64 * 1.27) % 360.0 - 180.0,
+            );
             let v = m.field_value(&p);
             assert!((0.0..1.0).contains(&v), "{v}");
         }

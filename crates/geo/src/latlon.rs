@@ -67,11 +67,9 @@ impl LatLon {
         let theta = bearing_deg.to_radians();
         let phi1 = self.lat_rad();
         let lam1 = self.lon_rad();
-        let phi2 =
-            (phi1.sin() * delta.cos() + phi1.cos() * delta.sin() * theta.cos()).asin();
+        let phi2 = (phi1.sin() * delta.cos() + phi1.cos() * delta.sin() * theta.cos()).asin();
         let lam2 = lam1
-            + (theta.sin() * delta.sin() * phi1.cos())
-                .atan2(delta.cos() - phi1.sin() * phi2.sin());
+            + (theta.sin() * delta.sin() * phi1.cos()).atan2(delta.cos() - phi1.sin() * phi2.sin());
         LatLon::new(phi2.to_degrees(), lam2.to_degrees())
     }
 
@@ -93,7 +91,14 @@ impl fmt::Display for LatLon {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let ns = if self.lat >= 0.0 { 'N' } else { 'S' };
         let ew = if self.lon >= 0.0 { 'E' } else { 'W' };
-        write!(f, "{:.3}°{} {:.3}°{}", self.lat.abs(), ns, self.lon.abs(), ew)
+        write!(
+            f,
+            "{:.3}°{} {:.3}°{}",
+            self.lat.abs(),
+            ns,
+            self.lon.abs(),
+            ew
+        )
     }
 }
 

@@ -243,7 +243,10 @@ mod tests {
         }
         // Max |lat| for i=98.2° is 180−98.2 = 81.8°.
         assert!(max_lat <= 81.9, "max lat {max_lat}");
-        assert!(max_lat > 80.0, "orbit should reach high latitudes, got {max_lat}");
+        assert!(
+            max_lat > 80.0,
+            "orbit should reach high latitudes, got {max_lat}"
+        );
     }
 
     #[test]
@@ -265,7 +268,11 @@ mod tests {
         // crossings stays fixed. Check over one day (~14.5 orbits).
         let orbit = terra();
         let crossings = orbit.equator_crossings(0.0, 86_400.0);
-        assert!(crossings.len() >= 28, "expected ≥28 crossings, got {}", crossings.len());
+        assert!(
+            crossings.len() >= 28,
+            "expected ≥28 crossings, got {}",
+            crossings.len()
+        );
         // Ascending crossings are every other one; compute local solar time
         // = UTC hours + lon/15 (UTC here = t seconds, epoch midnight).
         let lst: Vec<f64> = crossings
@@ -306,7 +313,7 @@ mod tests {
     }
 
     #[test]
-    fn scan_line_center_is_on_ground_track(){
+    fn scan_line_center_is_on_ground_track() {
         let g = SwathGeometry::modis_1km(terra());
         let t = 2345.0;
         let line = g.scan_line(t);

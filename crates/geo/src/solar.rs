@@ -25,8 +25,7 @@ pub fn equation_of_time_min(doy: u16) -> f64 {
 /// solar noon, negative in the morning).
 pub fn hour_angle_deg(lon: f64, t: UtcTime) -> f64 {
     let doy = t.date().ordinal();
-    let solar_minutes =
-        t.seconds_of_day() / 60.0 + 4.0 * lon + equation_of_time_min(doy);
+    let solar_minutes = t.seconds_of_day() / 60.0 + 4.0 * lon + equation_of_time_min(doy);
     // Wrap (solar_minutes/4 − 180°) into [−180°, 180°).
     (solar_minutes / 4.0).rem_euclid(360.0) - 180.0
 }
@@ -91,7 +90,11 @@ mod tests {
     fn midnight_is_night() {
         let z = solar_zenith_deg(&LatLon::new(0.0, 0.0), at(2022, 3, 21, 0, 0));
         assert!(z > 150.0, "zenith {z}");
-        assert!(!is_daylit(&LatLon::new(0.0, 0.0), at(2022, 3, 21, 0, 0), 85.0));
+        assert!(!is_daylit(
+            &LatLon::new(0.0, 0.0),
+            at(2022, 3, 21, 0, 0),
+            85.0
+        ));
     }
 
     #[test]

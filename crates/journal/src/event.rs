@@ -1,0 +1,270 @@
+//! Campaign lifecycle events. Each journal frame carries exactly one event
+//! as a JSON object tagged by `"type"`; the JSON form is the stable on-disk
+//! schema, so encoding is explicit rather than derived.
+
+use serde_json::{json, Value};
+
+/// Everything a campaign (batch or streaming) or flow run records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    /// A campaign began; identifies the deterministic world it runs in.
+    CampaignStarted {
+        /// World seed — resume must match it.
+        seed: u64,
+        /// Human-readable campaign label.
+        label: String,
+    },
+    /// A pipeline stage began.
+    StageStarted {
+        /// Stage name ("download", "preprocess", ...).
+        stage: String,
+    },
+    /// A pipeline stage completed.
+    StageFinished {
+        /// Stage name.
+        stage: String,
+    },
+    /// One granule file finished downloading.
+    FileDownloaded {
+        /// Remote file name.
+        file: String,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Preprocessing emitted a tile file for a granule.
+    TileFileWritten {
+        /// Output tile file name.
+        file: String,
+        /// Tiles contained.
+        tiles: u64,
+    },
+    /// The data crawler announced a fresh file to inference.
+    MonitorTriggered {
+        /// File surfaced by the monitor.
+        file: String,
+    },
+    /// Inference labels were appended to a tile file.
+    LabelsAppended {
+        /// Tile file name.
+        file: String,
+        /// Labels written.
+        labels: u64,
+        /// File payload size (needed to rebuild the shipment manifest).
+        bytes: u64,
+    },
+    /// The final shipment transfer completed.
+    ShipmentFinished {
+        /// Files shipped.
+        files: u64,
+        /// Bytes shipped.
+        bytes: u64,
+    },
+    /// A flow run moved to a new state with its post-transition context.
+    FlowTransition {
+        /// Flow run id.
+        run: u64,
+        /// State just entered.
+        state: String,
+        /// Context after the transition (for resume).
+        context: Value,
+    },
+    /// A flow run finished.
+    FlowFinished {
+        /// Flow run id.
+        run: u64,
+        /// "succeeded" or "failed: reason".
+        status: String,
+    },
+    /// Periodic state snapshot; recovery replays only events after the
+    /// latest one.
+    Snapshot {
+        /// Serialised [`crate::CampaignState`].
+        state: Value,
+    },
+}
+
+impl JournalEvent {
+    /// The on-disk JSON form.
+    pub fn to_json(&self) -> Value {
+        match self {
+            JournalEvent::CampaignStarted { seed, label } => {
+                json!({ "type": "campaign_started", "seed": *seed, "label": label })
+            }
+            JournalEvent::StageStarted { stage } => {
+                json!({ "type": "stage_started", "stage": stage })
+            }
+            JournalEvent::StageFinished { stage } => {
+                json!({ "type": "stage_finished", "stage": stage })
+            }
+            JournalEvent::FileDownloaded { file, bytes } => {
+                json!({ "type": "file_downloaded", "file": file, "bytes": *bytes })
+            }
+            JournalEvent::TileFileWritten { file, tiles } => {
+                json!({ "type": "tile_file_written", "file": file, "tiles": *tiles })
+            }
+            JournalEvent::MonitorTriggered { file } => {
+                json!({ "type": "monitor_triggered", "file": file })
+            }
+            JournalEvent::LabelsAppended {
+                file,
+                labels,
+                bytes,
+            } => {
+                json!({ "type": "labels_appended", "file": file, "labels": *labels, "bytes": *bytes })
+            }
+            JournalEvent::ShipmentFinished { files, bytes } => {
+                json!({ "type": "shipment_finished", "files": *files, "bytes": *bytes })
+            }
+            JournalEvent::FlowTransition {
+                run,
+                state,
+                context,
+            } => {
+                json!({ "type": "flow_transition", "run": *run, "state": state, "context": context })
+            }
+            JournalEvent::FlowFinished { run, status } => {
+                json!({ "type": "flow_finished", "run": *run, "status": status })
+            }
+            JournalEvent::Snapshot { state } => {
+                json!({ "type": "snapshot", "state": state })
+            }
+        }
+    }
+
+    /// Parse the on-disk JSON form; `Err` names the missing/invalid field.
+    pub fn from_json(v: &Value) -> Result<JournalEvent, String> {
+        let typ = v["type"].as_str().ok_or("event missing 'type'")?;
+        let str_field = |k: &str| -> Result<String, String> {
+            v[k].as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{typ}: missing '{k}'"))
+        };
+        let u64_field = |k: &str| -> Result<u64, String> {
+            v[k].as_u64().ok_or_else(|| format!("{typ}: missing '{k}'"))
+        };
+        Ok(match typ {
+            "campaign_started" => JournalEvent::CampaignStarted {
+                seed: u64_field("seed")?,
+                label: str_field("label")?,
+            },
+            "stage_started" => JournalEvent::StageStarted {
+                stage: str_field("stage")?,
+            },
+            "stage_finished" => JournalEvent::StageFinished {
+                stage: str_field("stage")?,
+            },
+            "file_downloaded" => JournalEvent::FileDownloaded {
+                file: str_field("file")?,
+                bytes: u64_field("bytes")?,
+            },
+            "tile_file_written" => JournalEvent::TileFileWritten {
+                file: str_field("file")?,
+                tiles: u64_field("tiles")?,
+            },
+            "monitor_triggered" => JournalEvent::MonitorTriggered {
+                file: str_field("file")?,
+            },
+            "labels_appended" => JournalEvent::LabelsAppended {
+                file: str_field("file")?,
+                labels: u64_field("labels")?,
+                bytes: u64_field("bytes")?,
+            },
+            "shipment_finished" => JournalEvent::ShipmentFinished {
+                files: u64_field("files")?,
+                bytes: u64_field("bytes")?,
+            },
+            "flow_transition" => JournalEvent::FlowTransition {
+                run: u64_field("run")?,
+                state: str_field("state")?,
+                context: v["context"].clone(),
+            },
+            "flow_finished" => JournalEvent::FlowFinished {
+                run: u64_field("run")?,
+                status: str_field("status")?,
+            },
+            "snapshot" => JournalEvent::Snapshot {
+                state: v["state"].clone(),
+            },
+            other => return Err(format!("unknown event type '{other}'")),
+        })
+    }
+
+    /// Serialise to frame payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_json().to_string().into_bytes()
+    }
+
+    /// Parse frame payload bytes.
+    pub fn decode(bytes: &[u8]) -> Result<JournalEvent, String> {
+        let text = std::str::from_utf8(bytes).map_err(|_| "event is not UTF-8".to_string())?;
+        let v = serde_json::from_str(text).map_err(|e| format!("event is not JSON: {e}"))?;
+        JournalEvent::from_json(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::CampaignStarted {
+                seed: 42,
+                label: "paper_demo".into(),
+            },
+            JournalEvent::StageStarted {
+                stage: "download".into(),
+            },
+            JournalEvent::StageFinished {
+                stage: "download".into(),
+            },
+            JournalEvent::FileDownloaded {
+                file: "MOD021KM.A2022001.0000.hdf".into(),
+                bytes: 170_000_000,
+            },
+            JournalEvent::TileFileWritten {
+                file: "tiles_0001.nc".into(),
+                tiles: 324,
+            },
+            JournalEvent::MonitorTriggered {
+                file: "tiles_0001.nc".into(),
+            },
+            JournalEvent::LabelsAppended {
+                file: "tiles_0001.nc".into(),
+                labels: 324,
+                bytes: 5_000_000,
+            },
+            JournalEvent::ShipmentFinished {
+                files: 12,
+                bytes: 60_000_000,
+            },
+            JournalEvent::FlowTransition {
+                run: 7,
+                state: "Infer".into(),
+                context: json!({ "input": { "file": "x.nc" } }),
+            },
+            JournalEvent::FlowFinished {
+                run: 7,
+                status: "succeeded".into(),
+            },
+            JournalEvent::Snapshot {
+                state: json!({ "downloaded": ["a"] }),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for ev in samples() {
+            let bytes = ev.encode();
+            assert_eq!(JournalEvent::decode(&bytes).unwrap(), ev, "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_and_malformed_are_errors() {
+        assert!(JournalEvent::from_json(&json!({ "type": "warp" })).is_err());
+        assert!(JournalEvent::from_json(&json!({ "type": "stage_started" })).is_err());
+        assert!(JournalEvent::decode(b"not json").is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! On-disk frame format: `[u32 len][u32 crc32][payload]`, little-endian.
+//!
+//! The CRC covers the payload only; the length field is sanity-bounded so a
+//! corrupted length cannot make recovery read gigabytes. Decoding never
+//! fails hard — a bad frame yields `FrameOutcome::Torn`, which recovery
+//! treats as "the journal ends here".
+
+/// Upper bound on a single frame's payload. Events are small JSON blobs;
+/// anything larger is corruption.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Header size in bytes (length + checksum).
+pub const HEADER_LEN: usize = 8;
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Serialise one frame.
+pub fn encode(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME_LEN as usize,
+        "frame payload too large"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Result of attempting to decode the frame starting at some offset.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameOutcome<'a> {
+    /// A complete, checksum-valid frame; `next` is the offset just past it.
+    Ok { payload: &'a [u8], next: usize },
+    /// The buffer ends exactly at a frame boundary.
+    End,
+    /// Truncated header, truncated payload, implausible length, or checksum
+    /// mismatch — a torn tail.
+    Torn,
+}
+
+/// Decode the frame starting at `offset` in `buf`.
+pub fn decode_at(buf: &[u8], offset: usize) -> FrameOutcome<'_> {
+    if offset == buf.len() {
+        return FrameOutcome::End;
+    }
+    let Some(header) = buf.get(offset..offset + HEADER_LEN) else {
+        return FrameOutcome::Torn;
+    };
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return FrameOutcome::Torn;
+    }
+    let start = offset + HEADER_LEN;
+    let Some(payload) = buf.get(start..start + len as usize) else {
+        return FrameOutcome::Torn;
+    };
+    if crc32(payload) != crc {
+        return FrameOutcome::Torn;
+    }
+    FrameOutcome::Ok {
+        payload,
+        next: start + len as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_matches_known_vector() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let buf = encode(b"hello");
+        match decode_at(&buf, 0) {
+            FrameOutcome::Ok { payload, next } => {
+                assert_eq!(payload, b"hello");
+                assert_eq!(next, buf.len());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(decode_at(&buf, buf.len()), FrameOutcome::End);
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_torn() {
+        let buf = encode(b"payload");
+        for cut in 0..buf.len() {
+            if cut == 0 {
+                assert_eq!(decode_at(&buf[..cut], 0), FrameOutcome::End);
+            } else {
+                assert_eq!(decode_at(&buf[..cut], 0), FrameOutcome::Torn, "cut {cut}");
+            }
+        }
+        let mut bad = buf.clone();
+        *bad.last_mut().expect("non-empty") ^= 0xff;
+        assert_eq!(decode_at(&bad, 0), FrameOutcome::Torn);
+    }
+
+    #[test]
+    fn implausible_length_is_torn() {
+        let mut buf = vec![0u8; 16];
+        buf[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_at(&buf, 0), FrameOutcome::Torn);
+    }
+}

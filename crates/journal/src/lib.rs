@@ -1,0 +1,12 @@
+//! eoml-journal: durable write-ahead event journal for campaign recovery.
+
+pub mod event;
+pub mod frame;
+pub mod state;
+pub mod storage;
+pub mod wal;
+
+pub use event::JournalEvent;
+pub use state::CampaignState;
+pub use storage::{FileStorage, MemStorage, Storage};
+pub use wal::{Journal, JournalError, RecoveryReport};

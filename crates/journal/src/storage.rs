@@ -1,0 +1,167 @@
+//! Byte-level persistence behind the journal: a real file, plus a shared
+//! in-memory buffer for tests (cloning a `MemStorage` models reopening the
+//! same "file" after a process death).
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Append-only byte storage with truncation (for torn-tail repair).
+pub trait Storage {
+    /// Entire current contents.
+    fn read_all(&mut self) -> Result<Vec<u8>, String>;
+    /// Append bytes at the end.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), String>;
+    /// Cut the contents down to `len` bytes.
+    fn truncate(&mut self, len: u64) -> Result<(), String>;
+    /// Current size in bytes.
+    fn len(&mut self) -> Result<u64, String> {
+        Ok(self.read_all()?.len() as u64)
+    }
+    /// Whether the storage holds no bytes yet.
+    fn is_empty(&mut self) -> Result<bool, String> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// Journal bytes in a file on disk. The file is created on first append.
+pub struct FileStorage {
+    path: PathBuf,
+}
+
+impl FileStorage {
+    /// Storage at `path`; the file need not exist yet.
+    pub fn new(path: impl AsRef<Path>) -> Self {
+        Self {
+            path: path.as_ref().to_path_buf(),
+        }
+    }
+
+    /// The backing path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Storage for FileStorage {
+    fn read_all(&mut self) -> Result<Vec<u8>, String> {
+        match std::fs::read(&self.path) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(format!("read {}: {e}", self.path.display())),
+        }
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| format!("open {}: {e}", self.path.display()))?;
+        f.write_all(bytes)
+            .and_then(|_| f.flush())
+            .map_err(|e| format!("append {}: {e}", self.path.display()))
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), String> {
+        let f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&self.path)
+            .map_err(|e| format!("open {}: {e}", self.path.display()))?;
+        f.set_len(len)
+            .map_err(|e| format!("truncate {}: {e}", self.path.display()))
+    }
+
+    fn len(&mut self) -> Result<u64, String> {
+        match std::fs::metadata(&self.path) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(format!("stat {}: {e}", self.path.display())),
+        }
+    }
+}
+
+/// Journal bytes in shared memory. Clones alias the same buffer, so a test
+/// can "crash" one `Journal` and reopen another over the same bytes.
+#[derive(Clone, Default)]
+pub struct MemStorage {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemStorage {
+    /// Fresh empty storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of the raw contents (for corruption-injection tests).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        self.bytes.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Replace the raw contents (for corruption-injection tests).
+    pub fn set_bytes(&self, new: Vec<u8>) {
+        *self.bytes.lock().unwrap_or_else(|e| e.into_inner()) = new;
+    }
+}
+
+impl Storage for MemStorage {
+    fn read_all(&mut self) -> Result<Vec<u8>, String> {
+        Ok(self.snapshot_bytes())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.bytes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), String> {
+        let mut b = self.bytes.lock().unwrap_or_else(|e| e.into_inner());
+        if (len as usize) < b.len() {
+            b.truncate(len as usize);
+        }
+        Ok(())
+    }
+
+    fn len(&mut self) -> Result<u64, String> {
+        Ok(self.bytes.lock().unwrap_or_else(|e| e.into_inner()).len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_clones_share_bytes() {
+        let mut a = MemStorage::new();
+        let mut b = a.clone();
+        a.append(b"xyz").unwrap();
+        assert_eq!(b.read_all().unwrap(), b"xyz");
+        b.truncate(1).unwrap();
+        assert_eq!(a.read_all().unwrap(), b"x");
+    }
+
+    #[test]
+    fn file_storage_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("eoml-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileStorage::new(&path);
+        assert!(s.is_empty().unwrap());
+        s.append(b"abcdef").unwrap();
+        s.append(b"gh").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"abcdefgh");
+        s.truncate(3).unwrap();
+        assert_eq!(s.read_all().unwrap(), b"abc");
+        assert_eq!(s.len().unwrap(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

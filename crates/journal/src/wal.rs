@@ -1,0 +1,313 @@
+//! The journal proper: append events durably, recover a strict prefix after
+//! any crash (torn tails are truncated, never fatal), and maintain the
+//! materialised [`CampaignState`] both live and across recovery.
+//!
+//! Crash injection is built in: [`Journal::crash_after`] arms a countdown
+//! after which appends fail as if the process died mid-run. Drivers treat
+//! an append error as a hard stop, so tests can kill a campaign at any
+//! event index deterministically.
+
+use crate::event::JournalEvent;
+use crate::frame::{self, FrameOutcome};
+use crate::state::CampaignState;
+use crate::storage::Storage;
+use std::fmt;
+
+/// Journal failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// Underlying storage failed.
+    Io(String),
+    /// The injected crash point was reached (or a previous append crashed);
+    /// no further events are accepted.
+    Crashed,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(msg) => write!(f, "journal I/O error: {msg}"),
+            JournalError::Crashed => write!(f, "journal crashed (injected kill point)"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// What [`Journal::open`] found.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Events recovered (the strict prefix that was durable).
+    pub events: usize,
+    /// Torn-tail bytes discarded by truncation.
+    pub truncated_bytes: u64,
+    /// Events replayed after the snapshot used (equals `events` when no
+    /// snapshot was usable) — the O(tail) recovery cost.
+    pub replayed: usize,
+}
+
+/// Append-only, checksummed event journal over any [`Storage`].
+pub struct Journal<S: Storage> {
+    storage: S,
+    events: Vec<JournalEvent>,
+    state: CampaignState,
+    /// Append a snapshot automatically after this many events (0 = never).
+    snapshot_every: usize,
+    since_snapshot: usize,
+    /// Remaining appends before the injected crash; `None` = healthy.
+    crash_in: Option<usize>,
+    crashed: bool,
+}
+
+impl<S: Storage> Journal<S> {
+    /// Open (or create) a journal, recovering any durable prefix. A torn
+    /// tail is truncated in storage so subsequent appends extend a valid
+    /// frame sequence.
+    pub fn open(storage: S) -> Result<(Journal<S>, RecoveryReport), JournalError> {
+        Self::open_with_snapshot_every(storage, 64)
+    }
+
+    /// [`Journal::open`] with an explicit auto-snapshot cadence.
+    pub fn open_with_snapshot_every(
+        mut storage: S,
+        snapshot_every: usize,
+    ) -> Result<(Journal<S>, RecoveryReport), JournalError> {
+        let bytes = storage.read_all().map_err(JournalError::Io)?;
+        let mut events = Vec::new();
+        let mut offset = 0usize;
+        loop {
+            match frame::decode_at(&bytes, offset) {
+                FrameOutcome::Ok { payload, next } => match JournalEvent::decode(payload) {
+                    Ok(ev) => {
+                        events.push(ev);
+                        offset = next;
+                    }
+                    // Checksum-valid but unparseable: treat like a torn
+                    // tail — keep the strict prefix before it.
+                    Err(_) => break,
+                },
+                FrameOutcome::End => break,
+                FrameOutcome::Torn => break,
+            }
+        }
+        let truncated_bytes = (bytes.len() - offset) as u64;
+        if truncated_bytes > 0 {
+            storage.truncate(offset as u64).map_err(JournalError::Io)?;
+        }
+        // Rebuild state from the latest usable snapshot; O(tail) replay.
+        let snapshot_at = events.iter().rposition(|e| {
+            matches!(e, JournalEvent::Snapshot { state }
+                     if CampaignState::from_json(state).is_ok())
+        });
+        let (mut state, replay_from) = match snapshot_at {
+            Some(i) => match &events[i] {
+                JournalEvent::Snapshot { state } => {
+                    (CampaignState::from_json(state).expect("validated above"), i)
+                }
+                _ => unreachable!("rposition matched a snapshot"),
+            },
+            None => (CampaignState::new(), 0),
+        };
+        for ev in &events[replay_from..] {
+            state.apply(ev);
+        }
+        let report = RecoveryReport {
+            events: events.len(),
+            truncated_bytes,
+            replayed: events.len() - replay_from,
+        };
+        let since_snapshot = events.len() - snapshot_at.map_or(0, |i| i + 1);
+        Ok((
+            Journal {
+                storage,
+                events,
+                state,
+                snapshot_every,
+                since_snapshot,
+                crash_in: None,
+                crashed: false,
+            },
+            report,
+        ))
+    }
+
+    /// Arm the kill switch: the next `n` appends succeed, every append
+    /// after that fails with [`JournalError::Crashed`]. Automatic snapshot
+    /// frames consume the budget too, making kill points byte-deterministic.
+    pub fn crash_after(&mut self, n: usize) {
+        self.crash_in = Some(n);
+    }
+
+    /// Whether the injected crash point has been reached.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Durable events, in append order.
+    pub fn events(&self) -> &[JournalEvent] {
+        &self.events
+    }
+
+    /// Number of durable events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Live materialised state (identical to what recovery would rebuild).
+    pub fn state(&self) -> &CampaignState {
+        &self.state
+    }
+
+    /// Append one event durably.
+    pub fn append(&mut self, event: JournalEvent) -> Result<(), JournalError> {
+        self.write_frame(event)?;
+        if self.snapshot_every > 0 && self.since_snapshot >= self.snapshot_every {
+            self.snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Append a snapshot of the current state, resetting the auto-snapshot
+    /// counter.
+    pub fn snapshot(&mut self) -> Result<(), JournalError> {
+        let snap = JournalEvent::Snapshot {
+            state: self.state.to_json(),
+        };
+        self.write_frame(snap)?;
+        self.since_snapshot = 0;
+        Ok(())
+    }
+
+    fn write_frame(&mut self, event: JournalEvent) -> Result<(), JournalError> {
+        if self.crashed {
+            return Err(JournalError::Crashed);
+        }
+        if let Some(left) = self.crash_in {
+            if left == 0 {
+                self.crashed = true;
+                return Err(JournalError::Crashed);
+            }
+            self.crash_in = Some(left - 1);
+        }
+        let bytes = frame::encode(&event.encode());
+        self.storage.append(&bytes).map_err(JournalError::Io)?;
+        self.state.apply(&event);
+        self.events.push(event);
+        self.since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Tear down, returning the storage (tests reuse it to reopen).
+    pub fn into_storage(self) -> S {
+        self.storage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn ev(i: usize) -> JournalEvent {
+        JournalEvent::FileDownloaded {
+            file: format!("file-{i}.hdf"),
+            bytes: 1000 + i as u64,
+        }
+    }
+
+    #[test]
+    fn reopen_recovers_everything() {
+        let store = MemStorage::new();
+        let (mut j, rep) = Journal::open(store.clone()).unwrap();
+        assert_eq!(rep, RecoveryReport::default());
+        for i in 0..10 {
+            j.append(ev(i)).unwrap();
+        }
+        let (j2, rep2) = Journal::open(store).unwrap();
+        assert_eq!(rep2.events, 10);
+        assert_eq!(rep2.truncated_bytes, 0);
+        assert_eq!(j2.events(), j.events());
+        assert_eq!(j2.state(), j.state());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_journal_stays_usable() {
+        let store = MemStorage::new();
+        let (mut j, _) = Journal::open(store.clone()).unwrap();
+        for i in 0..5 {
+            j.append(ev(i)).unwrap();
+        }
+        let full = store.snapshot_bytes();
+        // Chop 3 bytes off the final frame.
+        store.set_bytes(full[..full.len() - 3].to_vec());
+        let (mut j2, rep) = Journal::open(store.clone()).unwrap();
+        assert_eq!(rep.events, 4);
+        assert!(rep.truncated_bytes > 0);
+        assert!(j2.state().is_downloaded("file-3.hdf"));
+        assert!(!j2.state().is_downloaded("file-4.hdf"));
+        // The torn bytes are gone from storage and appends work again.
+        j2.append(ev(4)).unwrap();
+        let (j3, rep3) = Journal::open(store).unwrap();
+        assert_eq!(rep3.events, 5);
+        assert_eq!(rep3.truncated_bytes, 0);
+        assert!(j3.state().is_downloaded("file-4.hdf"));
+    }
+
+    #[test]
+    fn crash_after_stops_appends_deterministically() {
+        let store = MemStorage::new();
+        let (mut j, _) = Journal::open(store.clone()).unwrap();
+        j.crash_after(3);
+        assert!(j.append(ev(0)).is_ok());
+        assert!(j.append(ev(1)).is_ok());
+        assert!(j.append(ev(2)).is_ok());
+        assert_eq!(j.append(ev(3)), Err(JournalError::Crashed));
+        assert!(j.is_crashed());
+        assert_eq!(j.append(ev(4)), Err(JournalError::Crashed));
+        let (j2, rep) = Journal::open(store).unwrap();
+        assert_eq!(rep.events, 3);
+        assert_eq!(j2.len(), 3);
+    }
+
+    #[test]
+    fn snapshots_bound_replay_cost() {
+        let store = MemStorage::new();
+        let (mut j, _) = Journal::open_with_snapshot_every(store.clone(), 10).unwrap();
+        for i in 0..57 {
+            j.append(ev(i)).unwrap();
+        }
+        let live_state = j.state().clone();
+        let (j2, rep) = Journal::open_with_snapshot_every(store, 10).unwrap();
+        assert_eq!(j2.state(), &live_state);
+        // 57 events + interleaved snapshots; replay must start at the last
+        // snapshot, not the beginning.
+        assert!(rep.replayed < 15, "replayed {} events", rep.replayed);
+        assert!(rep.events > 57);
+    }
+
+    #[test]
+    fn recovered_state_matches_full_replay() {
+        let store = MemStorage::new();
+        let (mut j, _) = Journal::open_with_snapshot_every(store.clone(), 7).unwrap();
+        for i in 0..40 {
+            j.append(ev(i)).unwrap();
+            if i % 11 == 0 {
+                j.append(JournalEvent::StageFinished {
+                    stage: format!("stage-{i}"),
+                })
+                .unwrap();
+            }
+        }
+        let (j2, _) = Journal::open(store).unwrap();
+        let mut scratch = CampaignState::new();
+        for e in j2.events() {
+            scratch.apply(e);
+        }
+        assert_eq!(&scratch, j2.state());
+    }
+}

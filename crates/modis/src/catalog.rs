@@ -281,10 +281,8 @@ mod tests {
         // Gaps are independent across products: the same slot can exist
         // for one product and not another.
         let l03 = gappy.day_listing(Platform::Terra, ProductKind::Mod03, day1());
-        let slots02: std::collections::HashSet<u16> =
-            l1.iter().map(|e| e.granule.slot).collect();
-        let slots03: std::collections::HashSet<u16> =
-            l03.iter().map(|e| e.granule.slot).collect();
+        let slots02: std::collections::HashSet<u16> = l1.iter().map(|e| e.granule.slot).collect();
+        let slots03: std::collections::HashSet<u16> = l03.iter().map(|e| e.granule.slot).collect();
         assert_ne!(slots02, slots03);
     }
 

@@ -420,7 +420,10 @@ mod tests {
     fn decode_rejects_bad_version() {
         let mut bytes = sample().encode();
         bytes[4] = 99;
-        assert_eq!(Container::decode(&bytes), Err(ContainerError::BadVersion(99)));
+        assert_eq!(
+            Container::decode(&bytes),
+            Err(ContainerError::BadVersion(99))
+        );
     }
 
     #[test]

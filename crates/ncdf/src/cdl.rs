@@ -99,7 +99,11 @@ pub fn to_cdl(file: &NcFile, name: &str, mode: CdlMode) -> String {
         let _ = writeln!(out, "dimensions:");
         for d in &file.dims {
             if d.is_record() {
-                let _ = writeln!(out, "\t{} = UNLIMITED ; // ({} currently)", d.name, file.numrecs);
+                let _ = writeln!(
+                    out,
+                    "\t{} = UNLIMITED ; // ({} currently)",
+                    d.name, file.numrecs
+                );
             } else {
                 let _ = writeln!(out, "\t{} = {} ;", d.name, d.len);
             }
@@ -109,7 +113,11 @@ pub fn to_cdl(file: &NcFile, name: &str, mode: CdlMode) -> String {
     if !file.vars.is_empty() {
         let _ = writeln!(out, "variables:");
         for v in &file.vars {
-            let dims: Vec<&str> = v.dims.iter().map(|d| file.dims[d.0].name.as_str()).collect();
+            let dims: Vec<&str> = v
+                .dims
+                .iter()
+                .map(|d| file.dims[d.0].name.as_str())
+                .collect();
             if dims.is_empty() {
                 let _ = writeln!(out, "\t{} {} ;", type_name(v.nc_type), v.name);
             } else {
@@ -137,7 +145,12 @@ pub fn to_cdl(file: &NcFile, name: &str, mode: CdlMode) -> String {
     if let CdlMode::Data { max_values } = mode {
         let _ = writeln!(out, "data:");
         for v in &file.vars {
-            let _ = writeln!(out, "\n {} = {} ;", v.name, render_values(&v.data, max_values));
+            let _ = writeln!(
+                out,
+                "\n {} = {} ;",
+                v.name,
+                render_values(&v.data, max_values)
+            );
         }
     }
 
@@ -156,7 +169,8 @@ mod tests {
         let b = f.add_dim("band", 2);
         f.add_global_attr("title", NcValues::text("AICCA tiles"));
         let rad = f.add_var("radiance", NcType::Float, vec![t, b]).unwrap();
-        f.add_var_attr(rad, "units", NcValues::text("W/m2")).unwrap();
+        f.add_var_attr(rad, "units", NcValues::text("W/m2"))
+            .unwrap();
         let lab = f.add_var("aicca_label", NcType::Int, vec![t]).unwrap();
         for i in 0..3 {
             f.append_record(vec![

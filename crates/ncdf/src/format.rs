@@ -7,7 +7,7 @@
 //! the classic special case: a *single* record variable's records are
 //! packed without inter-record padding).
 
-use crate::model::{NcAttr, NcDim, NcFile, NcType, NcValues, NcVar, DimId};
+use crate::model::{DimId, NcAttr, NcDim, NcFile, NcType, NcValues, NcVar};
 
 /// Magic bytes: `CDF`.
 pub const MAGIC: &[u8; 3] = b"CDF";
@@ -646,7 +646,8 @@ mod tests {
         f.put_values(v, NcValues::Float(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]))
             .unwrap();
         let m = f.add_var("mask", NcType::Byte, vec![y, x]).unwrap();
-        f.put_values(m, NcValues::Byte(vec![0, 1, 0, 1, 1, 0])).unwrap();
+        f.put_values(m, NcValues::Byte(vec![0, 1, 0, 1, 1, 0]))
+            .unwrap();
         let s = f.add_var("scalar", NcType::Double, vec![]).unwrap();
         f.put_values(s, NcValues::Double(vec![2.5])).unwrap();
         f
@@ -697,7 +698,15 @@ mod tests {
         let back = NcFile::decode(&f.encode().unwrap()).unwrap();
         assert_eq!(back, f);
         assert_eq!(back.numrecs, 5);
-        assert_eq!(back.var_by_name("label").unwrap().data.as_i32().unwrap().len(), 5);
+        assert_eq!(
+            back.var_by_name("label")
+                .unwrap()
+                .data
+                .as_i32()
+                .unwrap()
+                .len(),
+            5
+        );
     }
 
     #[test]

@@ -160,8 +160,7 @@ mod tests {
             min_cloud_fraction: 0.0,
             ..TileCriteria::default()
         };
-        let outcome =
-            preprocess_granule_files(&p02, &p03, &p06, &out_dir, &crit).unwrap();
+        let outcome = preprocess_granule_files(&p02, &p03, &p06, &out_dir, &crit).unwrap();
         let out = outcome.output.expect("tiles written");
         assert!(out.exists());
         assert!(out.to_str().unwrap().ends_with(".nc"));
@@ -182,14 +181,9 @@ mod tests {
         let n = bytes.len();
         bytes[n - 100] ^= 0xFF;
         fs::write(&p03, bytes).unwrap();
-        let err = preprocess_granule_files(
-            &p02,
-            &p03,
-            &p06,
-            &dir.join("out"),
-            &TileCriteria::default(),
-        )
-        .unwrap_err();
+        let err =
+            preprocess_granule_files(&p02, &p03, &p06, &dir.join("out"), &TileCriteria::default())
+                .unwrap_err();
         assert!(matches!(err, PipelineError::Container(_)), "{err}");
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -221,8 +215,7 @@ mod tests {
             min_cloud_fraction: 1.01,
             ..TileCriteria::default()
         };
-        let outcome =
-            preprocess_granule_files(&p02, &p03, &p06, &dir.join("out"), &crit).unwrap();
+        let outcome = preprocess_granule_files(&p02, &p03, &p06, &dir.join("out"), &crit).unwrap();
         assert!(outcome.output.is_none());
         assert!(!dir.join("out").exists() || fs::read_dir(dir.join("out")).unwrap().count() == 0);
         fs::remove_dir_all(&dir).unwrap();

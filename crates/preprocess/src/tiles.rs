@@ -189,9 +189,21 @@ fn window_stats(swath: &Swath, row: usize, col: usize, ts: usize) -> WindowStats
     WindowStats {
         ocean_fraction: ocean as f32 / n,
         cloud_fraction: cloudy as f32 / n,
-        mean_cot: if cloudy > 0 { (cot / cloudy as f64) as f32 } else { 0.0 },
-        mean_ctp: if cloudy > 0 { (ctp / cloudy as f64) as f32 } else { 0.0 },
-        mean_cer: if cloudy > 0 { (cer / cloudy as f64) as f32 } else { 0.0 },
+        mean_cot: if cloudy > 0 {
+            (cot / cloudy as f64) as f32
+        } else {
+            0.0
+        },
+        mean_ctp: if cloudy > 0 {
+            (ctp / cloudy as f64) as f32
+        } else {
+            0.0
+        },
+        mean_cer: if cloudy > 0 {
+            (cer / cloudy as f64) as f32
+        } else {
+            0.0
+        },
         center_lat: swath.lat[center],
         center_lon: swath.lon[center],
     }
@@ -295,7 +307,10 @@ mod tests {
                 selected += 1;
             }
         }
-        assert!(selected > 10, "expected some ocean-cloud tiles, got {selected}");
+        assert!(
+            selected > 10,
+            "expected some ocean-cloud tiles, got {selected}"
+        );
     }
 
     #[test]

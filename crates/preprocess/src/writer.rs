@@ -48,9 +48,10 @@ pub fn write_tiles_nc(tiles: &[Tile]) -> Result<NcFile, TileNcError> {
     let first = tiles.first().ok_or(TileNcError::NoTiles)?;
     let size = first.size;
     let bands = &first.bands;
-    if tiles.iter().any(|t| {
-        t.size != size || &t.bands != bands || t.granule != first.granule
-    }) {
+    if tiles
+        .iter()
+        .any(|t| t.size != size || &t.bands != bands || t.granule != first.granule)
+    {
         return Err(TileNcError::InconsistentTiles);
     }
 
@@ -73,7 +74,11 @@ pub fn write_tiles_nc(tiles: &[Tile]) -> Result<NcFile, TileNcError> {
     );
     f.add_global_attr("source", NcValues::text("eoml-preprocess"));
 
-    let rad = f.add_var("radiance", NcType::Float, vec![tile_dim, band_dim, y_dim, x_dim])?;
+    let rad = f.add_var(
+        "radiance",
+        NcType::Float,
+        vec![tile_dim, band_dim, y_dim, x_dim],
+    )?;
     let lat = f.add_var("center_lat", NcType::Float, vec![tile_dim])?;
     let lon = f.add_var("center_lon", NcType::Float, vec![tile_dim])?;
     let ocean = f.add_var("ocean_fraction", NcType::Float, vec![tile_dim])?;
@@ -83,7 +88,11 @@ pub fn write_tiles_nc(tiles: &[Tile]) -> Result<NcFile, TileNcError> {
     let cer = f.add_var("mean_cer", NcType::Float, vec![tile_dim])?;
     let row = f.add_var("tile_row", NcType::Int, vec![tile_dim])?;
     let col = f.add_var("tile_col", NcType::Int, vec![tile_dim])?;
-    f.add_var_attr(rad, "long_name", NcValues::text("standardized radiance tile"))?;
+    f.add_var_attr(
+        rad,
+        "long_name",
+        NcValues::text("standardized radiance tile"),
+    )?;
     f.add_var_attr(ctp, "units", NcValues::text("hPa"))?;
     f.add_var_attr(cer, "units", NcValues::text("micron"))?;
 
@@ -121,11 +130,7 @@ pub fn append_labels(f: &mut NcFile, labels: &[i32]) -> Result<(), TileNcError> 
         .record_dim()
         .ok_or_else(|| TileNcError::Malformed("no tile dimension".into()))?;
     let v = f.add_var("aicca_label", NcType::Int, vec![tile_dim])?;
-    f.add_var_attr(
-        v,
-        "long_name",
-        NcValues::text("AICCA cloud class (0-41)"),
-    )?;
+    f.add_var_attr(v, "long_name", NcValues::text("AICCA cloud class (0-41)"))?;
     // The variable is a record variable; backfill its data directly so the
     // file stays consistent with numrecs.
     f.vars[v.0].data = NcValues::Int(labels.to_vec());
@@ -327,11 +332,7 @@ mod tests {
 
     #[test]
     fn granule_attr_parses_back() {
-        let g = GranuleId::new(
-            Platform::Aqua,
-            CivilDate::new(2022, 3, 5).unwrap(),
-            130,
-        );
+        let g = GranuleId::new(Platform::Aqua, CivilDate::new(2022, 3, 5).unwrap(), 130);
         assert_eq!(parse_granule_attr(&g.to_string()), Some(g));
         assert_eq!(parse_granule_attr("garbage"), None);
         assert_eq!(parse_granule_attr("MOD.A2022999.0000"), None);

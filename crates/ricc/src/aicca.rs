@@ -123,7 +123,11 @@ pub fn synthetic_texture_sample(cfg: AeConfig, n: usize, seed: u64) -> Vec<Tenso
                 for y in 0..cfg.input {
                     for x in 0..cfg.input {
                         let (fx, fy) = (x as f64 * scale + off, y as f64 * scale - off);
-                        let v = if ridged { f.ridged(fx, fy) } else { f.sample(fx, fy) };
+                        let v = if ridged {
+                            f.ridged(fx, fy)
+                        } else {
+                            f.sample(fx, fy)
+                        };
                         *t.at_mut(c, y, x) = (v as f32 - 0.5) * 2.0;
                     }
                 }
@@ -197,7 +201,11 @@ mod tests {
                 same += 1;
             }
         }
-        assert!(same >= 28, "perturbation flipped {} of 30 labels", 30 - same);
+        assert!(
+            same >= 28,
+            "perturbation flipped {} of 30 labels",
+            30 - same
+        );
     }
 
     #[test]

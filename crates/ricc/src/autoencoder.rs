@@ -141,8 +141,18 @@ impl Grads {
 
     fn scale(&mut self, s: f32) {
         for buf in [
-            &mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2, &mut self.we, &mut self.be,
-            &mut self.wd, &mut self.bd, &mut self.wu1, &mut self.bu1, &mut self.wu2, &mut self.bu2,
+            &mut self.w1,
+            &mut self.b1,
+            &mut self.w2,
+            &mut self.b2,
+            &mut self.we,
+            &mut self.be,
+            &mut self.wd,
+            &mut self.bd,
+            &mut self.wu1,
+            &mut self.bu1,
+            &mut self.wu2,
+            &mut self.bu2,
         ] {
             for v in buf.iter_mut() {
                 *v *= s;
@@ -191,7 +201,10 @@ struct Cache {
 impl ConvAutoencoder {
     /// Initialize with He-style random weights from `seed`.
     pub fn new(cfg: AeConfig, seed: u64) -> Self {
-        assert!(cfg.input.is_multiple_of(4), "input size must be a multiple of 4");
+        assert!(
+            cfg.input.is_multiple_of(4),
+            "input size must be a multiple of 4"
+        );
         let mut rng = Xoshiro256::seed_from(seed ^ 0xAE0C0DE);
         let mut init = |n: usize, fan_in: usize| -> Vec<f32> {
             let std = (2.0 / fan_in as f64).sqrt();
@@ -533,7 +546,10 @@ mod tests {
                 .map(|t| {
                     let z = m.encode(t);
                     let zr = m.encode(&rot90(t, 1));
-                    z.iter().zip(&zr).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
+                    z.iter()
+                        .zip(&zr)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f32>()
                         / z.iter().map(|a| a * a).sum::<f32>().max(1e-9)
                 })
                 .sum::<f32>()
@@ -558,7 +574,11 @@ mod tests {
         let m2 = ConvAutoencoder::new(AeConfig::tiny(), 5);
         assert_eq!(m.encode(&x), m2.encode(&x), "same seed, same weights");
         let m3 = ConvAutoencoder::new(AeConfig::tiny(), 6);
-        assert_ne!(m.encode(&x), m3.encode(&x), "different seed, different weights");
+        assert_ne!(
+            m.encode(&x),
+            m3.encode(&x),
+            "different seed, different weights"
+        );
     }
 
     #[test]

@@ -199,9 +199,7 @@ pub fn assign(points: &[Vec<f32>], centroids: &[Vec<f32>]) -> Vec<usize> {
             centroids
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    sq_dist(p, a).partial_cmp(&sq_dist(p, b)).expect("finite")
-                })
+                .min_by(|(_, a), (_, b)| sq_dist(p, a).partial_cmp(&sq_dist(p, b)).expect("finite"))
                 .map(|(i, _)| i)
                 .expect("at least one centroid")
         })
@@ -258,11 +256,7 @@ mod tests {
         // merge *sequence* need not be globally monotone, but the final
         // merge must be the largest (joining the blobs).
         let last = d.merges.last().unwrap().distance;
-        let max = d
-            .merges
-            .iter()
-            .map(|m| m.distance)
-            .fold(0.0f64, f64::max);
+        let max = d.merges.iter().map(|m| m.distance).fold(0.0f64, f64::max);
         assert!((last - max).abs() < 1e-9, "last {last} vs max {max}");
         assert_eq!(d.merges.last().unwrap().size, points.len());
     }
@@ -293,7 +287,10 @@ mod tests {
         let l2 = d2.cut(3);
         for i in 0..points.len() {
             for j in 0..points.len() {
-                assert_eq!(l2[i] == l2[j], l1[points.len() - 1 - i] == l1[points.len() - 1 - j]);
+                assert_eq!(
+                    l2[i] == l2[j],
+                    l1[points.len() - 1 - i] == l1[points.len() - 1 - j]
+                );
             }
         }
         let _ = truth;
@@ -357,11 +354,7 @@ mod tests {
         assert_eq!(c.len(), 42);
         // Re-assigning points to the centroids mostly reproduces labels.
         let re = assign(&points, &c);
-        let agree = re
-            .iter()
-            .zip(&labels)
-            .filter(|(a, b)| a == b)
-            .count();
+        let agree = re.iter().zip(&labels).filter(|(a, b)| a == b).count();
         assert!(
             agree as f64 / labels.len() as f64 > 0.7,
             "centroid assignment agreement {agree}/300"

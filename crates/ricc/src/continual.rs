@@ -128,7 +128,11 @@ mod tests {
                             } else {
                                 (x as f64 * 0.8, y as f64 * 0.8 + c as f64 * 9.0)
                             };
-                            let v = if kind == 0 { f.sample(fx, fy) } else { f.ridged(fx, fy) };
+                            let v = if kind == 0 {
+                                f.sample(fx, fy)
+                            } else {
+                                f.ridged(fx, fy)
+                            };
                             *t.at_mut(c, y, x) = (v as f32 - 0.5) * 2.0;
                         }
                     }

@@ -31,8 +31,8 @@
 
 pub mod aicca;
 pub mod autoencoder;
-pub mod continual;
 pub mod cluster;
+pub mod continual;
 pub mod metrics;
 pub mod rotation;
 pub mod serialize;

@@ -119,10 +119,7 @@ pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
 /// a tile and its 90° rotation, normalized by the mean distance between
 /// *different* tiles. 0 = perfectly invariant; ≥1 = rotations look like
 /// unrelated tiles.
-pub fn rotation_invariance_score(
-    embed: impl Fn(&Tensor) -> Vec<f32>,
-    tiles: &[Tensor],
-) -> f64 {
+pub fn rotation_invariance_score(embed: impl Fn(&Tensor) -> Vec<f32>, tiles: &[Tensor]) -> f64 {
     assert!(tiles.len() >= 2);
     let latents: Vec<Vec<f32>> = tiles.iter().map(&embed).collect();
     let mut rot_d = 0.0;

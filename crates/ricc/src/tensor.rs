@@ -371,7 +371,9 @@ mod tests {
             c,
             h,
             w,
-            (0..c * h * w).map(|_| rng.normal(0.0, 1.0) as f32).collect(),
+            (0..c * h * w)
+                .map(|_| rng.normal(0.0, 1.0) as f32)
+                .collect(),
         )
     }
 
@@ -399,19 +401,31 @@ mod tests {
             let mut xp = x.clone();
             xp.data[idx] += eps;
             let num = (loss(&xp, &w, &b) - loss(&x, &w, &b)) / eps;
-            assert!((num - dx.data[idx]).abs() < 0.05, "dx[{idx}] {num} vs {}", dx.data[idx]);
+            assert!(
+                (num - dx.data[idx]).abs() < 0.05,
+                "dx[{idx}] {num} vs {}",
+                dx.data[idx]
+            );
         }
         for idx in [0usize, 5, w.len() - 1] {
             let mut wp = w.clone();
             wp[idx] += eps;
             let num = (loss(&x, &wp, &b) - loss(&x, &w, &b)) / eps;
-            assert!((num - dw[idx]).abs() < 0.05, "dw[{idx}] {num} vs {}", dw[idx]);
+            assert!(
+                (num - dw[idx]).abs() < 0.05,
+                "dw[{idx}] {num} vs {}",
+                dw[idx]
+            );
         }
         for idx in 0..b.len() {
             let mut bp = b.clone();
             bp[idx] += eps;
             let num = (loss(&x, &w, &bp) - loss(&x, &w, &b)) / eps;
-            assert!((num - db[idx]).abs() < 0.05, "db[{idx}] {num} vs {}", db[idx]);
+            assert!(
+                (num - db[idx]).abs() < 0.05,
+                "db[{idx}] {num} vs {}",
+                db[idx]
+            );
         }
     }
 
@@ -544,7 +558,11 @@ mod tests {
         let mut p = vec![0.0f32; 3];
         let mut opt = Adam::new(3, 0.05);
         for _ in 0..500 {
-            let grads: Vec<f32> = p.iter().zip(&target).map(|(pi, t)| 2.0 * (pi - t)).collect();
+            let grads: Vec<f32> = p
+                .iter()
+                .zip(&target)
+                .map(|(pi, t)| 2.0 * (pi - t))
+                .collect();
             opt.step(&mut p, &grads);
         }
         for (pi, t) in p.iter().zip(&target) {

@@ -1,0 +1,244 @@
+//! Hermetic shim for `proptest`: the same authoring surface (`proptest!`,
+//! `prop_compose!`, `prop_oneof!`, strategies, `prop_assert*`) backed by a
+//! deterministic seeded generator. Differences from the real crate: no
+//! shrinking (a failing case reports its inputs but is not minimised) and
+//! regex strategies support only the character-class + `{m,n}` subset this
+//! workspace uses.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// `prop::` alias module, as re-exported by the real crate's prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// One-stop import for tests: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Fail the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Fail the current property case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Uniformly choose among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests. Supports the `#![proptest_config(..)]` header and
+/// any number of `#[test] fn name(pat in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { @cfg ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (@cfg ($config:expr)) => {};
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let runner = $crate::test_runner::TestRunner::new(&config, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for(case);
+                $(let $pat = $crate::strategy::sample_of(&$strat, &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("property case {case} failed: {e}");
+                }
+            }
+        }
+        $crate::__proptest_each! { @cfg ($config) $($rest)* }
+    };
+}
+
+/// Define a named strategy function. Single-stage form generates all inputs
+/// then maps them through the body; the two-stage form lets the second
+/// stage's strategies depend on first-stage values (a flat-map).
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($fnarg:tt)*)
+            ($($pat1:pat in $strat1:expr),+ $(,)?)
+            ($($pat2:pat in $strat2:expr),+ $(,)?)
+            -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($fnarg)*) -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::from_fn(move |rng| {
+                $(let $pat1 = $crate::strategy::sample_of(&$strat1, rng);)+
+                $(let $pat2 = {
+                    let stage_two = $strat2;
+                    $crate::strategy::sample_of(&stage_two, rng)
+                };)+
+                $body
+            })
+        }
+    };
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($fnarg:tt)*)
+            ($($pat:pat in $strat:expr),+ $(,)?)
+            -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($fnarg)*) -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::from_fn(move |rng| {
+                $(let $pat = $crate::strategy::sample_of(&$strat, rng);)+
+                $body
+            })
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u64> {
+        0u64..10
+    }
+
+    prop_compose! {
+        fn pair()(a in small(), b in 1u64..5) -> (u64, u64) {
+            (a, b)
+        }
+    }
+
+    prop_compose! {
+        fn dependent()(len in 1usize..6)(
+            items in prop::collection::vec(0u32..100, len)
+        ) -> Vec<u32> {
+            items
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -50i64..50, y in 1u8..=255) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!(y >= 1);
+        }
+
+        #[test]
+        fn composed_pairs((a, b) in pair()) {
+            prop_assert!(a < 10 && (1..5).contains(&b));
+        }
+
+        #[test]
+        fn two_stage_respects_dependency(items in dependent()) {
+            prop_assert!(!items.is_empty() && items.len() < 6);
+            for v in &items {
+                prop_assert!(*v < 100);
+            }
+        }
+
+        #[test]
+        fn regex_subset_strings(s in "[a-z]{1,8}", t in "[ -~]{0,16}") {
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(t.len() <= 16);
+            prop_assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_and_index(v in prop_oneof![Just(1u8), Just(2u8)], ix in any::<prop::sample::Index>()) {
+            prop_assert!(v == 1 || v == 2);
+            let i = ix.index(7);
+            prop_assert!(i < 7);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_sequence() {
+        let cfg = ProptestConfig::with_cases(4);
+        let r1 = crate::test_runner::TestRunner::new(&cfg, "x");
+        let r2 = crate::test_runner::TestRunner::new(&cfg, "x");
+        let a: Vec<u64> = (0..4).map(|c| r1.rng_for(c).next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|c| r2.rng_for(c).next_u64()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,21 @@
+//! `prop::sample` — currently just [`Index`], a length-agnostic position.
+
+/// A position into a collection whose length is only known at use time:
+/// generated as a fraction, resolved with [`Index::index`].
+#[derive(Debug, Clone, Copy)]
+pub struct Index {
+    fraction: f64,
+}
+
+impl Index {
+    pub(crate) fn from_fraction(fraction: f64) -> Self {
+        Self { fraction }
+    }
+
+    /// Resolve against a collection of `len` elements; always in-bounds.
+    /// Panics if `len` is zero (there is no valid index).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        ((self.fraction * len as f64) as usize).min(len - 1)
+    }
+}

@@ -1,0 +1,6 @@
+//! Hermetic shim standing in for the `serde` façade crate.
+//!
+//! This workspace never uses `#[derive(Serialize, Deserialize)]` or the
+//! serde data model directly — JSON values go through the `serde_json`
+//! shim's self-contained `Value` type — so this crate only has to exist
+//! to satisfy manifests that name `serde` as a dependency.

@@ -1,0 +1,113 @@
+//! `serde_json::Map` stand-in: a key-ordered map over `BTreeMap` (sorted
+//! keys, so serialised output is deterministic). Generic like the real
+//! crate's `Map<K, V>`, defaulting to `Map<String, Value>`.
+
+use crate::Value;
+use std::collections::btree_map::{self, BTreeMap};
+
+/// A JSON object's storage.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Map<K = String, V = Value>
+where
+    K: Ord,
+{
+    inner: BTreeMap<K, V>,
+}
+
+impl<K: Ord, V> Map<K, V> {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    /// Insert a member, returning any previous value for the key.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.inner.insert(key, value)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the map has no members.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterate members in key order.
+    pub fn iter(&self) -> btree_map::Iter<'_, K, V> {
+        self.inner.iter()
+    }
+
+    /// Iterate members mutably in key order.
+    pub fn iter_mut(&mut self) -> btree_map::IterMut<'_, K, V> {
+        self.inner.iter_mut()
+    }
+
+    /// Iterate keys in order.
+    pub fn keys(&self) -> btree_map::Keys<'_, K, V> {
+        self.inner.keys()
+    }
+
+    /// Iterate values in key order.
+    pub fn values(&self) -> btree_map::Values<'_, K, V> {
+        self.inner.values()
+    }
+}
+
+impl<V> Map<String, V> {
+    /// Look up a member.
+    pub fn get(&self, key: &str) -> Option<&V> {
+        self.inner.get(key)
+    }
+
+    /// Mutably look up a member.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut V> {
+        self.inner.get_mut(key)
+    }
+
+    /// Whether a key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.inner.contains_key(key)
+    }
+
+    /// Remove a member.
+    pub fn remove(&mut self, key: &str) -> Option<V> {
+        self.inner.remove(key)
+    }
+}
+
+impl Map<String, Value> {
+    /// Get a mutable reference to `key`, inserting `Null` if absent
+    /// (supports `value["key"] = x` auto-vivification).
+    pub(crate) fn entry_or_null(&mut self, key: &str) -> &mut Value {
+        self.inner.entry(key.to_string()).or_insert(Value::Null)
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for Map<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        Map {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<K: Ord, V> IntoIterator for Map<K, V> {
+    type Item = (K, V);
+    type IntoIter = btree_map::IntoIter<K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a Map<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = btree_map::Iter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}

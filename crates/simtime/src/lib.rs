@@ -102,7 +102,11 @@ impl AddAssign<Duration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = Duration;
     fn sub(self, rhs: SimTime) -> Duration {
-        Duration::from_nanos(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow"))
+        Duration::from_nanos(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
     }
 }
 
@@ -204,7 +208,11 @@ impl<S> Simulation<S> {
         t: SimTime,
         action: impl FnOnce(&mut Simulation<S>) + 'static,
     ) -> EventHandle {
-        assert!(t >= self.now, "cannot schedule into the past ({t} < {})", self.now);
+        assert!(
+            t >= self.now,
+            "cannot schedule into the past ({t} < {})",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Scheduled {
@@ -440,7 +448,10 @@ mod tests {
         let t2 = t + Duration::from_millis(500);
         assert_eq!(t2, SimTime::from_secs_f64(2.0));
         assert_eq!(t2 - t, Duration::from_millis(500));
-        assert_eq!(t2.saturating_since(SimTime::from_secs_f64(10.0)), Duration::ZERO);
+        assert_eq!(
+            t2.saturating_since(SimTime::from_secs_f64(10.0)),
+            Duration::ZERO
+        );
         assert_eq!(SimTime::from_nanos(1_000).as_nanos(), 1_000);
         assert_eq!(format!("{}", SimTime::from_secs_f64(2.0)), "t+2.000000s");
     }

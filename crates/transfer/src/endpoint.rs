@@ -91,7 +91,11 @@ mod tests {
 
     #[test]
     fn builtin_endpoints_are_sane() {
-        for ep in [Endpoint::laads(), Endpoint::ace_defiant(), Endpoint::frontier_orion()] {
+        for ep in [
+            Endpoint::laads(),
+            Endpoint::ace_defiant(),
+            Endpoint::frontier_orion(),
+        ] {
             assert!(ep.egress.as_bytes_per_sec() > 0.0);
             assert!(ep.ingress.as_bytes_per_sec() > 0.0);
             assert!(ep.stream_cap.as_bytes_per_sec() > 0.0);

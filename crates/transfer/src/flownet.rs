@@ -250,8 +250,8 @@ pub fn start_flow<S: HasNetwork>(
         }
         _ => size.as_u64() as f64,
     };
-    let overhead_s = net.endpoints[src_i].request_overhead.as_secs_f64()
-        * net.rng.lognormal_mean_cv(1.0, 0.15);
+    let overhead_s =
+        net.endpoints[src_i].request_overhead.as_secs_f64() * net.rng.lognormal_mean_cv(1.0, 0.15);
     let overhead = Duration::from_secs_f64(overhead_s);
 
     sim.schedule_in(overhead, move |sim| {
@@ -359,7 +359,10 @@ mod tests {
 
     #[test]
     fn single_flow_rate_is_stream_cap() {
-        let mut sim = sim_with(vec![ep("a", 100.0, 100.0, 10.0), ep("b", 100.0, 100.0, 50.0)]);
+        let mut sim = sim_with(vec![
+            ep("a", 100.0, 100.0, 10.0),
+            ep("b", 100.0, 100.0, 50.0),
+        ]);
         let done = Rc::new(RefCell::new(None));
         let done2 = Rc::clone(&done);
         start_flow(&mut sim, "a", "b", ByteSize::mb(100), move |sim, out| {
@@ -374,7 +377,10 @@ mod tests {
 
     #[test]
     fn flows_share_egress_equally() {
-        let mut sim = sim_with(vec![ep("a", 60.0, 60.0, 1000.0), ep("b", 1000.0, 1000.0, 1000.0)]);
+        let mut sim = sim_with(vec![
+            ep("a", 60.0, 60.0, 1000.0),
+            ep("b", 1000.0, 1000.0, 1000.0),
+        ]);
         let times = Rc::new(RefCell::new(Vec::new()));
         for _ in 0..4 {
             let times = Rc::clone(&times);
@@ -394,7 +400,10 @@ mod tests {
 
     #[test]
     fn per_flow_cap_binds_before_link() {
-        let mut sim = sim_with(vec![ep("a", 60.0, 60.0, 9.0), ep("b", 1000.0, 1000.0, 1000.0)]);
+        let mut sim = sim_with(vec![
+            ep("a", 60.0, 60.0, 9.0),
+            ep("b", 1000.0, 1000.0, 1000.0),
+        ]);
         let times = Rc::new(RefCell::new(Vec::new()));
         for _ in 0..3 {
             let times = Rc::clone(&times);
@@ -419,7 +428,11 @@ mod tests {
             ep("dst_slow", 1000.0, 1000.0, 5.0),
         ]);
         let finish = Rc::new(RefCell::new(std::collections::HashMap::new()));
-        for (name, dst, mb) in [("slow", "dst_slow", 50u64), ("f1", "dst_fast", 100), ("f2", "dst_fast", 100)] {
+        for (name, dst, mb) in [
+            ("slow", "dst_slow", 50u64),
+            ("f1", "dst_fast", 100),
+            ("f2", "dst_fast", 100),
+        ] {
             let finish = Rc::clone(&finish);
             start_flow(&mut sim, "src", dst, ByteSize::mb(mb), move |sim, _| {
                 finish.borrow_mut().insert(name, sim.now().as_secs_f64());
@@ -439,7 +452,10 @@ mod tests {
         // a→b: 10 MB/s egress, uncapped streams. Flow A (100 MB) at t=0;
         // flow B (50 MB) at t=5. A: 50 MB by t=5, then 5 MB/s → done t=15.
         // B: 5 MB/s from t=5 → done t=15.
-        let mut sim = sim_with(vec![ep("a", 10.0, 1000.0, 1000.0), ep("b", 1000.0, 1000.0, 1000.0)]);
+        let mut sim = sim_with(vec![
+            ep("a", 10.0, 1000.0, 1000.0),
+            ep("b", 1000.0, 1000.0, 1000.0),
+        ]);
         let finish = Rc::new(RefCell::new(Vec::new()));
         let f1 = Rc::clone(&finish);
         start_flow(&mut sim, "a", "b", ByteSize::mb(100), move |sim, _| {
@@ -484,18 +500,27 @@ mod tests {
 
     #[test]
     fn injected_drop_reports_failure() {
-        let mut net = FlowNetwork::new(7, FaultPlan {
-            drop_probability: 1.0,
-            corrupt_probability: 0.0,
-        });
+        let mut net = FlowNetwork::new(
+            7,
+            FaultPlan {
+                drop_probability: 1.0,
+                corrupt_probability: 0.0,
+            },
+        );
         net.add_endpoint(ep("a", 10.0, 10.0, 10.0));
         net.add_endpoint(ep("b", 10.0, 10.0, 10.0));
         let mut sim = Simulation::new(NetState { net });
         let out = Rc::new(RefCell::new(None));
         let o = Rc::clone(&out);
-        start_flow(&mut sim, "a", "b", ByteSize::mb(100), move |sim, outcome| {
-            *o.borrow_mut() = Some((sim.now().as_secs_f64(), outcome));
-        });
+        start_flow(
+            &mut sim,
+            "a",
+            "b",
+            ByteSize::mb(100),
+            move |sim, outcome| {
+                *o.borrow_mut() = Some((sim.now().as_secs_f64(), outcome));
+            },
+        );
         sim.run();
         let (t, outcome) = out.borrow().expect("callback fired");
         assert_eq!(outcome, FlowOutcome::ConnectionDropped);
@@ -511,9 +536,15 @@ mod tests {
             let times = Rc::new(RefCell::new(Vec::new()));
             for i in 0..10 {
                 let times = Rc::clone(&times);
-                start_flow(&mut sim, "a", "b", ByteSize::mb(10 + i * 7), move |sim, _| {
-                    times.borrow_mut().push(sim.now().as_nanos());
-                });
+                start_flow(
+                    &mut sim,
+                    "a",
+                    "b",
+                    ByteSize::mb(10 + i * 7),
+                    move |sim, _| {
+                        times.borrow_mut().push(sim.now().as_nanos());
+                    },
+                );
             }
             sim.run();
             let v = times.borrow().clone();

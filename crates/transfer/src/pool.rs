@@ -105,6 +105,7 @@ impl DownloadReport {
 pub struct DownloadPool<S>(std::marker::PhantomData<S>);
 
 type PoolDoneFn<S> = Box<dyn FnOnce(&mut Simulation<S>, DownloadReport)>;
+type PoolFileFn<S> = Box<dyn FnMut(&mut Simulation<S>, &FileTiming)>;
 
 struct PoolState<S> {
     src: String,
@@ -118,6 +119,7 @@ struct PoolState<S> {
     first_start: std::collections::HashMap<String, SimTime>,
     activity: Vec<(SimTime, usize)>,
     retries: usize,
+    on_file: Option<PoolFileFn<S>>,
     on_done: Option<PoolDoneFn<S>>,
 }
 
@@ -133,6 +135,33 @@ impl<S: HasNetwork> DownloadPool<S> {
         retry_limit: usize,
         on_done: impl FnOnce(&mut Simulation<S>, DownloadReport) + 'static,
     ) {
+        Self::run_with_hook(
+            sim,
+            src,
+            dst,
+            files,
+            workers,
+            retry_limit,
+            |_, _| {},
+            on_done,
+        );
+    }
+
+    /// [`DownloadPool::run`] with a per-file hook: `on_file` fires once per
+    /// successfully delivered file, as soon as it lands. Journaling drivers
+    /// use this to make each completed download durable before the pool
+    /// finishes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_hook(
+        sim: &mut Simulation<S>,
+        src: &str,
+        dst: &str,
+        files: Vec<(String, ByteSize)>,
+        workers: usize,
+        retry_limit: usize,
+        on_file: impl FnMut(&mut Simulation<S>, &FileTiming) + 'static,
+        on_done: impl FnOnce(&mut Simulation<S>, DownloadReport) + 'static,
+    ) {
         assert!(workers > 0, "need at least one worker");
         let inner = Rc::new(RefCell::new(PoolState {
             src: src.to_string(),
@@ -146,6 +175,7 @@ impl<S: HasNetwork> DownloadPool<S> {
             first_start: std::collections::HashMap::new(),
             activity: vec![(sim.now(), 0)],
             retries: 0,
+            on_file: Some(Box::new(on_file)),
             on_done: Some(Box::new(on_done)),
         }));
         // Each worker tries to take a file; workers that find the queue
@@ -192,7 +222,7 @@ impl<S: HasNetwork> DownloadPool<S> {
         attempt: usize,
         outcome: FlowOutcome,
     ) {
-        {
+        let delivered = {
             let mut st = inner.borrow_mut();
             st.active -= 1;
             let now = sim.now();
@@ -200,13 +230,15 @@ impl<S: HasNetwork> DownloadPool<S> {
             match outcome {
                 FlowOutcome::Success => {
                     let started = st.first_start[&name];
-                    st.files.push(FileTiming {
+                    let timing = FileTiming {
                         name,
                         size,
                         started,
                         finished: sim.now(),
                         attempts: attempt,
-                    });
+                    };
+                    st.files.push(timing.clone());
+                    Some(timing)
                 }
                 _ => {
                     if attempt <= st.retry_limit {
@@ -215,11 +247,18 @@ impl<S: HasNetwork> DownloadPool<S> {
                     } else {
                         st.failed.push(name);
                     }
+                    None
                 }
             }
-        }
-        if outcome.is_success() {
+        };
+        if let Some(timing) = delivered {
             sim.state_mut().network().note_delivered(size);
+            // Call the hook outside the state borrow (it may re-enter sim).
+            let hook = inner.borrow_mut().on_file.take();
+            if let Some(mut hook) = hook {
+                hook(sim, &timing);
+                inner.borrow_mut().on_file = Some(hook);
+            }
         }
         // The worker that just finished takes the next queued file.
         Self::worker_take_next(sim, inner);
@@ -293,9 +332,15 @@ mod tests {
     #[test]
     fn pool_drains_queue() {
         let mut s = sim(FaultPlan::none(), 0);
-        DownloadPool::run(&mut s, "laads", "ace-defiant", files(10, 90), 3, 2, |sim, r| {
-            sim.state_mut().report = Some(r)
-        });
+        DownloadPool::run(
+            &mut s,
+            "laads",
+            "ace-defiant",
+            files(10, 90),
+            3,
+            2,
+            |sim, r| sim.state_mut().report = Some(r),
+        );
         s.run();
         let r = s.state().report.as_ref().expect("report");
         assert_eq!(r.files.len(), 10);
@@ -362,9 +407,15 @@ mod tests {
     #[test]
     fn activity_timeline_tracks_workers() {
         let mut s = sim(FaultPlan::none(), 0);
-        DownloadPool::run(&mut s, "laads", "ace-defiant", files(6, 45), 3, 2, |sim, r| {
-            sim.state_mut().report = Some(r)
-        });
+        DownloadPool::run(
+            &mut s,
+            "laads",
+            "ace-defiant",
+            files(6, 45),
+            3,
+            2,
+            |sim, r| sim.state_mut().report = Some(r),
+        );
         s.run();
         let r = s.state().report.as_ref().expect("report");
         let max_active = r.activity.iter().map(|&(_, a)| a).max().unwrap();
@@ -379,9 +430,15 @@ mod tests {
     #[test]
     fn excess_workers_terminate_gracefully() {
         let mut s = sim(FaultPlan::none(), 0);
-        DownloadPool::run(&mut s, "laads", "ace-defiant", files(2, 9), 8, 2, |sim, r| {
-            sim.state_mut().report = Some(r)
-        });
+        DownloadPool::run(
+            &mut s,
+            "laads",
+            "ace-defiant",
+            files(2, 9),
+            8,
+            2,
+            |sim, r| sim.state_mut().report = Some(r),
+        );
         s.run();
         let r = s.state().report.as_ref().expect("report");
         assert_eq!(r.files.len(), 2);
@@ -398,9 +455,15 @@ mod tests {
             },
             0,
         );
-        DownloadPool::run(&mut s, "laads", "ace-defiant", files(2, 9), 2, 3, |sim, r| {
-            sim.state_mut().report = Some(r)
-        });
+        DownloadPool::run(
+            &mut s,
+            "laads",
+            "ace-defiant",
+            files(2, 9),
+            2,
+            3,
+            |sim, r| sim.state_mut().report = Some(r),
+        );
         s.run();
         let r = s.state().report.as_ref().expect("report");
         assert_eq!(r.files.len(), 0);
@@ -409,11 +472,47 @@ mod tests {
     }
 
     #[test]
+    fn per_file_hook_fires_once_per_delivery_in_finish_order() {
+        let mut s = sim(FaultPlan::none(), 0);
+        let seen = Rc::new(RefCell::new(Vec::<(String, SimTime)>::new()));
+        let seen2 = Rc::clone(&seen);
+        DownloadPool::run_with_hook(
+            &mut s,
+            "laads",
+            "ace-defiant",
+            files(5, 45),
+            2,
+            2,
+            move |_sim, t: &FileTiming| seen2.borrow_mut().push((t.name.clone(), t.finished)),
+            |sim, r| sim.state_mut().report = Some(r),
+        );
+        s.run();
+        let r = s.state().report.as_ref().expect("report");
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 5, "one hook call per delivered file");
+        let from_report: Vec<(String, SimTime)> = r
+            .files
+            .iter()
+            .map(|f| (f.name.clone(), f.finished))
+            .collect();
+        assert_eq!(*seen, from_report, "hook order matches delivery order");
+        for w in seen.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
     fn empty_file_list_finishes_immediately() {
         let mut s = sim(FaultPlan::none(), 0);
-        DownloadPool::run(&mut s, "laads", "ace-defiant", Vec::new(), 4, 2, |sim, r| {
-            sim.state_mut().report = Some(r)
-        });
+        DownloadPool::run(
+            &mut s,
+            "laads",
+            "ace-defiant",
+            Vec::new(),
+            4,
+            2,
+            |sim, r| sim.state_mut().report = Some(r),
+        );
         s.run();
         let r = s.state().report.as_ref().expect("report");
         assert!(r.files.is_empty());
@@ -426,14 +525,22 @@ mod tests {
         // effective speeds than large ones — the Fig. 3 left-edge effect.
         let mut s = sim(FaultPlan::none(), 2000);
         let mut all = files(1, 9);
-        all.extend(files(1, 900).into_iter().map(|(n, s)| (format!("big-{n}"), s)));
+        all.extend(
+            files(1, 900)
+                .into_iter()
+                .map(|(n, s)| (format!("big-{n}"), s)),
+        );
         DownloadPool::run(&mut s, "laads", "ace-defiant", all, 2, 2, |sim, r| {
             sim.state_mut().report = Some(r)
         });
         s.run();
         let r = s.state().report.as_ref().expect("report");
         let small = r.files.iter().find(|f| f.size == ByteSize::mb(9)).unwrap();
-        let big = r.files.iter().find(|f| f.size == ByteSize::mb(900)).unwrap();
+        let big = r
+            .files
+            .iter()
+            .find(|f| f.size == ByteSize::mb(900))
+            .unwrap();
         assert!(
             small.speed().as_mb_per_sec() < big.speed().as_mb_per_sec() * 0.6,
             "small {} vs big {}",

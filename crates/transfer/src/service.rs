@@ -322,7 +322,10 @@ mod tests {
         let r = s.state().report.as_ref().expect("report");
         assert_eq!(r.files_ok, 20);
         assert_eq!(r.files_failed, 0);
-        assert!(r.retries > 0, "with 50 % fault rate some retries must happen");
+        assert!(
+            r.retries > 0,
+            "with 50 % fault rate some retries must happen"
+        );
         assert_eq!(r.bytes, ByteSize::mb(100));
     }
 

@@ -24,7 +24,8 @@ impl ValueNoise {
     /// Pseudo-random value in `[0, 1)` at integer lattice point `(ix, iy)`.
     fn lattice(&self, ix: i64, iy: i64) -> f64 {
         let h = SplitMix64::mix(
-            self.seed ^ (ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            self.seed
+                ^ (ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ (iy as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
         );
         (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)

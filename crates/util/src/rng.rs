@@ -181,9 +181,8 @@ impl Xoshiro256 {
     /// statistically independent streams, which lets each simulated entity
     /// own its own generator without global draw-order coupling.
     pub fn split(&self, label: u64) -> Self {
-        let mut sm = SplitMix64::new(
-            self.s[0] ^ self.s[3].rotate_left(17) ^ SplitMix64::mix(label),
-        );
+        let mut sm =
+            SplitMix64::new(self.s[0] ^ self.s[3].rotate_left(17) ^ SplitMix64::mix(label));
         Self {
             s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
         }
@@ -280,9 +279,14 @@ mod tests {
         let n = 100_000;
         let mean_target = 10.0;
         let cv = 0.3;
-        let samples: Vec<f64> = (0..n).map(|_| r.lognormal_mean_cv(mean_target, cv)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| r.lognormal_mean_cv(mean_target, cv))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        assert!((mean - mean_target).abs() / mean_target < 0.02, "mean {mean}");
+        assert!(
+            (mean - mean_target).abs() / mean_target < 0.02,
+            "mean {mean}"
+        );
         assert!(samples.iter().all(|&x| x > 0.0));
     }
 

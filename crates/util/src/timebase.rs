@@ -282,7 +282,10 @@ mod tests {
         assert_eq!(CivilDate::new(1970, 1, 2).unwrap().days_from_epoch(), 1);
         assert_eq!(CivilDate::new(1969, 12, 31).unwrap().days_from_epoch(), -1);
         // 2022-01-01 is 18993 days after the epoch.
-        assert_eq!(CivilDate::new(2022, 1, 1).unwrap().days_from_epoch(), 18_993);
+        assert_eq!(
+            CivilDate::new(2022, 1, 1).unwrap().days_from_epoch(),
+            18_993
+        );
     }
 
     #[test]
@@ -333,6 +336,9 @@ mod tests {
 
     #[test]
     fn display_date() {
-        assert_eq!(CivilDate::new(2003, 7, 14).unwrap().to_string(), "2003-07-14");
+        assert_eq!(
+            CivilDate::new(2003, 7, 14).unwrap().to_string(),
+            "2003-07-14"
+        );
     }
 }

@@ -229,7 +229,10 @@ mod tests {
         assert_eq!(a, ByteSize::mb(15));
         assert_eq!(a - ByteSize::mb(5), ByteSize::mb(10));
         assert_eq!(ByteSize::mb(3) * 4, ByteSize::mb(12));
-        assert_eq!(ByteSize::mb(5).saturating_sub(ByteSize::mb(9)), ByteSize::ZERO);
+        assert_eq!(
+            ByteSize::mb(5).saturating_sub(ByteSize::mb(9)),
+            ByteSize::ZERO
+        );
         let total: ByteSize = [ByteSize::mb(1), ByteSize::mb(2)].into_iter().sum();
         assert_eq!(total, ByteSize::mb(3));
     }

@@ -33,7 +33,10 @@ fn main() {
         .take(8)
         .collect();
 
-    println!("running the real five-stage pipeline on {} granules…", granules.len());
+    println!(
+        "running the real five-stage pipeline on {} granules…",
+        granules.len()
+    );
     let report = pipeline.run(&granules).expect("pipeline run");
     println!(
         "  {} tile files, {} tiles, preprocess {:.2}s ({:.0} tiles/s)",

@@ -72,7 +72,11 @@ fn main() {
     let mut total_labeled = 0usize;
 
     for (wave, chunk) in day_granules.chunks(3).enumerate() {
-        println!("\n=== wave {} arrives: {} granules ===", wave + 1, chunk.len());
+        println!(
+            "\n=== wave {} arrives: {} granules ===",
+            wave + 1,
+            chunk.len()
+        );
         // Preprocess the wave in parallel (stages 1–2).
         let outcomes = executor.map(chunk.to_vec(), |g| {
             let swath = synth.synthesize(g);
@@ -84,8 +88,7 @@ fn main() {
             std::fs::write(&p02, to_mod02(&swath).encode()).expect("write");
             std::fs::write(&p03, to_mod03(&swath).encode()).expect("write");
             std::fs::write(&p06, to_mod06(&swath).encode()).expect("write");
-            preprocess_granule_files(&p02, &p03, &p06, &tiles_dir, &criteria)
-                .expect("preprocess")
+            preprocess_granule_files(&p02, &p03, &p06, &tiles_dir, &criteria).expect("preprocess")
         });
         let produced: usize = outcomes.iter().filter(|o| o.output.is_some()).count();
         println!("  preprocessing produced {produced} tile file(s)");
@@ -97,8 +100,9 @@ fn main() {
         // Stage 4: run the inference flow per file.
         let mut infer = |_: &str, params: &serde_json::Value, _: &serde_json::Value| {
             let name = params["file"].as_str().ok_or("missing file")?;
-            let nc = NcFile::decode(&std::fs::read(tiles_dir.join(name)).map_err(|e| e.to_string())?)
-                .map_err(|e| e.to_string())?;
+            let nc =
+                NcFile::decode(&std::fs::read(tiles_dir.join(name)).map_err(|e| e.to_string())?)
+                    .map_err(|e| e.to_string())?;
             let (tiles, _) = read_tiles_nc(&nc).map_err(|e| e.to_string())?;
             let tensors: Vec<Tensor> = tiles
                 .iter()
@@ -153,6 +157,9 @@ fn main() {
     let shipped = std::fs::read_dir(&outbox).expect("outbox").count();
     println!("\ntotal tiles labeled : {total_labeled}");
     println!("files in outbox     : {shipped}");
-    println!("re-crawl finds nothing new: {}", crawler.crawl().unwrap().is_empty());
+    println!(
+        "re-crawl finds nothing new: {}",
+        crawler.crawl().unwrap().is_empty()
+    );
     std::fs::remove_dir_all(&work).ok();
 }

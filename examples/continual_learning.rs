@@ -27,7 +27,11 @@ fn wave(kind: usize, n: usize, seed: u64) -> Vec<Tensor> {
                 for y in 0..16 {
                     for x in 0..16 {
                         let (fx, fy) = (x as f64 * scale, y as f64 * scale + c as f64 * 9.0);
-                        let v = if kind == 1 { f.ridged(fx, fy) } else { f.sample(fx, fy) };
+                        let v = if kind == 1 {
+                            f.ridged(fx, fy)
+                        } else {
+                            f.sample(fx, fy)
+                        };
                         *t.at_mut(c, y, x) = (v as f32 - 0.5) * 2.0;
                     }
                 }

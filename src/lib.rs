@@ -13,6 +13,7 @@ pub use eoml_core as core;
 pub use eoml_executor as executor;
 pub use eoml_flows as flows;
 pub use eoml_geo as geo;
+pub use eoml_journal as journal;
 pub use eoml_modis as modis;
 pub use eoml_ncdf as ncdf;
 pub use eoml_preprocess as preprocess;

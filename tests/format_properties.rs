@@ -24,9 +24,12 @@ fn nc_values(t: NcType, n: usize) -> BoxedStrategy<NcValues> {
         NcType::Int => proptest::collection::vec(any::<i32>(), n)
             .prop_map(NcValues::Int)
             .boxed(),
-        NcType::Float => proptest::collection::vec(prop_oneof![any::<i16>().prop_map(|v| v as f32), Just(0.0f32)], n)
-            .prop_map(NcValues::Float)
-            .boxed(),
+        NcType::Float => proptest::collection::vec(
+            prop_oneof![any::<i16>().prop_map(|v| v as f32), Just(0.0f32)],
+            n,
+        )
+        .prop_map(NcValues::Float)
+        .boxed(),
         NcType::Double => proptest::collection::vec(any::<i32>().prop_map(|v| v as f64), n)
             .prop_map(NcValues::Double)
             .boxed(),

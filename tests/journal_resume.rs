@@ -1,0 +1,217 @@
+//! Headline crash/resume equivalence: kill a journaled campaign at an
+//! arbitrary event index, resume it from the recovered journal, and the
+//! final report's per-stage totals exactly equal an uninterrupted run's —
+//! with zero re-execution of journaled-complete work.
+//!
+//! Spans `eoml-journal` (WAL + recovery), `eoml-core` (resumable batch and
+//! streaming campaigns) and `eoml-flows` (journaled flow runs).
+
+use eoml::core::campaign::{run_campaign, run_campaign_resumable, CampaignParams, CampaignReport};
+use eoml::core::streaming::{
+    run_streaming_campaign, run_streaming_campaign_resumable, StreamingParams,
+};
+use eoml::journal::{Journal, JournalError, JournalEvent, MemStorage};
+
+fn params() -> CampaignParams {
+    CampaignParams {
+        files_per_day: 8,
+        ..CampaignParams::paper_demo()
+    }
+}
+
+/// Deterministic pseudo-random kill points (SplitMix64 step).
+fn kill_points(n: usize, max_exclusive: usize, seed: u64) -> Vec<usize> {
+    let mut x = seed;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            1 + (z as usize) % (max_exclusive - 1)
+        })
+        .collect()
+}
+
+fn assert_reports_equal(resumed: &CampaignReport, baseline: &CampaignReport, tag: &str) {
+    assert_eq!(resumed.granules, baseline.granules, "{tag}: granules");
+    assert_eq!(resumed.tile_files, baseline.tile_files, "{tag}: tile files");
+    assert_eq!(
+        resumed.total_tiles, baseline.total_tiles,
+        "{tag}: total tiles must match exactly"
+    );
+    assert_eq!(
+        resumed.labeled_files, baseline.labeled_files,
+        "{tag}: labeled files"
+    );
+    assert_eq!(
+        resumed.download.files.len(),
+        baseline.download.files.len(),
+        "{tag}: downloaded file count"
+    );
+    assert_eq!(
+        resumed.download.bytes, baseline.download.bytes,
+        "{tag}: downloaded bytes"
+    );
+    assert_eq!(
+        resumed.shipment.files_ok, baseline.shipment.files_ok,
+        "{tag}: shipped file count"
+    );
+    assert_eq!(
+        resumed.shipment.bytes, baseline.shipment.bytes,
+        "{tag}: shipped bytes"
+    );
+    for stage in &baseline.stages {
+        let other = resumed
+            .stage(&stage.name)
+            .unwrap_or_else(|| panic!("{tag}: resumed run lost stage {}", stage.name));
+        assert_eq!(other.items, stage.items, "{tag}: {} items", stage.name);
+        assert_eq!(other.bytes, stage.bytes, "{tag}: {} bytes", stage.name);
+    }
+}
+
+/// No completion event may appear twice in a journal — re-executing
+/// journaled-complete work would journal it again.
+fn assert_no_duplicate_completions(events: &[JournalEvent], tag: &str) {
+    let mut seen = std::collections::BTreeSet::new();
+    for event in events {
+        let key = match event {
+            JournalEvent::FileDownloaded { file, .. } => Some(format!("dl:{file}")),
+            JournalEvent::TileFileWritten { file, .. } => Some(format!("tile:{file}")),
+            JournalEvent::LabelsAppended { file, .. } => Some(format!("label:{file}")),
+            JournalEvent::MonitorTriggered { file } => Some(format!("monitor:{file}")),
+            _ => None,
+        };
+        if let Some(key) = key {
+            assert!(
+                seen.insert(key.clone()),
+                "{tag}: duplicated completion {key}"
+            );
+        }
+    }
+}
+
+#[test]
+fn campaign_killed_at_arbitrary_points_resumes_to_identical_report() {
+    let baseline = run_campaign(params());
+
+    // Learn the total journal length from one uninterrupted journaled run.
+    let probe = MemStorage::new();
+    let (journal, _) = Journal::open(probe.clone()).unwrap();
+    run_campaign_resumable(params(), journal).unwrap();
+    let (probe_journal, _) = Journal::open(probe).unwrap();
+    let total_events = probe_journal.len();
+    assert!(
+        total_events > 20,
+        "campaign journaled only {total_events} events"
+    );
+
+    for (i, kill_at) in kill_points(12, total_events, 0xC11F)
+        .into_iter()
+        .enumerate()
+    {
+        let tag = format!("kill #{i} at event {kill_at}/{total_events}");
+        let store = MemStorage::new();
+        let (mut journal, _) = Journal::open(store.clone()).unwrap();
+        journal.crash_after(kill_at);
+        let crashed = run_campaign_resumable(params(), journal);
+        assert!(
+            matches!(crashed, Err(JournalError::Crashed)),
+            "{tag}: expected a crash, got {crashed:?}"
+        );
+
+        let (journal, recovery) = Journal::open(store.clone()).unwrap();
+        assert!(recovery.events <= kill_at, "{tag}: recovered too much");
+        let resumed = run_campaign_resumable(params(), journal).unwrap();
+        assert_reports_equal(&resumed, &baseline, &tag);
+
+        let (final_journal, _) = Journal::open(store).unwrap();
+        assert_no_duplicate_completions(final_journal.events(), &tag);
+    }
+}
+
+#[test]
+fn campaign_survives_two_crashes_in_a_row() {
+    let baseline = run_campaign(params());
+    let store = MemStorage::new();
+    let (mut journal, _) = Journal::open(store.clone()).unwrap();
+    journal.crash_after(9);
+    assert!(run_campaign_resumable(params(), journal).is_err());
+    let (mut journal, _) = Journal::open(store.clone()).unwrap();
+    journal.crash_after(11);
+    assert!(run_campaign_resumable(params(), journal).is_err());
+    let (journal, _) = Journal::open(store.clone()).unwrap();
+    let resumed = run_campaign_resumable(params(), journal).unwrap();
+    assert_reports_equal(&resumed, &baseline, "double crash");
+    let (final_journal, _) = Journal::open(store).unwrap();
+    assert_no_duplicate_completions(final_journal.events(), "double crash");
+}
+
+#[test]
+fn resume_on_a_finished_journal_replays_without_new_work() {
+    let baseline = run_campaign(params());
+    let store = MemStorage::new();
+    let (journal, _) = Journal::open(store.clone()).unwrap();
+    run_campaign_resumable(params(), journal).unwrap();
+    let events_after_run = Journal::open(store.clone()).unwrap().0.len();
+
+    let (journal, _) = Journal::open(store.clone()).unwrap();
+    let replayed = run_campaign_resumable(params(), journal).unwrap();
+    assert_reports_equal(&replayed, &baseline, "finished-journal replay");
+    // A pure replay appends no new completion events (snapshots aside).
+    let (final_journal, _) = Journal::open(store).unwrap();
+    let new_completions = final_journal.events()[events_after_run.min(final_journal.len())..]
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                JournalEvent::FileDownloaded { .. }
+                    | JournalEvent::TileFileWritten { .. }
+                    | JournalEvent::LabelsAppended { .. }
+            )
+        })
+        .count();
+    assert_eq!(new_completions, 0, "replay re-executed completed work");
+    assert_no_duplicate_completions(final_journal.events(), "finished-journal replay");
+}
+
+#[test]
+fn streaming_campaign_killed_at_random_points_resumes_to_identical_totals() {
+    let sparams = StreamingParams {
+        base: CampaignParams {
+            files_per_day: 12,
+            nodes: 2,
+            ..CampaignParams::paper_demo()
+        },
+        ..StreamingParams::demo()
+    };
+    let baseline = run_streaming_campaign(sparams.clone());
+
+    let probe = MemStorage::new();
+    let (journal, _) = Journal::open(probe.clone()).unwrap();
+    run_streaming_campaign_resumable(sparams.clone(), journal).unwrap();
+    let total_events = Journal::open(probe).unwrap().0.len();
+
+    for (i, kill_at) in kill_points(4, total_events, 0x57E4).into_iter().enumerate() {
+        let tag = format!("stream kill #{i} at {kill_at}/{total_events}");
+        let store = MemStorage::new();
+        let (mut journal, _) = Journal::open(store.clone()).unwrap();
+        journal.crash_after(kill_at);
+        let crashed = run_streaming_campaign_resumable(sparams.clone(), journal);
+        assert!(crashed.is_err(), "{tag}: expected a crash");
+        let (journal, _) = Journal::open(store.clone()).unwrap();
+        let r = run_streaming_campaign_resumable(sparams.clone(), journal).unwrap();
+        assert_eq!(r.granules_downloaded, baseline.granules_downloaded, "{tag}");
+        assert_eq!(
+            r.granules_preprocessed, baseline.granules_preprocessed,
+            "{tag}"
+        );
+        assert_eq!(r.labeled_files, baseline.labeled_files, "{tag}");
+        assert_eq!(r.shipped_files, baseline.shipped_files, "{tag}");
+        assert_eq!(r.downloaded, baseline.downloaded, "{tag}");
+        assert_eq!(r.shipped, baseline.shipped, "{tag}");
+        let (final_journal, _) = Journal::open(store).unwrap();
+        assert_no_duplicate_completions(final_journal.events(), &tag);
+    }
+}

@@ -74,10 +74,7 @@ fn fig4a_shape_worker_scaling_saturates_then_second_node_helps() {
         "16→64 should be flat: {t16:.0} vs {t64:.0}"
     );
     // The second node roughly halves completion (the Fig. 4a cliff).
-    assert!(
-        t128 < t64 * 0.65,
-        "64→128 (2nd node): {t64:.0} → {t128:.0}"
-    );
+    assert!(t128 < t64 * 0.65, "64→128 (2nd node): {t64:.0} → {t128:.0}");
 }
 
 #[test]
@@ -168,9 +165,15 @@ fn download(seed: u64, n_per_product: usize, workers: usize) -> DownloadReport {
     net.add_endpoint(Endpoint::laads());
     net.add_endpoint(Endpoint::ace_defiant());
     let mut sim = Simulation::new(NetSt { net, report: None });
-    DownloadPool::run(&mut sim, "laads", "ace-defiant", files, workers, 3, |sim, r| {
-        sim.state_mut().report = Some(r)
-    });
+    DownloadPool::run(
+        &mut sim,
+        "laads",
+        "ace-defiant",
+        files,
+        workers,
+        3,
+        |sim, r| sim.state_mut().report = Some(r),
+    );
     sim.run();
     sim.into_state().report.expect("download ran")
 }

@@ -122,7 +122,11 @@ fn default_config_runs_a_day_of_288_granules() {
     assert_eq!(report.granules, 288);
     assert_eq!(report.download.files.len(), 864);
     // Roughly half the granules are daytime.
-    assert!(report.tile_files > 80 && report.tile_files < 220, "{}", report.tile_files);
+    assert!(
+        report.tile_files > 80 && report.tile_files < 220,
+        "{}",
+        report.tile_files
+    );
     // Daily volume ≈ 58.4 GB across the three products.
     let gb = report.download.bytes.as_gb();
     assert!((50.0..70.0).contains(&gb), "downloaded {gb} GB");
