@@ -1,14 +1,21 @@
 //! Regenerates every table and figure of the paper's evaluation (§IV).
 //!
 //! ```sh
-//! cargo bench -p eoml-bench --bench figures            # everything
-//! cargo bench -p eoml-bench --bench figures -- fig4a   # one experiment
+//! cargo bench -p eoml-bench --bench figures              # everything
+//! cargo bench -p eoml-bench --bench figures -- fig4a     # one experiment
+//! cargo bench -p eoml-bench --bench figures -- --json    # + BENCH_*.json
+//! cargo bench -p eoml-bench --bench figures -- --json=out fig3
 //! ```
 //!
 //! Each experiment prints the same rows/series the paper reports, plus the
 //! paper's measured values for side-by-side comparison. Absolute agreement
 //! is not the goal (the substrate is a calibrated simulator); the *shape*
 //! — who wins, where scaling saturates, where crossovers fall — is.
+//!
+//! With `--json[=DIR]` every table is also written as a machine-readable
+//! `BENCH_<name>.json` document (default directory: the current one), so
+//! figure trajectories can be tracked per run instead of scraped from
+//! stdout.
 
 use eoml_bench::TILES_PER_FILE;
 use eoml_cluster::contention::ContentionModel;
@@ -18,6 +25,7 @@ use eoml_core::campaign::{run_campaign, CampaignParams};
 use eoml_executor::simexec::{run_batch, BatchReport};
 use eoml_modis::catalog::Catalog;
 use eoml_modis::product::Platform;
+use eoml_obs::table::{Cell, Table};
 use eoml_simtime::{SimTime, Simulation};
 use eoml_transfer::endpoint::Endpoint;
 use eoml_transfer::faults::FaultPlan;
@@ -26,39 +34,66 @@ use eoml_transfer::pool::{DownloadPool, DownloadReport};
 use eoml_util::stats::Summary;
 use eoml_util::timebase::CivilDate;
 use eoml_util::units::ByteSize;
+use std::path::PathBuf;
+
+/// Table output: always the aligned text form; with `--json[=DIR]` also a
+/// `BENCH_<name>.json` document per table.
+struct Emit {
+    json_dir: Option<PathBuf>,
+}
+
+impl Emit {
+    fn table(&self, table: &Table) {
+        print!("{}", table.render_text(0));
+        if let Some(dir) = &self.json_dir {
+            match table.write_json(dir) {
+                Ok(path) => println!("[wrote {}]", path.display()),
+                Err(e) => eprintln!("[failed to write BENCH_{}.json: {e}]", table.name),
+            }
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let explicit: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let want = |name: &str| explicit.is_empty() || explicit.iter().any(|a| a.as_str() == name);
+    let json_dir = args.iter().find_map(|a| {
+        if a == "--json" {
+            Some(PathBuf::from("."))
+        } else {
+            a.strip_prefix("--json=").map(PathBuf::from)
+        }
+    });
+    let emit = Emit { json_dir };
     println!("eoml — paper figure/table reproduction harness");
     println!("================================================");
     if want("fig3") {
-        fig3_download_speed();
+        fig3_download_speed(&emit);
     }
     if want("fig4a") {
-        fig4a_strong_scaling_workers();
+        fig4a_strong_scaling_workers(&emit);
     }
     if want("fig4b") {
-        fig4b_strong_scaling_nodes();
+        fig4b_strong_scaling_nodes(&emit);
     }
     if want("fig5a") {
-        fig5a_weak_scaling_workers();
+        fig5a_weak_scaling_workers(&emit);
     }
     if want("fig5b") {
-        fig5b_weak_scaling_nodes();
+        fig5b_weak_scaling_nodes(&emit);
     }
     if want("table1") {
-        table1_throughput();
+        table1_throughput(&emit);
     }
     if want("fig6") {
-        fig6_timeline();
+        fig6_timeline(&emit);
     }
     if want("fig7") {
-        fig7_latency_breakdown();
+        fig7_latency_breakdown(&emit);
     }
     if want("headline") {
-        headline_12k_tiles();
+        headline_12k_tiles(&emit);
     }
 }
 
@@ -101,19 +136,23 @@ fn download_batch(seed: u64, n_per_product: usize, workers: usize) -> (DownloadR
 /// Fig. 3: download speed statistics with 3 vs 6 workers for batch sizes
 /// from ~100 MB (1 file per product) to ~30 GB (128 files per product),
 /// three iterations each.
-fn fig3_download_speed() {
+fn fig3_download_speed(emit: &Emit) {
     println!("\n--- Fig. 3: download speed vs batch size, 3 vs 6 workers ---");
-    println!(
-        "{:>8} {:>11} | {:>17} | {:>17}",
-        "files/", "batch", "3 workers (MB/s)", "6 workers (MB/s)"
-    );
-    println!(
-        "{:>8} {:>11} | {:>17} | {:>17}",
-        "product", "size", "mean ± std", "mean ± std"
+    let mut table = Table::new(
+        "fig3",
+        &[
+            "files/product",
+            "batch",
+            "w3_mb_s",
+            "w3_std",
+            "w6_mb_s",
+            "w6_std",
+        ],
     );
     for n in [1usize, 2, 4, 8, 16, 32, 64, 128] {
-        let mut cells = Vec::new();
+        let mut cells = vec![Cell::int(n as i64)];
         let mut batch = ByteSize::ZERO;
+        let mut stats = Vec::new();
         for workers in [3usize, 6] {
             let speeds: Vec<f64> = (0..3)
                 .map(|iter| {
@@ -122,16 +161,16 @@ fn fig3_download_speed() {
                     report.aggregate_speed().as_mb_per_sec()
                 })
                 .collect();
-            let s = Summary::from_samples(speeds);
-            cells.push(format!("{:>8.2} ± {:<5.2}", s.mean(), s.std_dev()));
+            stats.push(Summary::from_samples(speeds));
         }
-        println!(
-            "{n:>8} {:>11} | {} | {}",
-            batch.to_string(),
-            cells[0],
-            cells[1]
-        );
+        cells.push(Cell::str(batch));
+        for s in stats {
+            cells.push(Cell::num(s.mean(), 2));
+            cells.push(Cell::num(s.std_dev(), 2));
+        }
+        table.row(cells);
     }
+    emit.table(&table);
     println!("(paper: ≈3 MB/s mean gain with 6 workers, except for single-file batches)");
 }
 
@@ -196,151 +235,161 @@ fn worker_placement(w: usize) -> (usize, usize) {
 }
 
 /// Fig. 4a: strong scaling over workers (128 files fixed).
-fn fig4a_strong_scaling_workers() {
+fn fig4a_strong_scaling_workers(emit: &Emit) {
     println!("\n--- Fig. 4a: strong scaling, completion time vs workers (128 files) ---");
-    println!(
-        "{:>8} {:>7} | {:>20} | {:>13}",
-        "workers", "nodes", "completion s (±std)", "paper tiles/s"
+    let mut table = Table::new(
+        "fig4a",
+        &["workers", "nodes", "completion_s", "std", "paper_tiles_s"],
     );
     let paper = [10.52, 18.10, 25.01, 36.59, 38.74, 37.95, 37.34, 71.01];
     for (i, w) in [1usize, 2, 4, 8, 16, 32, 64, 128].into_iter().enumerate() {
         let (nodes, wpn) = worker_placement(w);
         let (t, _) = sweep_point(nodes, wpn, 128);
-        println!(
-            "{w:>8} {nodes:>7} | {:>12.1} ± {:<5.1} | {:>13.2}",
-            t.mean(),
-            t.std_dev(),
-            paper[i]
-        );
+        table.row(vec![
+            Cell::int(w as i64),
+            Cell::int(nodes as i64),
+            Cell::num(t.mean(), 1),
+            Cell::num(t.std_dev(), 1),
+            Cell::num(paper[i], 2),
+        ]);
     }
+    emit.table(&table);
 }
 
 /// Fig. 4b: strong scaling over nodes (80 files, 8 workers/node).
-fn fig4b_strong_scaling_nodes() {
+fn fig4b_strong_scaling_nodes(emit: &Emit) {
     println!("\n--- Fig. 4b: strong scaling, completion time vs nodes (80 files, 8 w/node) ---");
-    println!(
-        "{:>6} | {:>20} | {:>13}",
-        "nodes", "completion s (±std)", "paper tiles/s"
-    );
+    let mut table = Table::new("fig4b", &["nodes", "completion_s", "std", "paper_tiles_s"]);
     let paper = [
         36.05, 73.25, 98.73, 135.42, 177.69, 192.32, 196.70, 216.80, 264.13, 267.44,
     ];
     for n in 1..=10usize {
         let (t, _) = sweep_point(n, 8, 80);
-        println!(
-            "{n:>6} | {:>12.1} ± {:<5.1} | {:>13.2}",
-            t.mean(),
-            t.std_dev(),
-            paper[n - 1]
-        );
+        table.row(vec![
+            Cell::int(n as i64),
+            Cell::num(t.mean(), 1),
+            Cell::num(t.std_dev(), 1),
+            Cell::num(paper[n - 1], 2),
+        ]);
     }
+    emit.table(&table);
 }
 
 /// Fig. 5a: weak scaling over workers (2 files per worker).
-fn fig5a_weak_scaling_workers() {
+fn fig5a_weak_scaling_workers(emit: &Emit) {
     println!("\n--- Fig. 5a: weak scaling, completion time vs workers (2 files/worker) ---");
-    println!(
-        "{:>8} {:>7} {:>7} | {:>20}",
-        "workers", "nodes", "files", "completion s (±std)"
+    let mut table = Table::new(
+        "fig5a",
+        &["workers", "nodes", "files", "completion_s", "std"],
     );
     for w in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         let (nodes, wpn) = worker_placement(w);
         let files = 2 * w;
         let (t, _) = sweep_point(nodes, wpn, files);
-        println!(
-            "{w:>8} {nodes:>7} {files:>7} | {:>12.1} ± {:<5.1}",
-            t.mean(),
-            t.std_dev()
-        );
+        table.row(vec![
+            Cell::int(w as i64),
+            Cell::int(nodes as i64),
+            Cell::int(files as i64),
+            Cell::num(t.mean(), 1),
+            Cell::num(t.std_dev(), 1),
+        ]);
     }
+    emit.table(&table);
     println!("(completion grows on one node past ~8 workers — on-node contention;");
     println!(" the paper sees the same degradation in Fig. 5a)");
 }
 
 /// Fig. 5b: weak scaling over nodes (8 workers/node, 2 files/worker).
-fn fig5b_weak_scaling_nodes() {
+fn fig5b_weak_scaling_nodes(emit: &Emit) {
     println!(
         "\n--- Fig. 5b: weak scaling, completion time vs nodes (8 w/node, 2 files/worker) ---"
     );
-    println!(
-        "{:>6} {:>7} | {:>20}",
-        "nodes", "files", "completion s (±std)"
-    );
+    let mut table = Table::new("fig5b", &["nodes", "files", "completion_s", "std"]);
     for n in 1..=10usize {
         let files = 2 * 8 * n;
         let (t, _) = sweep_point(n, 8, files);
-        println!(
-            "{n:>6} {files:>7} | {:>12.1} ± {:<5.1}",
-            t.mean(),
-            t.std_dev()
-        );
+        table.row(vec![
+            Cell::int(n as i64),
+            Cell::int(files as i64),
+            Cell::num(t.mean(), 1),
+            Cell::num(t.std_dev(), 1),
+        ]);
     }
+    emit.table(&table);
     println!("(near-flat completion time = near-perfect weak scaling across nodes)");
 }
 
 // ----------------------------------------------------------------- table 1
 
 /// Table I: throughput (tiles/s) for all four scaling sweeps.
-fn table1_throughput() {
+fn table1_throughput(emit: &Emit) {
     println!("\n--- Table I: throughput (tiles/s), measured vs paper ---");
-    println!("Strong scaling");
-    println!(
-        "{:>9} {:>10} {:>8} || {:>7} {:>10} {:>8}",
-        "# workers", "tile/s", "paper", "# nodes", "tile/s", "paper"
-    );
+    let workers = [1usize, 2, 4, 8, 16, 32, 64, 128];
+
+    println!("Strong scaling, worker sweep (128 files)");
     let paper_w = [10.52, 18.10, 25.01, 36.59, 38.74, 37.95, 37.34, 71.01];
+    let mut table = Table::new("table1_strong_workers", &["workers", "tiles_s", "paper"]);
+    for (i, &w) in workers.iter().enumerate() {
+        let (nodes, wpn) = worker_placement(w);
+        let (_, tp) = sweep_point(nodes, wpn, 128);
+        table.row(vec![
+            Cell::int(w as i64),
+            Cell::num(tp.mean(), 2),
+            Cell::num(paper_w[i], 2),
+        ]);
+    }
+    emit.table(&table);
+
+    println!("Strong scaling, node sweep (80 files, 8 w/node)");
     let paper_n = [
         36.05, 73.25, 98.73, 135.42, 177.69, 192.32, 196.70, 216.80, 264.13, 267.44,
     ];
-    let workers = [1usize, 2, 4, 8, 16, 32, 64, 128];
-    for i in 0..10 {
-        let left = if i < workers.len() {
-            let (nodes, wpn) = worker_placement(workers[i]);
-            let (_, tp) = sweep_point(nodes, wpn, 128);
-            format!("{:>9} {:>10.2} {:>8.2}", workers[i], tp.mean(), paper_w[i])
-        } else {
-            format!("{:>9} {:>10} {:>8}", "-", "-", "-")
-        };
-        let (_, tp) = sweep_point(i + 1, 8, 80);
-        println!(
-            "{left} || {:>7} {:>10.2} {:>8.2}",
-            i + 1,
-            tp.mean(),
-            paper_n[i]
-        );
+    let mut table = Table::new("table1_strong_nodes", &["nodes", "tiles_s", "paper"]);
+    for n in 1..=10usize {
+        let (_, tp) = sweep_point(n, 8, 80);
+        table.row(vec![
+            Cell::int(n as i64),
+            Cell::num(tp.mean(), 2),
+            Cell::num(paper_n[n - 1], 2),
+        ]);
     }
-    println!("\nWeak scaling");
-    println!(
-        "{:>9} {:>10} {:>8} || {:>7} {:>10} {:>8}",
-        "# workers", "tile/s", "paper", "# nodes", "tile/s", "paper"
-    );
+    emit.table(&table);
+
+    println!("Weak scaling, worker sweep (2 files/worker)");
     let paper_w = [21.32, 25.87, 27.23, 27.48, 32.73, 31.09, 35.36, 67.69];
+    let mut table = Table::new("table1_weak_workers", &["workers", "tiles_s", "paper"]);
+    for (i, &w) in workers.iter().enumerate() {
+        let (nodes, wpn) = worker_placement(w);
+        let (_, tp) = sweep_point(nodes, wpn, 2 * w);
+        table.row(vec![
+            Cell::int(w as i64),
+            Cell::num(tp.mean(), 2),
+            Cell::num(paper_w[i], 2),
+        ]);
+    }
+    emit.table(&table);
+
+    println!("Weak scaling, node sweep (8 w/node, 2 files/worker)");
     let paper_n = [
         32.82, 69.34, 100.36, 126.62, 165.12, 175.61, 196.81, 188.88, 197.26, 271.68,
     ];
-    for i in 0..10 {
-        let left = if i < workers.len() {
-            let (nodes, wpn) = worker_placement(workers[i]);
-            let (_, tp) = sweep_point(nodes, wpn, 2 * workers[i]);
-            format!("{:>9} {:>10.2} {:>8.2}", workers[i], tp.mean(), paper_w[i])
-        } else {
-            format!("{:>9} {:>10} {:>8}", "-", "-", "-")
-        };
-        let (_, tp) = sweep_point(i + 1, 8, 16 * (i + 1));
-        println!(
-            "{left} || {:>7} {:>10.2} {:>8.2}",
-            i + 1,
-            tp.mean(),
-            paper_n[i]
-        );
+    let mut table = Table::new("table1_weak_nodes", &["nodes", "tiles_s", "paper"]);
+    for n in 1..=10usize {
+        let (_, tp) = sweep_point(n, 8, 16 * n);
+        table.row(vec![
+            Cell::int(n as i64),
+            Cell::num(tp.mean(), 2),
+            Cell::num(paper_n[n - 1], 2),
+        ]);
     }
+    emit.table(&table);
 }
 
 // ------------------------------------------------------------------ fig 6
 
 /// Fig. 6: the automation timeline — active workers per stage over the
 /// campaign (3 download, 32 preprocess, 1 inference workers).
-fn fig6_timeline() {
+fn fig6_timeline(emit: &Emit) {
     println!("\n--- Fig. 6: automation timeline (3 download / 32 preprocess / 1 inference) ---");
     let report = run_campaign(CampaignParams {
         files_per_day: 32,
@@ -349,10 +398,6 @@ fn fig6_timeline() {
         ..CampaignParams::paper_demo()
     });
     let t_end = SimTime::from_secs_f64(report.makespan_s);
-    println!(
-        "{:>8} {:>10} {:>12} {:>11}",
-        "t (s)", "download", "preprocess", "inference"
-    );
     const SAMPLES: usize = 24;
     let dl = report
         .telemetry
@@ -363,12 +408,16 @@ fn fig6_timeline() {
     let inf = report
         .telemetry
         .sample_activity("inference", SimTime::ZERO, t_end, SAMPLES);
+    let mut table = Table::new("fig6", &["t_s", "download", "preprocess", "inference"]);
     for i in 0..SAMPLES {
-        println!(
-            "{:>8.1} {:>10} {:>12} {:>11}",
-            dl[i].0, dl[i].1, pp[i].1, inf[i].1
-        );
+        table.row(vec![
+            Cell::num(dl[i].0, 1),
+            Cell::int(dl[i].1 as i64),
+            Cell::int(pp[i].1 as i64),
+            Cell::int(inf[i].1 as i64),
+        ]);
     }
+    emit.table(&table);
     println!(
         "peaks: download {}, preprocess {}, inference {} (paper: 3 / 32 / 1)",
         report.telemetry.peak("download"),
@@ -384,7 +433,7 @@ fn fig6_timeline() {
 // ------------------------------------------------------------------ fig 7
 
 /// Fig. 7: the workflow latency breakdown.
-fn fig7_latency_breakdown() {
+fn fig7_latency_breakdown(emit: &Emit) {
     println!("\n--- Fig. 7: workflow latency breakdown ---");
     let report = run_campaign(CampaignParams {
         files_per_day: 32,
@@ -393,50 +442,75 @@ fn fig7_latency_breakdown() {
         ..CampaignParams::paper_demo()
     });
     let tel = &report.telemetry;
-    println!(
-        "download launch (Globus Compute start + LAADS connect + file list): {:>7.2}s  (paper: 5.63s)",
-        tel.total_seconds("download", "launch")
-    );
     let preprocess_latency = tel.total_seconds("preprocess", "slurm_alloc")
         + tel.total_seconds("preprocess", "parsl_start")
         + tel.total_seconds("preprocess", "total");
-    println!(
-        "preprocess (Parsl start + Slurm allocation + tile creation)      : {:>7.2}s  (paper: 32.80s)",
-        preprocess_latency
-    );
-    println!(
-        "  of which: slurm {:.2}s, parsl {:.2}s, tile creation {:.2}s",
-        tel.total_seconds("preprocess", "slurm_alloc"),
-        tel.total_seconds("preprocess", "parsl_start"),
-        tel.total_seconds("preprocess", "total"),
-    );
-    println!(
-        "flow action overhead (monitor → inference hops)                  : {:>7.0}ms mean (paper: ≈50ms)",
-        tel.mean_seconds("inference", "flow_action") * 1e3
-    );
-    println!(
-        "shipment transfer                                                 : {:>7.2}s",
-        tel.total_seconds("shipment", "transfer")
-    );
+    let mut table = Table::new("fig7", &["component", "seconds", "paper_s"]);
+    table.row(vec![
+        Cell::str("download_launch"),
+        Cell::num(tel.total_seconds("download", "launch"), 2),
+        Cell::num(5.63, 2),
+    ]);
+    table.row(vec![
+        Cell::str("preprocess_total"),
+        Cell::num(preprocess_latency, 2),
+        Cell::num(32.80, 2),
+    ]);
+    table.row(vec![
+        Cell::str("  slurm_alloc"),
+        Cell::num(tel.total_seconds("preprocess", "slurm_alloc"), 2),
+        Cell::str(""),
+    ]);
+    table.row(vec![
+        Cell::str("  parsl_start"),
+        Cell::num(tel.total_seconds("preprocess", "parsl_start"), 2),
+        Cell::str(""),
+    ]);
+    table.row(vec![
+        Cell::str("  tile_creation"),
+        Cell::num(tel.total_seconds("preprocess", "total"), 2),
+        Cell::str(""),
+    ]);
+    table.row(vec![
+        Cell::str("flow_action_mean"),
+        Cell::num(tel.mean_seconds("inference", "flow_action"), 3),
+        Cell::num(0.050, 3),
+    ]);
+    table.row(vec![
+        Cell::str("shipment_transfer"),
+        Cell::num(tel.total_seconds("shipment", "transfer"), 2),
+        Cell::str(""),
+    ]);
+    emit.table(&table);
+    println!("(download launch = Globus Compute start + LAADS connect + file list;");
+    println!(" preprocess = Parsl start + Slurm allocation + tile creation)");
 }
 
 // --------------------------------------------------------------- headline
 
 /// The abstract's headline: 12,000 tiles in 44 s using 80 workers across
 /// 10 nodes.
-fn headline_12k_tiles() {
+fn headline_12k_tiles(emit: &Emit) {
     println!("\n--- Headline: 12,000 tiles, 80 workers across 10 nodes ---");
     let times: Vec<f64> = (0..5)
         .map(|i| preprocess_batch(7 + i * 31, 10, 8, 80).completion_s())
         .collect();
     let s = Summary::from_samples(times);
-    println!(
-        "80 files × 150 tiles = 12,000 tiles: {:.1}s ± {:.1}s  (paper: 44s)",
-        s.mean(),
-        s.std_dev()
-    );
-    println!(
-        "throughput: {:.1} tiles/s  (paper: 272.7)",
-        12_000.0 / s.mean()
-    );
+    let mut table = Table::new("headline", &["metric", "measured", "paper"]);
+    table.row(vec![
+        Cell::str("completion_s"),
+        Cell::num(s.mean(), 1),
+        Cell::num(44.0, 1),
+    ]);
+    table.row(vec![
+        Cell::str("completion_std"),
+        Cell::num(s.std_dev(), 1),
+        Cell::str(""),
+    ]);
+    table.row(vec![
+        Cell::str("tiles_per_s"),
+        Cell::num(12_000.0 / s.mean(), 1),
+        Cell::num(272.7, 1),
+    ]);
+    emit.table(&table);
 }

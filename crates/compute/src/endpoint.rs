@@ -6,11 +6,13 @@
 
 use crate::registry::{FunctionId, FunctionRegistry};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use eoml_obs::Obs;
 use parking_lot::{Condvar, Mutex};
 use serde_json::Value;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Terminal state of a submitted task.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +85,7 @@ enum Job {
         func: FunctionId,
         args: Value,
         handle: TaskHandle,
+        submitted: Instant,
     },
     Shutdown,
 }
@@ -93,21 +96,36 @@ pub struct ComputeEndpoint {
     tx: Sender<Job>,
     workers: Vec<JoinHandle<()>>,
     registry: Arc<FunctionRegistry>,
+    obs: Option<Arc<Obs>>,
 }
 
 impl ComputeEndpoint {
     /// Start an endpoint with the given worker count.
     pub fn start(name: impl Into<String>, registry: Arc<FunctionRegistry>, workers: usize) -> Self {
+        Self::start_observed(name, registry, workers, None)
+    }
+
+    /// [`ComputeEndpoint::start`] with an observability hub: submissions,
+    /// completions, and failures are counted under the `compute` stage,
+    /// and each task feeds `queue_seconds` (submit → start) and
+    /// `task_seconds` (execution) histograms.
+    pub fn start_observed(
+        name: impl Into<String>,
+        registry: Arc<FunctionRegistry>,
+        workers: usize,
+        obs: Option<Arc<Obs>>,
+    ) -> Self {
         assert!(workers > 0, "need at least one worker");
         let (tx, rx) = unbounded::<Job>();
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let rx: Receiver<Job> = rx.clone();
             let registry = Arc::clone(&registry);
+            let obs = obs.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("compute-worker-{w}"))
-                    .spawn(move || worker_loop(rx, registry))
+                    .spawn(move || worker_loop(rx, registry, obs))
                     .expect("spawn worker"),
             );
         }
@@ -116,6 +134,7 @@ impl ComputeEndpoint {
             tx,
             workers: handles,
             registry,
+            obs,
         }
     }
 
@@ -137,11 +156,15 @@ impl ComputeEndpoint {
     /// Submit an invocation; returns immediately with a future.
     pub fn submit(&self, func: FunctionId, args: Value) -> TaskHandle {
         let handle = TaskHandle::new();
+        if let Some(obs) = &self.obs {
+            obs.counter_add("tasks_submitted", "compute", 1);
+        }
         self.tx
             .send(Job::Run {
                 func,
                 args,
                 handle: handle.clone(),
+                submitted: Instant::now(),
             })
             .expect("endpoint alive");
         handle
@@ -179,11 +202,17 @@ impl Drop for ComputeEndpoint {
     }
 }
 
-fn worker_loop(rx: Receiver<Job>, registry: Arc<FunctionRegistry>) {
+fn worker_loop(rx: Receiver<Job>, registry: Arc<FunctionRegistry>, obs: Option<Arc<Obs>>) {
     while let Ok(job) = rx.recv() {
         match job {
             Job::Shutdown => break,
-            Job::Run { func, args, handle } => {
+            Job::Run {
+                func,
+                args,
+                handle,
+                submitted,
+            } => {
+                let started = Instant::now();
                 let outcome =
                     std::panic::catch_unwind(AssertUnwindSafe(|| registry.invoke(func, args)));
                 let result = match outcome {
@@ -198,6 +227,20 @@ fn worker_loop(rx: Receiver<Job>, registry: Arc<FunctionRegistry>) {
                         TaskResult::Failed(format!("panic: {msg}"))
                     }
                 };
+                if let Some(obs) = &obs {
+                    obs.observe(
+                        "queue_seconds",
+                        "compute",
+                        (started - submitted).as_secs_f64(),
+                    );
+                    obs.observe("task_seconds", "compute", started.elapsed().as_secs_f64());
+                    let counter = if result.is_success() {
+                        "tasks_completed"
+                    } else {
+                        "tasks_failed"
+                    };
+                    obs.counter_add(counter, "compute", 1);
+                }
                 handle.fulfill(result);
             }
         }
@@ -326,5 +369,33 @@ mod tests {
         assert_eq!(ep.worker_count(), 3);
         assert_eq!(ep.registry().len(), 3);
         ep.shutdown();
+    }
+
+    #[test]
+    fn observed_endpoint_counts_and_times_tasks() {
+        let obs = Obs::shared();
+        let ep = ComputeEndpoint::start_observed(
+            "ace",
+            registry_with_basics(),
+            2,
+            Some(Arc::clone(&obs)),
+        );
+        let handles: Vec<_> = (0..5)
+            .map(|i| ep.submit_by_name("square", json!(i)).unwrap())
+            .collect();
+        let boom = ep.submit_by_name("fail", json!({})).unwrap();
+        for h in &handles {
+            assert!(h.wait().is_success());
+        }
+        assert!(!boom.wait().is_success());
+        ep.shutdown();
+        let counter = |name: &str| obs.metrics().counter_value(name, "compute").unwrap_or(0);
+        assert_eq!(counter("tasks_submitted"), 6);
+        assert_eq!(counter("tasks_completed"), 5);
+        assert_eq!(counter("tasks_failed"), 1);
+        let queue = obs.metrics().histogram("queue_seconds", "compute").unwrap();
+        let exec = obs.metrics().histogram("task_seconds", "compute").unwrap();
+        assert_eq!(queue.count(), 6);
+        assert_eq!(exec.count(), 6);
     }
 }

@@ -16,6 +16,7 @@ use eoml_journal::{CampaignState, Journal, JournalError, JournalEvent, Storage};
 use eoml_modis::catalog::Catalog;
 use eoml_modis::granule::GranuleId;
 use eoml_modis::product::{Platform, ProductKind};
+use eoml_obs::Obs;
 use eoml_simtime::{SimTime, Simulation};
 use eoml_transfer::faults::FaultPlan;
 use eoml_transfer::pool::{DownloadPool, DownloadReport, FileTiming};
@@ -26,6 +27,7 @@ use eoml_util::units::ByteSize;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Object-safe journal handle the campaign driver appends through; lets the
@@ -71,6 +73,10 @@ pub struct CampaignParams {
     pub tile_nc_bytes: u64,
     /// Network fault plan.
     pub faults: FaultPlan,
+    /// Observability hub; when set, the campaign's telemetry is mirrored
+    /// into it (spans, per-stage counters, `active_workers` gauges) so a
+    /// run can export Chrome traces and Prometheus dumps.
+    pub obs: Option<Arc<Obs>>,
 }
 
 impl CampaignParams {
@@ -92,6 +98,7 @@ impl CampaignParams {
             monitor_period_s: 1.0,
             tile_nc_bytes: 6 * 128 * 128 * 4 + 1024,
             faults: FaultPlan::none(),
+            obs: None,
         }
     }
 
@@ -125,7 +132,14 @@ impl CampaignParams {
             tile_nc_bytes: (6 * cfg.preprocess.tile_size * cfg.preprocess.tile_size * 4 + 1024)
                 as u64,
             faults: FaultPlan::none(),
+            obs: None,
         }
+    }
+
+    /// Attach an observability hub (builder style).
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 }
 
@@ -398,7 +412,10 @@ fn run_inner(
 ) -> Result<CampaignReport, JournalError> {
     assert!(params.files_per_day >= 1 && params.files_per_day <= 288);
     assert!(params.nodes >= 1 && params.workers_per_node >= 1);
-    let world = World::new(params.seed, params.faults);
+    let mut world = World::new(params.seed, params.faults);
+    if let Some(obs) = &params.obs {
+        world.telemetry.attach_obs(Arc::clone(obs));
+    }
     assert!(params.nodes <= world.cluster.spec().nodes);
     let mut sim = Simulation::new(world);
 
@@ -536,13 +553,15 @@ fn stage_download(sim: &mut Simulation<World>, progress: &P) {
         };
         let hook_progress = Rc::clone(&progress);
         let progress2 = Rc::clone(&progress);
-        DownloadPool::run_with_hook(
+        let obs = sim.state_mut().telemetry.obs().cloned();
+        DownloadPool::run_observed(
             sim,
             "laads",
             "ace-defiant",
             pending,
             workers,
             3,
+            obs,
             move |_sim, timing: &FileTiming| {
                 if is_halted(&hook_progress) {
                     return;
@@ -774,6 +793,7 @@ fn preprocess_pull(sim: &mut Simulation<World>, progress: &P, node_idx: usize) {
             return;
         }
         let now = sim.now();
+        sim.state_mut().telemetry.count("granules", "preprocess", 1);
         let produced = {
             let mut p = progress2.borrow_mut();
             p.preprocess_active -= 1;
@@ -891,6 +911,13 @@ fn monitor_poll(sim: &mut Simulation<World>, progress: &P) {
         {
             return;
         }
+        // Stage-3 visibility: each crawl hit is an instantaneous span plus
+        // a counter, so the monitor shows up in traces alongside the four
+        // throughput stages.
+        let now = sim.now();
+        let tel = &mut sim.state_mut().telemetry;
+        tel.mark("monitor", "trigger", now);
+        tel.count("triggers", "monitor", 1);
         // Recover the tile count from the file name's granule.
         let tiles = file
             .strip_prefix("tiles-")
@@ -1005,6 +1032,9 @@ fn pump_inference(sim: &mut Simulation<World>, progress: &P) {
                 return;
             }
             let now = sim.now();
+            sim.state_mut()
+                .telemetry
+                .count("files_labeled", "inference", 1);
             {
                 let mut p = progress2.borrow_mut();
                 p.inference_active -= 1;
@@ -1121,9 +1151,12 @@ fn maybe_ship(sim: &mut Simulation<World>, progress: &P) {
                 return;
             }
             let now = sim.now();
-            sim.state_mut()
-                .telemetry
-                .span("shipment", "transfer", started, now);
+            {
+                let tel = &mut sim.state_mut().telemetry;
+                tel.span("shipment", "transfer", started, now);
+                tel.count("files_shipped", "shipment", report.files_ok as u64);
+                tel.count("bytes_shipped", "shipment", report.bytes.as_u64());
+            }
             {
                 let now_s = now.as_secs_f64();
                 let shipped: Vec<String> =
@@ -1409,6 +1442,50 @@ mod tests {
         assert_eq!(resumed.labeled_files, baseline.labeled_files);
         assert_eq!(resumed.download.bytes, baseline.download.bytes);
         assert_eq!(resumed.shipment.bytes, baseline.shipment.bytes);
+    }
+
+    #[test]
+    fn observed_campaign_covers_all_five_stages() {
+        let obs = Obs::shared();
+        let params = CampaignParams {
+            files_per_day: 24,
+            ..CampaignParams::small()
+        }
+        .with_obs(Arc::clone(&obs));
+        let r = run_campaign(params);
+        assert!(r.tile_files > 0, "need day granules for monitor/inference");
+        let spans = obs.spans();
+        for stage in ["download", "preprocess", "monitor", "inference", "shipment"] {
+            assert!(
+                spans.iter().any(|s| s.stage == stage),
+                "no {stage} spans in obs"
+            );
+        }
+        let m = obs.metrics();
+        assert_eq!(
+            m.counter_value("files", "download"),
+            Some(r.download.files.len() as u64)
+        );
+        assert_eq!(
+            m.counter_value("granules", "preprocess"),
+            Some(r.granules as u64)
+        );
+        assert_eq!(
+            m.counter_value("triggers", "monitor"),
+            Some(r.tile_files as u64)
+        );
+        assert_eq!(
+            m.counter_value("files_labeled", "inference"),
+            Some(r.labeled_files as u64)
+        );
+        assert_eq!(
+            m.counter_value("files_shipped", "shipment"),
+            Some(r.shipment.files_ok as u64)
+        );
+        // The exported Chrome trace parses and holds every span.
+        let parsed = serde_json::from_str(&obs.chrome_trace_json()).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), spans.len());
     }
 
     #[test]

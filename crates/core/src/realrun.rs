@@ -21,6 +21,7 @@ use eoml_modis::granule::GranuleId;
 use eoml_modis::product::ProductKind;
 use eoml_modis::synth::{SwathDims, SwathSynthesizer};
 use eoml_ncdf::NcFile;
+use eoml_obs::Obs;
 use eoml_preprocess::pipeline::preprocess_granule_files;
 use eoml_preprocess::tiles::TileCriteria;
 use eoml_preprocess::writer::{append_labels, read_tiles_nc};
@@ -70,6 +71,7 @@ pub struct RealPipeline {
     criteria: TileCriteria,
     model: AiccaModel,
     executor: LocalExecutor,
+    obs: Option<Arc<Obs>>,
 }
 
 impl RealPipeline {
@@ -104,7 +106,19 @@ impl RealPipeline {
             },
             model: AiccaModel::pretrained(cfg, seed),
             executor: LocalExecutor::new(workers),
+            obs: None,
         })
+    }
+
+    /// Attach an observability hub: each stage gets a wall-clock span, the
+    /// endpoint/executor/flow-runner instrumentation is enabled, and the
+    /// headline counters (granules, tile files, labeled tiles) are mirrored
+    /// as metrics.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        let workers = self.executor.workers();
+        self.executor = LocalExecutor::new(workers).with_obs(Arc::clone(&obs));
+        self.obs = Some(obs);
+        self
     }
 
     /// Override the tile-selection criteria (thresholds only; the tile
@@ -135,6 +149,7 @@ impl RealPipeline {
         // download function, registered on a real compute endpoint. Each
         // invocation materializes one granule's three product files.
         let t0 = Instant::now();
+        let stage_span = self.obs.as_ref().map(|o| o.span("download", "synthesize"));
         let registry = Arc::new(FunctionRegistry::new());
         {
             let synth = self.synth.clone();
@@ -155,8 +170,12 @@ impl RealPipeline {
                 }))
             });
         }
-        let endpoint =
-            ComputeEndpoint::start("laads-downloader", registry, self.executor.workers());
+        let endpoint = ComputeEndpoint::start_observed(
+            "laads-downloader",
+            registry,
+            self.executor.workers(),
+            self.obs.clone(),
+        );
         let handles: Vec<_> = granules
             .iter()
             .map(|g| {
@@ -177,10 +196,14 @@ impl RealPipeline {
             }
         }
         endpoint.shutdown();
+        if let Some(mut span) = stage_span {
+            span.attr("granules", granules.len());
+        }
         let synth_secs = t0.elapsed().as_secs_f64();
 
         // Stage 2: parallel preprocessing.
         let t1 = Instant::now();
+        let stage_span = self.obs.as_ref().map(|o| o.span("preprocess", "map"));
         let outcomes = self.executor.map(paths, |[p02, p03, p06]| {
             preprocess_granule_files(&p02, &p03, &p06, &tiles_dir, &self.criteria)
                 .map_err(|e| e.to_string())
@@ -192,11 +215,15 @@ impl RealPipeline {
                 Err(e) => return Err(format!("preprocess failed: {e}")),
             }
         }
+        if let Some(mut span) = stage_span {
+            span.attr("tiles", total_tiles);
+        }
         let preprocess_secs = t1.elapsed().as_secs_f64();
 
         // Stages 3+4: monitor the tiles directory and run the inference
         // flow per discovered file.
         let t2 = Instant::now();
+        let stage_span = self.obs.as_ref().map(|o| o.span("monitor", "crawl"));
         let mut crawler = DirectoryCrawler::new(&tiles_dir, ".nc");
         let flow = FlowDefinition::inference_flow();
         let mut labeled_tiles = 0usize;
@@ -254,6 +281,9 @@ impl RealPipeline {
         };
 
         let mut runner = FlowRunner::new();
+        if let Some(obs) = &self.obs {
+            runner.obs = Some(Arc::clone(obs));
+        }
         runner.register("inference", &mut infer);
         runner.register("append_labels", &mut append);
         runner.register("move_to_outbox", &mut move_out);
@@ -272,7 +302,11 @@ impl RealPipeline {
                     .and_then(|n| n.to_str())
                     .ok_or("bad file name")?
                     .to_string();
+                let infer_span = self.obs.as_ref().map(|o| o.span("inference", "flow"));
                 let run = runner.run(&flow, json!({ "file": name }));
+                if let Some(mut span) = infer_span {
+                    span.attr("file", &name);
+                }
                 if let eoml_flows::runner::RunStatus::Failed(e) = &run.status {
                     return Err(format!("inference flow failed for {name}: {e}"));
                 }
@@ -288,11 +322,15 @@ impl RealPipeline {
                 }
             }
         }
+        if let Some(mut span) = stage_span {
+            span.attr("tile_files", tile_files);
+        }
         let infer_secs = t2.elapsed().as_secs_f64();
 
         // Stage 5: the outbox *is* the destination facility here; collect
         // the shipped files.
         let t3 = Instant::now();
+        let stage_span = self.obs.as_ref().map(|o| o.span("shipment", "collect"));
         let mut shipped: Vec<PathBuf> = std::fs::read_dir(&outbox)
             .map_err(|e| e.to_string())?
             .filter_map(|e| e.ok())
@@ -300,7 +338,17 @@ impl RealPipeline {
             .filter(|p| p.extension().map(|x| x == "nc").unwrap_or(false))
             .collect();
         shipped.sort();
+        if let Some(mut span) = stage_span {
+            span.attr("files", shipped.len());
+        }
         let ship_secs = t3.elapsed().as_secs_f64();
+
+        if let Some(obs) = &self.obs {
+            obs.counter_add("granules", "download", granules.len() as u64);
+            obs.counter_add("tile_files", "preprocess", tile_files as u64);
+            obs.counter_add("labeled_tiles", "inference", labeled_tiles as u64);
+            obs.counter_add("files_shipped", "shipment", shipped.len() as u64);
+        }
 
         Ok(RealRunReport {
             granules: granules.len(),
@@ -422,6 +470,53 @@ mod tests {
         let report = pipeline.run(&day_granules(3)).unwrap();
         let used = report.label_histogram.iter().filter(|&&c| c > 0).count();
         assert!(used >= 3, "expected ≥3 distinct classes, got {used}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn observed_real_run_records_wall_clock_stage_spans() {
+        let dir = tempdir("obs");
+        let obs = Obs::shared();
+        let pipeline = RealPipeline::new(&dir, 2022, SwathDims::small(), 32, 2)
+            .unwrap()
+            .with_thresholds(0.0, 0.0)
+            .with_obs(Arc::clone(&obs));
+        let report = pipeline.run(&day_granules(2)).unwrap();
+        let spans = obs.spans();
+        for (stage, name) in [
+            ("download", "synthesize"),
+            ("preprocess", "map"),
+            ("monitor", "crawl"),
+            ("inference", "flow"),
+            ("shipment", "collect"),
+        ] {
+            let span = spans
+                .iter()
+                .find(|s| s.stage == stage && s.name == name)
+                .unwrap_or_else(|| panic!("no {stage}/{name} span"));
+            assert!(span.sim_start.is_none(), "real run spans are wall-clock");
+            assert!(span.wall_end_ns >= span.wall_start_ns);
+        }
+        // Inference flow spans nest under the monitor crawl span.
+        let crawl = spans
+            .iter()
+            .find(|s| s.stage == "monitor" && s.name == "crawl")
+            .unwrap();
+        let flow = spans
+            .iter()
+            .find(|s| s.stage == "inference" && s.name == "flow")
+            .unwrap();
+        assert_eq!(flow.parent, Some(crawl.id));
+        let m = obs.metrics();
+        assert_eq!(m.counter_value("granules", "download"), Some(2));
+        assert_eq!(
+            m.counter_value("labeled_tiles", "inference"),
+            Some(report.labeled_tiles as u64)
+        );
+        // The endpoint, executor, and flow runner instrumentation all fired.
+        assert_eq!(m.counter_value("tasks_submitted", "compute"), Some(2));
+        assert!(m.counter_value("tasks", "executor").unwrap_or(0) >= 2);
+        assert!(m.counter_value("actions", "flow").unwrap_or(0) >= 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -32,6 +32,7 @@ use eoml_util::units::ByteSize;
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Streaming-specific knobs on top of [`CampaignParams`].
@@ -199,7 +200,10 @@ fn run_streaming_inner(
     resume: CampaignState,
 ) -> Result<StreamingReport, JournalError> {
     assert_eq!(params.base.days, 1, "streaming demo covers one day");
-    let world = World::new(params.base.seed, params.base.faults);
+    let mut world = World::new(params.base.seed, params.base.faults);
+    if let Some(obs) = &params.base.obs {
+        world.telemetry.attach_obs(Arc::clone(obs));
+    }
     let mut sim = Simulation::new(world);
 
     let all: Vec<GranuleId> = GranuleId::day_granules(params.base.platform, params.base.start)
@@ -433,6 +437,7 @@ fn pump_downloads(sim: &mut Simulation<World>, st: &S) {
             break;
         };
         let st2 = Rc::clone(st);
+        let dl_start = sim.now();
         start_flow(sim, "laads", "ace-defiant", size, move |sim, outcome| {
             if st_halted(&st2) {
                 return;
@@ -457,6 +462,12 @@ fn pump_downloads(sim: &mut Simulation<World>, st: &S) {
                 )
             {
                 return;
+            }
+            if outcome.is_success() {
+                let tel = &mut sim.state_mut().telemetry;
+                tel.span("download", "file", dl_start, now);
+                tel.count("files", "download", 1);
+                tel.count("bytes", "download", size.as_u64());
             }
             let granule_ready = {
                 let mut s = st2.borrow_mut();
@@ -520,6 +531,7 @@ fn pump_preprocess(sim: &mut Simulation<World>, st: &S) {
             break;
         };
         let st2 = Rc::clone(st);
+        let pp_start = sim.now();
         submit_task(sim, node, tiles.max(12.0), move |sim| {
             if st_halted(&st2) {
                 return;
@@ -544,6 +556,15 @@ fn pump_preprocess(sim: &mut Simulation<World>, st: &S) {
                 return;
             }
             let now = sim.now();
+            {
+                let tel = &mut sim.state_mut().telemetry;
+                tel.span("preprocess", "granule", pp_start, now);
+                tel.count("granules", "preprocess", 1);
+                if tiles > 0.0 {
+                    tel.mark("monitor", "trigger", now);
+                    tel.count("triggers", "monitor", 1);
+                }
+            }
             {
                 let mut s = st2.borrow_mut();
                 s.preprocess_active -= 1;
@@ -598,11 +619,15 @@ fn pump_inference(sim: &mut Simulation<World>, st: &S) {
         let overhead = sim.state_mut().flow_overhead.sample().total() * 4;
         let compute = Duration::from_secs_f64(tiles / rate);
         let st2 = Rc::clone(st);
+        let inf_start = sim.now();
         sim.schedule_in(overhead + compute, move |sim| {
             if st_halted(&st2) {
                 return;
             }
             let now = sim.now();
+            sim.state_mut()
+                .telemetry
+                .span("inference", "infer", inf_start, now);
             {
                 let mut s = st2.borrow_mut();
                 s.inference_active -= 1;
@@ -621,6 +646,7 @@ fn pump_inference(sim: &mut Simulation<World>, st: &S) {
                 st2.borrow_mut().shipping += 1;
             }
             let st3 = Rc::clone(&st2);
+            let ship_start = sim.now();
             start_flow(
                 sim,
                 "ace-defiant",
@@ -651,6 +677,14 @@ fn pump_inference(sim: &mut Simulation<World>, st: &S) {
                             s.shipped += size;
                             s.last_ship = sim.now();
                         }
+                    }
+                    if out.is_success() {
+                        let now = sim.now();
+                        let tel = &mut sim.state_mut().telemetry;
+                        tel.span("shipment", "ship", ship_start, now);
+                        tel.count("files_labeled", "inference", 1);
+                        tel.count("files_shipped", "shipment", 1);
+                        tel.count("bytes_shipped", "shipment", size.as_u64());
                     }
                     maybe_finish(sim, &st3);
                 },
@@ -807,6 +841,31 @@ mod tests {
             assert_eq!(r.downloaded, baseline.downloaded, "kill {kill_at}");
             assert_eq!(r.shipped, baseline.shipped, "kill {kill_at}");
         }
+    }
+
+    #[test]
+    fn observed_streaming_campaign_covers_all_five_stages() {
+        let obs = eoml_obs::Obs::shared();
+        let mut p = small();
+        p.base.obs = Some(Arc::clone(&obs));
+        let r = run_streaming_campaign(p);
+        let spans = obs.spans();
+        for stage in ["download", "preprocess", "monitor", "inference", "shipment"] {
+            assert!(
+                spans.iter().any(|s| s.stage == stage),
+                "no {stage} spans in obs"
+            );
+        }
+        let m = obs.metrics();
+        assert_eq!(m.counter_value("granules", "preprocess"), Some(24));
+        assert_eq!(
+            m.counter_value("files_shipped", "shipment"),
+            Some(r.shipped_files as u64)
+        );
+        assert_eq!(
+            m.counter_value("bytes", "download"),
+            Some(r.downloaded.as_u64())
+        );
     }
 
     #[test]

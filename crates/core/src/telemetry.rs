@@ -4,8 +4,10 @@
 //! the per-stage active-worker count over time; Fig. 7 is the latency of
 //! each workflow component and the communication hops between them.
 
+use eoml_obs::Obs;
 use eoml_simtime::SimTime;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A named interval attributed to a stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,12 +30,21 @@ impl Span {
 }
 
 /// Collected telemetry for one campaign.
+///
+/// Since the `eoml-obs` crate landed this is a thin adapter: the local
+/// `spans`/`activity` collections still feed the Fig. 6/7 reproduction
+/// code unchanged, and when an [`Obs`] hub is attached every span and
+/// activity change is mirrored into it (sim-stamped spans, an
+/// `active_workers` gauge, and the per-`(name, stage)` duration
+/// histograms), so one campaign run also yields Chrome traces,
+/// Prometheus dumps, and live sink events.
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     /// All recorded spans, in recording order.
     pub spans: Vec<Span>,
     /// Per-stage `(time, active workers)` change points.
     pub activity: BTreeMap<String, Vec<(SimTime, usize)>>,
+    obs: Option<Arc<Obs>>,
 }
 
 impl Telemetry {
@@ -42,9 +53,22 @@ impl Telemetry {
         Self::default()
     }
 
+    /// Mirror everything recorded from now on into `obs`.
+    pub fn attach_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached observability hub, if any.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
+    }
+
     /// Record a completed span.
     pub fn span(&mut self, stage: &str, name: &str, start: SimTime, end: SimTime) {
         assert!(end >= start, "span ends before it starts");
+        if let Some(obs) = &self.obs {
+            obs.record_sim_span(stage, name, start, end);
+        }
         self.spans.push(Span {
             stage: stage.to_string(),
             name: name.to_string(),
@@ -53,8 +77,31 @@ impl Telemetry {
         });
     }
 
+    /// Record an instantaneous event (a zero-length span) — monitor
+    /// triggers, journal recovery points.
+    pub fn mark(&mut self, stage: &str, name: &str, t: SimTime) {
+        self.span(stage, name, t, t);
+    }
+
+    /// Bump an obs counter; no-op when no hub is attached.
+    pub fn count(&self, name: &str, stage: &str, delta: u64) {
+        if let Some(obs) = &self.obs {
+            obs.counter_add(name, stage, delta);
+        }
+    }
+
+    /// Record an obs histogram observation; no-op when no hub is attached.
+    pub fn observe(&self, name: &str, stage: &str, value: f64) {
+        if let Some(obs) = &self.obs {
+            obs.observe(name, stage, value);
+        }
+    }
+
     /// Record a worker-count change for a stage.
     pub fn activity_change(&mut self, stage: &str, t: SimTime, active: usize) {
+        if let Some(obs) = &self.obs {
+            obs.gauge_set("active_workers", stage, active as f64);
+        }
         self.activity
             .entry(stage.to_string())
             .or_default()
@@ -69,15 +116,21 @@ impl Telemetry {
     }
 
     /// Active workers of `stage` at time `t` (step function lookup).
+    ///
+    /// O(log n) binary search — the series is kept time-sorted by
+    /// [`Telemetry::activity_change`] (monotone sim time) and
+    /// [`Telemetry::merge_activity`] (explicit sort).
     pub fn activity_at(&self, stage: &str, t: SimTime) -> usize {
         match self.activity.get(stage) {
             None => 0,
-            Some(series) => series
-                .iter()
-                .take_while(|&&(st, _)| st <= t)
-                .last()
-                .map(|&(_, a)| a)
-                .unwrap_or(0),
+            Some(series) => {
+                let idx = series.partition_point(|&(st, _)| st <= t);
+                if idx == 0 {
+                    0
+                } else {
+                    series[idx - 1].1
+                }
+            }
         }
     }
 
@@ -116,19 +169,18 @@ impl Telemetry {
     /// Whether two stages' activity overlapped in time (both nonzero at
     /// some change point) — how Fig. 6's preprocess/inference overlap is
     /// checked.
+    /// O(n log n): one [`Telemetry::activity_at`] binary search per
+    /// change point, instead of the linear rescan per point this used
+    /// to do (O(n²) on long campaigns).
     pub fn stages_overlap(&self, a: &str, b: &str) -> bool {
-        let probe = |stage: &str| self.activity.get(stage).cloned().unwrap_or_default();
-        for &(t, active) in probe(a).iter() {
-            if active > 0 && self.activity_at(b, t) > 0 {
-                return true;
-            }
-        }
-        for &(t, active) in probe(b).iter() {
-            if active > 0 && self.activity_at(a, t) > 0 {
-                return true;
-            }
-        }
-        false
+        let probe = |x: &str, y: &str| {
+            self.activity.get(x).is_some_and(|series| {
+                series
+                    .iter()
+                    .any(|&(t, active)| active > 0 && self.activity_at(y, t) > 0)
+            })
+        };
+        probe(a, b) || probe(b, a)
     }
 
     /// Export everything as JSON for external plotting/telemetry tooling

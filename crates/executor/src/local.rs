@@ -1,5 +1,7 @@
 //! Real thread-pool execution with per-task timing.
 
+use eoml_obs::Obs;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A Parsl-style local executor: a fixed pool of `workers` threads
@@ -7,6 +9,7 @@ use std::time::{Duration, Instant};
 pub struct LocalExecutor {
     pool: rayon::ThreadPool,
     workers: usize,
+    obs: Option<Arc<Obs>>,
 }
 
 impl std::fmt::Debug for LocalExecutor {
@@ -26,7 +29,20 @@ impl LocalExecutor {
             .thread_name(|i| format!("eoml-worker-{i}"))
             .build()
             .expect("build thread pool");
-        Self { pool, workers }
+        Self {
+            pool,
+            workers,
+            obs: None,
+        }
+    }
+
+    /// Attach an observability hub: every mapped item is counted under
+    /// `tasks{stage="executor"}` and timed into the
+    /// `task_seconds{stage="executor"}` histogram, and timed batches get
+    /// an `executor/map` wall-clock span.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Number of worker threads.
@@ -42,8 +58,21 @@ impl LocalExecutor {
         F: Fn(T) -> R + Sync,
     {
         use rayon::prelude::*;
-        self.pool
-            .install(|| items.into_par_iter().map(&f).collect())
+        let obs = self.obs.as_deref();
+        self.pool.install(|| {
+            items
+                .into_par_iter()
+                .map(|x| {
+                    let t0 = Instant::now();
+                    let r = f(x);
+                    if let Some(obs) = obs {
+                        obs.counter_add("tasks", "executor", 1);
+                        obs.observe("task_seconds", "executor", t0.elapsed().as_secs_f64());
+                    }
+                    r
+                })
+                .collect()
+        })
     }
 
     /// Parallel map that also reports per-item wall time and the batch
@@ -54,6 +83,7 @@ impl LocalExecutor {
         R: Send,
         F: Fn(T) -> R + Sync,
     {
+        let mut span = self.obs.as_ref().map(|o| o.span("executor", "map"));
         let start = Instant::now();
         let pairs = self.map(items, |x| {
             let t0 = Instant::now();
@@ -61,7 +91,11 @@ impl LocalExecutor {
             (r, t0.elapsed())
         });
         let total = start.elapsed();
-        let (results, times) = pairs.into_iter().unzip();
+        let (results, times): (Vec<R>, Vec<Duration>) = pairs.into_iter().unzip();
+        if let Some(span) = &mut span {
+            span.attr("items", results.len());
+            span.attr("workers", self.workers);
+        }
         (results, times, total)
     }
 
@@ -110,6 +144,27 @@ mod tests {
             assert!(t.as_millis() as u64 >= *x, "{t:?} for {x}");
         }
         assert!(total >= *times.iter().max().unwrap());
+    }
+
+    #[test]
+    fn observed_maps_count_and_time_tasks() {
+        let obs = Obs::shared();
+        let ex = LocalExecutor::new(2).with_obs(Arc::clone(&obs));
+        let out = ex.map((0..10).collect(), |x: i32| x + 1);
+        assert_eq!(out.len(), 10);
+        let (out2, _, _) = ex.map_timed(vec![1u64, 2], |x| x);
+        assert_eq!(out2, vec![1, 2]);
+        assert_eq!(obs.metrics().counter_value("tasks", "executor"), Some(12));
+        let h = obs.metrics().histogram("task_seconds", "executor").unwrap();
+        assert_eq!(h.count(), 12);
+        // map_timed wraps the batch in an executor/map span.
+        let spans = obs.spans();
+        let map_span = spans
+            .iter()
+            .find(|s| s.stage == "executor" && s.name == "map")
+            .expect("map span recorded");
+        assert_eq!(map_span.attr("items"), Some("2"));
+        assert_eq!(map_span.attr("workers"), Some("2"));
     }
 
     #[test]

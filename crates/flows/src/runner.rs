@@ -3,9 +3,11 @@
 
 use crate::definition::{FlowDefinition, FlowState};
 use eoml_journal::{Journal, JournalError, JournalEvent, Storage};
+use eoml_obs::Obs;
 use serde_json::{Map, Value};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 eoml_util::typed_id!(
     /// Identifier of a flow run.
@@ -117,6 +119,10 @@ pub struct FlowRunner<'a> {
     pub transition_overhead: f64,
     /// Safety limit on state transitions per run.
     pub max_steps: usize,
+    /// Optional observability hub: every state transition becomes a
+    /// sim-stamped `flow` span, and action states additionally feed the
+    /// `action_seconds{stage="flow"}` latency histogram.
+    pub obs: Option<Arc<Obs>>,
     next_run: u64,
 }
 
@@ -136,7 +142,27 @@ impl<'a> FlowRunner<'a> {
             providers: HashMap::new(),
             transition_overhead: 0.05,
             max_steps: 10_000,
+            obs: None,
             next_run: 1,
+        }
+    }
+
+    /// Attach an observability hub (see the `obs` field).
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Record one executed state into the hub, if attached: a
+    /// `transitions` count, a `flow/<state>` span on the run's virtual
+    /// clock, and per-action latency for action states.
+    fn obs_event(&self, flow: &FlowDefinition, state: &str, entered_at: f64, duration: f64) {
+        let Some(obs) = &self.obs else { return };
+        obs.counter_add("transitions", "flow", 1);
+        obs.record_sim_span_secs("flow", state, entered_at, entered_at + duration);
+        if matches!(flow.states.get(state), Some(FlowState::Action { .. })) {
+            obs.counter_add("actions", "flow", 1);
+            obs.observe("action_seconds", "flow", duration);
         }
     }
 
@@ -236,6 +262,7 @@ impl<'a> FlowRunner<'a> {
             let entered_at = clock;
             match self.step(flow, &current, &mut ctx) {
                 Step::Done { status, duration } => {
+                    self.obs_event(flow, &current, entered_at, duration);
                     events.push(FlowEvent {
                         state: current,
                         entered_at,
@@ -250,6 +277,7 @@ impl<'a> FlowRunner<'a> {
                 }
                 Step::Next { state, duration } => {
                     clock += duration;
+                    self.obs_event(flow, &current, entered_at, duration);
                     events.push(FlowEvent {
                         state: current.clone(),
                         entered_at,
@@ -322,6 +350,7 @@ impl<'a> FlowRunner<'a> {
             let entered_at = clock;
             match self.step(flow, &current, &mut ctx) {
                 Step::Done { status, duration } => {
+                    self.obs_event(flow, &current, entered_at, duration);
                     events.push(FlowEvent {
                         state: current,
                         entered_at,
@@ -341,6 +370,7 @@ impl<'a> FlowRunner<'a> {
                 }
                 Step::Next { state, duration } => {
                     clock += duration;
+                    self.obs_event(flow, &current, entered_at, duration);
                     events.push(FlowEvent {
                         state: current.clone(),
                         entered_at,
@@ -387,6 +417,41 @@ impl Default for FlowRunner<'_> {
 mod tests {
     use super::*;
     use serde_json::json;
+
+    #[test]
+    fn observed_runner_records_transitions_and_action_latency() {
+        let obs = Obs::shared();
+        let mut stamp = |_: &str, params: &Value, _: &Value| {
+            let mut out = params.clone();
+            out["_duration"] = json!(0.25);
+            Ok(out)
+        };
+        let flow = linear_flow();
+        let run = {
+            let mut runner = FlowRunner::new().with_obs(Arc::clone(&obs));
+            runner.register("stamp", &mut stamp);
+            runner.run(&flow, json!({"file": "g1.eogr"}))
+        };
+        assert!(run.status.is_success());
+        let m = obs.metrics();
+        assert_eq!(
+            m.counter_value("transitions", "flow"),
+            Some(run.events.len() as u64)
+        );
+        assert_eq!(m.counter_value("actions", "flow"), Some(2));
+        let h = m.histogram("action_seconds", "flow").unwrap();
+        assert_eq!(h.count(), 2);
+        // Each action: 50 ms overhead + 250 ms body.
+        assert!((h.sum() - 0.6).abs() < 1e-9, "sum {}", h.sum());
+        // One sim-stamped span per executed state, on the run's clock.
+        let spans = obs.spans();
+        assert_eq!(spans.len(), run.events.len());
+        assert!(spans
+            .iter()
+            .all(|s| s.stage == "flow" && s.sim_start.is_some()));
+        let total: f64 = spans.iter().map(|s| s.sim_seconds().unwrap()).sum();
+        assert!((total - run.total_duration()).abs() < 1e-6);
+    }
 
     fn linear_flow() -> FlowDefinition {
         FlowDefinition::from_json(&json!({

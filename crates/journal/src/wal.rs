@@ -11,7 +11,10 @@ use crate::event::JournalEvent;
 use crate::frame::{self, FrameOutcome};
 use crate::state::CampaignState;
 use crate::storage::Storage;
+use eoml_obs::Obs;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Journal failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +47,23 @@ pub struct RecoveryReport {
     /// Events replayed after the snapshot used (equals `events` when no
     /// snapshot was usable) — the O(tail) recovery cost.
     pub replayed: usize,
+    /// Snapshot frames found in the recovered prefix (state is seeded
+    /// from the last valid one).
+    pub snapshots_loaded: usize,
+}
+
+impl RecoveryReport {
+    /// Record this recovery as obs metrics under the `journal` stage:
+    /// `frames_replayed`, `torn_tail_bytes_truncated`, `snapshots_loaded`,
+    /// `events_recovered`, and a `recoveries` count. Counters accumulate,
+    /// so repeated opens against one hub sum their recovery costs.
+    pub fn record(&self, obs: &Obs) {
+        obs.counter_add("recoveries", "journal", 1);
+        obs.counter_add("events_recovered", "journal", self.events as u64);
+        obs.counter_add("frames_replayed", "journal", self.replayed as u64);
+        obs.counter_add("torn_tail_bytes_truncated", "journal", self.truncated_bytes);
+        obs.counter_add("snapshots_loaded", "journal", self.snapshots_loaded as u64);
+    }
 }
 
 /// Append-only, checksummed event journal over any [`Storage`].
@@ -57,6 +77,9 @@ pub struct Journal<S: Storage> {
     /// Remaining appends before the injected crash; `None` = healthy.
     crash_in: Option<usize>,
     crashed: bool,
+    /// Optional observability hub: appends, flushed bytes, and sync
+    /// latency are recorded under the `journal` stage.
+    obs: Option<Arc<Obs>>,
 }
 
 impl<S: Storage> Journal<S> {
@@ -115,6 +138,10 @@ impl<S: Storage> Journal<S> {
             events: events.len(),
             truncated_bytes,
             replayed: events.len() - replay_from,
+            snapshots_loaded: events
+                .iter()
+                .filter(|e| matches!(e, JournalEvent::Snapshot { .. }))
+                .count(),
         };
         let since_snapshot = events.len() - snapshot_at.map_or(0, |i| i + 1);
         Ok((
@@ -126,9 +153,30 @@ impl<S: Storage> Journal<S> {
                 since_snapshot,
                 crash_in: None,
                 crashed: false,
+                obs: None,
             },
             report,
         ))
+    }
+
+    /// [`Journal::open`] wired to an observability hub: the recovery
+    /// report is recorded as `journal` metrics (see
+    /// [`RecoveryReport::record`]) and subsequent appends are counted
+    /// and timed under the same stage.
+    pub fn open_observed(
+        storage: S,
+        obs: Arc<Obs>,
+    ) -> Result<(Journal<S>, RecoveryReport), JournalError> {
+        let (mut journal, report) = Self::open(storage)?;
+        report.record(&obs);
+        journal.obs = Some(obs);
+        Ok((journal, report))
+    }
+
+    /// Attach an observability hub to an already-open journal (appends
+    /// from now on are counted and timed under the `journal` stage).
+    pub fn attach_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(obs);
     }
 
     /// Arm the kill switch: the next `n` appends succeed, every append
@@ -180,6 +228,9 @@ impl<S: Storage> Journal<S> {
         };
         self.write_frame(snap)?;
         self.since_snapshot = 0;
+        if let Some(obs) = &self.obs {
+            obs.counter_add("snapshots_written", "journal", 1);
+        }
         Ok(())
     }
 
@@ -195,7 +246,16 @@ impl<S: Storage> Journal<S> {
             self.crash_in = Some(left - 1);
         }
         let bytes = frame::encode(&event.encode());
+        let sync_start = self.obs.as_ref().map(|_| Instant::now());
         self.storage.append(&bytes).map_err(JournalError::Io)?;
+        if let (Some(obs), Some(start)) = (&self.obs, sync_start) {
+            // Each append is one write+flush to storage — the fsync
+            // analog in this model — so count and time it as such.
+            obs.counter_add("appends", "journal", 1);
+            obs.counter_add("fsyncs", "journal", 1);
+            obs.counter_add("appended_bytes", "journal", bytes.len() as u64);
+            obs.observe("fsync_seconds", "journal", start.elapsed().as_secs_f64());
+        }
         self.state.apply(&event);
         self.events.push(event);
         self.since_snapshot += 1;
@@ -288,6 +348,38 @@ mod tests {
         // snapshot, not the beginning.
         assert!(rep.replayed < 15, "replayed {} events", rep.replayed);
         assert!(rep.events > 57);
+    }
+
+    #[test]
+    fn open_observed_records_recovery_and_append_metrics() {
+        let store = MemStorage::new();
+        let (mut j, _) = Journal::open_with_snapshot_every(store.clone(), 5).unwrap();
+        for i in 0..12 {
+            j.append(ev(i)).unwrap();
+        }
+        // Tear the tail so recovery has bytes to truncate.
+        let full = store.snapshot_bytes();
+        store.set_bytes(full[..full.len() - 2].to_vec());
+
+        let obs = Obs::shared();
+        let (mut j2, rep) = Journal::open_observed(store.clone(), Arc::clone(&obs)).unwrap();
+        assert!(rep.snapshots_loaded >= 1, "snapshots in prefix: {rep:?}");
+        let counter = |name: &str| obs.metrics().counter_value(name, "journal").unwrap_or(0);
+        assert_eq!(counter("recoveries"), 1);
+        assert_eq!(counter("events_recovered"), rep.events as u64);
+        assert_eq!(counter("frames_replayed"), rep.replayed as u64);
+        assert_eq!(counter("torn_tail_bytes_truncated"), rep.truncated_bytes);
+        assert_eq!(counter("snapshots_loaded"), rep.snapshots_loaded as u64);
+        assert!(rep.truncated_bytes > 0);
+
+        // Appends through the observed journal are counted and timed.
+        j2.append(ev(100)).unwrap();
+        j2.append(ev(101)).unwrap();
+        assert_eq!(counter("appends"), 2);
+        assert_eq!(counter("fsyncs"), 2);
+        assert!(counter("appended_bytes") > 0);
+        let h = obs.metrics().histogram("fsync_seconds", "journal").unwrap();
+        assert_eq!(h.count(), 2);
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Lock-sharded span collector.
+//!
+//! Spans are pushed from arbitrary threads (real runs drive the compute
+//! endpoint and executor pools concurrently), so the backing store is a
+//! fixed set of `Mutex<Vec<SpanRecord>>` shards indexed by the recording
+//! thread's dense id. Threads contend only when they hash to the same
+//! shard; with 16 shards and the pools this workspace runs (≤ 32 OS
+//! threads), pushes are effectively uncontended. `snapshot` is the slow
+//! path — export time — and locks each shard once.
+
+use crate::span::SpanRecord;
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+pub(crate) struct Collector {
+    shards: Vec<Mutex<Vec<SpanRecord>>>,
+}
+
+impl Collector {
+    pub(crate) fn new() -> Collector {
+        Collector {
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    pub(crate) fn push(&self, record: SpanRecord) {
+        let shard = (record.tid as usize) % SHARDS;
+        self.shards[shard]
+            .lock()
+            .expect("collector shard poisoned")
+            .push(record);
+    }
+
+    /// Copy out every recorded span, ordered by allocation id (which is
+    /// also open order — stable across shard interleaving).
+    pub(crate) fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(
+                shard
+                    .lock()
+                    .expect("collector shard poisoned")
+                    .iter()
+                    .cloned(),
+            );
+        }
+        all.sort_by_key(|r| r.id);
+        all
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("collector shard poisoned").len())
+            .sum()
+    }
+}

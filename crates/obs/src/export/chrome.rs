@@ -1,0 +1,79 @@
+//! Chrome `trace_event` JSON exporter.
+//!
+//! Emits the "JSON object format" (`{"traceEvents": [...]}`) with one
+//! complete event (`ph: "X"`) per span, loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`. Timestamps are
+//! microseconds; sim-stamped spans use the virtual timeline, wall-only
+//! spans (real runs) use nanoseconds-since-epoch / 1000, so a given
+//! trace file lives on whichever clock the run used. The span id and
+//! parent id ride along in `args` so tooling (and the round-trip tests)
+//! can reconstruct the hierarchy exactly.
+
+use crate::span::SpanRecord;
+use serde_json::{Map, Value};
+
+/// Timestamp in trace microseconds: sim time when stamped, else wall.
+fn ts_us(span: &SpanRecord) -> (f64, f64) {
+    match (span.sim_start, span.sim_end) {
+        (Some(s), Some(e)) => (s.as_secs_f64() * 1e6, (e - s).as_secs_f64() * 1e6),
+        _ => (
+            span.wall_start_ns as f64 / 1e3,
+            span.wall_end_ns.saturating_sub(span.wall_start_ns) as f64 / 1e3,
+        ),
+    }
+}
+
+fn event(span: &SpanRecord) -> Value {
+    let (ts, dur) = ts_us(span);
+    let mut args = Map::new();
+    args.insert("span_id".to_string(), Value::from(span.id as f64));
+    args.insert(
+        "parent_id".to_string(),
+        match span.parent {
+            Some(p) => Value::from(p as f64),
+            None => Value::Null,
+        },
+    );
+    args.insert(
+        "clock".to_string(),
+        Value::from(if span.sim_start.is_some() {
+            "sim"
+        } else {
+            "wall"
+        }),
+    );
+    args.insert(
+        "wall_start_s".to_string(),
+        Value::from(span.wall_start_ns as f64 * 1e-9),
+    );
+    for (k, v) in &span.attrs {
+        args.insert(format!("attr.{k}"), Value::from(v.as_str()));
+    }
+    let mut ev = Map::new();
+    ev.insert("name".to_string(), Value::from(span.name.as_str()));
+    ev.insert("cat".to_string(), Value::from(span.stage.as_str()));
+    ev.insert("ph".to_string(), Value::from("X"));
+    ev.insert("pid".to_string(), Value::from(1.0));
+    ev.insert("tid".to_string(), Value::from(span.tid as f64));
+    ev.insert("ts".to_string(), Value::from(ts));
+    ev.insert("dur".to_string(), Value::from(dur));
+    ev.insert("args".to_string(), Value::Object(args));
+    Value::Object(ev)
+}
+
+/// Render spans as a Chrome-trace JSON document.
+pub fn render(spans: &[SpanRecord]) -> String {
+    let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
+    ordered.sort_by(|a, b| {
+        ts_us(a)
+            .0
+            .partial_cmp(&ts_us(b).0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+    let events: Vec<Value> = ordered.into_iter().map(event).collect();
+    let mut root = Map::new();
+    root.insert("traceEvents".to_string(), Value::from(events));
+    root.insert("displayTimeUnit".to_string(), Value::from("ms"));
+    serde_json::to_string(&Value::Object(root)).expect("trace serialization is infallible")
+}

@@ -1,0 +1,91 @@
+//! JSON-lines exporter: one self-describing object per line — spans
+//! first (open order), then counters, gauges, and histogram summaries.
+//! The format a quick `jq`/Python script wants when neither a trace
+//! viewer nor a Prometheus scraper is at hand.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanRecord;
+use serde_json::{Map, Value};
+
+fn span_line(span: &SpanRecord) -> Value {
+    let mut obj = Map::new();
+    obj.insert("type".to_string(), Value::from("span"));
+    obj.insert("id".to_string(), Value::from(span.id as f64));
+    obj.insert(
+        "parent".to_string(),
+        span.parent
+            .map(|p| Value::from(p as f64))
+            .unwrap_or(Value::Null),
+    );
+    obj.insert("stage".to_string(), Value::from(span.stage.as_str()));
+    obj.insert("name".to_string(), Value::from(span.name.as_str()));
+    obj.insert("tid".to_string(), Value::from(span.tid as f64));
+    obj.insert(
+        "sim_start_s".to_string(),
+        span.sim_start
+            .map(|t| Value::from(t.as_secs_f64()))
+            .unwrap_or(Value::Null),
+    );
+    obj.insert(
+        "sim_end_s".to_string(),
+        span.sim_end
+            .map(|t| Value::from(t.as_secs_f64()))
+            .unwrap_or(Value::Null),
+    );
+    obj.insert(
+        "wall_start_s".to_string(),
+        Value::from(span.wall_start_ns as f64 * 1e-9),
+    );
+    obj.insert(
+        "wall_end_s".to_string(),
+        Value::from(span.wall_end_ns as f64 * 1e-9),
+    );
+    let mut attrs = Map::new();
+    for (k, v) in &span.attrs {
+        attrs.insert(k.clone(), Value::from(v.as_str()));
+    }
+    obj.insert("attrs".to_string(), Value::Object(attrs));
+    Value::Object(obj)
+}
+
+/// Render spans + metrics as JSON-lines.
+pub fn render(spans: &[SpanRecord], snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let push = |out: &mut String, v: Value| {
+        out.push_str(&serde_json::to_string(&v).expect("jsonl serialization is infallible"));
+        out.push('\n');
+    };
+    for span in spans {
+        push(&mut out, span_line(span));
+    }
+    for (key, value) in &snapshot.counters {
+        let mut obj = Map::new();
+        obj.insert("type".to_string(), Value::from("counter"));
+        obj.insert("name".to_string(), Value::from(key.name.as_str()));
+        obj.insert("stage".to_string(), Value::from(key.stage.as_str()));
+        obj.insert("value".to_string(), Value::from(*value as f64));
+        push(&mut out, Value::Object(obj));
+    }
+    for (key, value) in &snapshot.gauges {
+        let mut obj = Map::new();
+        obj.insert("type".to_string(), Value::from("gauge"));
+        obj.insert("name".to_string(), Value::from(key.name.as_str()));
+        obj.insert("stage".to_string(), Value::from(key.stage.as_str()));
+        obj.insert("value".to_string(), Value::from(*value));
+        push(&mut out, Value::Object(obj));
+    }
+    for (key, h) in &snapshot.histograms {
+        let mut obj = Map::new();
+        obj.insert("type".to_string(), Value::from("histogram"));
+        obj.insert("name".to_string(), Value::from(key.name.as_str()));
+        obj.insert("stage".to_string(), Value::from(key.stage.as_str()));
+        obj.insert("count".to_string(), Value::from(h.count() as f64));
+        obj.insert("sum".to_string(), Value::from(h.sum()));
+        obj.insert("max".to_string(), Value::from(h.max()));
+        obj.insert("p50".to_string(), Value::from(h.p50()));
+        obj.insert("p90".to_string(), Value::from(h.p90()));
+        obj.insert("p99".to_string(), Value::from(h.p99()));
+        push(&mut out, Value::Object(obj));
+    }
+    out
+}

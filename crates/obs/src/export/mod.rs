@@ -1,0 +1,10 @@
+//! Exporters: post-hoc renderings of the collector and registry.
+//!
+//! Three formats, three audiences:
+//! - [`chrome`] — Chrome `trace_event` JSON, for humans with Perfetto.
+//! - [`prometheus`] — text exposition, for scrapers and dashboards.
+//! - [`jsonl`] — one JSON object per line, for ad-hoc scripting.
+
+pub mod chrome;
+pub mod jsonl;
+pub mod prometheus;

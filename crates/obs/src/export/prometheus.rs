@@ -1,0 +1,107 @@
+//! Prometheus text exposition exporter.
+//!
+//! Renders the registry snapshot in the classic text format: counters
+//! as `eoml_<name>_total`, gauges as `eoml_<name>`, histograms as the
+//! `_bucket`/`_sum`/`_count` triple with cumulative `le` bounds (plus
+//! `+Inf`). The `stage` label carries the pipeline stage. Metric names
+//! are sanitized to `[a-zA-Z0-9_]` so span names can double as metric
+//! families without further ceremony.
+
+use crate::metrics::{LogHistogram, MetricKey, MetricsSnapshot};
+use std::fmt::Write;
+
+/// Sanitize a metric name fragment to Prometheus' charset.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escape a label value (backslash, quote, newline).
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn family<V>(items: &[(MetricKey, V)]) -> Vec<(&str, &[(MetricKey, V)])> {
+    let mut out: Vec<(&str, &[(MetricKey, V)])> = Vec::new();
+    let mut start = 0;
+    for i in 0..=items.len() {
+        let boundary = i == items.len() || (i > start && items[i].0.name != items[start].0.name);
+        if boundary {
+            if i > start {
+                out.push((items[start].0.name.as_str(), &items[start..i]));
+            }
+            start = i;
+        }
+    }
+    out
+}
+
+fn write_histogram(out: &mut String, fam: &str, key: &MetricKey, h: &LogHistogram) {
+    let stage = escape_label(&key.stage);
+    let mut cum = 0u64;
+    for (bound, cum_count) in h.cumulative_buckets() {
+        cum = cum_count;
+        let _ = writeln!(
+            out,
+            "{fam}_bucket{{stage=\"{stage}\",le=\"{bound:e}\"}} {cum_count}"
+        );
+    }
+    debug_assert_eq!(cum, h.count());
+    let _ = writeln!(
+        out,
+        "{fam}_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {}",
+        h.count()
+    );
+    let _ = writeln!(out, "{fam}_sum{{stage=\"{stage}\"}} {}", h.sum());
+    let _ = writeln!(out, "{fam}_count{{stage=\"{stage}\"}} {}", h.count());
+}
+
+/// Render a registry snapshot in Prometheus text exposition format.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, group) in family(&snapshot.counters) {
+        let fam = format!("eoml_{}_total", sanitize(name));
+        let _ = writeln!(out, "# TYPE {fam} counter");
+        for (key, value) in group {
+            let _ = writeln!(
+                out,
+                "{fam}{{stage=\"{}\"}} {value}",
+                escape_label(&key.stage)
+            );
+        }
+    }
+    for (name, group) in family(&snapshot.gauges) {
+        let fam = format!("eoml_{}", sanitize(name));
+        let _ = writeln!(out, "# TYPE {fam} gauge");
+        for (key, value) in group {
+            let _ = writeln!(
+                out,
+                "{fam}{{stage=\"{}\"}} {value}",
+                escape_label(&key.stage)
+            );
+        }
+    }
+    for (name, group) in family(&snapshot.histograms) {
+        let fam = format!("eoml_{}", sanitize(name));
+        let _ = writeln!(out, "# TYPE {fam} histogram");
+        for (key, h) in group {
+            write_histogram(&mut out, &fam, key, h);
+        }
+    }
+    out
+}

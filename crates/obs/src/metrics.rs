@@ -1,0 +1,308 @@
+//! Metrics registry: counters, gauges, and log-bucketed histograms keyed
+//! by `(name, stage)` labels.
+//!
+//! Histograms use geometric buckets — four per octave starting at 1 µs —
+//! so p50/p90/p99 queries are O(buckets) with ≤ 19 % relative error over
+//! twelve decades of dynamic range, and the exact maximum is tracked on
+//! the side. That resolution is what the paper's Fig. 7 latency table
+//! needs (component latencies spread from milliseconds to hours).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Label pair every metric is keyed by.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (`files`, `retries`, `span_seconds`, ...).
+    pub name: String,
+    /// Pipeline stage or subsystem label.
+    pub stage: String,
+}
+
+impl MetricKey {
+    /// Build a key from `name` and `stage` labels.
+    pub fn new(name: &str, stage: &str) -> MetricKey {
+        MetricKey {
+            name: name.to_string(),
+            stage: stage.to_string(),
+        }
+    }
+}
+
+/// Buckets per factor-of-two of value.
+const SUB_BUCKETS: usize = 4;
+/// Lower edge of the first bucket (seconds): 1 µs.
+const FIRST_BOUND: f64 = 1e-6;
+/// Bucket count: 40 octaves × 4 ≈ values up to 2^40 µs ≈ 12 days.
+const BUCKETS: usize = 160;
+
+/// Log-bucketed histogram with approximate quantiles and an exact max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+}
+
+/// Upper bound of bucket `i` (inclusive): `FIRST_BOUND * 2^((i+1)/SUB)`.
+fn bucket_bound(i: usize) -> f64 {
+    FIRST_BOUND * ((i + 1) as f64 / SUB_BUCKETS as f64).exp2()
+}
+
+/// Index of the bucket whose `(lower, upper]` range contains `v`.
+fn bucket_index(v: f64) -> usize {
+    if v <= FIRST_BOUND {
+        return 0;
+    }
+    let idx = ((v / FIRST_BOUND).log2() * SUB_BUCKETS as f64).ceil() as usize;
+    idx.saturating_sub(1).min(BUCKETS - 1)
+}
+
+impl LogHistogram {
+    /// Record one observation (seconds, bytes, whatever the metric is).
+    pub fn observe(&mut self, v: f64) {
+        let v = if v.is_finite() && v >= 0.0 { v } else { 0.0 };
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact maximum observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate quantile `q in [0, 1]`: the upper bound of the bucket
+    /// holding the q-th observation, clamped to the exact max.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (approximate).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (approximate).
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (approximate).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Cumulative `(upper_bound, count ≤ bound)` pairs up to the highest
+    /// occupied bucket — the Prometheus `le` series.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let last = match self.counts.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(last + 1);
+        let mut cum = 0u64;
+        for i in 0..=last {
+            cum += self.counts[i];
+            out.push((bucket_bound(i), cum));
+        }
+        out
+    }
+}
+
+/// Point-in-time copy of every metric, for exporters.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Monotone counters.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// Last-write-wins gauges.
+    pub gauges: Vec<(MetricKey, f64)>,
+    /// Histograms.
+    pub histograms: Vec<(MetricKey, LogHistogram)>,
+}
+
+/// Thread-safe registry of counters, gauges, and histograms.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<MetricKey, u64>>,
+    gauges: Mutex<BTreeMap<MetricKey, f64>>,
+    histograms: Mutex<BTreeMap<MetricKey, LogHistogram>>,
+}
+
+impl MetricsRegistry {
+    /// Add `delta` to the `(name, stage)` counter, returning the new total.
+    pub fn counter_add(&self, name: &str, stage: &str, delta: u64) -> u64 {
+        let mut map = self.counters.lock().expect("counters poisoned");
+        let slot = map.entry(MetricKey::new(name, stage)).or_insert(0);
+        *slot += delta;
+        *slot
+    }
+
+    /// Current value of a counter, if it exists.
+    pub fn counter_value(&self, name: &str, stage: &str) -> Option<u64> {
+        self.counters
+            .lock()
+            .expect("counters poisoned")
+            .get(&MetricKey::new(name, stage))
+            .copied()
+    }
+
+    /// Set the `(name, stage)` gauge.
+    pub fn gauge_set(&self, name: &str, stage: &str, value: f64) {
+        self.gauges
+            .lock()
+            .expect("gauges poisoned")
+            .insert(MetricKey::new(name, stage), value);
+    }
+
+    /// Current value of a gauge, if it exists.
+    pub fn gauge_value(&self, name: &str, stage: &str) -> Option<f64> {
+        self.gauges
+            .lock()
+            .expect("gauges poisoned")
+            .get(&MetricKey::new(name, stage))
+            .copied()
+    }
+
+    /// Record an observation into the `(name, stage)` histogram.
+    pub fn observe(&self, name: &str, stage: &str, value: f64) {
+        self.histograms
+            .lock()
+            .expect("histograms poisoned")
+            .entry(MetricKey::new(name, stage))
+            .or_default()
+            .observe(value);
+    }
+
+    /// Copy of one histogram, if it exists.
+    pub fn histogram(&self, name: &str, stage: &str) -> Option<LogHistogram> {
+        self.histograms
+            .lock()
+            .expect("histograms poisoned")
+            .get(&MetricKey::new(name, stage))
+            .cloned()
+    }
+
+    /// Point-in-time copy of everything, sorted by key.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("counters poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("gauges poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("histograms poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_geometric_and_indexable() {
+        // The bucket containing v must have lower < v <= upper.
+        for v in [1e-7, 1e-6, 2e-6, 1e-3, 0.5, 1.0, 3.7, 1000.0, 9e4] {
+            let i = bucket_index(v);
+            let upper = bucket_bound(i);
+            assert!(v <= upper * (1.0 + 1e-12), "v={v} upper={upper}");
+            if i > 0 {
+                let lower = bucket_bound(i - 1);
+                assert!(v > lower * (1.0 - 1e-12), "v={v} lower={lower}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_resolution() {
+        let mut h = LogHistogram::default();
+        for i in 1..=1000 {
+            h.observe(i as f64 / 1000.0); // 1 ms .. 1 s, uniform
+        }
+        assert_eq!(h.count(), 1000);
+        // One sub-bucket spans a factor of 2^(1/4) ≈ 1.19.
+        assert!((h.p50() / 0.5 - 1.0).abs() < 0.2, "p50={}", h.p50());
+        assert!((h.p90() / 0.9 - 1.0).abs() < 0.2, "p90={}", h.p90());
+        assert!((h.p99() / 0.99 - 1.0).abs() < 0.2, "p99={}", h.p99());
+        assert_eq!(h.max(), 1.0);
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_total_count() {
+        let mut h = LogHistogram::default();
+        for v in [0.001, 0.002, 0.004, 1.0, 2.0] {
+            h.observe(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last().unwrap().1, 5);
+        // Cumulative counts never decrease.
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let reg = MetricsRegistry::default();
+        assert_eq!(reg.counter_add("files", "download", 3), 3);
+        assert_eq!(reg.counter_add("files", "download", 2), 5);
+        assert_eq!(reg.counter_value("files", "download"), Some(5));
+        assert_eq!(reg.counter_value("files", "preprocess"), None);
+        reg.gauge_set("active_workers", "download", 6.0);
+        assert_eq!(reg.gauge_value("active_workers", "download"), Some(6.0));
+        reg.observe("file_seconds", "download", 12.5);
+        let h = reg.histogram("file_seconds", "download").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 12.5);
+    }
+}

@@ -1,0 +1,88 @@
+//! Live event streaming: the subscriber trait and the events it sees.
+//!
+//! Post-hoc exporters (Chrome trace, Prometheus text) read the collector
+//! after the run; a sink sees each event as it happens, which is what a
+//! long campaign's progress display or an alerting hook needs. Sinks run
+//! inline on the recording thread under the sink-list lock, so they
+//! should be cheap — buffer and hand off, don't block.
+
+use crate::span::SpanRecord;
+use std::sync::{Arc, Mutex};
+
+/// One observability event, delivered to sinks as it is recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsEvent {
+    /// A span closed (guard dropped or sim span recorded).
+    SpanClosed(SpanRecord),
+    /// A counter was incremented; `total` is the post-increment value.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Stage label.
+        stage: String,
+        /// Increment applied.
+        delta: u64,
+        /// Counter value after the increment.
+        total: u64,
+    },
+    /// A gauge was set.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Stage label.
+        stage: String,
+        /// New gauge value.
+        value: f64,
+    },
+}
+
+/// Subscriber to the live event stream. Registered via
+/// [`crate::Obs::add_sink`]; called synchronously on the recording thread.
+pub trait EventSink: Send {
+    /// Observe one event.
+    fn on_event(&mut self, event: &ObsEvent);
+}
+
+/// Sink that buffers every event in memory behind a shared handle —
+/// the building block for progress displays and tests.
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<ObsEvent>>>,
+}
+
+impl MemorySink {
+    /// New sink plus the shared buffer handle to read from.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> MemorySink {
+        MemorySink {
+            events: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Handle to the buffer (clone before passing the sink to `add_sink`).
+    pub fn handle(&self) -> Arc<Mutex<Vec<ObsEvent>>> {
+        Arc::clone(&self.events)
+    }
+}
+
+impl EventSink for MemorySink {
+    fn on_event(&mut self, event: &ObsEvent) {
+        self.events
+            .lock()
+            .expect("sink buffer poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Point-in-time health summary for one stage, derived from the standard
+/// instrumentation (`active_workers` gauge, `spans_closed` counter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageHealth {
+    /// Stage label.
+    pub stage: String,
+    /// Workers currently active (latest `active_workers` gauge), if known.
+    pub active_workers: Option<f64>,
+    /// Spans closed in this stage so far.
+    pub spans_closed: u64,
+    /// Seconds of span time accumulated in this stage so far.
+    pub busy_seconds: f64,
+}

@@ -1,0 +1,220 @@
+//! Table writer for the bench figure harness: one code path renders an
+//! aligned text table for the terminal *and* a machine-readable JSON
+//! document (`BENCH_<figure>.json`) so figure trajectories can be
+//! captured per run instead of scraped from stdout.
+
+use serde_json::{Map, Value};
+
+/// One table cell: text, integer, or fixed-precision float.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Left-aligned text.
+    Str(String),
+    /// Right-aligned integer.
+    Int(i64),
+    /// Right-aligned float rendered with `prec` decimals.
+    Num {
+        /// The value.
+        value: f64,
+        /// Decimals to render in the text form (JSON keeps full precision).
+        prec: usize,
+    },
+}
+
+impl Cell {
+    /// Text cell.
+    pub fn str(s: impl ToString) -> Cell {
+        Cell::Str(s.to_string())
+    }
+
+    /// Integer cell.
+    pub fn int(v: impl Into<i64>) -> Cell {
+        Cell::Int(v.into())
+    }
+
+    /// Float cell with `prec` decimals in the text rendering.
+    pub fn num(value: f64, prec: usize) -> Cell {
+        Cell::Num { value, prec }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            Cell::Str(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Num { value, prec } => format!("{value:.prec$}"),
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        match self {
+            Cell::Str(s) => Value::from(s.as_str()),
+            Cell::Int(v) => Value::from(*v as f64),
+            Cell::Num { value, .. } => Value::from(*value),
+        }
+    }
+
+    fn right_aligned(&self) -> bool {
+        !matches!(self, Cell::Str(_))
+    }
+}
+
+/// A named table: column headers plus rows of [`Cell`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table name (`fig3`, `table1_strong`, ...); also the JSON file stem.
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows; each must have `columns.len()` cells.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(name: &str, columns: &[&str]) -> Table {
+        Table {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the column count).
+    pub fn row(&mut self, cells: Vec<Cell>) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "table {} row has {} cells, expected {}",
+            self.name,
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Aligned text rendering (headers, rule, rows), `indent` spaces deep.
+    pub fn render_text(&self, indent: usize) -> String {
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                rendered
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let pad = " ".repeat(indent);
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+            .collect();
+        out.push_str(&format!("{pad}{}\n", header.join("  ")));
+        out.push_str(&format!(
+            "{pad}{}\n",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        ));
+        for (row, cells) in rendered.iter().zip(&self.rows) {
+            let line: Vec<String> = row
+                .iter()
+                .zip(cells)
+                .enumerate()
+                .map(|(i, (text, cell))| {
+                    if cell.right_aligned() {
+                        format!("{text:>width$}", width = widths[i])
+                    } else {
+                        format!("{text:<width$}", width = widths[i])
+                    }
+                })
+                .collect();
+            out.push_str(&format!("{pad}{}\n", line.join("  ").trim_end()));
+        }
+        out
+    }
+
+    /// JSON document: `{"table": name, "columns": [...], "rows": [[...]]}`.
+    pub fn to_json(&self) -> Value {
+        let mut obj = Map::new();
+        obj.insert("table".to_string(), Value::from(self.name.as_str()));
+        obj.insert(
+            "columns".to_string(),
+            Value::from(
+                self.columns
+                    .iter()
+                    .map(|c| Value::from(c.as_str()))
+                    .collect::<Vec<_>>(),
+            ),
+        );
+        obj.insert(
+            "rows".to_string(),
+            Value::from(
+                self.rows
+                    .iter()
+                    .map(|r| Value::from(r.iter().map(Cell::to_json).collect::<Vec<_>>()))
+                    .collect::<Vec<_>>(),
+            ),
+        );
+        Value::Object(obj)
+    }
+
+    /// Write `BENCH_<name>.json` into `dir`; returns the path written.
+    pub fn write_json(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<std::path::PathBuf> {
+        let path = dir.as_ref().join(format!("BENCH_{}.json", self.name));
+        std::fs::write(
+            &path,
+            serde_json::to_string(&self.to_json()).expect("table serialization is infallible"),
+        )?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_text_and_json() {
+        let mut t = Table::new("fig_demo", &["workers", "speed_mb_s", "note"]);
+        t.row(vec![Cell::int(3), Cell::num(41.2, 1), Cell::str("paper")]);
+        t.row(vec![Cell::int(6), Cell::num(80.537, 1), Cell::str("2x")]);
+        let text = t.render_text(2);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("workers"));
+        assert!(lines[2].contains("41.2"));
+        assert!(lines[3].contains("80.5"));
+
+        let json = t.to_json();
+        assert_eq!(json.get("table").unwrap().as_str(), Some("fig_demo"));
+        assert_eq!(json.get("columns").unwrap().as_array().unwrap().len(), 3);
+        let rows = json.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].as_array().unwrap()[1].as_f64(), Some(80.537));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.row(vec![Cell::int(1)]);
+    }
+}

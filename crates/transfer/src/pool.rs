@@ -9,11 +9,13 @@
 
 use crate::faults::FlowOutcome;
 use crate::flownet::{start_flow, HasNetwork};
+use eoml_obs::Obs;
 use eoml_simtime::{SimTime, Simulation};
 use eoml_util::units::{ByteSize, Rate};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Timing of one delivered file.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,6 +121,7 @@ struct PoolState<S> {
     first_start: std::collections::HashMap<String, SimTime>,
     activity: Vec<(SimTime, usize)>,
     retries: usize,
+    obs: Option<Arc<Obs>>,
     on_file: Option<PoolFileFn<S>>,
     on_done: Option<PoolDoneFn<S>>,
 }
@@ -162,6 +165,37 @@ impl<S: HasNetwork> DownloadPool<S> {
         on_file: impl FnMut(&mut Simulation<S>, &FileTiming) + 'static,
         on_done: impl FnOnce(&mut Simulation<S>, DownloadReport) + 'static,
     ) {
+        Self::run_observed(
+            sim,
+            src,
+            dst,
+            files,
+            workers,
+            retry_limit,
+            None,
+            on_file,
+            on_done,
+        );
+    }
+
+    /// [`DownloadPool::run_with_hook`] with an observability hub: each
+    /// delivered file becomes a `download/file` span (whose duration
+    /// feeds the `file{stage="download"}` histogram) plus per-file
+    /// counters (`files`, `bytes`, `retries`, `files_failed`) and a
+    /// `file_attempts` histogram, and the live worker count drives the
+    /// `active_workers{stage="download"}` gauge.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_observed(
+        sim: &mut Simulation<S>,
+        src: &str,
+        dst: &str,
+        files: Vec<(String, ByteSize)>,
+        workers: usize,
+        retry_limit: usize,
+        obs: Option<Arc<Obs>>,
+        on_file: impl FnMut(&mut Simulation<S>, &FileTiming) + 'static,
+        on_done: impl FnOnce(&mut Simulation<S>, DownloadReport) + 'static,
+    ) {
         assert!(workers > 0, "need at least one worker");
         let inner = Rc::new(RefCell::new(PoolState {
             src: src.to_string(),
@@ -175,6 +209,7 @@ impl<S: HasNetwork> DownloadPool<S> {
             first_start: std::collections::HashMap::new(),
             activity: vec![(sim.now(), 0)],
             retries: 0,
+            obs,
             on_file: Some(Box::new(on_file)),
             on_done: Some(Box::new(on_done)),
         }));
@@ -188,6 +223,9 @@ impl<S: HasNetwork> DownloadPool<S> {
     }
 
     fn record_activity(sim_now: SimTime, st: &mut PoolState<S>) {
+        if let Some(obs) = &st.obs {
+            obs.gauge_set("active_workers", "download", st.active as f64);
+        }
         st.activity.push((sim_now, st.active));
     }
 
@@ -237,14 +275,35 @@ impl<S: HasNetwork> DownloadPool<S> {
                         finished: sim.now(),
                         attempts: attempt,
                     };
+                    if let Some(obs) = &st.obs {
+                        obs.record_sim_span_with(
+                            "download",
+                            "file",
+                            timing.started,
+                            timing.finished,
+                            &[
+                                ("file", &timing.name),
+                                ("attempts", &timing.attempts.to_string()),
+                            ],
+                        );
+                        obs.counter_add("files", "download", 1);
+                        obs.counter_add("bytes", "download", size.as_u64());
+                        obs.observe("file_attempts", "download", timing.attempts as f64);
+                    }
                     st.files.push(timing.clone());
                     Some(timing)
                 }
                 _ => {
                     if attempt <= st.retry_limit {
                         st.retries += 1;
+                        if let Some(obs) = &st.obs {
+                            obs.counter_add("retries", "download", 1);
+                        }
                         st.queue.push_back((name, size, attempt + 1));
                     } else {
+                        if let Some(obs) = &st.obs {
+                            obs.counter_add("files_failed", "download", 1);
+                        }
                         st.failed.push(name);
                     }
                     None
@@ -499,6 +558,55 @@ mod tests {
         for w in seen.windows(2) {
             assert!(w[0].1 <= w[1].1);
         }
+    }
+
+    #[test]
+    fn observed_run_records_per_file_metrics_and_spans() {
+        let mut s = sim(
+            FaultPlan {
+                drop_probability: 0.4,
+                corrupt_probability: 0.0,
+            },
+            0,
+        );
+        let obs = Obs::shared();
+        DownloadPool::run_observed(
+            &mut s,
+            "laads",
+            "ace-defiant",
+            files(6, 45),
+            3,
+            8,
+            Some(Arc::clone(&obs)),
+            |_, _| {},
+            |sim, r| sim.state_mut().report = Some(r),
+        );
+        s.run();
+        let r = s.state().report.as_ref().expect("report");
+        assert_eq!(r.files.len(), 6, "retry budget covers the flaky WAN");
+        let counter = |name: &str| obs.metrics().counter_value(name, "download").unwrap_or(0);
+        assert_eq!(counter("files"), 6);
+        assert_eq!(counter("bytes"), r.bytes.as_u64());
+        assert_eq!(counter("retries"), r.retries as u64);
+        // One download/file span per delivery, sim-stamped.
+        let spans: Vec<_> = obs
+            .spans()
+            .into_iter()
+            .filter(|sp| sp.stage == "download" && sp.name == "file")
+            .collect();
+        assert_eq!(spans.len(), 6);
+        assert!(spans.iter().all(|sp| sp.sim_seconds().is_some()));
+        let h = obs
+            .metrics()
+            .histogram("file_attempts", "download")
+            .unwrap();
+        assert_eq!(h.count(), 6);
+        assert!(h.max() >= 1.0);
+        // Worker-count gauge saw activity and ended at zero.
+        assert_eq!(
+            obs.metrics().gauge_value("active_workers", "download"),
+            Some(0.0)
+        );
     }
 
     #[test]

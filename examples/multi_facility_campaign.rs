@@ -3,6 +3,9 @@
 //!
 //! ```sh
 //! cargo run --release --example multi_facility_campaign
+//! # with trace export:
+//! EOML_TRACE=trace.json EOML_PROM=metrics.prom \
+//!     cargo run --release --example multi_facility_campaign
 //! ```
 
 use eoml::core::campaign::{run_campaign, run_campaign_resumable, CampaignParams};
@@ -188,4 +191,44 @@ fn main() {
         .count()
         .saturating_sub(uninterrupted.download.files.len());
     println!("  re-executed downloads after resume: {redone}");
+
+    // 7) Observability: re-run the campaign with an obs hub attached and
+    //    export a Chrome trace (loadable in Perfetto / chrome://tracing)
+    //    plus a Prometheus text dump. Output paths come from the
+    //    EOML_TRACE / EOML_PROM environment variables.
+    println!();
+    println!("== observability export ==");
+    let obs = eoml::obs::Obs::shared();
+    let observed = run_campaign(
+        CampaignParams {
+            files_per_day: 24,
+            ..CampaignParams::paper_demo()
+        }
+        .with_obs(std::sync::Arc::clone(&obs)),
+    );
+    println!(
+        "  {} spans over {} granules; stage health:",
+        obs.span_count(),
+        observed.granules
+    );
+    for h in obs.stage_health() {
+        println!(
+            "    {:<11} {:>4} spans closed, {:>8.1}s busy",
+            h.stage, h.spans_closed, h.busy_seconds
+        );
+    }
+    match std::env::var("EOML_TRACE") {
+        Ok(path) => {
+            obs.write_chrome_trace(&path).expect("write trace");
+            println!("  wrote Chrome trace to {path} (open in Perfetto)");
+        }
+        Err(_) => println!("  set EOML_TRACE=<path> to export a Chrome trace"),
+    }
+    match std::env::var("EOML_PROM") {
+        Ok(path) => {
+            obs.write_prometheus(&path).expect("write metrics");
+            println!("  wrote Prometheus metrics to {path}");
+        }
+        Err(_) => println!("  set EOML_PROM=<path> to export Prometheus metrics"),
+    }
 }

@@ -16,6 +16,7 @@ pub use eoml_geo as geo;
 pub use eoml_journal as journal;
 pub use eoml_modis as modis;
 pub use eoml_ncdf as ncdf;
+pub use eoml_obs as obs;
 pub use eoml_preprocess as preprocess;
 pub use eoml_ricc as ricc;
 pub use eoml_simtime as simtime;

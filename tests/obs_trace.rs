@@ -1,0 +1,95 @@
+//! End-to-end observability: a full simulated campaign with an [`Obs`] hub
+//! attached produces a valid Chrome trace covering all five stages plus a
+//! Prometheus dump, and a journaled crash/resume surfaces the recovery
+//! metrics — the acceptance criteria for the unified tracing layer.
+
+use eoml::core::campaign::{run_campaign, run_campaign_resumable, CampaignParams};
+use eoml::journal::{Journal, JournalError, MemStorage};
+use eoml::obs::Obs;
+use serde_json::Value;
+use std::sync::Arc;
+
+fn observed_params(obs: &Arc<Obs>) -> CampaignParams {
+    CampaignParams {
+        files_per_day: 24,
+        ..CampaignParams::small()
+    }
+    .with_obs(Arc::clone(obs))
+}
+
+#[test]
+fn campaign_trace_covers_all_five_stages_and_parses() {
+    let obs = Obs::shared();
+    let report = run_campaign(observed_params(&obs));
+    assert!(report.tile_files > 0, "campaign produced no tile files");
+
+    // The Chrome trace parses and mirrors every collected span.
+    let trace: Value = serde_json::from_str(&obs.chrome_trace_json()).expect("valid trace JSON");
+    let events = trace["traceEvents"].as_array().expect("traceEvents array");
+    assert_eq!(events.len(), obs.span_count());
+    for stage in ["download", "preprocess", "monitor", "inference", "shipment"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e["cat"].as_str() == Some(stage) && e["ph"].as_str() == Some("X")),
+            "no {stage} events in the Chrome trace"
+        );
+    }
+    // Sim-stamped events carry the sim clock tag and non-negative µs.
+    for e in events {
+        assert_eq!(e["args"]["clock"].as_str(), Some("sim"));
+        assert!(e["ts"].as_f64().unwrap() >= 0.0);
+        assert!(e["dur"].as_f64().unwrap() >= 0.0);
+    }
+
+    // The Prometheus dump exposes the per-stage counters.
+    let prom = obs.prometheus_text();
+    for needle in [
+        "eoml_files_total{stage=\"download\"}",
+        "eoml_granules_total{stage=\"preprocess\"}",
+        "eoml_triggers_total{stage=\"monitor\"}",
+        "eoml_files_labeled_total{stage=\"inference\"}",
+        "eoml_files_shipped_total{stage=\"shipment\"}",
+    ] {
+        assert!(prom.contains(needle), "missing {needle} in:\n{prom}");
+    }
+}
+
+#[test]
+fn journaled_resume_surfaces_recovery_metrics() {
+    let store = MemStorage::new();
+    {
+        let obs = Obs::shared();
+        let (journal, _) = Journal::open_observed(store.clone(), Arc::clone(&obs)).unwrap();
+        let mut journal = journal;
+        journal.crash_after(30);
+        let crashed = run_campaign_resumable(observed_params(&obs), journal);
+        assert!(matches!(crashed, Err(JournalError::Crashed)));
+        // The crashed run still journaled durable appends.
+        assert!(obs.metrics().counter_value("appends", "journal").unwrap() > 0);
+    }
+
+    // Reopen through the observed path: recovery stats become metrics.
+    let obs = Obs::shared();
+    let (journal, recovery) = Journal::open_observed(store, Arc::clone(&obs)).unwrap();
+    assert!(recovery.events > 0, "crash left no durable events");
+    let m = obs.metrics();
+    assert_eq!(m.counter_value("recoveries", "journal"), Some(1));
+    assert_eq!(
+        m.counter_value("events_recovered", "journal"),
+        Some(recovery.events as u64)
+    );
+    assert!(
+        m.counter_value("frames_replayed", "journal").unwrap() > 0,
+        "resume should replay journal frames"
+    );
+
+    // The resumed campaign completes and its trace still covers the
+    // stages that had to re-run.
+    let resumed = run_campaign_resumable(observed_params(&obs), journal).unwrap();
+    assert!(resumed.tile_files > 0);
+    let trace: Value = serde_json::from_str(&obs.chrome_trace_json()).unwrap();
+    assert!(!trace["traceEvents"].as_array().unwrap().is_empty());
+    let prom = obs.prometheus_text();
+    assert!(prom.contains("eoml_frames_replayed_total{stage=\"journal\"}"));
+}

@@ -94,20 +94,39 @@ fn pipeline_is_deterministic_across_runs() {
 
 #[test]
 fn preprocessing_scales_with_local_workers() {
-    // Real strong scaling on this machine (2 cores): 2 workers should beat
-    // 1 on a CPU-bound batch. Generous margin for CI noise.
-    let granules = day_granules(4);
-    let time_with = |workers: usize| {
+    // Real strong scaling: 2 workers should beat 1 on a CPU-bound batch —
+    // but only where the host actually has two cores to run them on.
+    // Single-core runners cannot produce a wall-clock speedup, so there
+    // the test degrades to checking that the worker count does not change
+    // the result. Each configuration takes the best of three trials so one
+    // descheduled run can't flip the timing comparison.
+    let granules = day_granules(10);
+    let run_with = |workers: usize| {
         let dir = tempdir(&format!("scale{workers}"));
-        let pipeline = RealPipeline::new(&dir, 2022, SwathDims::small(), 32, workers)
-            .unwrap()
-            .with_thresholds(0.0, 0.0);
+        let pipeline = RealPipeline::new(&dir, 2022, SwathDims::small(), 32, workers).unwrap();
         let report = pipeline.run(&granules).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
-        report.stage_secs[1]
+        (report.total_tiles, report.tile_files, report.stage_secs[1])
     };
-    let t1 = time_with(1);
-    let t2 = time_with(2);
+    let best = |workers: usize| {
+        (0..3)
+            .map(|_| run_with(workers))
+            .reduce(|a, b| if b.2 < a.2 { b } else { a })
+            .unwrap()
+    };
+    let (tiles1, files1, t1) = best(1);
+    let (tiles2, files2, t2) = best(2);
+    assert_eq!(tiles1, tiles2, "worker count changed the tile total");
+    assert_eq!(files1, files2, "worker count changed the file count");
+    assert!(tiles1 > 0, "batch produced no tiles");
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 2 {
+        eprintln!("single-core host ({cores} cpu): skipping wall-clock speedup assertion");
+        return;
+    }
     assert!(
         t2 < t1 * 0.95,
         "2 workers ({t2:.2}s) should beat 1 worker ({t1:.2}s)"
