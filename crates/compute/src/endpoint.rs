@@ -6,7 +6,7 @@
 
 use crate::registry::{FunctionId, FunctionRegistry};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use eoml_obs::Obs;
+use eoml_obs::{Obs, TraceContext};
 use parking_lot::{Condvar, Mutex};
 use serde_json::Value;
 use std::panic::AssertUnwindSafe;
@@ -86,6 +86,7 @@ enum Job {
         args: Value,
         handle: TaskHandle,
         submitted: Instant,
+        trace: Option<TraceContext>,
     },
     Shutdown,
 }
@@ -155,6 +156,19 @@ impl ComputeEndpoint {
 
     /// Submit an invocation; returns immediately with a future.
     pub fn submit(&self, func: FunctionId, args: Value) -> TaskHandle {
+        self.submit_traced(func, args, None)
+    }
+
+    /// [`ComputeEndpoint::submit`] carrying a per-granule trace identity:
+    /// when the endpoint is observed, the worker records a wall-clock
+    /// `compute` span for the execution stamped with the trace, so the
+    /// task joins that granule's end-to-end trace.
+    pub fn submit_traced(
+        &self,
+        func: FunctionId,
+        args: Value,
+        trace: Option<&TraceContext>,
+    ) -> TaskHandle {
         let handle = TaskHandle::new();
         if let Some(obs) = &self.obs {
             obs.counter_add("tasks_submitted", "compute", 1);
@@ -165,6 +179,7 @@ impl ComputeEndpoint {
                 args,
                 handle: handle.clone(),
                 submitted: Instant::now(),
+                trace: trace.cloned(),
             })
             .expect("endpoint alive");
         handle
@@ -172,11 +187,22 @@ impl ComputeEndpoint {
 
     /// Submit by function name (latest version).
     pub fn submit_by_name(&self, name: &str, args: Value) -> Result<TaskHandle, String> {
+        self.submit_by_name_traced(name, args, None)
+    }
+
+    /// [`ComputeEndpoint::submit_by_name`] carrying a per-granule trace
+    /// identity (see [`ComputeEndpoint::submit_traced`]).
+    pub fn submit_by_name_traced(
+        &self,
+        name: &str,
+        args: Value,
+        trace: Option<&TraceContext>,
+    ) -> Result<TaskHandle, String> {
         let id = self
             .registry
             .lookup(name)
             .ok_or_else(|| format!("no function named {name:?}"))?;
-        Ok(self.submit(id, args))
+        Ok(self.submit_traced(id, args, trace))
     }
 
     /// Drain and stop all workers (waits for in-flight tasks).
@@ -211,10 +237,27 @@ fn worker_loop(rx: Receiver<Job>, registry: Arc<FunctionRegistry>, obs: Option<A
                 args,
                 handle,
                 submitted,
+                trace,
             } => {
+                // A traced task gets a wall-clock span so it joins the
+                // granule's end-to-end trace; untraced tasks keep the
+                // histogram-only footprint they always had.
+                let guard = match (&obs, &trace) {
+                    (Some(obs), Some(trace)) => {
+                        let name = registry
+                            .describe(func)
+                            .map(|(n, _)| n)
+                            .unwrap_or_else(|| "task".to_string());
+                        let mut g = obs.span("compute", &name);
+                        g.set_trace(trace);
+                        Some(g)
+                    }
+                    _ => None,
+                };
                 let started = Instant::now();
                 let outcome =
                     std::panic::catch_unwind(AssertUnwindSafe(|| registry.invoke(func, args)));
+                drop(guard);
                 let result = match outcome {
                     Ok(Ok(v)) => TaskResult::Success(v),
                     Ok(Err(e)) => TaskResult::Failed(e),
@@ -369,6 +412,32 @@ mod tests {
         assert_eq!(ep.worker_count(), 3);
         assert_eq!(ep.registry().len(), 3);
         ep.shutdown();
+    }
+
+    #[test]
+    fn traced_submissions_record_spans_joining_the_granule_trace() {
+        let obs = Obs::shared();
+        let ep = ComputeEndpoint::start_observed(
+            "ace",
+            registry_with_basics(),
+            2,
+            Some(Arc::clone(&obs)),
+        );
+        let trace = TraceContext::new("MOD.A2022001.0610");
+        let traced = ep
+            .submit_by_name_traced("square", json!(7), Some(&trace))
+            .unwrap();
+        let plain = ep.submit_by_name("square", json!(8)).unwrap();
+        assert_eq!(traced.wait(), TaskResult::Success(json!(49)));
+        assert_eq!(plain.wait(), TaskResult::Success(json!(64)));
+        ep.shutdown();
+        let spans = obs.spans();
+        // Only the traced task records a span; it carries the trace id
+        // and the function name.
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].stage, "compute");
+        assert_eq!(spans[0].name, "square");
+        assert_eq!(spans[0].trace_id.as_deref(), Some("MOD.A2022001.0610"));
     }
 
     #[test]

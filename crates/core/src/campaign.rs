@@ -16,7 +16,7 @@ use eoml_journal::{CampaignState, Journal, JournalError, JournalEvent, Storage};
 use eoml_modis::catalog::Catalog;
 use eoml_modis::granule::GranuleId;
 use eoml_modis::product::{Platform, ProductKind};
-use eoml_obs::Obs;
+use eoml_obs::{GranuleTrace, Obs, TraceAnalysis, TraceContext};
 use eoml_simtime::{SimTime, Simulation};
 use eoml_transfer::faults::FaultPlan;
 use eoml_transfer::pool::{DownloadPool, DownloadReport, FileTiming};
@@ -554,7 +554,7 @@ fn stage_download(sim: &mut Simulation<World>, progress: &P) {
         let hook_progress = Rc::clone(&progress);
         let progress2 = Rc::clone(&progress);
         let obs = sim.state_mut().telemetry.obs().cloned();
-        DownloadPool::run_observed(
+        DownloadPool::run_traced(
             sim,
             "laads",
             "ace-defiant",
@@ -562,6 +562,7 @@ fn stage_download(sim: &mut Simulation<World>, progress: &P) {
             workers,
             3,
             obs,
+            |file| granule_trace_id(file).map(TraceContext::new),
             move |_sim, timing: &FileTiming| {
                 if is_halted(&hook_progress) {
                     return;
@@ -777,6 +778,7 @@ fn preprocess_pull(sim: &mut Simulation<World>, progress: &P, node_idx: usize) {
     let work = tiles.max(12.0); // night-granule scan floor
     let progress2 = Rc::clone(progress);
     let tile_start = progress.borrow().preprocess_started;
+    let submitted = sim.now();
     submit_task(sim, node, work, move |sim| {
         if is_halted(&progress2) {
             return;
@@ -793,7 +795,14 @@ fn preprocess_pull(sim: &mut Simulation<World>, progress: &P, node_idx: usize) {
             return;
         }
         let now = sim.now();
-        sim.state_mut().telemetry.count("granules", "preprocess", 1);
+        {
+            // The granule's own trace interval: submission → completion,
+            // so queueing on the node block is visible to trace analysis.
+            let trace = TraceContext::new(granule.to_string());
+            let tel = &mut sim.state_mut().telemetry;
+            tel.span_traced("preprocess", "granule", submitted, now, Some(&trace));
+            tel.count("granules", "preprocess", 1);
+        }
         let produced = {
             let mut p = progress2.borrow_mut();
             p.preprocess_active -= 1;
@@ -915,8 +924,9 @@ fn monitor_poll(sim: &mut Simulation<World>, progress: &P) {
         // a counter, so the monitor shows up in traces alongside the four
         // throughput stages.
         let now = sim.now();
+        let trace = granule_trace_id(&file).map(TraceContext::new);
         let tel = &mut sim.state_mut().telemetry;
-        tel.mark("monitor", "trigger", now);
+        tel.mark_traced("monitor", "trigger", now, trace.as_ref());
         tel.count("triggers", "monitor", 1);
         // Recover the tile count from the file name's granule.
         let tiles = file
@@ -946,6 +956,38 @@ fn monitor_poll(sim: &mut Simulation<World>, progress: &P) {
     } else {
         maybe_ship(sim, progress);
     }
+}
+
+/// The granule trace id behind any campaign artifact name, with or
+/// without a site prefix: `laads:`/`defiant:` MODIS file names,
+/// `tiles-<granule>.nc` files, and their `labeled:`/`orion:` descendants
+/// all map to the display form of the granule they carry (e.g.
+/// `MOD.A2022001.0610`) — the id every traced span of that granule is
+/// stamped with. Returns `None` for artifacts with no granule identity.
+pub fn granule_trace_id(artifact: &str) -> Option<String> {
+    let name = artifact
+        .split_once(':')
+        .map(|(_, rest)| rest)
+        .unwrap_or(artifact);
+    if let Some(inner) = name
+        .strip_prefix("tiles-")
+        .and_then(|rest| rest.strip_suffix(".nc"))
+    {
+        return parse_granule_display(inner).map(|g| g.to_string());
+    }
+    GranuleId::parse_file_name(name).map(|(g, _)| g.to_string())
+}
+
+/// Join provenance lineage with trace analysis: the end-to-end granule
+/// trace behind `artifact` (any name [`granule_trace_id`] understands,
+/// e.g. an `orion:` record from [`CampaignReport::provenance`]). From the
+/// returned trace, `bottleneck()` / `stage_attribution()` answer which
+/// upstream stage made a labeled tile slow.
+pub fn trace_for_artifact<'a>(
+    analysis: &'a TraceAnalysis,
+    artifact: &str,
+) -> Option<&'a GranuleTrace> {
+    analysis.trace(&granule_trace_id(artifact)?)
 }
 
 fn parse_granule_display(s: &str) -> Option<GranuleId> {
@@ -989,27 +1031,31 @@ fn pump_inference(sim: &mut Simulation<World>, progress: &P) {
             break;
         };
         // The flow: crawl-handoff → infer → append → move, each hop paying
-        // the Globus-Flows action overhead (~50 ms).
+        // the Globus-Flows action overhead (~50 ms). Every hop carries the
+        // file's granule trace so the flow joins its end-to-end timeline.
+        let trace = granule_trace_id(&file).map(TraceContext::new);
         let mut overhead = Duration::ZERO;
         for _ in 0..4 {
             let hop = sim.state_mut().flow_overhead.sample().total();
             let now = sim.now();
-            sim.state_mut().telemetry.span(
+            sim.state_mut().telemetry.span_traced(
                 "inference",
                 "flow_action",
                 now + overhead,
                 now + overhead + hop,
+                trace.as_ref(),
             );
             overhead += hop;
         }
         let rate = progress.borrow().params.inference_rate;
         let compute = Duration::from_secs_f64(tiles / rate);
         let now = sim.now();
-        sim.state_mut().telemetry.span(
+        sim.state_mut().telemetry.span_traced(
             "inference",
             "compute",
             now + overhead,
             now + overhead + compute,
+            trace.as_ref(),
         );
         let total = overhead + compute;
         let progress2 = Rc::clone(progress);
@@ -1110,6 +1156,10 @@ fn maybe_ship(sim: &mut Simulation<World>, progress: &P) {
             submitted: started,
             finished: started,
             file_times: files.iter().map(|(n, _)| (n.clone(), 0.0)).collect(),
+            file_windows: files
+                .iter()
+                .map(|(n, _)| (n.clone(), started, started))
+                .collect(),
         };
         let mut p = progress.borrow_mut();
         p.stages.push(StageReport {
@@ -1154,6 +1204,12 @@ fn maybe_ship(sim: &mut Simulation<World>, progress: &P) {
             {
                 let tel = &mut sim.state_mut().telemetry;
                 tel.span("shipment", "transfer", started, now);
+                // Per-file traced shipment windows close each granule's
+                // end-to-end trace (download → … → shipment).
+                for (name, from, to) in &report.file_windows {
+                    let trace = granule_trace_id(name).map(TraceContext::new);
+                    tel.span_traced("shipment", "file", *from, *to, trace.as_ref());
+                }
                 tel.count("files_shipped", "shipment", report.files_ok as u64);
                 tel.count("bytes_shipped", "shipment", report.bytes.as_u64());
             }
@@ -1486,6 +1542,65 @@ mod tests {
         let parsed = serde_json::from_str(&obs.chrome_trace_json()).unwrap();
         let events = parsed["traceEvents"].as_array().unwrap();
         assert_eq!(events.len(), spans.len());
+    }
+
+    #[test]
+    fn every_labeled_granule_has_a_five_stage_trace() {
+        let obs = Obs::shared();
+        let params = CampaignParams {
+            files_per_day: 24,
+            ..CampaignParams::small()
+        }
+        .with_obs(Arc::clone(&obs));
+        let r = run_campaign(params);
+        assert!(r.labeled_files > 0);
+        let analysis = TraceAnalysis::from_obs(&obs);
+        // Every labeled (day) granule's trace runs download → shipment.
+        for rec in r.provenance.records() {
+            if !rec.artifact.starts_with("orion:") {
+                continue;
+            }
+            let trace = trace_for_artifact(&analysis, &rec.artifact)
+                .unwrap_or_else(|| panic!("no trace behind {}", rec.artifact));
+            let stages = trace.stages();
+            for stage in ["download", "preprocess", "monitor", "inference", "shipment"] {
+                assert!(
+                    stages.contains(&stage),
+                    "{}: trace missing {stage} (has {stages:?})",
+                    rec.artifact
+                );
+            }
+            // The slow upstream stage is queryable from the joined trace.
+            assert!(trace.bottleneck().is_some());
+        }
+        // And traces cover 100% of processed day granules.
+        let shipped = r
+            .provenance
+            .records()
+            .iter()
+            .filter(|rec| rec.artifact.starts_with("orion:"))
+            .count();
+        assert_eq!(shipped, r.labeled_files);
+        assert!(analysis.len() >= shipped);
+    }
+
+    #[test]
+    fn granule_trace_ids_unify_artifact_naming() {
+        let id = "MOD.A2022001.0610";
+        for artifact in [
+            "laads:MOD021KM.A2022001.0610.061.2022003141500.eogr",
+            "defiant:MOD03.A2022001.0610.061.2022003141500.eogr",
+            "tiles-MOD.A2022001.0610.nc",
+            "labeled:tiles-MOD.A2022001.0610.nc",
+            "orion:tiles-MOD.A2022001.0610.nc",
+        ] {
+            assert_eq!(
+                granule_trace_id(artifact).as_deref(),
+                Some(id),
+                "{artifact}"
+            );
+        }
+        assert_eq!(granule_trace_id("random.txt"), None);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use eoml_modis::granule::GranuleId;
 use eoml_modis::product::ProductKind;
 use eoml_modis::synth::{SwathDims, SwathSynthesizer};
 use eoml_ncdf::NcFile;
-use eoml_obs::Obs;
+use eoml_obs::{Obs, TraceContext};
 use eoml_preprocess::pipeline::preprocess_granule_files;
 use eoml_preprocess::tiles::TileCriteria;
 use eoml_preprocess::writer::{append_labels, read_tiles_nc};
@@ -179,8 +179,9 @@ impl RealPipeline {
         let handles: Vec<_> = granules
             .iter()
             .map(|g| {
+                let trace = TraceContext::new(g.to_string());
                 endpoint
-                    .submit_by_name("download_granule", granule_to_json(g))
+                    .submit_by_name_traced("download_granule", granule_to_json(g), Some(&trace))
                     .expect("registered function")
             })
             .collect();
@@ -302,8 +303,15 @@ impl RealPipeline {
                     .and_then(|n| n.to_str())
                     .ok_or("bad file name")?
                     .to_string();
-                let infer_span = self.obs.as_ref().map(|o| o.span("inference", "flow"));
-                let run = runner.run(&flow, json!({ "file": name }));
+                let trace = crate::campaign::granule_trace_id(&name).map(TraceContext::new);
+                let mut infer_span = self.obs.as_ref().map(|o| o.span("inference", "flow"));
+                if let (Some(span), Some(trace)) = (infer_span.as_mut(), trace.as_ref()) {
+                    span.set_trace(trace);
+                }
+                let run = match trace.as_ref() {
+                    Some(trace) => runner.run_traced(&flow, json!({ "file": name }), trace),
+                    None => runner.run(&flow, json!({ "file": name })),
+                };
                 if let Some(mut span) = infer_span {
                     span.attr("file", &name);
                 }
@@ -507,6 +515,21 @@ mod tests {
             .find(|s| s.stage == "inference" && s.name == "flow")
             .unwrap();
         assert_eq!(flow.parent, Some(crawl.id));
+        // Per-granule traces: the downloads (compute tasks), the inference
+        // flow wrapper, and every flow hop carry granule trace ids.
+        let traced_compute = spans
+            .iter()
+            .filter(|s| s.stage == "compute" && s.trace_id.is_some())
+            .count();
+        assert_eq!(traced_compute, 2, "one traced compute span per granule");
+        assert!(flow.trace_id.is_some(), "inference flow span untraced");
+        assert!(
+            spans
+                .iter()
+                .filter(|s| s.stage == "flow")
+                .all(|s| s.trace_id.is_some()),
+            "flow hop missing its granule trace"
+        );
         let m = obs.metrics();
         assert_eq!(m.counter_value("granules", "download"), Some(2));
         assert_eq!(

@@ -18,7 +18,9 @@
 //! file whose label round-trip is journaled never re-enters the inference
 //! queue.
 
-use crate::campaign::{granule_tiles, preprocess_key, CampaignParams, JournalSink, StageReport};
+use crate::campaign::{
+    granule_tiles, granule_trace_id, preprocess_key, CampaignParams, JournalSink, StageReport,
+};
 use crate::world::World;
 use eoml_cluster::exec::submit_task;
 use eoml_cluster::slurm::request_block;
@@ -26,6 +28,7 @@ use eoml_journal::{CampaignState, Journal, JournalError, JournalEvent, Storage};
 use eoml_modis::catalog::Catalog;
 use eoml_modis::granule::GranuleId;
 use eoml_modis::product::ProductKind;
+use eoml_obs::TraceContext;
 use eoml_simtime::{SimTime, Simulation};
 use eoml_transfer::flownet::start_flow;
 use eoml_util::units::ByteSize;
@@ -464,8 +467,9 @@ fn pump_downloads(sim: &mut Simulation<World>, st: &S) {
                 return;
             }
             if outcome.is_success() {
+                let trace = TraceContext::new(granule.to_string());
                 let tel = &mut sim.state_mut().telemetry;
-                tel.span("download", "file", dl_start, now);
+                tel.span_traced("download", "file", dl_start, now, Some(&trace));
                 tel.count("files", "download", 1);
                 tel.count("bytes", "download", size.as_u64());
             }
@@ -557,11 +561,12 @@ fn pump_preprocess(sim: &mut Simulation<World>, st: &S) {
             }
             let now = sim.now();
             {
+                let trace = TraceContext::new(granule.to_string());
                 let tel = &mut sim.state_mut().telemetry;
-                tel.span("preprocess", "granule", pp_start, now);
+                tel.span_traced("preprocess", "granule", pp_start, now, Some(&trace));
                 tel.count("granules", "preprocess", 1);
                 if tiles > 0.0 {
-                    tel.mark("monitor", "trigger", now);
+                    tel.mark_traced("monitor", "trigger", now, Some(&trace));
                     tel.count("triggers", "monitor", 1);
                 }
             }
@@ -625,9 +630,14 @@ fn pump_inference(sim: &mut Simulation<World>, st: &S) {
                 return;
             }
             let now = sim.now();
-            sim.state_mut()
-                .telemetry
-                .span("inference", "infer", inf_start, now);
+            let trace = granule_trace_id(&file).map(TraceContext::new);
+            sim.state_mut().telemetry.span_traced(
+                "inference",
+                "infer",
+                inf_start,
+                now,
+                trace.as_ref(),
+            );
             {
                 let mut s = st2.borrow_mut();
                 s.inference_active -= 1;
@@ -680,8 +690,9 @@ fn pump_inference(sim: &mut Simulation<World>, st: &S) {
                     }
                     if out.is_success() {
                         let now = sim.now();
+                        let trace = granule_trace_id(&file).map(TraceContext::new);
                         let tel = &mut sim.state_mut().telemetry;
-                        tel.span("shipment", "ship", ship_start, now);
+                        tel.span_traced("shipment", "ship", ship_start, now, trace.as_ref());
                         tel.count("files_labeled", "inference", 1);
                         tel.count("files_shipped", "shipment", 1);
                         tel.count("bytes_shipped", "shipment", size.as_u64());

@@ -4,7 +4,7 @@
 //! the per-stage active-worker count over time; Fig. 7 is the latency of
 //! each workflow component and the communication hops between them.
 
-use eoml_obs::Obs;
+use eoml_obs::{Obs, TraceContext};
 use eoml_simtime::SimTime;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -65,9 +65,24 @@ impl Telemetry {
 
     /// Record a completed span.
     pub fn span(&mut self, stage: &str, name: &str, start: SimTime, end: SimTime) {
+        self.span_traced(stage, name, start, end, None);
+    }
+
+    /// [`Telemetry::span`] carrying a per-granule trace identity: the
+    /// mirrored obs span is stamped with `trace` so the interval joins
+    /// that granule's end-to-end trace. The local `spans` collection is
+    /// unchanged (Fig. 6/7 aggregation is trace-agnostic).
+    pub fn span_traced(
+        &mut self,
+        stage: &str,
+        name: &str,
+        start: SimTime,
+        end: SimTime,
+        trace: Option<&TraceContext>,
+    ) {
         assert!(end >= start, "span ends before it starts");
         if let Some(obs) = &self.obs {
-            obs.record_sim_span(stage, name, start, end);
+            obs.record_sim_span_traced(stage, name, start, end, trace, &[]);
         }
         self.spans.push(Span {
             stage: stage.to_string(),
@@ -81,6 +96,18 @@ impl Telemetry {
     /// triggers, journal recovery points.
     pub fn mark(&mut self, stage: &str, name: &str, t: SimTime) {
         self.span(stage, name, t, t);
+    }
+
+    /// [`Telemetry::mark`] carrying a per-granule trace identity (see
+    /// [`Telemetry::span_traced`]).
+    pub fn mark_traced(
+        &mut self,
+        stage: &str,
+        name: &str,
+        t: SimTime,
+        trace: Option<&TraceContext>,
+    ) {
+        self.span_traced(stage, name, t, t, trace);
     }
 
     /// Bump an obs counter; no-op when no hub is attached.

@@ -3,7 +3,7 @@
 
 use crate::definition::{FlowDefinition, FlowState};
 use eoml_journal::{Journal, JournalError, JournalEvent, Storage};
-use eoml_obs::Obs;
+use eoml_obs::{Obs, TraceContext};
 use serde_json::{Map, Value};
 use std::collections::HashMap;
 use std::fmt;
@@ -123,6 +123,11 @@ pub struct FlowRunner<'a> {
     /// sim-stamped `flow` span, and action states additionally feed the
     /// `action_seconds{stage="flow"}` latency histogram.
     pub obs: Option<Arc<Obs>>,
+    /// Trace identity stamped onto every span the *next* runs record.
+    /// Set it (or use [`FlowRunner::run_traced`]) when a run processes a
+    /// single granule so its flow hops join that granule's end-to-end
+    /// trace.
+    pub current_trace: Option<TraceContext>,
     next_run: u64,
 }
 
@@ -143,6 +148,7 @@ impl<'a> FlowRunner<'a> {
             transition_overhead: 0.05,
             max_steps: 10_000,
             obs: None,
+            current_trace: None,
             next_run: 1,
         }
     }
@@ -159,7 +165,13 @@ impl<'a> FlowRunner<'a> {
     fn obs_event(&self, flow: &FlowDefinition, state: &str, entered_at: f64, duration: f64) {
         let Some(obs) = &self.obs else { return };
         obs.counter_add("transitions", "flow", 1);
-        obs.record_sim_span_secs("flow", state, entered_at, entered_at + duration);
+        obs.record_sim_span_traced_secs(
+            "flow",
+            state,
+            entered_at,
+            entered_at + duration,
+            self.current_trace.as_ref(),
+        );
         if matches!(flow.states.get(state), Some(FlowState::Action { .. })) {
             obs.counter_add("actions", "flow", 1);
             obs.observe("action_seconds", "flow", duration);
@@ -246,6 +258,21 @@ impl<'a> FlowRunner<'a> {
                 }
             }
         }
+    }
+
+    /// Execute `flow` as [`FlowRunner::run`] does, stamping every span the
+    /// run records with `trace` so the hops join that granule's
+    /// end-to-end trace. The trace is cleared again before returning.
+    pub fn run_traced(
+        &mut self,
+        flow: &FlowDefinition,
+        input: Value,
+        trace: &TraceContext,
+    ) -> FlowRun {
+        self.current_trace = Some(trace.clone());
+        let run = self.run(flow, input);
+        self.current_trace = None;
+        run
     }
 
     /// Execute `flow` with the given initial `input` (stored at
@@ -451,6 +478,34 @@ mod tests {
             .all(|s| s.stage == "flow" && s.sim_start.is_some()));
         let total: f64 = spans.iter().map(|s| s.sim_seconds().unwrap()).sum();
         assert!((total - run.total_duration()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn traced_run_stamps_every_span_and_clears_the_trace() {
+        let obs = Obs::shared();
+        let mut stamp = |_: &str, params: &Value, _: &Value| {
+            let mut out = params.clone();
+            out["_duration"] = json!(0.25);
+            Ok(out)
+        };
+        let flow = linear_flow();
+        let mut runner = FlowRunner::new().with_obs(Arc::clone(&obs));
+        runner.register("stamp", &mut stamp);
+        let trace = TraceContext::new("MOD.A2022001.0610");
+        let traced = runner.run_traced(&flow, json!({"file": "g1.eogr"}), &trace);
+        assert!(traced.status.is_success());
+        assert!(runner.current_trace.is_none(), "trace not cleared");
+        // A later plain run must NOT inherit the previous trace.
+        let plain = runner.run(&flow, json!({"file": "g2.eogr"}));
+        assert!(plain.status.is_success());
+        let spans = obs.spans();
+        assert_eq!(spans.len(), traced.events.len() + plain.events.len());
+        let tagged: Vec<_> = spans
+            .iter()
+            .filter(|s| s.trace_id.as_deref() == Some("MOD.A2022001.0610"))
+            .collect();
+        assert_eq!(tagged.len(), traced.events.len());
+        assert!(spans[spans.len() - 1].trace_id.is_none());
     }
 
     fn linear_flow() -> FlowDefinition {

@@ -46,6 +46,9 @@ fn event(span: &SpanRecord) -> Value {
         "wall_start_s".to_string(),
         Value::from(span.wall_start_ns as f64 * 1e-9),
     );
+    if let Some(trace_id) = span.trace_id.as_deref() {
+        args.insert("trace_id".to_string(), Value::from(trace_id));
+    }
     for (k, v) in &span.attrs {
         args.insert(format!("attr.{k}"), Value::from(v.as_str()));
     }

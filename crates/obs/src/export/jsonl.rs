@@ -40,6 +40,13 @@ fn span_line(span: &SpanRecord) -> Value {
         "wall_end_s".to_string(),
         Value::from(span.wall_end_ns as f64 * 1e-9),
     );
+    obj.insert(
+        "trace_id".to_string(),
+        span.trace_id
+            .as_deref()
+            .map(Value::from)
+            .unwrap_or(Value::Null),
+    );
     let mut attrs = Map::new();
     for (k, v) in &span.attrs {
         attrs.insert(k.clone(), Value::from(v.as_str()));
@@ -82,10 +89,103 @@ pub fn render(spans: &[SpanRecord], snapshot: &MetricsSnapshot) -> String {
         obj.insert("count".to_string(), Value::from(h.count() as f64));
         obj.insert("sum".to_string(), Value::from(h.sum()));
         obj.insert("max".to_string(), Value::from(h.max()));
-        obj.insert("p50".to_string(), Value::from(h.p50()));
-        obj.insert("p90".to_string(), Value::from(h.p90()));
-        obj.insert("p99".to_string(), Value::from(h.p99()));
+        // Exact order statistics while the histogram still holds every
+        // raw sample (n ≤ 1024); the ≤ 19 % log-bucket approximation
+        // beyond that.
+        let (p50, p90, p99, exact) = match h.exact_summary() {
+            Some(s) => (
+                s.percentile(50.0),
+                s.percentile(90.0),
+                s.percentile(99.0),
+                true,
+            ),
+            None => (h.p50(), h.p90(), h.p99(), false),
+        };
+        obj.insert("p50".to_string(), Value::from(p50));
+        obj.insert("p90".to_string(), Value::from(p90));
+        obj.insert("p99".to_string(), Value::from(p99));
+        obj.insert("exact".to_string(), Value::from(exact));
         push(&mut out, Value::Object(obj));
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn histogram_line(rendered: &str) -> Value {
+        rendered
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .find(|v| v.get("type").and_then(|t| t.as_str()) == Some("histogram"))
+            .expect("histogram line present")
+    }
+
+    #[test]
+    fn small_histograms_export_exact_percentiles() {
+        let reg = MetricsRegistry::default();
+        for i in 1..=100 {
+            reg.observe("file_seconds", "download", i as f64);
+        }
+        let rendered = render(&[], &reg.snapshot());
+        let line = histogram_line(&rendered);
+        assert_eq!(line.get("exact").unwrap().as_bool(), Some(true));
+        // Exact linear-interpolated percentiles over 1..=100.
+        assert!((line.get("p50").unwrap().as_f64().unwrap() - 50.5).abs() < 1e-9);
+        assert!((line.get("p90").unwrap().as_f64().unwrap() - 90.1).abs() < 1e-9);
+        assert!((line.get("p99").unwrap().as_f64().unwrap() - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_histograms_fall_back_within_error_bound() {
+        let reg = MetricsRegistry::default();
+        // 2000 samples: past the 1024-sample buffer, so the exporter
+        // falls back to log buckets.
+        for i in 1..=2000 {
+            reg.observe("file_seconds", "download", i as f64 / 1000.0);
+        }
+        let h = reg.histogram("file_seconds", "download").unwrap();
+        assert!(h.exact_summary().is_none());
+        let rendered = render(&[], &reg.snapshot());
+        let line = histogram_line(&rendered);
+        assert_eq!(line.get("exact").unwrap().as_bool(), Some(false));
+        // One sub-bucket spans 2^(1/4) ≈ 1.19: approximation stays
+        // within the documented ≤ 19 % relative-error bound of the
+        // exact percentile.
+        for (key, exact) in [("p50", 1.0005), ("p90", 1.8001), ("p99", 1.98001)] {
+            let approx = line.get(key).unwrap().as_f64().unwrap();
+            let rel = (approx - exact).abs() / exact;
+            assert!(
+                rel <= 0.19,
+                "{key}: approx={approx} exact={exact} rel={rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn span_lines_carry_the_trace_id() {
+        use crate::TraceContext;
+        use eoml_simtime::SimTime;
+        let obs = crate::Obs::new();
+        obs.record_sim_span_traced(
+            "download",
+            "file",
+            SimTime::ZERO,
+            SimTime::from_secs_f64(1.0),
+            Some(&TraceContext::new("MOD.A2022001.0610")),
+            &[],
+        );
+        let rendered = obs.jsonl();
+        let span_line = rendered
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .find(|v| v.get("type").and_then(|t| t.as_str()) == Some("span"))
+            .unwrap();
+        assert_eq!(
+            span_line.get("trace_id").unwrap().as_str(),
+            Some("MOD.A2022001.0610")
+        );
+    }
 }

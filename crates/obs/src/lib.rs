@@ -46,17 +46,28 @@
 
 #![warn(missing_docs)]
 
+pub mod alert;
+pub mod analysis;
 mod collector;
 pub mod export;
 pub mod metrics;
+pub mod report;
 pub mod sink;
 pub mod span;
 pub mod table;
+pub mod trace;
 
+pub use alert::{Alert, AlertRule, ProgressSink};
+pub use analysis::{
+    GranuleTrace, PathSegment, SegmentKind, StageAttribution, StageTimeline, Straggler,
+    StragglerConfig, TraceAnalysis,
+};
 pub use metrics::{LogHistogram, MetricKey, MetricsRegistry, MetricsSnapshot};
+pub use report::ObsReport;
 pub use sink::{EventSink, MemorySink, ObsEvent, StageHealth};
 pub use span::{SpanGuard, SpanRecord};
 pub use table::{Cell, Table};
+pub use trace::TraceContext;
 
 use collector::Collector;
 use eoml_simtime::SimTime;
@@ -82,6 +93,13 @@ fn current_tid() -> u64 {
     TID.with(|t| *t)
 }
 
+/// One subscribed sink plus its liveness flag: a sink that panics is
+/// disabled in place rather than removed, so slot indices stay stable.
+struct SinkSlot {
+    sink: Box<dyn EventSink>,
+    dead: bool,
+}
+
 /// The observability hub: span collector + metrics registry + sink list.
 ///
 /// Thread-safe; shared as `Arc<Obs>` across the pipeline. All recording
@@ -93,7 +111,7 @@ pub struct Obs {
     next_span_id: AtomicU64,
     collector: Collector,
     metrics: MetricsRegistry,
-    sinks: Mutex<Vec<Box<dyn EventSink>>>,
+    sinks: Mutex<Vec<SinkSlot>>,
 }
 
 impl std::fmt::Debug for Obs {
@@ -165,6 +183,7 @@ impl Obs {
             wall_start_ns: self.now_ns(),
             sim_start: None,
             sim_end: None,
+            trace_id: None,
             attrs: Vec::new(),
         }
     }
@@ -190,6 +209,7 @@ impl Obs {
             sim_end: guard.sim_end,
             wall_start_ns: guard.wall_start_ns,
             wall_end_ns: self.now_ns(),
+            trace_id: guard.trace_id.take(),
             attrs: std::mem::take(&mut guard.attrs),
         };
         self.commit(record);
@@ -222,6 +242,21 @@ impl Obs {
         end: SimTime,
         attrs: &[(&str, &str)],
     ) -> u64 {
+        self.record_sim_span_traced(stage, name, start, end, None, attrs)
+    }
+
+    /// [`Obs::record_sim_span_with`] tagged with the pipeline item
+    /// (granule) the work belonged to. The per-granule trace analysis
+    /// ([`analysis::TraceAnalysis`]) groups spans by this id.
+    pub fn record_sim_span_traced(
+        &self,
+        stage: &str,
+        name: &str,
+        start: SimTime,
+        end: SimTime,
+        trace: Option<&TraceContext>,
+        attrs: &[(&str, &str)],
+    ) -> u64 {
         let id = self.alloc_id();
         let now = self.now_ns();
         let record = SpanRecord {
@@ -234,6 +269,7 @@ impl Obs {
             sim_end: Some(end),
             wall_start_ns: now,
             wall_end_ns: now,
+            trace_id: trace.map(|t| t.id().to_string()),
             attrs: attrs
                 .iter()
                 .map(|&(k, v)| (k.to_string(), v.to_string()))
@@ -241,6 +277,26 @@ impl Obs {
         };
         self.commit(record);
         id
+    }
+
+    /// [`Obs::record_sim_span_traced`] for f64-seconds virtual clocks
+    /// (the flow runner).
+    pub fn record_sim_span_traced_secs(
+        &self,
+        stage: &str,
+        name: &str,
+        start_s: f64,
+        end_s: f64,
+        trace: Option<&TraceContext>,
+    ) -> u64 {
+        self.record_sim_span_traced(
+            stage,
+            name,
+            SimTime::from_secs_f64(start_s.max(0.0)),
+            SimTime::from_secs_f64(end_s.max(0.0)),
+            trace,
+            &[],
+        )
     }
 
     /// Every span lands here: collector push, duration histogram, stage
@@ -281,13 +337,47 @@ impl Obs {
 
     /// Subscribe a sink to the live event stream.
     pub fn add_sink(&self, sink: Box<dyn EventSink>) {
-        self.sinks.lock().expect("sink list poisoned").push(sink);
+        self.sinks
+            .lock()
+            .expect("sink list poisoned")
+            .push(SinkSlot { sink, dead: false });
     }
 
+    /// Sinks still receiving events (subscribed minus panicked).
+    pub fn live_sink_count(&self) -> usize {
+        self.sinks
+            .lock()
+            .expect("sink list poisoned")
+            .iter()
+            .filter(|s| !s.dead)
+            .count()
+    }
+
+    /// Fan an event out to every live sink. A panicking sink must not
+    /// poison the lock or abort the recording thread: each dispatch is
+    /// wrapped in `catch_unwind`, the offending sink is disabled, and the
+    /// `(sink_panics, obs)` counter records it.
     fn emit(&self, event: &ObsEvent) {
-        let mut sinks = self.sinks.lock().expect("sink list poisoned");
-        for sink in sinks.iter_mut() {
-            sink.on_event(event);
+        let mut panicked = 0u64;
+        {
+            let mut sinks = self.sinks.lock().expect("sink list poisoned");
+            for slot in sinks.iter_mut() {
+                if slot.dead {
+                    continue;
+                }
+                let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    slot.sink.on_event(event)
+                }));
+                if hit.is_err() {
+                    slot.dead = true;
+                    panicked += 1;
+                }
+            }
+        }
+        if panicked > 0 {
+            // Straight into the registry: Obs::counter_add would re-emit
+            // to the sinks we still hold disabled state for.
+            self.metrics.counter_add("sink_panics", "obs", panicked);
         }
     }
 
@@ -443,6 +533,58 @@ mod tests {
         ));
         assert!(matches!(seen[1], ObsEvent::Gauge { value, .. } if value == 3.0));
         assert!(matches!(seen[2], ObsEvent::SpanClosed(_)));
+    }
+
+    #[test]
+    fn panicking_sink_is_disabled_without_poisoning() {
+        struct PanicSink;
+        impl EventSink for PanicSink {
+            fn on_event(&mut self, _event: &ObsEvent) {
+                panic!("sink blew up");
+            }
+        }
+        let obs = Obs::new();
+        let healthy = MemorySink::new();
+        let seen = healthy.handle();
+        obs.add_sink(Box::new(PanicSink));
+        obs.add_sink(Box::new(healthy));
+        assert_eq!(obs.live_sink_count(), 2);
+
+        obs.counter_add("files", "download", 1);
+        // The panicking sink is disabled; later events still flow.
+        assert_eq!(obs.live_sink_count(), 1);
+        obs.counter_add("files", "download", 1);
+        obs.gauge_set("active_workers", "download", 1.0);
+        assert_eq!(seen.lock().unwrap().len(), 3);
+        assert_eq!(obs.metrics().counter_value("sink_panics", "obs"), Some(1));
+    }
+
+    #[test]
+    fn traced_sim_spans_carry_the_trace_id() {
+        let obs = Obs::new();
+        let trace = TraceContext::new("MOD.A2022001.0610");
+        obs.record_sim_span_traced(
+            "download",
+            "file",
+            SimTime::ZERO,
+            SimTime::from_secs_f64(3.0),
+            Some(&trace),
+            &[("file", "MOD021KM.A2022001.0610.hdf")],
+        );
+        let mut guard = obs.span("inference", "flow");
+        guard.set_trace(&trace);
+        drop(guard);
+        obs.record_sim_span("monitor", "poll", SimTime::ZERO, SimTime::ZERO);
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 3);
+        let traced: Vec<_> = spans
+            .iter()
+            .filter(|s| s.trace_id.as_deref() == Some("MOD.A2022001.0610"))
+            .collect();
+        assert_eq!(traced.len(), 2);
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "poll" && s.trace_id.is_none()));
     }
 
     #[test]

@@ -10,6 +10,8 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+use eoml_util::stats::Summary;
+
 /// Label pair every metric is keyed by.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct MetricKey {
@@ -35,14 +37,30 @@ const SUB_BUCKETS: usize = 4;
 const FIRST_BOUND: f64 = 1e-6;
 /// Bucket count: 40 octaves × 4 ≈ values up to 2^40 µs ≈ 12 days.
 const BUCKETS: usize = 160;
+/// Raw samples kept per histogram for exact small-n percentiles. Beyond
+/// this the histogram drops the sample buffer and quantiles fall back to
+/// the ≤ 19 % log-bucket approximation.
+const EXACT_SAMPLE_CAP: usize = 1024;
 
 /// Log-bucketed histogram with approximate quantiles and an exact max.
+///
+/// Up to [`EXACT_SAMPLE_CAP`] raw observations are retained on the side,
+/// so small histograms answer [`LogHistogram::exact_summary`] with exact
+/// order statistics; larger ones keep only the buckets.
+///
+/// **Bucket-alignment invariant:** every `LogHistogram` shares the same
+/// compile-time bucket layout (`FIRST_BOUND`, `SUB_BUCKETS`, `BUCKETS`),
+/// so [`LogHistogram::merge`] is an exact element-wise sum of bucket
+/// counts. If the layout ever becomes configurable, merging histograms
+/// with different layouts must be rejected rather than resampled.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogHistogram {
     counts: Vec<u64>,
     count: u64,
     sum: f64,
     max: f64,
+    /// `Some` while every observation is retained (`count ≤ cap`).
+    samples: Option<Vec<f64>>,
 }
 
 impl Default for LogHistogram {
@@ -52,6 +70,7 @@ impl Default for LogHistogram {
             count: 0,
             sum: 0.0,
             max: 0.0,
+            samples: Some(Vec::new()),
         }
     }
 }
@@ -80,6 +99,50 @@ impl LogHistogram {
         if v > self.max {
             self.max = v;
         }
+        if let Some(samples) = self.samples.as_mut() {
+            if samples.len() < EXACT_SAMPLE_CAP {
+                samples.push(v);
+            } else {
+                self.samples = None;
+            }
+        }
+    }
+
+    /// Every raw observation, while `count ≤ 1024`; `None` once the
+    /// sample buffer has been dropped.
+    pub fn exact_samples(&self) -> Option<&[f64]> {
+        self.samples.as_deref()
+    }
+
+    /// Exact order statistics over the retained samples, or `None` when
+    /// the histogram outgrew the sample buffer (fall back to
+    /// [`LogHistogram::quantile`]).
+    pub fn exact_summary(&self) -> Option<Summary> {
+        match self.samples.as_deref() {
+            Some([]) | None => None,
+            Some(samples) => Some(Summary::from_samples(samples.to_vec())),
+        }
+    }
+
+    /// Fold `other` into `self`. Exact for counts/sum/max because every
+    /// histogram shares the fixed global bucket layout (see type docs);
+    /// the exact-sample buffer survives only if the union still fits.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.samples = match (self.samples.take(), other.samples.as_ref()) {
+            (Some(mut a), Some(b)) if a.len() + b.len() <= EXACT_SAMPLE_CAP => {
+                a.extend_from_slice(b);
+                Some(a)
+            }
+            _ => None,
+        };
     }
 
     /// Total observations.
@@ -245,6 +308,29 @@ impl MetricsRegistry {
                 .collect(),
         }
     }
+
+    /// Fold another registry's snapshot into this registry, so per-worker
+    /// or per-facility `Obs` instances aggregate into one campaign view:
+    /// counters add, gauges take the incoming value (last write wins),
+    /// histograms merge bucket-wise (see [`LogHistogram::merge`]).
+    pub fn merge_snapshot(&self, other: &MetricsSnapshot) {
+        {
+            let mut counters = self.counters.lock().expect("counters poisoned");
+            for (key, v) in &other.counters {
+                *counters.entry(key.clone()).or_insert(0) += v;
+            }
+        }
+        {
+            let mut gauges = self.gauges.lock().expect("gauges poisoned");
+            for (key, v) in &other.gauges {
+                gauges.insert(key.clone(), *v);
+            }
+        }
+        let mut histograms = self.histograms.lock().expect("histograms poisoned");
+        for (key, h) in &other.histograms {
+            histograms.entry(key.clone()).or_default().merge(h);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +375,63 @@ mod tests {
         assert_eq!(buckets.last().unwrap().1, 5);
         // Cumulative counts never decrease.
         assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn exact_samples_survive_until_cap_then_drop() {
+        let mut h = LogHistogram::default();
+        for i in 0..EXACT_SAMPLE_CAP {
+            h.observe(i as f64);
+        }
+        let s = h.exact_summary().expect("within cap");
+        assert_eq!(s.len(), EXACT_SAMPLE_CAP);
+        assert_eq!(s.max(), (EXACT_SAMPLE_CAP - 1) as f64);
+        h.observe(5.0);
+        assert!(h.exact_samples().is_none());
+        assert!(h.exact_summary().is_none());
+        assert_eq!(h.count(), EXACT_SAMPLE_CAP as u64 + 1);
+    }
+
+    #[test]
+    fn merge_is_exact_bucketwise_sum() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        let mut whole = LogHistogram::default();
+        for v in [0.001, 0.02, 0.3] {
+            a.observe(v);
+            whole.observe(v);
+        }
+        for v in [4.0, 50.0] {
+            b.observe(v);
+            whole.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), 50.0);
+        let s = a.exact_summary().unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.min(), 0.001);
+    }
+
+    #[test]
+    fn merge_snapshot_aggregates_two_registries() {
+        let a = MetricsRegistry::default();
+        let b = MetricsRegistry::default();
+        a.counter_add("files", "download", 3);
+        b.counter_add("files", "download", 4);
+        b.counter_add("granules", "preprocess", 2);
+        a.gauge_set("active_workers", "download", 1.0);
+        b.gauge_set("active_workers", "download", 7.0);
+        a.observe("file_seconds", "download", 1.0);
+        b.observe("file_seconds", "download", 3.0);
+        a.merge_snapshot(&b.snapshot());
+        assert_eq!(a.counter_value("files", "download"), Some(7));
+        assert_eq!(a.counter_value("granules", "preprocess"), Some(2));
+        assert_eq!(a.gauge_value("active_workers", "download"), Some(7.0));
+        let h = a.histogram("file_seconds", "download").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 4.0);
     }
 
     #[test]

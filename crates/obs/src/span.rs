@@ -40,6 +40,9 @@ pub struct SpanRecord {
     pub wall_start_ns: u64,
     /// Wall-clock end, nanoseconds since the collector epoch.
     pub wall_end_ns: u64,
+    /// Id of the pipeline item (granule) this span belongs to, when the
+    /// caller carried a [`crate::TraceContext`] through the work.
+    pub trace_id: Option<String>,
     /// Free-form key/value attributes.
     pub attrs: Vec<(String, String)>,
 }
@@ -87,6 +90,7 @@ pub struct SpanGuard<'a> {
     pub(crate) wall_start_ns: u64,
     pub(crate) sim_start: Option<SimTime>,
     pub(crate) sim_end: Option<SimTime>,
+    pub(crate) trace_id: Option<String>,
     pub(crate) attrs: Vec<(String, String)>,
 }
 
@@ -105,6 +109,11 @@ impl SpanGuard<'_> {
     pub fn set_sim(&mut self, start: SimTime, end: SimTime) {
         self.sim_start = Some(start);
         self.sim_end = Some(end);
+    }
+
+    /// Tag this span with the pipeline item it belongs to.
+    pub fn set_trace(&mut self, trace: &crate::TraceContext) {
+        self.trace_id = Some(trace.id().to_string());
     }
 }
 

@@ -173,11 +173,13 @@ impl Table {
         Value::Object(obj)
     }
 
-    /// Write `BENCH_<name>.json` into `dir`; returns the path written.
+    /// Write `BENCH_<name>.json` into `dir` (created if absent); returns
+    /// the path written.
     pub fn write_json(
         &self,
         dir: impl AsRef<std::path::Path>,
     ) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir.as_ref())?;
         let path = dir.as_ref().join(format!("BENCH_{}.json", self.name));
         std::fs::write(
             &path,

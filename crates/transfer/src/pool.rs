@@ -9,7 +9,7 @@
 
 use crate::faults::FlowOutcome;
 use crate::flownet::{start_flow, HasNetwork};
-use eoml_obs::Obs;
+use eoml_obs::{Obs, TraceContext};
 use eoml_simtime::{SimTime, Simulation};
 use eoml_util::units::{ByteSize, Rate};
 use std::cell::RefCell;
@@ -108,6 +108,7 @@ pub struct DownloadPool<S>(std::marker::PhantomData<S>);
 
 type PoolDoneFn<S> = Box<dyn FnOnce(&mut Simulation<S>, DownloadReport)>;
 type PoolFileFn<S> = Box<dyn FnMut(&mut Simulation<S>, &FileTiming)>;
+type PoolTraceFn = Box<dyn Fn(&str) -> Option<TraceContext>>;
 
 struct PoolState<S> {
     src: String,
@@ -122,6 +123,7 @@ struct PoolState<S> {
     activity: Vec<(SimTime, usize)>,
     retries: usize,
     obs: Option<Arc<Obs>>,
+    trace_for: Option<PoolTraceFn>,
     on_file: Option<PoolFileFn<S>>,
     on_done: Option<PoolDoneFn<S>>,
 }
@@ -196,6 +198,38 @@ impl<S: HasNetwork> DownloadPool<S> {
         on_file: impl FnMut(&mut Simulation<S>, &FileTiming) + 'static,
         on_done: impl FnOnce(&mut Simulation<S>, DownloadReport) + 'static,
     ) {
+        Self::run_traced(
+            sim,
+            src,
+            dst,
+            files,
+            workers,
+            retry_limit,
+            obs,
+            |_| None,
+            on_file,
+            on_done,
+        );
+    }
+
+    /// [`DownloadPool::run_observed`] with per-granule trace propagation:
+    /// `trace_for` maps a file name to the [`TraceContext`] of the
+    /// pipeline item it belongs to, and each `download/file` span is
+    /// tagged with it so the trace-analysis layer can stitch downloads
+    /// into end-to-end granule traces.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_traced(
+        sim: &mut Simulation<S>,
+        src: &str,
+        dst: &str,
+        files: Vec<(String, ByteSize)>,
+        workers: usize,
+        retry_limit: usize,
+        obs: Option<Arc<Obs>>,
+        trace_for: impl Fn(&str) -> Option<TraceContext> + 'static,
+        on_file: impl FnMut(&mut Simulation<S>, &FileTiming) + 'static,
+        on_done: impl FnOnce(&mut Simulation<S>, DownloadReport) + 'static,
+    ) {
         assert!(workers > 0, "need at least one worker");
         let inner = Rc::new(RefCell::new(PoolState {
             src: src.to_string(),
@@ -210,6 +244,7 @@ impl<S: HasNetwork> DownloadPool<S> {
             activity: vec![(sim.now(), 0)],
             retries: 0,
             obs,
+            trace_for: Some(Box::new(trace_for)),
             on_file: Some(Box::new(on_file)),
             on_done: Some(Box::new(on_done)),
         }));
@@ -276,11 +311,13 @@ impl<S: HasNetwork> DownloadPool<S> {
                         attempts: attempt,
                     };
                     if let Some(obs) = &st.obs {
-                        obs.record_sim_span_with(
+                        let trace = st.trace_for.as_ref().and_then(|f| f(&timing.name));
+                        obs.record_sim_span_traced(
                             "download",
                             "file",
                             timing.started,
                             timing.finished,
+                            trace.as_ref(),
                             &[
                                 ("file", &timing.name),
                                 ("attempts", &timing.attempts.to_string()),
@@ -607,6 +644,37 @@ mod tests {
             obs.metrics().gauge_value("active_workers", "download"),
             Some(0.0)
         );
+    }
+
+    #[test]
+    fn traced_run_tags_spans_with_granule_ids() {
+        let mut s = sim(FaultPlan::none(), 0);
+        let obs = Obs::shared();
+        DownloadPool::run_traced(
+            &mut s,
+            "laads",
+            "ace-defiant",
+            files(4, 45),
+            2,
+            2,
+            Some(Arc::clone(&obs)),
+            |name| {
+                name.strip_suffix(".eogr").map(TraceContext::new)
+            },
+            |_, _| {},
+            |sim, r| sim.state_mut().report = Some(r),
+        );
+        s.run();
+        let spans: Vec<_> = obs
+            .spans()
+            .into_iter()
+            .filter(|sp| sp.stage == "download" && sp.name == "file")
+            .collect();
+        assert_eq!(spans.len(), 4);
+        for sp in &spans {
+            let trace = sp.trace_id.as_deref().expect("every file span traced");
+            assert_eq!(sp.attr("file"), Some(format!("{trace}.eogr").as_str()));
+        }
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub struct TransferReport {
     pub finished: SimTime,
     /// Per-file `(name, seconds)` for delivered files.
     pub file_times: Vec<(String, f64)>,
+    /// Per-file `(name, started, finished)` windows for delivered files —
+    /// what per-granule shipment spans are recorded from.
+    pub file_windows: Vec<(String, SimTime, SimTime)>,
 }
 
 impl TransferReport {
@@ -90,6 +93,7 @@ struct TaskState<S> {
     retries: usize,
     submitted: SimTime,
     file_times: Vec<(String, f64)>,
+    file_windows: Vec<(String, SimTime, SimTime)>,
     file_started: std::collections::HashMap<String, SimTime>,
     on_done: Option<TaskDoneFn<S>>,
 }
@@ -119,6 +123,7 @@ pub fn submit_transfer<S: HasNetwork>(
         retries: 0,
         submitted: sim.now(),
         file_times: Vec::new(),
+        file_windows: Vec::new(),
         file_started: std::collections::HashMap::new(),
         on_done: Some(Box::new(on_done)),
     }));
@@ -170,6 +175,7 @@ fn on_flow_done<S: HasNetwork>(
                 st.bytes += size;
                 let started = st.file_started[&name];
                 let elapsed = (sim.now() - started).as_secs_f64();
+                st.file_windows.push((name.clone(), started, sim.now()));
                 st.file_times.push((name, elapsed));
             }
             FlowOutcome::ConnectionDropped | FlowOutcome::ChecksumMismatch => {
@@ -204,6 +210,7 @@ fn maybe_finish<S: HasNetwork>(sim: &mut Simulation<S>, state: &Rc<RefCell<TaskS
             submitted: st.submitted,
             finished: sim.now(),
             file_times: std::mem::take(&mut st.file_times),
+            file_windows: std::mem::take(&mut st.file_windows),
         };
         Some((on_done, report))
     };
@@ -388,6 +395,13 @@ mod tests {
         for (name, t) in &r.file_times {
             assert!(name.starts_with("file"));
             assert!((t - 1.0).abs() < 1e-6, "{name}: {t}");
+        }
+        // Windows agree with the elapsed times and the task bounds.
+        assert_eq!(r.file_windows.len(), 4);
+        for ((name, t), (wname, started, finished)) in r.file_times.iter().zip(&r.file_windows) {
+            assert_eq!(name, wname);
+            assert!(((*finished - *started).as_secs_f64() - t).abs() < 1e-9);
+            assert!(*started >= r.submitted && *finished <= r.finished);
         }
     }
 }

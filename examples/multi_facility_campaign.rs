@@ -231,4 +231,73 @@ fn main() {
         }
         Err(_) => println!("  set EOML_PROM=<path> to export Prometheus metrics"),
     }
+
+    // 8) Per-granule trace analysis: every granule carries a trace id
+    //    from download to shipment, so the analysis layer can rebuild
+    //    end-to-end traces, attribute time to service vs. queueing,
+    //    name the bottleneck stage, and flag stragglers. The same span
+    //    store renders the Fig. 6 timeline and Fig. 7 breakdown tables;
+    //    EOML_REPORT=<dir> writes them as BENCH_*.json.
+    println!();
+    println!("== per-granule trace analysis ==");
+    let analysis = eoml::obs::TraceAnalysis::from_obs(&obs);
+    let shipped = observed
+        .provenance
+        .records()
+        .iter()
+        .filter(|rec| rec.artifact.starts_with("orion:"))
+        .count();
+    let covered = observed
+        .provenance
+        .records()
+        .iter()
+        .filter(|rec| rec.artifact.starts_with("orion:"))
+        .filter(|rec| eoml::core::campaign::trace_for_artifact(&analysis, &rec.artifact).is_some())
+        .count();
+    println!(
+        "  {} end-to-end traces; {covered}/{shipped} shipped files covered",
+        analysis.len()
+    );
+    let mut slowest: Vec<&eoml::obs::GranuleTrace> = analysis.traces().collect();
+    slowest.sort_by(|a, b| b.e2e_seconds().total_cmp(&a.e2e_seconds()));
+    for trace in slowest.iter().take(3) {
+        let bn = trace.bottleneck().expect("non-empty trace");
+        let queue: f64 = trace.stage_attribution().iter().map(|a| a.queue_s).sum();
+        println!(
+            "    {:<18} e2e {:>7.1}s  bottleneck {:<10} ({:.1}s service), {:>6.1}s queued",
+            trace.trace_id,
+            trace.e2e_seconds(),
+            bn.stage,
+            bn.service_s,
+            queue
+        );
+    }
+    let stragglers = analysis.stragglers(&eoml::obs::StragglerConfig::default());
+    match stragglers.first() {
+        Some(s) => println!(
+            "  stragglers: {} (worst: {} in {} at {:.1}s vs median {:.1}s)",
+            stragglers.len(),
+            s.trace_id,
+            s.stage,
+            s.seconds,
+            s.median_s
+        ),
+        None => println!("  stragglers: none beyond 2x the stage medians"),
+    }
+    let report = eoml::obs::ObsReport::from_obs(&obs);
+    let mismatches = report.verify_against(&obs.metrics().snapshot());
+    assert!(
+        mismatches.is_empty(),
+        "report/registry disagree: {mismatches:?}"
+    );
+    println!("  Fig. 6/7 tables agree with the metrics registry");
+    println!("{}", report.render_text(2));
+    match std::env::var("EOML_REPORT") {
+        Ok(dir) => {
+            std::fs::create_dir_all(&dir).expect("create report dir");
+            let paths = report.write_json(&dir).expect("write report tables");
+            println!("  wrote {} BENCH_*.json tables to {dir}", paths.len());
+        }
+        Err(_) => println!("  set EOML_REPORT=<dir> to write the tables as BENCH_*.json"),
+    }
 }

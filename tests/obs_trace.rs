@@ -42,6 +42,29 @@ fn campaign_trace_covers_all_five_stages_and_parses() {
         assert!(e["dur"].as_f64().unwrap() >= 0.0);
     }
 
+    // Per-granule tracing: every per-file download span and every
+    // inference span rides into the exported trace with its granule's
+    // trace id (the stage-level wrapper spans stay untraced).
+    for (cat, name) in [
+        ("download", "file"),
+        ("preprocess", "granule"),
+        ("monitor", "trigger"),
+        ("inference", "compute"),
+        ("shipment", "file"),
+    ] {
+        let per_item: Vec<_> = events
+            .iter()
+            .filter(|e| e["cat"].as_str() == Some(cat) && e["name"].as_str() == Some(name))
+            .collect();
+        assert!(!per_item.is_empty(), "no {cat}/{name} events");
+        for e in per_item {
+            let id = e["args"]["trace_id"]
+                .as_str()
+                .unwrap_or_else(|| panic!("{cat}/{name} event missing trace_id: {e}"));
+            assert!(id.contains(".A2022"), "odd granule id {id}");
+        }
+    }
+
     // The Prometheus dump exposes the per-stage counters.
     let prom = obs.prometheus_text();
     for needle in [
