@@ -5,6 +5,7 @@
 //! cargo bench -p eoml-bench --bench figures -- fig4a     # one experiment
 //! cargo bench -p eoml-bench --bench figures -- --json    # + BENCH_*.json
 //! cargo bench -p eoml-bench --bench figures -- --json=out fig3
+//! cargo bench -p eoml-bench --bench figures -- --compare # gate vs baselines
 //! ```
 //!
 //! Each experiment prints the same rows/series the paper reports, plus the
@@ -16,6 +17,41 @@
 //! `BENCH_<name>.json` document (default directory: the current one), so
 //! figure trajectories can be tracked per run instead of scraped from
 //! stdout.
+//!
+//! # Regression gating and the baseline refresh workflow
+//!
+//! The committed files under `bench/baselines/BENCH_*.json` are the
+//! *bench-trajectory baselines*: one JSON document per experiment table,
+//! each embedding the tolerance it is judged under. Two modes consume and
+//! produce them:
+//!
+//! * `--compare[=DIR]` (default `bench/baselines`) — after the selected
+//!   experiments run, every produced table is diffed against its committed
+//!   baseline with [`eoml_obs::BaselineStore`]. A cell that moves beyond
+//!   the noise-aware tolerance (relative threshold AND absolute floor), a
+//!   table whose shape changed, or a table with no committed baseline
+//!   fails the gate and the process **exits nonzero** — this is the CI
+//!   regression gate. Partial runs compare partially: baselines for
+//!   experiments you did not select are ignored.
+//! * `--write-baselines[=DIR]` (default `bench/baselines`) — rewrite the
+//!   baseline files from the current run.
+//!
+//! The simulator is seeded and discrete-event, so every table is
+//! bit-stable run-to-run on a given toolchain; the tolerance absorbs
+//! cross-toolchain float drift, not run noise.
+//!
+//! To refresh after an intentional performance-trajectory change:
+//!
+//! ```sh
+//! cargo bench -p eoml-bench --bench figures -- --compare       # see the diff
+//! cargo bench -p eoml-bench --bench figures -- --write-baselines
+//! git add bench/baselines && git commit                        # review deltas!
+//! ```
+//!
+//! Memory/allocator output (the counting allocator installed below) is
+//! deliberately *excluded* from the baseline surface: allocation byte
+//! counts are not stable across rustc versions or platforms, so they are
+//! reported as text only.
 
 use eoml_bench::TILES_PER_FILE;
 use eoml_cluster::contention::ContentionModel;
@@ -26,6 +62,7 @@ use eoml_executor::simexec::{run_batch, BatchReport};
 use eoml_modis::catalog::Catalog;
 use eoml_modis::product::Platform;
 use eoml_obs::table::{Cell, Table};
+use eoml_obs::{BaselineStore, Tolerance};
 use eoml_simtime::{SimTime, Simulation};
 use eoml_transfer::endpoint::Endpoint;
 use eoml_transfer::faults::FaultPlan;
@@ -34,12 +71,19 @@ use eoml_transfer::pool::{DownloadPool, DownloadReport};
 use eoml_util::stats::Summary;
 use eoml_util::timebase::CivilDate;
 use eoml_util::units::ByteSize;
+use std::cell::RefCell;
 use std::path::PathBuf;
 
+// The counting allocator attributes bench memory traffic; its numbers are
+// reported as text only (see the header: never part of the baselines).
+eoml_obs::install_counting_allocator!();
+
 /// Table output: always the aligned text form; with `--json[=DIR]` also a
-/// `BENCH_<name>.json` document per table.
+/// `BENCH_<name>.json` document per table. Every emitted table is retained
+/// for the `--compare` / `--write-baselines` pass at the end of the run.
 struct Emit {
     json_dir: Option<PathBuf>,
+    tables: RefCell<Vec<Table>>,
 }
 
 impl Emit {
@@ -51,21 +95,79 @@ impl Emit {
                 Err(e) => eprintln!("[failed to write BENCH_{}.json: {e}]", table.name),
             }
         }
+        self.tables.borrow_mut().push(table.clone());
     }
+}
+
+/// Parsed command line: experiment selection plus the three output modes.
+struct Cli {
+    explicit: Vec<String>,
+    json_dir: Option<PathBuf>,
+    compare_dir: Option<PathBuf>,
+    write_dir: Option<PathBuf>,
+}
+
+const DEFAULT_BASELINE_DIR: &str = "bench/baselines";
+
+fn parse_cli(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        explicit: Vec::new(),
+        json_dir: None,
+        compare_dir: None,
+        write_dir: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--json" {
+            cli.json_dir = Some(PathBuf::from("."));
+        } else if let Some(d) = a.strip_prefix("--json=") {
+            cli.json_dir = Some(PathBuf::from(d));
+        } else if a == "--compare" {
+            // `--compare DIR` (next non-flag arg) or bare default.
+            if let Some(next) = args.get(i + 1).filter(|n| !n.starts_with("--")) {
+                cli.compare_dir = Some(PathBuf::from(next));
+                i += 1;
+            } else {
+                cli.compare_dir = Some(PathBuf::from(DEFAULT_BASELINE_DIR));
+            }
+        } else if let Some(d) = a.strip_prefix("--compare=") {
+            cli.compare_dir = Some(PathBuf::from(d));
+        } else if a == "--write-baselines" {
+            cli.write_dir = Some(PathBuf::from(DEFAULT_BASELINE_DIR));
+        } else if let Some(d) = a.strip_prefix("--write-baselines=") {
+            cli.write_dir = Some(PathBuf::from(d));
+        } else if !a.starts_with("--") {
+            cli.explicit.push(a.clone());
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// `cargo bench` invokes benches with the package root as working
+/// directory; the committed baselines live at the *workspace* root.
+/// Relative paths that don't resolve from the working directory are
+/// re-anchored at the workspace root, so both `cargo bench -p eoml-bench`
+/// and a direct target/release invocation from the workspace root work.
+fn resolve_baseline_dir(dir: PathBuf) -> PathBuf {
+    if dir.is_relative() && !dir.exists() {
+        return PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(&dir);
+    }
+    dir
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let explicit: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let cli = parse_cli(&args);
+    let explicit = cli.explicit.clone();
     let want = |name: &str| explicit.is_empty() || explicit.iter().any(|a| a.as_str() == name);
-    let json_dir = args.iter().find_map(|a| {
-        if a == "--json" {
-            Some(PathBuf::from("."))
-        } else {
-            a.strip_prefix("--json=").map(PathBuf::from)
-        }
-    });
-    let emit = Emit { json_dir };
+    let emit = Emit {
+        json_dir: cli.json_dir,
+        tables: RefCell::new(Vec::new()),
+    };
     println!("eoml — paper figure/table reproduction harness");
     println!("================================================");
     if want("fig3") {
@@ -94,6 +196,57 @@ fn main() {
     }
     if want("headline") {
         headline_12k_tiles(&emit);
+    }
+
+    // Text-only allocator accounting (never baselined — see header docs).
+    if eoml_obs::resource::counting_active() {
+        let snap = eoml_obs::resource::snapshot();
+        println!(
+            "\nallocator: {:.1} MB allocated across {} allocations ({:.1} MB in use at exit)",
+            snap.allocated_bytes as f64 / 1e6,
+            snap.allocation_count,
+            snap.in_use_bytes as f64 / 1e6,
+        );
+    }
+
+    let tables = emit.tables.borrow();
+    if let Some(dir) = cli.write_dir {
+        let dir = resolve_baseline_dir(dir);
+        match BaselineStore::write(&dir, &tables, Tolerance::default()) {
+            Ok(paths) => println!(
+                "\nwrote {} baseline file(s) under {}",
+                paths.len(),
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write baselines under {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(dir) = cli.compare_dir {
+        let dir = resolve_baseline_dir(dir);
+        let store = match BaselineStore::load(&dir) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("failed to load baselines from {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        };
+        let comparison = store.compare_all(&tables);
+        println!("\n--- Baseline comparison ({}) ---", dir.display());
+        print!("{}", comparison.render_text(0));
+        if comparison.regressed() {
+            eprintln!(
+                "regression gate FAILED: {} table(s) diverged from baseline",
+                comparison.failures().len()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "regression gate passed: {} table(s) within tolerance",
+            tables.len()
+        );
     }
 }
 

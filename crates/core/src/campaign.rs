@@ -605,6 +605,12 @@ fn finish_download(
     report: DownloadReport,
 ) {
     let now = sim.now();
+    // Scope the download wrap-up (telemetry merge + provenance records)
+    // so its allocations attribute to the download stage.
+    let _mem = sim
+        .state_mut()
+        .telemetry
+        .resource_scope("download", "finish");
     {
         let tel = &mut sim.state_mut().telemetry;
         tel.span("download", "transfer", started, now);
@@ -783,6 +789,12 @@ fn preprocess_pull(sim: &mut Simulation<World>, progress: &P, node_idx: usize) {
         if is_halted(&progress2) {
             return;
         }
+        // Attribute the completion path's allocations (journal append,
+        // provenance, trace bookkeeping) to the preprocess stage.
+        let _mem = sim
+            .state_mut()
+            .telemetry
+            .resource_scope("preprocess", "granule");
         // The completion record must be durable before the counters move:
         // a crash between the two re-runs this granule, never loses it.
         if !journal_record(

@@ -42,6 +42,9 @@ pub use atlas::{Atlas, ClassStats};
 pub use campaign::{run_campaign, CampaignParams, CampaignReport, StageReport};
 pub use provenance::{ProvRecord, ProvenanceLog};
 pub use realrun::{RealPipeline, RealRunReport};
-pub use streaming::{run_streaming_campaign, StreamingParams, StreamingReport};
+pub use streaming::{
+    run_streaming_campaign, try_run_streaming_campaign, StreamingError, StreamingParams,
+    StreamingReport,
+};
 pub use telemetry::{Span, Telemetry};
 pub use world::World;

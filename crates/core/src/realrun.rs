@@ -205,6 +205,12 @@ impl RealPipeline {
         // Stage 2: parallel preprocessing.
         let t1 = Instant::now();
         let stage_span = self.obs.as_ref().map(|o| o.span("preprocess", "map"));
+        // Attribute the stage's allocations (tile buffers, outcome
+        // collection) when the counting allocator is installed.
+        let mem_scope = self
+            .obs
+            .as_ref()
+            .map(|o| eoml_obs::ResourceGuard::enter(Arc::clone(o), "preprocess", "map"));
         let outcomes = self.executor.map(paths, |[p02, p03, p06]| {
             preprocess_granule_files(&p02, &p03, &p06, &tiles_dir, &self.criteria)
                 .map_err(|e| e.to_string())
@@ -216,6 +222,7 @@ impl RealPipeline {
                 Err(e) => return Err(format!("preprocess failed: {e}")),
             }
         }
+        drop(mem_scope);
         if let Some(mut span) = stage_span {
             span.attr("tiles", total_tiles);
         }

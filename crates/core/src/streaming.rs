@@ -38,6 +38,52 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Why a streaming campaign could not run (or finish).
+///
+/// Separating pilot-error (`UnsupportedDays`) from journal failures lets
+/// multi-day callers recover — pick a supported window and retry — instead
+/// of panicking, which is the first step toward the ROADMAP multi-day
+/// scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamingError {
+    /// The streaming scheduler currently covers exactly one acquisition
+    /// day; the caller asked for `days`.
+    UnsupportedDays {
+        /// The requested day count.
+        days: usize,
+    },
+    /// The write-ahead journal failed (including injected crash points).
+    Journal(JournalError),
+}
+
+impl std::fmt::Display for StreamingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamingError::UnsupportedDays { days } => write!(
+                f,
+                "streaming campaigns cover exactly one acquisition day (requested {days}); \
+                 run one campaign per day until the multi-day scheduler lands"
+            ),
+            StreamingError::Journal(e) => write!(f, "streaming journal error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamingError::Journal(e) => Some(e),
+            StreamingError::UnsupportedDays { .. } => None,
+        }
+    }
+}
+
+impl From<JournalError> for StreamingError {
+    fn from(e: JournalError) -> StreamingError {
+        StreamingError::Journal(e)
+    }
+}
+
 /// Streaming-specific knobs on top of [`CampaignParams`].
 #[derive(Debug, Clone)]
 pub struct StreamingParams {
@@ -153,9 +199,19 @@ fn st_halted(st: &S) -> bool {
 
 /// Run a streaming campaign. The archive releases granules on the
 /// (compressed) acquisition timeline; every stage runs concurrently.
+///
+/// Panics on unsupported parameters (multi-day windows); callers that
+/// want a recoverable error use [`try_run_streaming_campaign`].
 pub fn run_streaming_campaign(params: StreamingParams) -> StreamingReport {
+    try_run_streaming_campaign(params).expect("streaming campaign failed")
+}
+
+/// [`run_streaming_campaign`] with a typed error instead of a panic:
+/// a multi-day window returns [`StreamingError::UnsupportedDays`].
+pub fn try_run_streaming_campaign(
+    params: StreamingParams,
+) -> Result<StreamingReport, StreamingError> {
     run_streaming_inner(params, None, CampaignState::default())
-        .expect("journal-free streaming campaign cannot crash")
 }
 
 /// Run a streaming campaign against a write-ahead `journal`, resuming any
@@ -165,26 +221,33 @@ pub fn run_streaming_campaign(params: StreamingParams) -> StreamingReport {
 /// from their last durable step (missing product files re-download, tile
 /// files re-infer).
 ///
-/// Returns [`JournalError::Crashed`] when the journal's injected kill point
-/// fires mid-campaign (see [`Journal::crash_after`]).
+/// Returns [`StreamingError::Journal`] wrapping [`JournalError::Crashed`]
+/// when the journal's injected kill point fires mid-campaign (see
+/// [`Journal::crash_after`]), and [`StreamingError::UnsupportedDays`] for
+/// multi-day windows — checked before anything is journaled.
 pub fn run_streaming_campaign_resumable<St: Storage + 'static>(
     params: StreamingParams,
     journal: Journal<St>,
-) -> Result<StreamingReport, JournalError> {
+) -> Result<StreamingReport, StreamingError> {
+    if params.base.days != 1 {
+        return Err(StreamingError::UnsupportedDays {
+            days: params.base.days,
+        });
+    }
     let resume = journal.state().clone();
     if let Some(seed) = resume.seed {
         if seed != params.base.seed {
-            return Err(JournalError::Io(format!(
+            return Err(StreamingError::Journal(JournalError::Io(format!(
                 "journal belongs to seed {seed}, campaign params use seed {}",
                 params.base.seed
-            )));
+            ))));
         }
     }
     if let Some(label) = &resume.label {
         if label != "streaming-campaign" {
-            return Err(JournalError::Io(format!(
+            return Err(StreamingError::Journal(JournalError::Io(format!(
                 "journal belongs to a {label:?} run, not a streaming campaign"
-            )));
+            ))));
         }
     }
     let sink: Rc<RefCell<dyn JournalSink>> = Rc::new(RefCell::new(journal));
@@ -201,8 +264,12 @@ fn run_streaming_inner(
     params: StreamingParams,
     journal: Option<Rc<RefCell<dyn JournalSink>>>,
     resume: CampaignState,
-) -> Result<StreamingReport, JournalError> {
-    assert_eq!(params.base.days, 1, "streaming demo covers one day");
+) -> Result<StreamingReport, StreamingError> {
+    if params.base.days != 1 {
+        return Err(StreamingError::UnsupportedDays {
+            days: params.base.days,
+        });
+    }
     let mut world = World::new(params.base.seed, params.base.faults);
     if let Some(obs) = &params.base.obs {
         world.telemetry.attach_obs(Arc::clone(obs));
@@ -330,7 +397,7 @@ fn run_streaming_inner(
         .unwrap_or_else(|_| panic!("streaming closures leaked"))
         .into_inner();
     if s.halted {
-        return Err(JournalError::Crashed);
+        return Err(StreamingError::Journal(JournalError::Crashed));
     }
     assert_eq!(s.granules_downloaded, expected, "archive fully drained");
     let mut stages = Vec::new();
@@ -540,6 +607,12 @@ fn pump_preprocess(sim: &mut Simulation<World>, st: &S) {
             if st_halted(&st2) {
                 return;
             }
+            // Attribute allocations in the completion path (journal
+            // append, span bookkeeping, queue churn) to the stage.
+            let _mem = sim
+                .state_mut()
+                .telemetry
+                .resource_scope("preprocess", "granule");
             if !st_record(
                 &st2,
                 JournalEvent::TileFileWritten {
@@ -840,7 +913,7 @@ mod tests {
             journal.crash_after(kill_at);
             let crashed = run_streaming_campaign_resumable(small(), journal);
             assert!(
-                matches!(crashed, Err(JournalError::Crashed)),
+                matches!(crashed, Err(StreamingError::Journal(JournalError::Crashed))),
                 "kill {kill_at}"
             );
             let (journal, _) = Journal::open(store).unwrap();
@@ -852,6 +925,26 @@ mod tests {
             assert_eq!(r.downloaded, baseline.downloaded, "kill {kill_at}");
             assert_eq!(r.shipped, baseline.shipped, "kill {kill_at}");
         }
+    }
+
+    #[test]
+    fn multi_day_windows_return_a_typed_recoverable_error() {
+        let mut p = small();
+        p.base.days = 3;
+        // The plain entry point reports through the typed error...
+        let err = try_run_streaming_campaign(p.clone()).unwrap_err();
+        assert_eq!(err, StreamingError::UnsupportedDays { days: 3 });
+        assert!(err.to_string().contains("one acquisition day"));
+        // ...and the journaled one rejects before touching the journal,
+        // so the store stays reusable for a corrected run.
+        let store = MemStorage::new();
+        let (journal, _) = Journal::open(store.clone()).unwrap();
+        let err = run_streaming_campaign_resumable(p.clone(), journal).unwrap_err();
+        assert!(matches!(err, StreamingError::UnsupportedDays { days: 3 }));
+        let (journal, recovery) = Journal::open(store).unwrap();
+        assert_eq!(recovery.events, 0, "rejected run must journal nothing");
+        p.base.days = 1;
+        run_streaming_campaign_resumable(p, journal).unwrap();
     }
 
     #[test]

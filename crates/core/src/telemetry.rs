@@ -124,6 +124,18 @@ impl Telemetry {
         }
     }
 
+    /// Open a [`ResourceGuard`] attributing allocator activity to
+    /// `(stage, name)` until the guard drops; `None` when no hub is
+    /// attached. With no counting allocator installed the guard measures
+    /// zeros and writes nothing, so callers can scope unconditionally.
+    ///
+    /// [`ResourceGuard`]: eoml_obs::ResourceGuard
+    pub fn resource_scope(&self, stage: &str, name: &str) -> Option<eoml_obs::ResourceGuard> {
+        self.obs
+            .as_ref()
+            .map(|obs| eoml_obs::ResourceGuard::enter(Arc::clone(obs), stage, name))
+    }
+
     /// Record a worker-count change for a stage.
     pub fn activity_change(&mut self, stage: &str, t: SimTime, active: usize) {
         if let Some(obs) = &self.obs {

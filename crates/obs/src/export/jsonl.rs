@@ -165,6 +165,29 @@ mod tests {
     }
 
     #[test]
+    fn exported_percentiles_cross_over_at_1024_samples() {
+        let reg = MetricsRegistry::default();
+        for i in 1..=1024 {
+            reg.observe("file_seconds", "download", i as f64);
+        }
+        let line = histogram_line(&render(&[], &reg.snapshot()));
+        assert_eq!(line.get("exact").unwrap().as_bool(), Some(true));
+        let exact_p50 = line.get("p50").unwrap().as_f64().unwrap();
+        assert!((exact_p50 - 512.5).abs() < 1e-9);
+
+        // Sample 1025 flips the same histogram to the approximation.
+        reg.observe("file_seconds", "download", 1025.0);
+        let line = histogram_line(&render(&[], &reg.snapshot()));
+        assert_eq!(line.get("exact").unwrap().as_bool(), Some(false));
+        let approx_p50 = line.get("p50").unwrap().as_f64().unwrap();
+        let rel = (approx_p50 - exact_p50).abs() / exact_p50;
+        assert!(
+            rel <= 0.19,
+            "approx={approx_p50} exact={exact_p50} rel={rel}"
+        );
+    }
+
+    #[test]
     fn span_lines_carry_the_trace_id() {
         use crate::TraceContext;
         use eoml_simtime::SimTime;

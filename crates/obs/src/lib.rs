@@ -48,10 +48,13 @@
 
 pub mod alert;
 pub mod analysis;
+pub mod baseline;
 mod collector;
 pub mod export;
 pub mod metrics;
+pub mod profile;
 pub mod report;
+pub mod resource;
 pub mod sink;
 pub mod span;
 pub mod table;
@@ -62,8 +65,13 @@ pub use analysis::{
     GranuleTrace, PathSegment, SegmentKind, StageAttribution, StageTimeline, Straggler,
     StragglerConfig, TraceAnalysis,
 };
-pub use metrics::{LogHistogram, MetricKey, MetricsRegistry, MetricsSnapshot};
+pub use baseline::{
+    Baseline, BaselineStore, CellDelta, RunComparison, TableVerdict, Tolerance, Verdict,
+};
+pub use metrics::{LogHistogram, MergeError, MetricKey, MetricsRegistry, MetricsSnapshot};
+pub use profile::{parse_folded, HotPathEntry, SpanProfile};
 pub use report::ObsReport;
+pub use resource::{AllocSnapshot, CountingAlloc, ResourceGuard, ResourceReport};
 pub use sink::{EventSink, MemorySink, ObsEvent, StageHealth};
 pub use span::{SpanGuard, SpanRecord};
 pub use table::{Cell, Table};
@@ -443,6 +451,22 @@ impl Obs {
     /// JSON-lines dump: one line per span, then one per metric.
     pub fn jsonl(&self) -> String {
         export::jsonl::render(&self.spans(), &self.metrics.snapshot())
+    }
+
+    /// Self-time profile of everything recorded so far.
+    pub fn profile(&self) -> SpanProfile {
+        SpanProfile::from_obs(self)
+    }
+
+    /// Collapsed-stack (`folded`) rendering of the self-time profile —
+    /// pipe into `inferno-flamegraph` / `flamegraph.pl` for a flamegraph.
+    pub fn folded(&self) -> String {
+        self.profile().folded()
+    }
+
+    /// Write the collapsed-stack profile to `path`.
+    pub fn write_folded(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.folded())
     }
 
     /// Write the Chrome trace to `path`.

@@ -42,6 +42,43 @@ const BUCKETS: usize = 160;
 /// the ≤ 19 % log-bucket approximation.
 const EXACT_SAMPLE_CAP: usize = 1024;
 
+/// Error merging metrics whose histogram bucket layouts differ.
+///
+/// Every histogram built by this module shares the compile-time layout,
+/// but snapshots can cross process or serialization boundaries (and the
+/// layout constants have changed before); a mismatch means an exact
+/// bucket-wise sum is impossible and resampling would silently skew
+/// quantiles, so the merge is rejected instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeError {
+    /// Metric the mismatch was found under (empty for bare-histogram merges).
+    pub key: Option<MetricKey>,
+    /// Bucket count on the receiving side.
+    pub ours: usize,
+    /// Bucket count on the incoming side.
+    pub theirs: usize,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.key {
+            Some(key) => write!(
+                f,
+                "histogram '{}'/'{}' has {} buckets, incoming snapshot has {}: \
+                 layouts must match exactly (refusing to resample)",
+                key.name, key.stage, self.ours, self.theirs
+            ),
+            None => write!(
+                f,
+                "histogram has {} buckets, incoming has {}: layouts must match",
+                self.ours, self.theirs
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// Log-bucketed histogram with approximate quantiles and an exact max.
 ///
 /// Up to [`EXACT_SAMPLE_CAP`] raw observations are retained on the side,
@@ -51,8 +88,9 @@ const EXACT_SAMPLE_CAP: usize = 1024;
 /// **Bucket-alignment invariant:** every `LogHistogram` shares the same
 /// compile-time bucket layout (`FIRST_BOUND`, `SUB_BUCKETS`, `BUCKETS`),
 /// so [`LogHistogram::merge`] is an exact element-wise sum of bucket
-/// counts. If the layout ever becomes configurable, merging histograms
-/// with different layouts must be rejected rather than resampled.
+/// counts. Histograms from a foreign layout (a snapshot taken under
+/// different constants) are rejected by [`LogHistogram::try_merge`] with
+/// a [`MergeError`] rather than resampled.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogHistogram {
     counts: Vec<u64>,
@@ -124,9 +162,32 @@ impl LogHistogram {
         }
     }
 
+    /// Bucket count of this histogram's layout.
+    pub fn bucket_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Fold `other` into `self`, rejecting mismatched bucket layouts.
+    /// Exact for counts/sum/max when the layouts agree; the exact-sample
+    /// buffer survives only if the union still fits.
+    pub fn try_merge(&mut self, other: &LogHistogram) -> Result<(), MergeError> {
+        if self.counts.len() != other.counts.len() {
+            return Err(MergeError {
+                key: None,
+                ours: self.counts.len(),
+                theirs: other.counts.len(),
+            });
+        }
+        self.merge(other);
+        Ok(())
+    }
+
     /// Fold `other` into `self`. Exact for counts/sum/max because every
     /// histogram shares the fixed global bucket layout (see type docs);
     /// the exact-sample buffer survives only if the union still fits.
+    /// Callers holding histograms of unknown provenance should use
+    /// [`LogHistogram::try_merge`] — this method silently truncates a
+    /// mismatched layout.
     pub fn merge(&mut self, other: &LogHistogram) {
         for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
             *mine += theirs;
@@ -312,8 +373,32 @@ impl MetricsRegistry {
     /// Fold another registry's snapshot into this registry, so per-worker
     /// or per-facility `Obs` instances aggregate into one campaign view:
     /// counters add, gauges take the incoming value (last write wins),
-    /// histograms merge bucket-wise (see [`LogHistogram::merge`]).
-    pub fn merge_snapshot(&self, other: &MetricsSnapshot) {
+    /// histograms merge bucket-wise (see [`LogHistogram::try_merge`]).
+    ///
+    /// A snapshot whose histogram bucket layout differs from ours (e.g.
+    /// taken under different layout constants across a process boundary)
+    /// is rejected with [`MergeError`] *before* anything is applied — a
+    /// failed merge leaves this registry untouched.
+    pub fn merge_snapshot(&self, other: &MetricsSnapshot) -> Result<(), MergeError> {
+        let mut histograms = self.histograms.lock().expect("histograms poisoned");
+        // Validate every histogram pair up front so rejection is atomic.
+        for (key, theirs) in &other.histograms {
+            if let Some(ours) = histograms.get(key) {
+                if ours.bucket_len() != theirs.bucket_len() {
+                    return Err(MergeError {
+                        key: Some(key.clone()),
+                        ours: ours.bucket_len(),
+                        theirs: theirs.bucket_len(),
+                    });
+                }
+            } else if theirs.bucket_len() != BUCKETS {
+                return Err(MergeError {
+                    key: Some(key.clone()),
+                    ours: BUCKETS,
+                    theirs: theirs.bucket_len(),
+                });
+            }
+        }
         {
             let mut counters = self.counters.lock().expect("counters poisoned");
             for (key, v) in &other.counters {
@@ -326,10 +411,14 @@ impl MetricsRegistry {
                 gauges.insert(key.clone(), *v);
             }
         }
-        let mut histograms = self.histograms.lock().expect("histograms poisoned");
         for (key, h) in &other.histograms {
-            histograms.entry(key.clone()).or_default().merge(h);
+            histograms
+                .entry(key.clone())
+                .or_default()
+                .try_merge(h)
+                .expect("layouts validated above");
         }
+        Ok(())
     }
 }
 
@@ -425,13 +514,96 @@ mod tests {
         b.gauge_set("active_workers", "download", 7.0);
         a.observe("file_seconds", "download", 1.0);
         b.observe("file_seconds", "download", 3.0);
-        a.merge_snapshot(&b.snapshot());
+        a.merge_snapshot(&b.snapshot()).expect("aligned layouts");
         assert_eq!(a.counter_value("files", "download"), Some(7));
         assert_eq!(a.counter_value("granules", "preprocess"), Some(2));
         assert_eq!(a.gauge_value("active_workers", "download"), Some(7.0));
         let h = a.histogram("file_seconds", "download").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.sum(), 4.0);
+    }
+
+    /// A histogram whose layout predates (or postdates) ours: fewer
+    /// buckets, as if `BUCKETS` differed across a process boundary.
+    fn foreign_layout_histogram() -> LogHistogram {
+        let mut h = LogHistogram {
+            counts: vec![0; BUCKETS / 2],
+            ..LogHistogram::default()
+        };
+        h.observe(0.5);
+        h
+    }
+
+    #[test]
+    fn try_merge_rejects_misaligned_layouts() {
+        let mut ours = LogHistogram::default();
+        ours.observe(1.0);
+        let theirs = foreign_layout_histogram();
+        let err = ours.try_merge(&theirs).unwrap_err();
+        assert_eq!(err.ours, BUCKETS);
+        assert_eq!(err.theirs, BUCKETS / 2);
+        assert!(err.to_string().contains("layouts must match"));
+        // The receiving histogram is untouched by the failed merge.
+        assert_eq!(ours.count(), 1);
+    }
+
+    #[test]
+    fn merge_snapshot_rejects_misaligned_histograms_atomically() {
+        let reg = MetricsRegistry::default();
+        reg.counter_add("files", "download", 3);
+        reg.observe("file_seconds", "download", 1.0);
+
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.push((MetricKey::new("files", "download"), 4));
+        snap.gauges
+            .push((MetricKey::new("active_workers", "download"), 9.0));
+        snap.histograms.push((
+            MetricKey::new("file_seconds", "download"),
+            foreign_layout_histogram(),
+        ));
+
+        let err = reg.merge_snapshot(&snap).unwrap_err();
+        assert_eq!(err.key, Some(MetricKey::new("file_seconds", "download")));
+        assert!(err.to_string().contains("file_seconds"));
+        // Atomic rejection: counters and gauges were not applied either.
+        assert_eq!(reg.counter_value("files", "download"), Some(3));
+        assert_eq!(reg.gauge_value("active_workers", "download"), None);
+        assert_eq!(
+            reg.histogram("file_seconds", "download").unwrap().count(),
+            1
+        );
+
+        // A misaligned histogram under a *new* key is also rejected.
+        let reg2 = MetricsRegistry::default();
+        let err2 = reg2.merge_snapshot(&snap).unwrap_err();
+        assert_eq!(err2.ours, BUCKETS);
+    }
+
+    #[test]
+    fn percentiles_cross_from_exact_to_log_buckets_at_the_cap() {
+        let mut h = LogHistogram::default();
+        // Exactly at the cap: every sample retained, percentiles exact.
+        for i in 1..=EXACT_SAMPLE_CAP {
+            h.observe(i as f64);
+        }
+        let exact = h.exact_summary().expect("at the cap, still exact");
+        let exact_p50 = exact.percentile(50.0);
+        assert!((exact_p50 - 512.5).abs() < 1e-9, "p50={exact_p50}");
+
+        // One more observation crosses into log-bucket approximation.
+        h.observe((EXACT_SAMPLE_CAP + 1) as f64);
+        assert!(h.exact_summary().is_none());
+        let approx_p50 = h.p50();
+        // The approximation must stay within one sub-bucket (≤ 19 %
+        // relative error) of the exact value it replaced.
+        let rel = (approx_p50 - exact_p50).abs() / exact_p50;
+        assert!(
+            rel <= 0.19,
+            "approx={approx_p50} exact={exact_p50} rel={rel}"
+        );
+        // Count and max stay exact across the crossover.
+        assert_eq!(h.count(), EXACT_SAMPLE_CAP as u64 + 1);
+        assert_eq!(h.max(), (EXACT_SAMPLE_CAP + 1) as f64);
     }
 
     #[test]

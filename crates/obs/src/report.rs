@@ -15,12 +15,17 @@ use serde_json::{Map, Value};
 
 use crate::analysis::{stage_timelines, StageTimeline};
 use crate::metrics::MetricsSnapshot;
+use crate::profile::SpanProfile;
+use crate::resource::memory_table;
 use crate::span::SpanRecord;
 use crate::table::{Cell, Table};
 use crate::Obs;
 
 /// Sample points in the Fig. 6 timeline table.
 const TIMELINE_SAMPLES: usize = 24;
+
+/// Rows in the hot-path self-time table.
+const PROFILE_TOP_N: usize = 15;
 
 /// Fig. 6 + Fig. 7 style report over one recorded run.
 #[derive(Debug, Clone)]
@@ -31,23 +36,38 @@ pub struct ObsReport {
     pub fig7_breakdown: Table,
     /// Per-stage utilization/idle summary backing Fig. 6.
     pub stage_stats: Table,
+    /// Top-N hot paths by exclusive self time (see [`SpanProfile`]).
+    pub profile_hot: Table,
+    /// Fig.-7-style memory breakdown from the resource counters; empty
+    /// when no [`crate::ResourceGuard`] reported (e.g. the counting
+    /// allocator is not installed).
+    pub memory: Table,
     /// Per-stage span totals the breakdown table sums to.
     stage_span_counts: BTreeMap<String, u64>,
 }
 
 impl ObsReport {
-    /// Build the report from everything an [`Obs`] hub recorded.
+    /// Build the report from everything an [`Obs`] hub recorded,
+    /// including the memory breakdown from its metrics registry.
     pub fn from_obs(obs: &Obs) -> ObsReport {
-        ObsReport::from_spans(&obs.spans())
+        ObsReport::from_parts(&obs.spans(), &obs.metrics().snapshot())
     }
 
-    /// Build the report from a span snapshot.
+    /// Build the report from a span snapshot alone (the memory table
+    /// stays empty — resource counters live in the registry).
     pub fn from_spans(spans: &[SpanRecord]) -> ObsReport {
+        ObsReport::from_parts(spans, &MetricsSnapshot::default())
+    }
+
+    /// Build the report from a span snapshot plus a metrics snapshot.
+    pub fn from_parts(spans: &[SpanRecord], snapshot: &MetricsSnapshot) -> ObsReport {
         let timelines = stage_timelines(spans);
         ObsReport {
             fig6_timeline: fig6_table(&timelines),
             fig7_breakdown: fig7_table(spans),
             stage_stats: stage_stats_table(&timelines),
+            profile_hot: SpanProfile::from_spans(spans).top_table(PROFILE_TOP_N),
+            memory: memory_table(snapshot),
             stage_span_counts: span_counts(spans),
         }
     }
@@ -88,38 +108,57 @@ impl ObsReport {
         problems
     }
 
-    /// Terminal rendering of all three tables, `indent` spaces deep.
+    /// Terminal rendering of every table, `indent` spaces deep. The
+    /// memory breakdown appears only when resource counters exist.
     pub fn render_text(&self, indent: usize) -> String {
         let pad = " ".repeat(indent);
-        format!(
-            "{pad}Fig. 6 — active workers per stage:\n{}\n{pad}Stage utilization:\n{}\n{pad}Fig. 7 — component latency breakdown:\n{}",
+        let mut out = format!(
+            "{pad}Fig. 6 — active workers per stage:\n{}\n{pad}Stage utilization:\n{}\n{pad}Fig. 7 — component latency breakdown:\n{}\n{pad}Hot paths by self time:\n{}",
             self.fig6_timeline.render_text(indent + 2),
             self.stage_stats.render_text(indent + 2),
             self.fig7_breakdown.render_text(indent + 2),
-        )
+            self.profile_hot.render_text(indent + 2),
+        );
+        if !self.memory.rows.is_empty() {
+            out.push_str(&format!(
+                "\n{pad}Memory breakdown (counting allocator):\n{}",
+                self.memory.render_text(indent + 2)
+            ));
+        }
+        out
     }
 
-    /// One JSON document holding all three tables.
+    /// One JSON document holding every table.
     pub fn to_json(&self) -> Value {
         let mut obj = Map::new();
         obj.insert("fig6_timeline".to_string(), self.fig6_timeline.to_json());
         obj.insert("fig7_breakdown".to_string(), self.fig7_breakdown.to_json());
         obj.insert("stage_stats".to_string(), self.stage_stats.to_json());
+        obj.insert("profile_hot".to_string(), self.profile_hot.to_json());
+        if !self.memory.rows.is_empty() {
+            obj.insert("memory".to_string(), self.memory.to_json());
+        }
         Value::Object(obj)
     }
 
     /// Write `BENCH_<table>.json` for each table into `dir`; returns the
-    /// paths written.
+    /// paths written. The memory table is written only when it has rows,
+    /// so runs without the counting allocator don't emit an empty file.
     pub fn write_json(
         &self,
         dir: impl AsRef<std::path::Path>,
     ) -> std::io::Result<Vec<std::path::PathBuf>> {
         let dir = dir.as_ref();
-        Ok(vec![
+        let mut paths = vec![
             self.fig6_timeline.write_json(dir)?,
             self.stage_stats.write_json(dir)?,
             self.fig7_breakdown.write_json(dir)?,
-        ])
+            self.profile_hot.write_json(dir)?,
+        ];
+        if !self.memory.rows.is_empty() {
+            paths.push(self.memory.write_json(dir)?);
+        }
+        Ok(paths)
     }
 }
 
@@ -291,15 +330,36 @@ mod tests {
         assert!(text.contains("Fig. 6"));
         assert!(text.contains("Fig. 7"));
         assert!(text.contains("preprocess"));
+        assert!(text.contains("Hot paths by self time"));
+        // No resource counters in this run: the memory table is omitted.
+        assert!(!text.contains("Memory breakdown"));
         let dir = std::env::temp_dir().join(format!("obs_report_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let paths = report.write_json(&dir).unwrap();
-        assert_eq!(paths.len(), 3);
+        assert_eq!(paths.len(), 4);
+        assert!(paths
+            .iter()
+            .any(|p| p.ends_with("BENCH_profile_self_time.json")));
         for path in &paths {
             let body = std::fs::read_to_string(path).unwrap();
             let value: Value = serde_json::from_str(&body).unwrap();
             assert!(value.get("columns").is_some());
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_includes_memory_table_when_counters_exist() {
+        let obs = build_obs();
+        obs.metrics().counter_add("alloc_bytes", "preprocess", 1024);
+        obs.metrics().counter_add("allocs", "preprocess", 2);
+        let report = ObsReport::from_obs(&obs);
+        assert_eq!(report.memory.rows.len(), 1);
+        assert!(report.render_text(0).contains("Memory breakdown"));
+        // Profile table: the 3 (stage,name) groups, hottest first —
+        // download has two 10 s spans (20 s self) vs preprocess's 18 s.
+        assert_eq!(report.profile_hot.rows.len(), 3);
+        assert_eq!(report.profile_hot.rows[0][0], Cell::str("download"));
+        assert_eq!(report.profile_hot.rows[1][0], Cell::str("preprocess"));
     }
 }

@@ -173,6 +173,70 @@ impl Table {
         Value::Object(obj)
     }
 
+    /// Parse a table back from its [`Table::to_json`] document (extra
+    /// top-level keys, e.g. a baseline's `tolerance`, are ignored).
+    pub fn from_json(value: &Value) -> Result<Table, String> {
+        let obj = value.as_object().ok_or("table document is not an object")?;
+        let name = obj
+            .get("table")
+            .and_then(Value::as_str)
+            .ok_or("missing 'table' name")?
+            .to_string();
+        let columns: Vec<String> = obj
+            .get("columns")
+            .and_then(Value::as_array)
+            .ok_or("missing 'columns' array")?
+            .iter()
+            .map(|c| {
+                c.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("non-string column in table '{name}'"))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut rows = Vec::new();
+        for (i, row) in obj
+            .get("rows")
+            .and_then(Value::as_array)
+            .ok_or("missing 'rows' array")?
+            .iter()
+            .enumerate()
+        {
+            let cells: Vec<Cell> = row
+                .as_array()
+                .ok_or_else(|| format!("row {i} of table '{name}' is not an array"))?
+                .iter()
+                .map(|cell| match cell {
+                    Value::String(s) => Ok(Cell::str(s)),
+                    _ => cell
+                        .as_f64()
+                        .map(|v| {
+                            // Integral values round-trip as Int (to_json
+                            // flattens Int to a number).
+                            if v.fract() == 0.0 && v.abs() < 9e15 {
+                                Cell::Int(v as i64)
+                            } else {
+                                Cell::num(v, 3)
+                            }
+                        })
+                        .ok_or_else(|| format!("unsupported cell in row {i} of table '{name}'")),
+                })
+                .collect::<Result<_, _>>()?;
+            if cells.len() != columns.len() {
+                return Err(format!(
+                    "row {i} of table '{name}' has {} cells, expected {}",
+                    cells.len(),
+                    columns.len()
+                ));
+            }
+            rows.push(cells);
+        }
+        Ok(Table {
+            name,
+            columns,
+            rows,
+        })
+    }
+
     /// Write `BENCH_<name>.json` into `dir` (created if absent); returns
     /// the path written.
     pub fn write_json(
@@ -211,6 +275,24 @@ mod tests {
         let rows = json.get("rows").unwrap().as_array().unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[1].as_array().unwrap()[1].as_f64(), Some(80.537));
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json() {
+        let mut t = Table::new("fig_demo", &["workers", "speed_mb_s", "note"]);
+        t.row(vec![Cell::int(3), Cell::num(41.25, 1), Cell::str("paper")]);
+        let back = Table::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.name, "fig_demo");
+        assert_eq!(back.columns, t.columns);
+        assert_eq!(back.rows[0][0], Cell::int(3));
+        assert_eq!(back.rows[0][2], Cell::str("paper"));
+        match back.rows[0][1] {
+            Cell::Num { value, .. } => assert_eq!(value, 41.25),
+            ref other => panic!("expected Num, got {other:?}"),
+        }
+        // Malformed documents report, not panic.
+        assert!(Table::from_json(&Value::from(3.0)).is_err());
+        assert!(Table::from_json(&serde_json::json!({"table": "x"})).is_err());
     }
 
     #[test]

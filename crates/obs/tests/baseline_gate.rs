@@ -1,0 +1,129 @@
+//! The regression gate, exercised against the *committed* seed baselines
+//! under `bench/baselines/` — the same files
+//! `cargo bench -p eoml-bench --bench figures -- --compare` loads in CI.
+//!
+//! Two properties anchor the gate's semantics:
+//!
+//! * comparing the committed baselines against themselves is clean (the
+//!   `--compare` exit-0 path), and
+//! * injecting a 2× slowdown into any one table trips `Regressed` (the
+//!   exit-nonzero path).
+
+use std::path::PathBuf;
+
+use eoml_obs::table::{Cell, Table};
+use eoml_obs::{BaselineStore, Verdict};
+
+fn baseline_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench/baselines")
+}
+
+fn committed() -> BaselineStore {
+    let store = BaselineStore::load(baseline_dir()).expect("committed baselines parse");
+    assert!(
+        !store.is_empty(),
+        "bench/baselines must hold committed BENCH_*.json seeds"
+    );
+    store
+}
+
+/// Scale every numeric cell of `table` by `factor` (a synthetic uniform
+/// slowdown/speedup).
+fn scaled(table: &Table, factor: f64) -> Table {
+    let mut out = Table::new(
+        &table.name,
+        &table.columns.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for row in &table.rows {
+        out.row(
+            row.iter()
+                .map(|cell| match cell {
+                    Cell::Num { value, prec } => Cell::num(value * factor, *prec),
+                    Cell::Int(v) => Cell::Int(((*v as f64) * factor).round() as i64),
+                    Cell::Str(s) => Cell::str(s.clone()),
+                })
+                .collect(),
+        );
+    }
+    out
+}
+
+#[test]
+fn committed_baselines_cover_every_figures_table() {
+    let store = committed();
+    for name in [
+        "fig3",
+        "fig4a",
+        "fig4b",
+        "fig5a",
+        "fig5b",
+        "table1_strong_workers",
+        "table1_strong_nodes",
+        "table1_weak_workers",
+        "table1_weak_nodes",
+        "fig6",
+        "fig7",
+        "headline",
+    ] {
+        assert!(store.get(name).is_some(), "missing baseline for {name}");
+    }
+}
+
+#[test]
+fn self_comparison_of_committed_baselines_is_clean() {
+    let store = committed();
+    let tables: Vec<Table> = store
+        .names()
+        .map(|n| store.get(n).unwrap().table.clone())
+        .collect();
+    let comparison = store.compare_all(&tables);
+    assert!(
+        !comparison.regressed(),
+        "self-compare must pass:\n{}",
+        comparison.render_text(2)
+    );
+    for verdict in &comparison.verdicts {
+        assert_eq!(verdict.verdict, Verdict::Ok, "{}", verdict.table);
+    }
+}
+
+#[test]
+fn injected_two_x_slowdown_in_one_table_trips_the_gate() {
+    let store = committed();
+    let mut tables: Vec<Table> = store
+        .names()
+        .map(|n| store.get(n).unwrap().table.clone())
+        .collect();
+    let slow = scaled(&store.get("headline").unwrap().table, 2.0);
+    *tables
+        .iter_mut()
+        .find(|t| t.name == "headline")
+        .expect("headline present") = slow;
+    let comparison = store.compare_all(&tables);
+    assert!(comparison.regressed(), "2× slowdown must fail the gate");
+    let failures = comparison.failures();
+    assert_eq!(failures.len(), 1, "only the slowed table fails");
+    assert_eq!(failures[0].table, "headline");
+    assert_eq!(failures[0].verdict, Verdict::Regressed);
+    assert!(
+        !failures[0].deltas.is_empty(),
+        "regression names the offending cells"
+    );
+    // Every reported delta is genuinely ~2×.
+    for delta in &failures[0].deltas {
+        assert!(
+            (delta.rel_change() - 1.0).abs() < 1e-9,
+            "delta {delta:?} should be +100%"
+        );
+    }
+}
+
+#[test]
+fn table_without_committed_baseline_fails_the_gate() {
+    let store = committed();
+    let mut novel = Table::new("fig99_new_experiment", &["metric", "value"]);
+    novel.row(vec![Cell::str("speed"), Cell::num(1.0, 2)]);
+    let comparison = store.compare_all(&[novel]);
+    assert!(comparison.regressed());
+    assert_eq!(comparison.failures()[0].verdict, Verdict::MissingBaseline);
+}

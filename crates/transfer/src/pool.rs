@@ -658,9 +658,7 @@ mod tests {
             2,
             2,
             Some(Arc::clone(&obs)),
-            |name| {
-                name.strip_suffix(".eogr").map(TraceContext::new)
-            },
+            |name| name.strip_suffix(".eogr").map(TraceContext::new),
             |_, _| {},
             |sim, r| sim.state_mut().report = Some(r),
         );

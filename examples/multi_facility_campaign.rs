@@ -6,6 +6,9 @@
 //! # with trace export:
 //! EOML_TRACE=trace.json EOML_PROM=metrics.prom \
 //!     cargo run --release --example multi_facility_campaign
+//! # with collapsed-stack profile + per-stage memory accounting:
+//! EOML_FOLDED=profile.folded cargo run --release \
+//!     --example multi_facility_campaign --features alloc-profile
 //! ```
 
 use eoml::core::campaign::{run_campaign, run_campaign_resumable, CampaignParams};
@@ -13,6 +16,12 @@ use eoml::core::streaming::{run_streaming_campaign, StreamingParams};
 use eoml::journal::{Journal, JournalEvent, MemStorage};
 use eoml::simtime::SimTime;
 use eoml::transfer::faults::FaultPlan;
+
+// With `--features alloc-profile` the whole example runs under the
+// counting allocator, so step 9's memory table fills with real per-stage
+// byte attribution; without it the table is empty and the step says so.
+#[cfg(feature = "alloc-profile")]
+eoml::obs::install_counting_allocator!();
 
 fn main() {
     // 1) Download-worker sweep (paper Fig. 3's 3 vs 6 workers).
@@ -299,5 +308,41 @@ fn main() {
             println!("  wrote {} BENCH_*.json tables to {dir}", paths.len());
         }
         Err(_) => println!("  set EOML_REPORT=<dir> to write the tables as BENCH_*.json"),
+    }
+
+    // 9) Performance profile: deterministic self-time attribution over
+    //    the same span store — hot (stage, component) pairs ranked by
+    //    exclusive time, a collapsed-stack export for flamegraph.pl /
+    //    inferno (EOML_FOLDED=<path>), and, when the counting allocator
+    //    is installed (--features alloc-profile), the Fig.-7-style
+    //    per-stage memory breakdown.
+    println!();
+    println!("== performance profile ==");
+    let profile = obs.profile();
+    println!(
+        "  {:.1}s total self time across {} hot paths",
+        profile.total_self_seconds(),
+        profile.entries().len()
+    );
+    println!("{}", profile.top_table(10).render_text(2));
+    match std::env::var("EOML_FOLDED") {
+        Ok(path) => {
+            obs.write_folded(&path).expect("write folded profile");
+            println!("  wrote collapsed stacks to {path} (feed to flamegraph.pl)");
+        }
+        Err(_) => println!("  set EOML_FOLDED=<path> to export collapsed stacks"),
+    }
+    if eoml::obs::resource::counting_active() {
+        let snap = eoml::obs::resource::snapshot();
+        println!(
+            "  allocator: {:.1} MB allocated, {} allocations, {:.1} MB live",
+            snap.allocated_bytes as f64 / 1e6,
+            snap.allocation_count,
+            snap.in_use_bytes as f64 / 1e6,
+        );
+        let memory = eoml::obs::resource::memory_table(&obs.metrics().snapshot());
+        println!("{}", memory.render_text(2));
+    } else {
+        println!("  build with --features alloc-profile for per-stage memory accounting");
     }
 }

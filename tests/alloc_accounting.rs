@@ -1,0 +1,64 @@
+//! End-to-end resource accounting: a counting global allocator plus an
+//! obs-attached campaign must attribute nonzero allocator traffic to the
+//! preprocess stage — the tier-1-visible form of the example's
+//! `--features alloc-profile` walkthrough.
+
+use std::sync::Arc;
+
+use eoml::core::campaign::{run_campaign, CampaignParams};
+use eoml::obs::resource::{memory_table, CountingAlloc, ALLOC_BYTES_COUNTER, ALLOC_PEAK_GAUGE};
+use eoml::obs::table::Cell;
+use eoml::obs::{Obs, ObsReport};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+#[test]
+fn campaign_attributes_allocator_bytes_to_preprocess() {
+    let obs = Obs::shared();
+    let params = CampaignParams {
+        files_per_day: 24,
+        ..CampaignParams::small()
+    }
+    .with_obs(Arc::clone(&obs));
+    let report = run_campaign(params);
+    assert!(report.granules > 0, "campaign must preprocess granules");
+
+    let metrics = obs.metrics();
+    let preprocess_bytes = metrics
+        .counter_value(ALLOC_BYTES_COUNTER, "preprocess")
+        .expect("preprocess stage reports alloc_bytes");
+    assert!(
+        preprocess_bytes > 0,
+        "preprocess must attribute nonzero allocator bytes"
+    );
+    let download_bytes = metrics
+        .counter_value(ALLOC_BYTES_COUNTER, "download")
+        .expect("download stage reports alloc_bytes");
+    assert!(download_bytes > 0);
+    assert!(
+        metrics
+            .gauge_value(ALLOC_PEAK_GAUGE, "preprocess")
+            .unwrap_or(0.0)
+            > 0.0,
+        "preprocess peak gauge must be set"
+    );
+
+    // The Fig.-7-style memory table carries one row per instrumented
+    // stage, and the campaign report surfaces it.
+    let table = memory_table(&metrics.snapshot());
+    let stages: Vec<&Cell> = table.rows.iter().map(|r| &r[0]).collect();
+    assert!(stages.contains(&&Cell::str("preprocess")), "{stages:?}");
+    assert!(stages.contains(&&Cell::str("download")));
+
+    let obs_report = ObsReport::from_obs(&obs);
+    assert!(
+        !obs_report.memory.rows.is_empty(),
+        "ObsReport must include the memory breakdown when counters exist"
+    );
+    let rendered = obs_report.render_text(0);
+    assert!(
+        rendered.contains("Memory breakdown"),
+        "render_text must show the memory section"
+    );
+}
