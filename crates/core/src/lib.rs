@@ -34,6 +34,7 @@ pub mod atlas;
 pub mod campaign;
 pub mod provenance;
 pub mod realrun;
+pub mod scheduler;
 pub mod streaming;
 pub mod telemetry;
 pub mod world;
@@ -41,7 +42,10 @@ pub mod world;
 pub use atlas::{Atlas, ClassStats};
 pub use campaign::{run_campaign, CampaignParams, CampaignReport, StageReport};
 pub use provenance::{ProvRecord, ProvenanceLog};
-pub use realrun::{RealPipeline, RealRunReport};
+pub use realrun::{RealPipeline, RealRunError, RealRunReport};
+pub use scheduler::{
+    run_multi_day_resumable, run_streaming_days_resumable, DayRun, MultiDayReport, StreamingDayRun,
+};
 pub use streaming::{
     run_streaming_campaign, try_run_streaming_campaign, StreamingError, StreamingParams,
     StreamingReport,

@@ -9,13 +9,22 @@
 //! directory, stage 4 executes the Globus-Flows-style inference flow with
 //! real RICC inference, and stage 5 "ships" by moving files to an outbox
 //! directory (facilities being directories here).
+//!
+//! [`RealPipeline::run_resumable`] journals per-granule stage completions
+//! (download → preprocess → monitor/inference → shipment) to a write-ahead
+//! journal, so an on-disk run killed at any point reopens the journal and
+//! resumes against the same workdir without redoing journaled-complete
+//! work — the resumed run's labeled artifacts are byte-identical to an
+//! uninterrupted run's.
 
+use crate::campaign::JournalSink;
 use eoml_compute::endpoint::{ComputeEndpoint, TaskResult};
 use eoml_compute::registry::FunctionRegistry;
 use eoml_executor::local::LocalExecutor;
 use eoml_flows::definition::FlowDefinition;
 use eoml_flows::runner::FlowRunner;
 use eoml_flows::trigger::DirectoryCrawler;
+use eoml_journal::{CampaignState, Journal, JournalError, JournalEvent, Storage};
 use eoml_modis::files::{to_mod02, to_mod03, to_mod06};
 use eoml_modis::granule::GranuleId;
 use eoml_modis::product::ProductKind;
@@ -29,9 +38,54 @@ use eoml_ricc::aicca::AiccaModel;
 use eoml_ricc::autoencoder::AeConfig;
 use eoml_ricc::tensor::Tensor;
 use serde_json::json;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Journal label guarding real-run journals against cross-driver reuse.
+const REAL_RUN_LABEL: &str = "real-run";
+
+/// Why a real pipeline run stopped.
+#[derive(Debug)]
+pub enum RealRunError {
+    /// The write-ahead journal failed (including injected crash points);
+    /// reopen the journal over the same storage and run again to resume.
+    Journal(JournalError),
+    /// A pipeline stage failed (I/O, decode, inference flow, ...).
+    Pipeline(String),
+}
+
+impl std::fmt::Display for RealRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RealRunError::Journal(e) => write!(f, "real-run journal error: {e}"),
+            RealRunError::Pipeline(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RealRunError {}
+
+impl From<String> for RealRunError {
+    fn from(msg: String) -> Self {
+        RealRunError::Pipeline(msg)
+    }
+}
+
+impl From<&str> for RealRunError {
+    fn from(msg: &str) -> Self {
+        RealRunError::Pipeline(msg.to_string())
+    }
+}
+
+impl RealRunError {
+    /// Whether this is the injected journal kill point (resume by
+    /// reopening the journal).
+    pub fn is_crash(&self) -> bool {
+        matches!(self, RealRunError::Journal(JournalError::Crashed))
+    }
+}
 
 /// Report of one real pipeline run.
 #[derive(Debug, Clone)]
@@ -67,6 +121,7 @@ impl RealRunReport {
 /// at a work directory with `incoming/`, `tiles/` and `outbox/` subdirs.
 pub struct RealPipeline {
     workdir: PathBuf,
+    seed: u64,
     synth: SwathSynthesizer,
     criteria: TileCriteria,
     model: AiccaModel,
@@ -99,6 +154,7 @@ impl RealPipeline {
         };
         Ok(Self {
             workdir,
+            seed,
             synth: SwathSynthesizer::new(seed, dims),
             criteria: TileCriteria {
                 tile_size,
@@ -141,88 +197,271 @@ impl RealPipeline {
 
     /// Run the pipeline over `granules`.
     pub fn run(&self, granules: &[GranuleId]) -> Result<RealRunReport, String> {
+        self.run_inner(granules, &mut None, &CampaignState::new())
+            .map_err(|e| e.to_string())
+    }
+
+    /// Run the pipeline against a write-ahead `journal`, resuming any work
+    /// the journal already records as complete against this workdir.
+    ///
+    /// Each stage journals per-granule completion events *after* the
+    /// corresponding artifact is durably on disk: `FileDownloaded` once a
+    /// granule's three product files exist, `TileFileWritten` once its
+    /// tile NetCDF (or night-granule scan record) is written,
+    /// `MonitorTriggered`/`LabelsAppended` around the inference flow, and
+    /// `ShipmentFinished` when the outbox is complete. On reopen,
+    /// journaled-complete granule stages are skipped (their results are
+    /// folded into the report from the journal and the on-disk artifacts),
+    /// so a resumed run produces byte-identical labeled artifacts and an
+    /// identical report without re-executing finished work.
+    ///
+    /// Returns [`RealRunError::Journal`]\([`JournalError::Crashed`]\) when
+    /// the journal's injected kill point fires (see
+    /// [`Journal::crash_after`]); reopening the journal over the same
+    /// storage and calling this again resumes from the durable prefix.
+    pub fn run_resumable<S: Storage>(
+        &self,
+        granules: &[GranuleId],
+        journal: &mut Journal<S>,
+    ) -> Result<RealRunReport, RealRunError> {
+        let resume = journal.state().clone();
+        if let Some(seed) = resume.seed {
+            if seed != self.seed {
+                return Err(RealRunError::Journal(JournalError::Io(format!(
+                    "journal belongs to seed {seed}, pipeline uses seed {}",
+                    self.seed
+                ))));
+            }
+        }
+        if let Some(label) = &resume.label {
+            if label != REAL_RUN_LABEL {
+                return Err(RealRunError::Journal(JournalError::Io(format!(
+                    "journal belongs to a {label:?} run, not a real pipeline run"
+                ))));
+            }
+        }
+        if resume.seed.is_none() {
+            journal
+                .append(JournalEvent::CampaignStarted {
+                    seed: self.seed,
+                    label: REAL_RUN_LABEL.into(),
+                })
+                .map_err(RealRunError::Journal)?;
+        }
+        let mut sink: Option<&mut dyn JournalSink> = Some(journal);
+        self.run_inner(granules, &mut sink, &resume)
+    }
+
+    fn run_inner(
+        &self,
+        granules: &[GranuleId],
+        journal: &mut Option<&mut dyn JournalSink>,
+        resume: &CampaignState,
+    ) -> Result<RealRunReport, RealRunError> {
         let incoming = self.workdir.join("incoming");
         let tiles_dir = self.workdir.join("tiles");
         let outbox = self.workdir.join("outbox");
 
+        let record = |journal: &mut Option<&mut dyn JournalSink>,
+                      event: JournalEvent|
+         -> Result<(), RealRunError> {
+            if let Some(j) = journal {
+                j.append(event).map_err(RealRunError::Journal)?;
+            }
+            Ok(())
+        };
+        let stage_started =
+            |journal: &mut Option<&mut dyn JournalSink>, stage: &str| -> Result<(), RealRunError> {
+                if !resume.stages_started.contains(stage) {
+                    record(
+                        journal,
+                        JournalEvent::StageStarted {
+                            stage: stage.into(),
+                        },
+                    )?;
+                }
+                Ok(())
+            };
+        let stage_finished =
+            |journal: &mut Option<&mut dyn JournalSink>, stage: &str| -> Result<(), RealRunError> {
+                if !resume.stage_done(stage) {
+                    record(
+                        journal,
+                        JournalEvent::StageFinished {
+                            stage: stage.into(),
+                        },
+                    )?;
+                }
+                Ok(())
+            };
+
         // Stage 1 (substituted download): the paper's remotely executable
         // download function, registered on a real compute endpoint. Each
         // invocation materializes one granule's three product files.
+        // Granules whose download is journaled AND whose product files are
+        // still on disk are skipped.
         let t0 = Instant::now();
         let stage_span = self.obs.as_ref().map(|o| o.span("download", "synthesize"));
-        let registry = Arc::new(FunctionRegistry::new());
-        {
-            let synth = self.synth.clone();
-            let incoming = incoming.clone();
-            registry.register("download_granule", move |args| {
-                let g = granule_from_json(&args).ok_or("bad granule args")?;
-                let swath = synth.synthesize(g);
-                let p02 = incoming.join(g.file_name(ProductKind::Mod02));
-                let p03 = incoming.join(g.file_name(ProductKind::Mod03));
-                let p06 = incoming.join(g.file_name(ProductKind::Mod06));
-                std::fs::write(&p02, to_mod02(&swath).encode()).map_err(|e| e.to_string())?;
-                std::fs::write(&p03, to_mod03(&swath).encode()).map_err(|e| e.to_string())?;
-                std::fs::write(&p06, to_mod06(&swath).encode()).map_err(|e| e.to_string())?;
-                Ok(json!({
-                    "mod02": p02.to_string_lossy(),
-                    "mod03": p03.to_string_lossy(),
-                    "mod06": p06.to_string_lossy(),
-                }))
-            });
-        }
-        let endpoint = ComputeEndpoint::start_observed(
-            "laads-downloader",
-            registry,
-            self.executor.workers(),
-            self.obs.clone(),
-        );
-        let handles: Vec<_> = granules
+        stage_started(journal, "download")?;
+        let granule_paths: Vec<(GranuleId, [PathBuf; 3])> = granules
             .iter()
-            .map(|g| {
-                let trace = TraceContext::new(g.to_string());
-                endpoint
-                    .submit_by_name_traced("download_granule", granule_to_json(g), Some(&trace))
-                    .expect("registered function")
+            .map(|&g| {
+                (
+                    g,
+                    [
+                        incoming.join(g.file_name(ProductKind::Mod02)),
+                        incoming.join(g.file_name(ProductKind::Mod03)),
+                        incoming.join(g.file_name(ProductKind::Mod06)),
+                    ],
+                )
             })
             .collect();
-        let mut paths: Vec<[PathBuf; 3]> = Vec::with_capacity(handles.len());
-        for h in handles {
-            match h.wait() {
-                TaskResult::Success(v) => paths.push([
-                    PathBuf::from(v["mod02"].as_str().ok_or("missing mod02 path")?),
-                    PathBuf::from(v["mod03"].as_str().ok_or("missing mod03 path")?),
-                    PathBuf::from(v["mod06"].as_str().ok_or("missing mod06 path")?),
-                ]),
-                TaskResult::Failed(e) => return Err(format!("download failed: {e}")),
+        let to_download: Vec<&(GranuleId, [PathBuf; 3])> = granule_paths
+            .iter()
+            .filter(|(g, paths)| {
+                !(resume.is_downloaded(&g.to_string()) && paths.iter().all(|p| p.exists()))
+            })
+            .collect();
+        if !to_download.is_empty() {
+            let registry = Arc::new(FunctionRegistry::new());
+            {
+                let synth = self.synth.clone();
+                let incoming = incoming.clone();
+                registry.register("download_granule", move |args| {
+                    let g = granule_from_json(&args).ok_or("bad granule args")?;
+                    let swath = synth.synthesize(g);
+                    let p02 = incoming.join(g.file_name(ProductKind::Mod02));
+                    let p03 = incoming.join(g.file_name(ProductKind::Mod03));
+                    let p06 = incoming.join(g.file_name(ProductKind::Mod06));
+                    let b02 = to_mod02(&swath).encode();
+                    let b03 = to_mod03(&swath).encode();
+                    let b06 = to_mod06(&swath).encode();
+                    let bytes = (b02.len() + b03.len() + b06.len()) as u64;
+                    std::fs::write(&p02, b02).map_err(|e| e.to_string())?;
+                    std::fs::write(&p03, b03).map_err(|e| e.to_string())?;
+                    std::fs::write(&p06, b06).map_err(|e| e.to_string())?;
+                    Ok(json!({
+                        "mod02": p02.to_string_lossy(),
+                        "mod03": p03.to_string_lossy(),
+                        "mod06": p06.to_string_lossy(),
+                        "bytes": bytes,
+                    }))
+                });
             }
+            let endpoint = ComputeEndpoint::start_observed(
+                "laads-downloader",
+                registry,
+                self.executor.workers(),
+                self.obs.clone(),
+            );
+            let handles: Vec<_> = to_download
+                .iter()
+                .map(|(g, _)| {
+                    let trace = TraceContext::new(g.to_string());
+                    endpoint
+                        .submit_by_name_traced("download_granule", granule_to_json(g), Some(&trace))
+                        .expect("registered function")
+                })
+                .collect();
+            for ((g, _), h) in to_download.iter().zip(handles) {
+                match h.wait() {
+                    TaskResult::Success(v) => {
+                        let key = g.to_string();
+                        if !resume.is_downloaded(&key) {
+                            record(
+                                journal,
+                                JournalEvent::FileDownloaded {
+                                    file: key,
+                                    bytes: v["bytes"].as_u64().unwrap_or(0),
+                                },
+                            )?;
+                        }
+                    }
+                    TaskResult::Failed(e) => {
+                        return Err(format!("download failed: {e}").into());
+                    }
+                }
+            }
+            endpoint.shutdown();
         }
-        endpoint.shutdown();
+        stage_finished(journal, "download")?;
         if let Some(mut span) = stage_span {
             span.attr("granules", granules.len());
         }
         let synth_secs = t0.elapsed().as_secs_f64();
 
-        // Stage 2: parallel preprocessing.
+        // Stage 2: parallel preprocessing. A granule whose tile file (or
+        // night-granule scan record) is journaled and whose artifact is
+        // accounted for — still in tiles/, already labeled, or shipped —
+        // is folded in from the journal without re-running the kernels.
         let t1 = Instant::now();
         let stage_span = self.obs.as_ref().map(|o| o.span("preprocess", "map"));
+        stage_started(journal, "preprocess")?;
+        let mut total_tiles = 0usize;
+        let mut tile_file_names: BTreeSet<String> = BTreeSet::new();
+        let mut to_preprocess: Vec<[PathBuf; 3]> = Vec::new();
+        for (g, paths) in &granule_paths {
+            let tiles_key = format!("tiles-{g}.nc");
+            let scan_key = format!("scan-{g}");
+            if let Some(&tiles) = resume.tile_files.get(&tiles_key) {
+                let artifact_accounted = tiles_dir.join(&tiles_key).exists()
+                    || resume.is_labeled(&tiles_key)
+                    || outbox.join(&tiles_key).exists();
+                if artifact_accounted {
+                    total_tiles += tiles as usize;
+                    tile_file_names.insert(tiles_key);
+                    continue;
+                }
+                // Artifact lost under a journaled completion (workdir
+                // tampering): fall through and regenerate it.
+            } else if resume.tile_files.contains_key(&scan_key) {
+                continue;
+            }
+            to_preprocess.push(paths.clone());
+        }
         // Attribute the stage's allocations (tile buffers, outcome
         // collection) when the counting allocator is installed.
         let mem_scope = self
             .obs
             .as_ref()
             .map(|o| eoml_obs::ResourceGuard::enter(Arc::clone(o), "preprocess", "map"));
-        let outcomes = self.executor.map(paths, |[p02, p03, p06]| {
+        let outcomes = self.executor.map(to_preprocess, |[p02, p03, p06]| {
+            let granule = granule_from_mod02_path(&p02);
             preprocess_granule_files(&p02, &p03, &p06, &tiles_dir, &self.criteria)
+                .map(|out| (granule, out))
                 .map_err(|e| e.to_string())
         });
-        let mut total_tiles = 0usize;
         for o in &outcomes {
             match o {
-                Ok(out) => total_tiles += out.tiles.len(),
-                Err(e) => return Err(format!("preprocess failed: {e}")),
+                Ok((granule, out)) => {
+                    total_tiles += out.tiles.len();
+                    let key = match &out.output {
+                        Some(path) => {
+                            let name = path
+                                .file_name()
+                                .and_then(|n| n.to_str())
+                                .ok_or("bad tile file name")?
+                                .to_string();
+                            tile_file_names.insert(name.clone());
+                            name
+                        }
+                        None => format!("scan-{}", granule.as_deref().unwrap_or("unknown-granule")),
+                    };
+                    if !resume.has_tile_file(&key) {
+                        record(
+                            journal,
+                            JournalEvent::TileFileWritten {
+                                file: key,
+                                tiles: out.tiles.len() as u64,
+                            },
+                        )?;
+                    }
+                }
+                Err(e) => return Err(format!("preprocess failed: {e}").into()),
             }
         }
         drop(mem_scope);
+        stage_finished(journal, "preprocess")?;
         if let Some(mut span) = stage_span {
             span.attr("tiles", total_tiles);
         }
@@ -232,11 +471,82 @@ impl RealPipeline {
         // flow per discovered file.
         let t2 = Instant::now();
         let stage_span = self.obs.as_ref().map(|o| o.span("monitor", "crawl"));
+        stage_started(journal, "inference")?;
         let mut crawler = DirectoryCrawler::new(&tiles_dir, ".nc");
         let flow = FlowDefinition::inference_flow();
         let mut labeled_tiles = 0usize;
         let mut histogram = vec![0usize; self.model.num_classes()];
-        let mut tile_files = 0usize;
+
+        // Fold journaled-complete inference back into the tallies by
+        // reading the shipped artifacts (the labels themselves are not in
+        // the journal; the files are the source of truth).
+        for (file, (labels, _bytes)) in &resume.labeled {
+            tile_file_names.insert(file.clone());
+            let path = outbox.join(file);
+            match std::fs::read(&path) {
+                Ok(bytes) => {
+                    let nc = NcFile::decode(&bytes).map_err(|e| e.to_string())?;
+                    let (_, file_labels) = read_tiles_nc(&nc).map_err(|e| e.to_string())?;
+                    for l in file_labels.unwrap_or_default() {
+                        if l >= 0 && (l as usize) < histogram.len() {
+                            histogram[l as usize] += 1;
+                            labeled_tiles += 1;
+                        }
+                    }
+                }
+                // Artifact missing (workdir tampering): trust the journal
+                // for the count; the class breakdown is unrecoverable.
+                Err(_) => labeled_tiles += *labels as usize,
+            }
+        }
+
+        // Heal the journal/filesystem gap: a file that reached the outbox
+        // whose LabelsAppended append crashed is complete on disk but not
+        // in the journal — journal it now instead of losing or redoing it.
+        if journal.is_some() {
+            let mut healed: Vec<PathBuf> = std::fs::read_dir(&outbox)
+                .map_err(|e| e.to_string())?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().map(|x| x == "nc").unwrap_or(false))
+                .collect();
+            healed.sort();
+            for path in healed {
+                let name = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .ok_or("bad file name")?
+                    .to_string();
+                if resume.is_labeled(&name) {
+                    continue;
+                }
+                tile_file_names.insert(name.clone());
+                let bytes = std::fs::read(&path).map_err(|e| e.to_string())?;
+                let nc = NcFile::decode(&bytes).map_err(|e| e.to_string())?;
+                let (_, file_labels) = read_tiles_nc(&nc).map_err(|e| e.to_string())?;
+                let file_labels = file_labels.unwrap_or_default();
+                for &l in &file_labels {
+                    if l >= 0 && (l as usize) < histogram.len() {
+                        histogram[l as usize] += 1;
+                        labeled_tiles += 1;
+                    }
+                }
+                if !resume.monitor_saw(&name) {
+                    record(
+                        journal,
+                        JournalEvent::MonitorTriggered { file: name.clone() },
+                    )?;
+                }
+                record(
+                    journal,
+                    JournalEvent::LabelsAppended {
+                        file: name,
+                        labels: file_labels.len() as u64,
+                        bytes: bytes.len() as u64,
+                    },
+                )?;
+            }
+        }
 
         let model = &self.model;
         let tiles_dir2 = tiles_dir.clone();
@@ -248,7 +558,13 @@ impl RealPipeline {
             let path = tiles_dir2.join(file);
             let nc = NcFile::decode(&std::fs::read(&path).map_err(|e| e.to_string())?)
                 .map_err(|e| e.to_string())?;
-            let (tiles, _) = read_tiles_nc(&nc).map_err(|e| e.to_string())?;
+            let (tiles, existing) = read_tiles_nc(&nc).map_err(|e| e.to_string())?;
+            // A crash between label-append and shipment can leave a file
+            // already labeled in the tiles directory; reuse those labels
+            // so the rerun is idempotent.
+            if let Some(labels) = existing {
+                return Ok(json!({ "labels": labels }));
+            }
             let tensors: Vec<Tensor> = tiles
                 .iter()
                 .map(|t| Tensor::from_data(t.bands.len(), t.size, t.size, t.data.clone()))
@@ -271,6 +587,11 @@ impl RealPipeline {
             let path = tiles_dir3.join(file);
             let mut nc = NcFile::decode(&std::fs::read(&path).map_err(|e| e.to_string())?)
                 .map_err(|e| e.to_string())?;
+            // Idempotent on rerun: labels already appended by a run that
+            // died before shipping this file.
+            if nc.var_by_name("aicca_label").is_some() {
+                return Ok(json!({ "appended": 0 }));
+            }
             append_labels(&mut nc, &labels).map_err(|e| e.to_string())?;
             std::fs::write(&path, nc.encode().map_err(|e| e.to_string())?)
                 .map_err(|e| e.to_string())?;
@@ -304,12 +625,18 @@ impl RealPipeline {
                 break;
             }
             for path in fresh {
-                tile_files += 1;
                 let name = path
                     .file_name()
                     .and_then(|n| n.to_str())
                     .ok_or("bad file name")?
                     .to_string();
+                tile_file_names.insert(name.clone());
+                if !resume.monitor_saw(&name) {
+                    record(
+                        journal,
+                        JournalEvent::MonitorTriggered { file: name.clone() },
+                    )?;
+                }
                 let trace = crate::campaign::granule_trace_id(&name).map(TraceContext::new);
                 let mut infer_span = self.obs.as_ref().map(|o| o.span("inference", "flow"));
                 if let (Some(span), Some(trace)) = (infer_span.as_mut(), trace.as_ref()) {
@@ -323,20 +650,40 @@ impl RealPipeline {
                     span.attr("file", &name);
                 }
                 if let eoml_flows::runner::RunStatus::Failed(e) = &run.status {
-                    return Err(format!("inference flow failed for {name}: {e}"));
+                    return Err(format!("inference flow failed for {name}: {e}").into());
                 }
                 // Tally labels from the flow context.
+                let mut file_labels = 0u64;
                 if let Some(labels) = run.context["labels"]["labels"].as_array() {
                     for l in labels {
                         let l = l.as_i64().unwrap_or(-1);
                         if l >= 0 && (l as usize) < histogram.len() {
                             histogram[l as usize] += 1;
                             labeled_tiles += 1;
+                            file_labels += 1;
                         }
                     }
                 }
+                if !resume.is_labeled(&name) {
+                    let shipped_bytes = std::fs::metadata(outbox.join(&name))
+                        .map(|m| m.len())
+                        .unwrap_or(0);
+                    record(
+                        journal,
+                        JournalEvent::LabelsAppended {
+                            file: name,
+                            labels: file_labels,
+                            bytes: shipped_bytes,
+                        },
+                    )?;
+                }
             }
         }
+        stage_finished(journal, "inference")?;
+        let tile_files = tile_file_names
+            .iter()
+            .filter(|n| n.ends_with(".nc"))
+            .count();
         if let Some(mut span) = stage_span {
             span.attr("tile_files", tile_files);
         }
@@ -346,6 +693,7 @@ impl RealPipeline {
         // the shipped files.
         let t3 = Instant::now();
         let stage_span = self.obs.as_ref().map(|o| o.span("shipment", "collect"));
+        stage_started(journal, "shipment")?;
         let mut shipped: Vec<PathBuf> = std::fs::read_dir(&outbox)
             .map_err(|e| e.to_string())?
             .filter_map(|e| e.ok())
@@ -353,6 +701,21 @@ impl RealPipeline {
             .filter(|p| p.extension().map(|x| x == "nc").unwrap_or(false))
             .collect();
         shipped.sort();
+        if resume.shipped.is_none() {
+            let shipped_bytes: u64 = shipped
+                .iter()
+                .filter_map(|p| std::fs::metadata(p).ok())
+                .map(|m| m.len())
+                .sum();
+            record(
+                journal,
+                JournalEvent::ShipmentFinished {
+                    files: shipped.len() as u64,
+                    bytes: shipped_bytes,
+                },
+            )?;
+        }
+        stage_finished(journal, "shipment")?;
         if let Some(mut span) = stage_span {
             span.attr("files", shipped.len());
         }
@@ -402,9 +765,27 @@ fn granule_from_json(v: &serde_json::Value) -> Option<GranuleId> {
     Some(GranuleId::new(platform, date, slot))
 }
 
+/// Granule display id recovered from a MOD02 product path
+/// (`MOD021KM.A2022001.0005.eogr` → `MOD.A2022001.0005`), for naming the
+/// no-tiles scan record of a night granule.
+fn granule_from_mod02_path(p: &Path) -> Option<String> {
+    let stem = p.file_stem()?.to_str()?;
+    let mut parts = stem.split('.');
+    let product = parts.next()?;
+    let date = parts.next()?;
+    let slot = parts.next()?;
+    let prefix = if product.starts_with("MYD") {
+        "MYD"
+    } else {
+        "MOD"
+    };
+    Some(format!("{prefix}.{date}.{slot}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eoml_journal::MemStorage;
     use eoml_modis::product::Platform;
     use eoml_util::timebase::CivilDate;
 
@@ -567,6 +948,89 @@ mod tests {
         assert_eq!(report.tile_files, 0);
         assert_eq!(report.labeled_tiles, 0);
         assert!(report.outbox.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resumable_run_without_crash_matches_plain_run_and_is_replay_safe() {
+        let dir_a = tempdir("resumable-a");
+        let dir_b = tempdir("resumable-b");
+        let granules = day_granules(2);
+
+        let plain = RealPipeline::new(&dir_a, 2022, SwathDims::small(), 32, 2)
+            .unwrap()
+            .with_thresholds(0.0, 0.0)
+            .run(&granules)
+            .unwrap();
+
+        let pipeline = RealPipeline::new(&dir_b, 2022, SwathDims::small(), 32, 2)
+            .unwrap()
+            .with_thresholds(0.0, 0.0);
+        let store = MemStorage::new();
+        let (mut journal, _) = Journal::open(store.clone()).unwrap();
+        let journaled = pipeline.run_resumable(&granules, &mut journal).unwrap();
+        assert_eq!(journaled.granules, plain.granules);
+        assert_eq!(journaled.total_tiles, plain.total_tiles);
+        assert_eq!(journaled.labeled_tiles, plain.labeled_tiles);
+        assert_eq!(journaled.label_histogram, plain.label_histogram);
+        assert_eq!(journaled.outbox.len(), plain.outbox.len());
+
+        // Replaying the finished journal re-executes nothing and appends
+        // no new completion events.
+        let events_after = journal.len();
+        drop(journal);
+        let (mut journal, rep) = Journal::open(store).unwrap();
+        assert_eq!(rep.events, events_after);
+        let replay = pipeline.run_resumable(&granules, &mut journal).unwrap();
+        assert_eq!(replay.total_tiles, plain.total_tiles);
+        assert_eq!(replay.labeled_tiles, plain.labeled_tiles);
+        assert_eq!(replay.label_histogram, plain.label_histogram);
+        let completions = journal
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    JournalEvent::FileDownloaded { .. }
+                        | JournalEvent::TileFileWritten { .. }
+                        | JournalEvent::LabelsAppended { .. }
+                )
+            })
+            .count();
+        assert_eq!(completions, 2 + 2 + 2, "replay must not re-journal work");
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn mismatched_seed_or_label_is_rejected() {
+        let dir = tempdir("guard");
+        let granules = day_granules(1);
+        let store = MemStorage::new();
+        {
+            let pipeline = RealPipeline::new(&dir, 2022, SwathDims::small(), 32, 1)
+                .unwrap()
+                .with_thresholds(0.0, 0.0);
+            let (mut journal, _) = Journal::open(store.clone()).unwrap();
+            pipeline.run_resumable(&granules, &mut journal).unwrap();
+        }
+        // Same journal, different world seed.
+        let other = RealPipeline::new(&dir, 2023, SwathDims::small(), 32, 1).unwrap();
+        let (mut journal, _) = Journal::open(store).unwrap();
+        assert!(other.run_resumable(&granules, &mut journal).is_err());
+
+        // A batch-campaign journal is rejected by label.
+        let store = MemStorage::new();
+        let (mut j, _) = Journal::open(store.clone()).unwrap();
+        j.append(JournalEvent::CampaignStarted {
+            seed: 2022,
+            label: "batch-campaign".into(),
+        })
+        .unwrap();
+        drop(j);
+        let pipeline = RealPipeline::new(&dir, 2022, SwathDims::small(), 32, 1).unwrap();
+        let (mut journal, _) = Journal::open(store).unwrap();
+        assert!(pipeline.run_resumable(&granules, &mut journal).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

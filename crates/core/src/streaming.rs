@@ -62,7 +62,7 @@ impl std::fmt::Display for StreamingError {
             StreamingError::UnsupportedDays { days } => write!(
                 f,
                 "streaming campaigns cover exactly one acquisition day (requested {days}); \
-                 run one campaign per day until the multi-day scheduler lands"
+                 use scheduler::run_streaming_days_resumable to span a multi-day window"
             ),
             StreamingError::Journal(e) => write!(f, "streaming journal error: {e}"),
         }

@@ -1,9 +1,14 @@
 //! On-disk frame format: `[u32 len][u32 crc32][payload]`, little-endian.
 //!
-//! The CRC covers the payload only; the length field is sanity-bounded so a
-//! corrupted length cannot make recovery read gigabytes. Decoding never
-//! fails hard — a bad frame yields `FrameOutcome::Torn`, which recovery
-//! treats as "the journal ends here".
+//! The CRC covers the length field *and* the payload, so corruption of
+//! either is detected; the length is additionally sanity-bounded so a
+//! corrupted length cannot make recovery read gigabytes. Zero-length
+//! frames are rejected outright: a post-power-loss zero-filled region
+//! would otherwise decode as an endless run of "valid" empty frames
+//! (`crc32(b"") == 0`, and all-zero header bytes spell `len == 0,
+//! crc == 0`). Journal events are never empty, so `len == 0` is always
+//! corruption. Decoding never fails hard — a bad frame yields
+//! `FrameOutcome::Torn`, which recovery treats as "the journal ends here".
 
 /// Upper bound on a single frame's payload. Events are small JSON blobs;
 /// anything larger is corruption.
@@ -14,7 +19,13 @@ pub const HEADER_LEN: usize = 8;
 
 /// CRC-32 (IEEE 802.3, reflected) over `data`.
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc: u32 = 0xffff_ffff;
+    crc32_seeded(0xffff_ffff, data)
+}
+
+/// Continue a CRC-32 from an intermediate register value (pass
+/// `!previous` to chain; [`crc32`] starts from the standard seed).
+fn crc32_seeded(seed: u32, data: &[u8]) -> u32 {
+    let mut crc: u32 = seed;
     for &b in data {
         crc ^= b as u32;
         for _ in 0..8 {
@@ -25,15 +36,27 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
-/// Serialise one frame.
+/// The frame checksum: CRC-32 chained over the 4 length bytes then the
+/// payload, so a frame whose length field was zero-filled (or otherwise
+/// altered) fails verification even if the payload bytes still match.
+fn frame_crc(len: u32, payload: &[u8]) -> u32 {
+    let head = crc32(&len.to_le_bytes());
+    crc32_seeded(!head, payload)
+}
+
+/// Serialise one frame. Payloads must be non-empty: an empty frame is
+/// indistinguishable from zero-filled corruption and is rejected by
+/// [`decode_at`].
 pub fn encode(payload: &[u8]) -> Vec<u8> {
+    assert!(!payload.is_empty(), "frame payload must be non-empty");
     assert!(
         payload.len() <= MAX_FRAME_LEN as usize,
         "frame payload too large"
     );
+    let len = payload.len() as u32;
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&frame_crc(len, payload).to_le_bytes());
     out.extend_from_slice(payload);
     out
 }
@@ -45,8 +68,8 @@ pub enum FrameOutcome<'a> {
     Ok { payload: &'a [u8], next: usize },
     /// The buffer ends exactly at a frame boundary.
     End,
-    /// Truncated header, truncated payload, implausible length, or checksum
-    /// mismatch — a torn tail.
+    /// Truncated header, truncated payload, implausible or zero length, or
+    /// checksum mismatch — a torn tail.
     Torn,
 }
 
@@ -60,14 +83,16 @@ pub fn decode_at(buf: &[u8], offset: usize) -> FrameOutcome<'_> {
     };
     let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
     let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-    if len > MAX_FRAME_LEN {
+    // len == 0 is the zero-fill signature (see module docs); real frames
+    // always carry a payload.
+    if len == 0 || len > MAX_FRAME_LEN {
         return FrameOutcome::Torn;
     }
     let start = offset + HEADER_LEN;
     let Some(payload) = buf.get(start..start + len as usize) else {
         return FrameOutcome::Torn;
     };
-    if crc32(payload) != crc {
+    if frame_crc(len, payload) != crc {
         return FrameOutcome::Torn;
     }
     FrameOutcome::Ok {
@@ -85,6 +110,13 @@ mod tests {
         // Standard check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn chained_crc_equals_one_shot() {
+        let data = b"abcdefgh12345";
+        let (a, b) = data.split_at(5);
+        assert_eq!(crc32_seeded(!crc32(a), b), crc32(data));
     }
 
     #[test]
@@ -120,5 +152,31 @@ mod tests {
         let mut buf = vec![0u8; 16];
         buf[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(decode_at(&buf, 0), FrameOutcome::Torn);
+    }
+
+    #[test]
+    fn zero_filled_region_is_torn_not_valid_frames() {
+        // Classic post-power-loss block zero-fill: an all-zero region must
+        // read as a torn tail, not as checksum-valid empty frames.
+        for n in [1, HEADER_LEN, HEADER_LEN + 1, 512, 4096] {
+            let zeros = vec![0u8; n];
+            assert_eq!(decode_at(&zeros, 0), FrameOutcome::Torn, "{n} zero bytes");
+        }
+    }
+
+    #[test]
+    fn corrupted_length_field_fails_the_checksum() {
+        // Same payload bytes, tampered length: the CRC covers the length
+        // field, so this cannot decode even if the payload CRC matches.
+        let mut buf = encode(b"abcd");
+        // Shrink the declared length to 3; payload prefix "abc" is intact.
+        buf[0..4].copy_from_slice(&3u32.to_le_bytes());
+        assert_eq!(decode_at(&buf, 0), FrameOutcome::Torn);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn encoding_an_empty_payload_panics() {
+        let _ = encode(b"");
     }
 }

@@ -1,0 +1,274 @@
+//! Multi-campaign ledger: a directory of per-campaign namespaced journals.
+//!
+//! Layout (one subdirectory per campaign namespace):
+//!
+//! ```text
+//! <root>/
+//!   day-2022-01-01/wal.log            one campaign's journal
+//!   day-2022-01-02/wal.log
+//!   day-2022-01-02/wal.log.compact    (transient; mid-compaction staging)
+//! ```
+//!
+//! A [`Ledger`] hands out [`FileStorage`]-backed journals keyed by
+//! namespace, so consecutive days of a multi-day schedule (or unrelated
+//! campaigns sharing a disk) never interleave events. Operations are
+//! list, open, compact-all, and total-size — everything the multi-day
+//! scheduler needs to keep an unattended campaign's disk usage bounded.
+
+use crate::storage::FileStorage;
+use crate::wal::{Journal, JournalError, RecoveryReport};
+use crate::CompactionReport;
+use eoml_obs::Obs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File name of every campaign journal inside its namespace directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// A directory of per-campaign journals.
+pub struct Ledger {
+    root: PathBuf,
+    snapshot_every: usize,
+    compact_every_snapshots: usize,
+    obs: Option<Arc<Obs>>,
+}
+
+impl Ledger {
+    /// Open (or create) a ledger rooted at `root`.
+    pub fn new(root: impl AsRef<Path>) -> Result<Self, JournalError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| JournalError::Io(format!("create ledger {}: {e}", root.display())))?;
+        Ok(Self {
+            root,
+            snapshot_every: 64,
+            compact_every_snapshots: 0,
+            obs: None,
+        })
+    }
+
+    /// Override the auto-snapshot cadence applied to every journal opened
+    /// through this ledger.
+    pub fn with_snapshot_every(mut self, snapshot_every: usize) -> Self {
+        self.snapshot_every = snapshot_every;
+        self
+    }
+
+    /// Auto-compact journals opened through this ledger after this many
+    /// snapshots accumulate (0 = never; see [`Journal::with_auto_compact`]).
+    pub fn with_auto_compact(mut self, every_snapshots: usize) -> Self {
+        self.compact_every_snapshots = every_snapshots;
+        self
+    }
+
+    /// Attach an observability hub; opens record recovery metrics and
+    /// appends are counted under the `journal` stage.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The ledger's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Validate a campaign namespace: path-safe, non-empty, no separators.
+    fn check_name(name: &str) -> Result<(), JournalError> {
+        let ok = !name.is_empty()
+            && name.len() <= 128
+            && !name.starts_with('.')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+        if ok {
+            Ok(())
+        } else {
+            Err(JournalError::Io(format!(
+                "invalid campaign namespace {name:?} (want [A-Za-z0-9._-]+, not dot-led)"
+            )))
+        }
+    }
+
+    /// The journal path a namespace maps to (`<root>/<campaign>/wal.log`).
+    pub fn journal_path(&self, campaign: &str) -> PathBuf {
+        self.root.join(campaign).join(WAL_FILE)
+    }
+
+    /// Whether a namespace already holds a journal.
+    pub fn contains(&self, campaign: &str) -> bool {
+        self.journal_path(campaign).exists()
+    }
+
+    /// Campaign namespaces with a journal on disk, sorted.
+    pub fn campaigns(&self) -> Result<Vec<String>, JournalError> {
+        let mut out = Vec::new();
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| JournalError::Io(format!("list {}: {e}", self.root.display())))?;
+        for entry in entries {
+            let entry = entry
+                .map_err(|e| JournalError::Io(format!("list {}: {e}", self.root.display())))?;
+            let name = match entry.file_name().into_string() {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            if Self::check_name(&name).is_ok() && entry.path().join(WAL_FILE).exists() {
+                out.push(name);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Open (or create) the journal for `campaign`, recovering any durable
+    /// prefix; the namespace directory is created on demand.
+    pub fn open(
+        &self,
+        campaign: &str,
+    ) -> Result<(Journal<FileStorage>, RecoveryReport), JournalError> {
+        Self::check_name(campaign)?;
+        let dir = self.root.join(campaign);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| JournalError::Io(format!("create {}: {e}", dir.display())))?;
+        let storage = FileStorage::new(dir.join(WAL_FILE));
+        let (journal, report) = match &self.obs {
+            Some(obs) => {
+                let (j, r) = Journal::open_with_snapshot_every(storage, self.snapshot_every)?;
+                r.record(obs);
+                let mut j = j;
+                j.attach_obs(Arc::clone(obs));
+                (j, r)
+            }
+            None => Journal::open_with_snapshot_every(storage, self.snapshot_every)?,
+        };
+        Ok((
+            journal.with_auto_compact(self.compact_every_snapshots),
+            report,
+        ))
+    }
+
+    /// Compact every journal in the ledger; returns per-campaign reports.
+    pub fn compact_all(&self) -> Result<Vec<(String, CompactionReport)>, JournalError> {
+        let mut out = Vec::new();
+        for campaign in self.campaigns()? {
+            let (mut journal, _) = self.open(&campaign)?;
+            out.push((campaign, journal.compact()?));
+        }
+        Ok(out)
+    }
+
+    /// Total bytes across every campaign journal (compaction staging files
+    /// included, since they consume disk too).
+    pub fn total_size(&self) -> Result<u64, JournalError> {
+        let mut total = 0u64;
+        for campaign in self.campaigns()? {
+            let dir = self.root.join(campaign);
+            let entries = std::fs::read_dir(&dir)
+                .map_err(|e| JournalError::Io(format!("list {}: {e}", dir.display())))?;
+            for entry in entries.flatten() {
+                if let Ok(meta) = entry.metadata() {
+                    if meta.is_file() {
+                        total += meta.len();
+                    }
+                }
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JournalEvent;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "eoml-ledger-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ev(i: usize) -> JournalEvent {
+        JournalEvent::FileDownloaded {
+            file: format!("file-{i}.hdf"),
+            bytes: i as u64,
+        }
+    }
+
+    #[test]
+    fn namespaces_are_isolated_and_listed_sorted() {
+        let root = tempdir("iso");
+        let ledger = Ledger::new(&root).unwrap();
+        assert_eq!(ledger.campaigns().unwrap(), Vec::<String>::new());
+
+        let (mut day2, _) = ledger.open("day-2022-01-02").unwrap();
+        day2.append(ev(2)).unwrap();
+        let (mut day1, _) = ledger.open("day-2022-01-01").unwrap();
+        day1.append(ev(1)).unwrap();
+        drop((day1, day2));
+
+        assert_eq!(
+            ledger.campaigns().unwrap(),
+            vec!["day-2022-01-01".to_string(), "day-2022-01-02".to_string()]
+        );
+        assert!(ledger.contains("day-2022-01-01"));
+        assert!(!ledger.contains("day-2022-01-03"));
+
+        // Reopening a namespace recovers only its own events.
+        let (j, rep) = ledger.open("day-2022-01-01").unwrap();
+        assert_eq!(rep.events, 1);
+        assert!(j.state().is_downloaded("file-1.hdf"));
+        assert!(!j.state().is_downloaded("file-2.hdf"));
+    }
+
+    #[test]
+    fn bad_namespaces_are_rejected() {
+        let root = tempdir("bad");
+        let ledger = Ledger::new(&root).unwrap();
+        for name in ["", "a/b", "..", ".hidden", "a b", "x\u{e9}"] {
+            assert!(ledger.open(name).is_err(), "accepted {name:?}");
+        }
+        // Nothing was created as a side effect.
+        assert_eq!(ledger.campaigns().unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn compact_all_shrinks_every_journal_and_total_size() {
+        let root = tempdir("compact");
+        let ledger = Ledger::new(&root).unwrap().with_snapshot_every(4);
+        for ns in ["a", "b"] {
+            let (mut j, _) = ledger.open(ns).unwrap();
+            for i in 0..60 {
+                j.append(ev(i)).unwrap();
+            }
+        }
+        let before = ledger.total_size().unwrap();
+        let reports = ledger.compact_all().unwrap();
+        assert_eq!(reports.len(), 2);
+        for (ns, rep) in &reports {
+            assert!(
+                rep.after_bytes < rep.before_bytes,
+                "{ns}: {} -> {}",
+                rep.before_bytes,
+                rep.after_bytes
+            );
+        }
+        let after = ledger.total_size().unwrap();
+        assert!(after < before, "total size {before} -> {after}");
+
+        // Every namespace reopens to its pre-compaction state with a
+        // bounded replay.
+        for ns in ["a", "b"] {
+            let (j, rep) = ledger.open(ns).unwrap();
+            assert!(j.state().is_downloaded("file-59.hdf"));
+            assert!(rep.replayed <= 4 + 1, "{ns}: replayed {}", rep.replayed);
+        }
+    }
+}

@@ -1,12 +1,17 @@
-//! eoml-journal: durable write-ahead event journal for campaign recovery.
+//! eoml-journal: durable write-ahead event journal for campaign recovery,
+//! with snapshot+tail compaction and a multi-campaign file ledger.
 
+pub mod compact;
 pub mod event;
 pub mod frame;
+pub mod ledger;
 pub mod state;
 pub mod storage;
 pub mod wal;
 
+pub use compact::CompactionReport;
 pub use event::JournalEvent;
+pub use ledger::Ledger;
 pub use state::CampaignState;
 pub use storage::{FileStorage, MemStorage, Storage};
 pub use wal::{Journal, JournalError, RecoveryReport};

@@ -1,13 +1,22 @@
 //! Byte-level persistence behind the journal: a real file, plus a shared
 //! in-memory buffer for tests (cloning a `MemStorage` models reopening the
 //! same "file" after a process death).
+//!
+//! Durability contract: `append` makes bytes visible to a same-process
+//! reader; only `sync` makes them survive a power loss. `sync` reports
+//! whether the backend actually reached durable media, so the journal's
+//! `fsyncs` metric stays truthful (a `MemStorage` never syncs anything).
+//! `replace_all` swaps the entire contents atomically — for files via the
+//! classic write-sibling/fsync/rename protocol — so a crash mid-swap leaves
+//! either the old or the new contents, never a mix.
 
-use std::fs::OpenOptions;
+use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-/// Append-only byte storage with truncation (for torn-tail repair).
+/// Append-only byte storage with truncation (for torn-tail repair) and
+/// atomic whole-contents replacement (for compaction).
 pub trait Storage {
     /// Entire current contents.
     fn read_all(&mut self) -> Result<Vec<u8>, String>;
@@ -15,6 +24,22 @@ pub trait Storage {
     fn append(&mut self, bytes: &[u8]) -> Result<(), String>;
     /// Cut the contents down to `len` bytes.
     fn truncate(&mut self, len: u64) -> Result<(), String>;
+    /// Flush appended bytes to durable media. Returns whether the backend
+    /// actually synced (true for a real file's fsync, false for memory),
+    /// so callers can keep durability metrics honest.
+    fn sync(&mut self) -> Result<bool, String> {
+        Ok(false)
+    }
+    /// Atomically replace the entire contents with `bytes`: after a crash
+    /// at any point, a reader sees either the old contents or the new,
+    /// never a prefix-mix. The default is NOT atomic (truncate + append);
+    /// backends with a real swap override it.
+    fn replace_all(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.truncate(0)?;
+        self.append(bytes)?;
+        self.sync()?;
+        Ok(())
+    }
     /// Current size in bytes.
     fn len(&mut self) -> Result<u64, String> {
         Ok(self.read_all()?.len() as u64)
@@ -25,9 +50,12 @@ pub trait Storage {
     }
 }
 
-/// Journal bytes in a file on disk. The file is created on first append.
+/// Journal bytes in a file on disk. The file is created on first append and
+/// the handle is kept open across appends (one open per journal lifetime,
+/// not one per frame).
 pub struct FileStorage {
     path: PathBuf,
+    file: Option<File>,
 }
 
 impl FileStorage {
@@ -35,12 +63,51 @@ impl FileStorage {
     pub fn new(path: impl AsRef<Path>) -> Self {
         Self {
             path: path.as_ref().to_path_buf(),
+            file: None,
         }
     }
 
     /// The backing path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The sibling path compaction stages its rewrite at before the
+    /// atomic rename. A crash mid-compaction can leave this file behind;
+    /// it is ignored by recovery and overwritten by the next compaction.
+    pub fn compact_path(&self) -> PathBuf {
+        let mut name = self
+            .path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        name.push(".compact");
+        self.path.with_file_name(name)
+    }
+
+    /// The open append handle, opening (and creating) the file on first use.
+    fn handle(&mut self) -> Result<&mut File, String> {
+        if self.file.is_none() {
+            let f = OpenOptions::new()
+                .create(true)
+                .read(true)
+                .append(true)
+                .open(&self.path)
+                .map_err(|e| format!("open {}: {e}", self.path.display()))?;
+            self.file = Some(f);
+        }
+        Ok(self.file.as_mut().expect("opened above"))
+    }
+
+    /// Best-effort fsync of the parent directory, making a rename or
+    /// create durable. Failure is ignored: not all platforms allow
+    /// opening directories for sync.
+    fn sync_dir(&self) {
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
     }
 }
 
@@ -54,25 +121,46 @@ impl Storage for FileStorage {
     }
 
     fn append(&mut self, bytes: &[u8]) -> Result<(), String> {
-        let mut f = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)
-            .map_err(|e| format!("open {}: {e}", self.path.display()))?;
-        f.write_all(bytes)
-            .and_then(|_| f.flush())
-            .map_err(|e| format!("append {}: {e}", self.path.display()))
+        let path = self.path.clone();
+        self.handle()?
+            .write_all(bytes)
+            .map_err(|e| format!("append {}: {e}", path.display()))
     }
 
     fn truncate(&mut self, len: u64) -> Result<(), String> {
-        let f = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&self.path)
-            .map_err(|e| format!("open {}: {e}", self.path.display()))?;
+        // Truncating a journal that was never created is a no-op, not an
+        // excuse to create one as a side effect.
+        if self.file.is_none() && !self.path.exists() {
+            return Ok(());
+        }
+        let path = self.path.clone();
+        let f = self.handle()?;
         f.set_len(len)
-            .map_err(|e| format!("truncate {}: {e}", self.path.display()))
+            .and_then(|_| f.sync_all())
+            .map_err(|e| format!("truncate {}: {e}", path.display()))
+    }
+
+    fn sync(&mut self) -> Result<bool, String> {
+        let path = self.path.clone();
+        self.handle()?
+            .sync_data()
+            .map_err(|e| format!("fsync {}: {e}", path.display()))?;
+        Ok(true)
+    }
+
+    fn replace_all(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let tmp = self.compact_path();
+        let mut f = File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
+        f.write_all(bytes)
+            .and_then(|_| f.sync_all())
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        drop(f);
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), self.path.display()))?;
+        self.sync_dir();
+        // The cached handle points at the replaced inode; reopen lazily.
+        self.file = None;
+        Ok(())
     }
 
     fn len(&mut self) -> Result<u64, String> {
@@ -129,6 +217,15 @@ impl Storage for MemStorage {
         Ok(())
     }
 
+    // Memory never reaches durable media; the default `sync` already
+    // reports false.
+
+    fn replace_all(&mut self, bytes: &[u8]) -> Result<(), String> {
+        // Single swap under the lock: atomic with respect to clones.
+        *self.bytes.lock().unwrap_or_else(|e| e.into_inner()) = bytes.to_vec();
+        Ok(())
+    }
+
     fn len(&mut self) -> Result<u64, String> {
         Ok(self.bytes.lock().unwrap_or_else(|e| e.into_inner()).len() as u64)
     }
@@ -138,6 +235,19 @@ impl Storage for MemStorage {
 mod tests {
     use super::*;
 
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "eoml-journal-storage-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn mem_clones_share_bytes() {
         let mut a = MemStorage::new();
@@ -146,22 +256,63 @@ mod tests {
         assert_eq!(b.read_all().unwrap(), b"xyz");
         b.truncate(1).unwrap();
         assert_eq!(a.read_all().unwrap(), b"x");
+        assert!(!a.sync().unwrap(), "memory must not claim durability");
     }
 
     #[test]
     fn file_storage_roundtrip() {
-        let dir = std::env::temp_dir().join(format!("eoml-journal-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tempdir("roundtrip");
         let path = dir.join("wal.log");
-        let _ = std::fs::remove_file(&path);
         let mut s = FileStorage::new(&path);
         assert!(s.is_empty().unwrap());
         s.append(b"abcdef").unwrap();
         s.append(b"gh").unwrap();
+        assert!(s.sync().unwrap(), "files report a real fsync");
         assert_eq!(s.read_all().unwrap(), b"abcdefgh");
         s.truncate(3).unwrap();
         assert_eq!(s.read_all().unwrap(), b"abc");
         assert_eq!(s.len().unwrap(), 3);
-        std::fs::remove_file(&path).unwrap();
+        // Appends after truncation land at the new end, same handle.
+        s.append(b"Z").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"abcZ");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_missing_file_is_a_noop_not_a_create() {
+        let dir = tempdir("noop");
+        let path = dir.join("wal.log");
+        let mut s = FileStorage::new(&path);
+        s.truncate(0).unwrap();
+        assert!(!path.exists(), "truncate must not create the file");
+        assert_eq!(s.len().unwrap(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replace_all_swaps_contents_and_reopens_handle() {
+        let dir = tempdir("swap");
+        let path = dir.join("wal.log");
+        let mut s = FileStorage::new(&path);
+        s.append(b"old-old-old").unwrap();
+        s.replace_all(b"new").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"new");
+        assert!(
+            !s.compact_path().exists(),
+            "temp file consumed by the rename"
+        );
+        // The handle was refreshed: appends extend the new file.
+        s.append(b"+tail").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"new+tail");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mem_replace_all_swaps_for_clones_too() {
+        let mut a = MemStorage::new();
+        let mut b = a.clone();
+        a.append(b"0123456789").unwrap();
+        a.replace_all(b"xy").unwrap();
+        assert_eq!(b.read_all().unwrap(), b"xy");
     }
 }

@@ -47,39 +47,47 @@ pub struct RecoveryReport {
     /// Events replayed after the snapshot used (equals `events` when no
     /// snapshot was usable) — the O(tail) recovery cost.
     pub replayed: usize,
-    /// Snapshot frames found in the recovered prefix (state is seeded
-    /// from the last valid one).
-    pub snapshots_loaded: usize,
+    /// Snapshot frames seen in the recovered prefix. Only the last valid
+    /// one seeds state; the rest are dead weight compaction reclaims.
+    pub snapshots_seen: usize,
+    /// Whether state was actually rebuilt from a snapshot (false when the
+    /// prefix held none, or none parsed — then the whole log replays).
+    pub snapshot_used: bool,
 }
 
 impl RecoveryReport {
     /// Record this recovery as obs metrics under the `journal` stage:
-    /// `frames_replayed`, `torn_tail_bytes_truncated`, `snapshots_loaded`,
-    /// `events_recovered`, and a `recoveries` count. Counters accumulate,
-    /// so repeated opens against one hub sum their recovery costs.
+    /// `frames_replayed`, `torn_tail_bytes_truncated`, `snapshots_seen`,
+    /// `snapshots_used` (0/1 per open), `events_recovered`, and a
+    /// `recoveries` count. Counters accumulate, so repeated opens against
+    /// one hub sum their recovery costs.
     pub fn record(&self, obs: &Obs) {
         obs.counter_add("recoveries", "journal", 1);
         obs.counter_add("events_recovered", "journal", self.events as u64);
         obs.counter_add("frames_replayed", "journal", self.replayed as u64);
         obs.counter_add("torn_tail_bytes_truncated", "journal", self.truncated_bytes);
-        obs.counter_add("snapshots_loaded", "journal", self.snapshots_loaded as u64);
+        obs.counter_add("snapshots_seen", "journal", self.snapshots_seen as u64);
+        obs.counter_add("snapshots_used", "journal", self.snapshot_used as u64);
     }
 }
 
 /// Append-only, checksummed event journal over any [`Storage`].
 pub struct Journal<S: Storage> {
-    storage: S,
-    events: Vec<JournalEvent>,
-    state: CampaignState,
+    pub(crate) storage: S,
+    pub(crate) events: Vec<JournalEvent>,
+    pub(crate) state: CampaignState,
     /// Append a snapshot automatically after this many events (0 = never).
-    snapshot_every: usize,
-    since_snapshot: usize,
+    pub(crate) snapshot_every: usize,
+    pub(crate) since_snapshot: usize,
+    /// Auto-compact after this many snapshots have accumulated (0 = never).
+    pub(crate) compact_every_snapshots: usize,
+    pub(crate) snapshots_since_compact: usize,
     /// Remaining appends before the injected crash; `None` = healthy.
     crash_in: Option<usize>,
-    crashed: bool,
+    pub(crate) crashed: bool,
     /// Optional observability hub: appends, flushed bytes, and sync
     /// latency are recorded under the `journal` stage.
-    obs: Option<Arc<Obs>>,
+    pub(crate) obs: Option<Arc<Obs>>,
 }
 
 impl<S: Storage> Journal<S> {
@@ -115,7 +123,11 @@ impl<S: Storage> Journal<S> {
         }
         let truncated_bytes = (bytes.len() - offset) as u64;
         if truncated_bytes > 0 {
+            // Make the repair itself durable: a power loss right after
+            // recovery must not resurrect the torn tail under fresh
+            // appends.
             storage.truncate(offset as u64).map_err(JournalError::Io)?;
+            storage.sync().map_err(JournalError::Io)?;
         }
         // Rebuild state from the latest usable snapshot; O(tail) replay.
         let snapshot_at = events.iter().rposition(|e| {
@@ -138,10 +150,11 @@ impl<S: Storage> Journal<S> {
             events: events.len(),
             truncated_bytes,
             replayed: events.len() - replay_from,
-            snapshots_loaded: events
+            snapshots_seen: events
                 .iter()
                 .filter(|e| matches!(e, JournalEvent::Snapshot { .. }))
                 .count(),
+            snapshot_used: snapshot_at.is_some(),
         };
         let since_snapshot = events.len() - snapshot_at.map_or(0, |i| i + 1);
         Ok((
@@ -151,6 +164,8 @@ impl<S: Storage> Journal<S> {
                 state,
                 snapshot_every,
                 since_snapshot,
+                compact_every_snapshots: 0,
+                snapshots_since_compact: 0,
                 crash_in: None,
                 crashed: false,
                 obs: None,
@@ -177,6 +192,19 @@ impl<S: Storage> Journal<S> {
     /// from now on are counted and timed under the `journal` stage).
     pub fn attach_obs(&mut self, obs: Arc<Obs>) {
         self.obs = Some(obs);
+    }
+
+    /// Enable auto-compaction: after every `every_snapshots` snapshot
+    /// frames accumulate, the journal rewrites its storage to the latest
+    /// snapshot + tail (see [`Journal::compact`]). 0 disables (default).
+    pub fn with_auto_compact(mut self, every_snapshots: usize) -> Self {
+        self.compact_every_snapshots = every_snapshots;
+        self
+    }
+
+    /// Current size of the backing storage in bytes.
+    pub fn storage_size(&mut self) -> Result<u64, JournalError> {
+        self.storage.len().map_err(JournalError::Io)
     }
 
     /// Arm the kill switch: the next `n` appends succeed, every append
@@ -211,11 +239,17 @@ impl<S: Storage> Journal<S> {
         &self.state
     }
 
-    /// Append one event durably.
+    /// Append one event durably (written and fsynced before this returns,
+    /// for storage that can sync at all).
     pub fn append(&mut self, event: JournalEvent) -> Result<(), JournalError> {
         self.write_frame(event)?;
         if self.snapshot_every > 0 && self.since_snapshot >= self.snapshot_every {
             self.snapshot()?;
+            if self.compact_every_snapshots > 0
+                && self.snapshots_since_compact >= self.compact_every_snapshots
+            {
+                self.compact()?;
+            }
         }
         Ok(())
     }
@@ -228,6 +262,7 @@ impl<S: Storage> Journal<S> {
         };
         self.write_frame(snap)?;
         self.since_snapshot = 0;
+        self.snapshots_since_compact += 1;
         if let Some(obs) = &self.obs {
             obs.counter_add("snapshots_written", "journal", 1);
         }
@@ -246,15 +281,19 @@ impl<S: Storage> Journal<S> {
             self.crash_in = Some(left - 1);
         }
         let bytes = frame::encode(&event.encode());
-        let sync_start = self.obs.as_ref().map(|_| Instant::now());
+        let start = Instant::now();
         self.storage.append(&bytes).map_err(JournalError::Io)?;
-        if let (Some(obs), Some(start)) = (&self.obs, sync_start) {
-            // Each append is one write+flush to storage — the fsync
-            // analog in this model — so count and time it as such.
+        // The frame is not durable until storage confirms a sync; only a
+        // confirmed sync counts as an fsync in the metrics (MemStorage,
+        // for instance, never syncs anything).
+        let synced = self.storage.sync().map_err(JournalError::Io)?;
+        if let Some(obs) = &self.obs {
             obs.counter_add("appends", "journal", 1);
-            obs.counter_add("fsyncs", "journal", 1);
             obs.counter_add("appended_bytes", "journal", bytes.len() as u64);
-            obs.observe("fsync_seconds", "journal", start.elapsed().as_secs_f64());
+            if synced {
+                obs.counter_add("fsyncs", "journal", 1);
+                obs.observe("fsync_seconds", "journal", start.elapsed().as_secs_f64());
+            }
         }
         self.state.apply(&event);
         self.events.push(event);
@@ -363,23 +402,70 @@ mod tests {
 
         let obs = Obs::shared();
         let (mut j2, rep) = Journal::open_observed(store.clone(), Arc::clone(&obs)).unwrap();
-        assert!(rep.snapshots_loaded >= 1, "snapshots in prefix: {rep:?}");
+        assert!(rep.snapshots_seen >= 1, "snapshots in prefix: {rep:?}");
+        assert!(rep.snapshot_used, "state must seed from a snapshot");
         let counter = |name: &str| obs.metrics().counter_value(name, "journal").unwrap_or(0);
         assert_eq!(counter("recoveries"), 1);
         assert_eq!(counter("events_recovered"), rep.events as u64);
         assert_eq!(counter("frames_replayed"), rep.replayed as u64);
         assert_eq!(counter("torn_tail_bytes_truncated"), rep.truncated_bytes);
-        assert_eq!(counter("snapshots_loaded"), rep.snapshots_loaded as u64);
+        assert_eq!(counter("snapshots_seen"), rep.snapshots_seen as u64);
+        assert_eq!(counter("snapshots_used"), 1);
         assert!(rep.truncated_bytes > 0);
 
-        // Appends through the observed journal are counted and timed.
+        // Appends through the observed journal are counted — but memory
+        // storage never reaches durable media, so no fsync is claimed.
         j2.append(ev(100)).unwrap();
         j2.append(ev(101)).unwrap();
         assert_eq!(counter("appends"), 2);
-        assert_eq!(counter("fsyncs"), 2);
+        assert_eq!(counter("fsyncs"), 0, "MemStorage must not count fsyncs");
         assert!(counter("appended_bytes") > 0);
+        assert!(
+            obs.metrics()
+                .histogram("fsync_seconds", "journal")
+                .is_none(),
+            "no sync happened, so no sync latency may be recorded"
+        );
+    }
+
+    #[test]
+    fn snapshotless_recovery_reports_no_snapshot_used() {
+        let store = MemStorage::new();
+        let (mut j, _) = Journal::open_with_snapshot_every(store.clone(), 0).unwrap();
+        for i in 0..6 {
+            j.append(ev(i)).unwrap();
+        }
+        let (_, rep) = Journal::open_with_snapshot_every(store, 0).unwrap();
+        assert_eq!(rep.snapshots_seen, 0);
+        assert!(!rep.snapshot_used);
+        assert_eq!(rep.replayed, rep.events, "whole log replays");
+    }
+
+    #[test]
+    fn file_backed_journal_counts_real_fsyncs() {
+        let dir = std::env::temp_dir().join(format!(
+            "eoml-journal-fsync-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = Obs::shared();
+        let (mut j, _) = Journal::open_observed(
+            crate::storage::FileStorage::new(dir.join("wal.log")),
+            Arc::clone(&obs),
+        )
+        .unwrap();
+        j.append(ev(0)).unwrap();
+        j.append(ev(1)).unwrap();
+        let counter = |name: &str| obs.metrics().counter_value(name, "journal").unwrap_or(0);
+        assert_eq!(counter("appends"), 2);
+        assert_eq!(counter("fsyncs"), 2, "file storage really syncs");
         let h = obs.metrics().histogram("fsync_seconds", "journal").unwrap();
         assert_eq!(h.count(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -94,6 +94,49 @@ proptest! {
         prop_assert_eq!(after.last().unwrap(), &event(0, 424_242));
     }
 
+    /// A zero-filled tail — the classic post-power-loss block zero-fill —
+    /// must recover exactly the events before the zeroed region, never
+    /// "decode" the zeros as valid empty frames.
+    #[test]
+    fn zero_filled_tail_recovers_the_prefix_before_it(
+        kinds in proptest::collection::vec((0u8..5, 0u64..1000), 1..30),
+        zero_from_frac in 0.0f64..1.0,
+        zero_len in 1usize..4096,
+        snapshot_every in 0usize..10,
+    ) {
+        let events: Vec<JournalEvent> =
+            kinds.iter().map(|&(k, n)| event(k, n)).collect();
+        let store = write_journal(&events, snapshot_every);
+        let full = store.snapshot_bytes();
+
+        // Zero everything from an arbitrary offset, then pad with more
+        // zeros (a zeroed block can extend past the old end of file).
+        let zero_from = ((full.len() - 1) as f64 * zero_from_frac) as usize;
+        let mut bytes = full[..zero_from].to_vec();
+        bytes.resize(full.len() + zero_len, 0);
+        store.set_bytes(bytes);
+
+        let (journal, _) = Journal::open(store.clone()).unwrap();
+        let recovered: Vec<JournalEvent> = journal
+            .events()
+            .iter()
+            .filter(|e| !matches!(e, JournalEvent::Snapshot { .. }))
+            .cloned()
+            .collect();
+        prop_assert!(recovered.len() <= events.len());
+        prop_assert_eq!(&recovered[..], &events[..recovered.len()]);
+
+        // The zeroed region was truncated away; the journal accepts
+        // appends and they survive a reopen.
+        drop(journal);
+        let (mut journal, second) = Journal::open(store.clone()).unwrap();
+        prop_assert_eq!(second.truncated_bytes, 0);
+        journal.append(event(3, 777_777)).unwrap();
+        let after = non_snapshot_events(store);
+        prop_assert_eq!(after.len(), recovered.len() + 1);
+        prop_assert_eq!(after.last().unwrap(), &event(3, 777_777));
+    }
+
     #[test]
     fn corrupting_any_byte_never_panics_and_keeps_a_prefix(
         kinds in proptest::collection::vec((0u8..5, 0u64..1000), 1..30),

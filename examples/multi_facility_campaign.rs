@@ -12,8 +12,9 @@
 //! ```
 
 use eoml::core::campaign::{run_campaign, run_campaign_resumable, CampaignParams};
+use eoml::core::scheduler::run_multi_day_resumable;
 use eoml::core::streaming::{run_streaming_campaign, StreamingParams};
-use eoml::journal::{Journal, JournalEvent, MemStorage};
+use eoml::journal::{Journal, JournalEvent, Ledger, MemStorage};
 use eoml::simtime::SimTime;
 use eoml::transfer::faults::FaultPlan;
 
@@ -344,5 +345,50 @@ fn main() {
         println!("{}", memory.render_text(2));
     } else {
         println!("  build with --features alloc-profile for per-stage memory accounting");
+    }
+
+    // 10) Durable multi-day scheduling: with EOML_LEDGER=<dir> set, run a
+    //     two-day campaign against an on-disk journal ledger — one
+    //     fsynced wal.log per day under its own namespace. Run the
+    //     example twice against the same directory: the second pass
+    //     resumes every day from its journal and re-executes nothing
+    //     ("fresh days: 0").
+    println!();
+    println!("== durable multi-day ledger ==");
+    match std::env::var("EOML_LEDGER") {
+        Ok(dir) => {
+            let ledger = Ledger::new(&dir)
+                .expect("create ledger")
+                .with_snapshot_every(32)
+                .with_auto_compact(8);
+            let multi = run_multi_day_resumable(
+                CampaignParams {
+                    days: 2,
+                    files_per_day: 8,
+                    ..CampaignParams::paper_demo()
+                },
+                &ledger,
+            )
+            .expect("multi-day campaign");
+            let mut fresh_days = 0;
+            for day in &multi.days {
+                if day.recovered_events == 0 {
+                    fresh_days += 1;
+                }
+                println!(
+                    "  {}: recovered {} events, {} granules, {} labeled files",
+                    day.namespace,
+                    day.recovered_events,
+                    day.report.granules,
+                    day.report.labeled_files
+                );
+            }
+            println!(
+                "  ledger at {dir}: {} campaigns, {} bytes on disk, fresh days: {fresh_days}",
+                ledger.campaigns().expect("list ledger").len(),
+                ledger.total_size().expect("size ledger"),
+            );
+        }
+        Err(_) => println!("  set EOML_LEDGER=<dir> to journal a two-day campaign to disk"),
     }
 }

@@ -1,0 +1,230 @@
+//! Crash/resume equivalence for the *real* (on-disk) pipeline: kill a
+//! journaled [`RealPipeline::run_resumable`] at every event index, resume
+//! against the same workdir + journal, and the final report and the
+//! labeled artifacts in the outbox must be byte-identical to an
+//! uninterrupted run's — with no journaled-complete stage re-journaled.
+//!
+//! Spans `eoml-journal` (WAL, recovery, ledger, `FileStorage` durability)
+//! and `eoml-core` (the resumable real pipeline).
+
+use eoml::core::realrun::{RealPipeline, RealRunError, RealRunReport};
+use eoml::journal::{Journal, JournalEvent, Ledger, MemStorage};
+use eoml::modis::granule::GranuleId;
+use eoml::modis::product::Platform;
+use eoml::modis::synth::{SwathDims, SwathSynthesizer};
+use eoml::util::timebase::CivilDate;
+use std::path::{Path, PathBuf};
+
+const SEED: u64 = 2022;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "eoml-realrun-resume-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn pipeline(workdir: &Path) -> RealPipeline {
+    RealPipeline::new(workdir, SEED, SwathDims::small(), 32, 2)
+        .unwrap()
+        .with_thresholds(0.0, 0.0)
+}
+
+/// One day granule and one night granule: exercises both the tile-file and
+/// the no-tiles scan-record journal paths.
+fn granules() -> Vec<GranuleId> {
+    let sy = SwathSynthesizer::new(SEED, SwathDims::small());
+    let date = CivilDate::new(2022, 1, 1).unwrap();
+    let all: Vec<GranuleId> = (0..288)
+        .map(|slot| GranuleId::new(Platform::Terra, date, slot))
+        .collect();
+    let day = *all.iter().find(|&&g| sy.synthesize(g).day).unwrap();
+    let night = *all.iter().find(|&&g| !sy.synthesize(g).day).unwrap();
+    vec![day, night]
+}
+
+/// Everything except wall-clock timings must match the baseline, and every
+/// labeled artifact must be byte-identical.
+fn assert_equivalent(resumed: &RealRunReport, baseline: &RealRunReport, tag: &str) {
+    assert_eq!(resumed.granules, baseline.granules, "{tag}: granules");
+    assert_eq!(resumed.tile_files, baseline.tile_files, "{tag}: tile files");
+    assert_eq!(resumed.total_tiles, baseline.total_tiles, "{tag}: tiles");
+    assert_eq!(
+        resumed.labeled_tiles, baseline.labeled_tiles,
+        "{tag}: labeled tiles"
+    );
+    assert_eq!(
+        resumed.label_histogram, baseline.label_histogram,
+        "{tag}: label histogram"
+    );
+    assert_eq!(
+        resumed.outbox.len(),
+        baseline.outbox.len(),
+        "{tag}: outbox size"
+    );
+    for (r, b) in resumed.outbox.iter().zip(&baseline.outbox) {
+        assert_eq!(r.file_name(), b.file_name(), "{tag}: outbox naming");
+        assert_eq!(
+            std::fs::read(r).unwrap(),
+            std::fs::read(b).unwrap(),
+            "{tag}: artifact {:?} not byte-identical",
+            r.file_name().unwrap()
+        );
+    }
+}
+
+/// No completion event may appear twice in a journal — re-executing
+/// journaled-complete work would journal it again.
+fn assert_no_duplicate_completions(events: &[JournalEvent], tag: &str) {
+    let mut seen = std::collections::BTreeSet::new();
+    for event in events {
+        let key = match event {
+            JournalEvent::FileDownloaded { file, .. } => Some(format!("dl:{file}")),
+            JournalEvent::TileFileWritten { file, .. } => Some(format!("tile:{file}")),
+            JournalEvent::LabelsAppended { file, .. } => Some(format!("label:{file}")),
+            JournalEvent::MonitorTriggered { file } => Some(format!("monitor:{file}")),
+            _ => None,
+        };
+        if let Some(key) = key {
+            assert!(
+                seen.insert(key.clone()),
+                "{tag}: duplicated completion {key}"
+            );
+        }
+    }
+}
+
+#[test]
+fn real_run_killed_at_every_event_resumes_to_identical_artifacts() {
+    let granules = granules();
+    let base_dir = tempdir("baseline");
+    let baseline = pipeline(&base_dir).run(&granules).unwrap();
+    assert!(!baseline.outbox.is_empty(), "baseline shipped nothing");
+
+    // Learn the journal length from one uninterrupted journaled run.
+    let probe = MemStorage::new();
+    let probe_dir = tempdir("probe");
+    {
+        let (mut journal, _) = Journal::open(probe.clone()).unwrap();
+        pipeline(&probe_dir)
+            .run_resumable(&granules, &mut journal)
+            .unwrap();
+    }
+    let (probe_journal, _) = Journal::open(probe).unwrap();
+    let total_events = probe_journal.len();
+    assert!(
+        total_events >= 14,
+        "real run journaled only {total_events} events"
+    );
+    std::fs::remove_dir_all(&probe_dir).unwrap();
+
+    // crash_after(n) fails the (n+1)th append, so n in 0..total kills the
+    // run at every event it would write, from the very first to the last.
+    for kill_at in 0..total_events {
+        let tag = format!("kill at event {kill_at}/{total_events}");
+        let dir = tempdir(&format!("kill-{kill_at}"));
+        let p = pipeline(&dir);
+        let store = MemStorage::new();
+        let (mut journal, _) = Journal::open(store.clone()).unwrap();
+        journal.crash_after(kill_at);
+        let crashed = p.run_resumable(&granules, &mut journal);
+        match crashed {
+            Err(RealRunError::Journal(_)) => {}
+            other => panic!("{tag}: expected a journal crash, got {other:?}"),
+        }
+        drop(journal);
+
+        let (mut journal, recovery) = Journal::open(store.clone()).unwrap();
+        assert!(recovery.events <= kill_at, "{tag}: recovered too much");
+        let resumed = p.run_resumable(&granules, &mut journal).unwrap();
+        assert_equivalent(&resumed, &baseline, &tag);
+        drop(journal);
+
+        let (final_journal, _) = Journal::open(store).unwrap();
+        assert_no_duplicate_completions(final_journal.events(), &tag);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&base_dir).unwrap();
+}
+
+#[test]
+fn real_run_survives_two_crashes_in_a_row() {
+    let granules = granules();
+    let base_dir = tempdir("twice-base");
+    let baseline = pipeline(&base_dir).run(&granules).unwrap();
+
+    let dir = tempdir("twice");
+    let p = pipeline(&dir);
+    let store = MemStorage::new();
+    let (mut journal, _) = Journal::open(store.clone()).unwrap();
+    journal.crash_after(4);
+    assert!(p.run_resumable(&granules, &mut journal).is_err());
+    drop(journal);
+    let (mut journal, _) = Journal::open(store.clone()).unwrap();
+    journal.crash_after(5);
+    assert!(p.run_resumable(&granules, &mut journal).is_err());
+    drop(journal);
+    let (mut journal, _) = Journal::open(store.clone()).unwrap();
+    let resumed = p.run_resumable(&granules, &mut journal).unwrap();
+    assert_equivalent(&resumed, &baseline, "after two crashes");
+    drop(journal);
+    let (final_journal, _) = Journal::open(store).unwrap();
+    assert_no_duplicate_completions(final_journal.events(), "after two crashes");
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&base_dir).unwrap();
+}
+
+#[test]
+fn on_disk_ledger_run_crashes_and_resumes_across_file_journals() {
+    // The fully-durable configuration: FileStorage journal under a ledger
+    // namespace, crash mid-run, reopen from disk, resume, then compact.
+    let granules = granules();
+    let base_dir = tempdir("ledger-base");
+    let baseline = pipeline(&base_dir).run(&granules).unwrap();
+
+    let dir = tempdir("ledger-work");
+    let ledger_dir = tempdir("ledger-root");
+    let ledger = Ledger::new(&ledger_dir).unwrap().with_snapshot_every(4);
+    let p = pipeline(&dir);
+
+    let (mut journal, _) = ledger.open("day-2022-01-01").unwrap();
+    journal.crash_after(7);
+    assert!(p.run_resumable(&granules, &mut journal).is_err());
+    drop(journal);
+
+    // The crash left a real wal.log behind; reopen it from disk.
+    assert!(ledger.contains("day-2022-01-01"));
+    let (mut journal, recovery) = ledger.open("day-2022-01-01").unwrap();
+    assert!(recovery.events > 0 && recovery.events <= 7);
+    let resumed = p.run_resumable(&granules, &mut journal).unwrap();
+    assert_equivalent(&resumed, &baseline, "ledger resume");
+    drop(journal);
+
+    // Replay once more (nothing to redo), then compact the whole ledger:
+    // the journal shrinks and still reopens to the same state.
+    let (mut journal, _) = ledger.open("day-2022-01-01").unwrap();
+    let replay = p.run_resumable(&granules, &mut journal).unwrap();
+    assert_equivalent(&replay, &baseline, "ledger replay");
+    drop(journal);
+    let before = ledger.total_size().unwrap();
+    let compacted = ledger.compact_all().unwrap();
+    assert_eq!(compacted.len(), 1);
+    assert!(
+        ledger.total_size().unwrap() < before,
+        "compaction must shrink"
+    );
+    let (mut journal, rep) = ledger.open("day-2022-01-01").unwrap();
+    assert!(rep.snapshot_used);
+    let after_compact = p.run_resumable(&granules, &mut journal).unwrap();
+    assert_equivalent(&after_compact, &baseline, "post-compaction replay");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&base_dir).unwrap();
+    std::fs::remove_dir_all(&ledger_dir).unwrap();
+}
