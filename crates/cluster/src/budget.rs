@@ -1,0 +1,209 @@
+//! Worker budgets carved from the cluster's node/core inventory.
+//!
+//! The multi-tenant campaign service bounds each tenant to a worker budget
+//! so a whale campaign cannot monopolise the (virtual) cluster. Budgets
+//! are denominated in *workers* — one worker occupies one core in the
+//! [`crate::spec::ClusterSpec`] node/core model — and every admitted
+//! campaign run leases its peak worker demand from a shared [`BudgetPool`]
+//! whose capacity is the cluster's total core count. Leases are blocking:
+//! admission waits until enough cores free up, so the sum of concurrently
+//! leased workers can never exceed the cluster, and the pool records the
+//! high-water mark so tests can assert the ceiling held.
+
+use crate::spec::ClusterSpec;
+use std::sync::{Condvar, Mutex};
+
+/// The smallest useful campaign allocation: one download worker, one
+/// preprocess worker, one inference worker.
+pub const MIN_WORKER_BUDGET: usize = 3;
+
+impl ClusterSpec {
+    /// Carve a per-tenant worker budget as a fraction of the cluster's
+    /// total cores, clamped to at least [`MIN_WORKER_BUDGET`] (a campaign
+    /// needs one worker in each concurrent stage) and at most the whole
+    /// cluster.
+    pub fn worker_budget(&self, fraction: f64) -> usize {
+        let cores = self.total_cores();
+        let carved = (cores as f64 * fraction.clamp(0.0, 1.0)).floor() as usize;
+        carved.clamp(MIN_WORKER_BUDGET.min(cores), cores)
+    }
+}
+
+/// Mutable pool book-keeping behind the lock.
+#[derive(Debug)]
+struct PoolState {
+    in_use: usize,
+    peak_in_use: usize,
+}
+
+/// A shared, blocking pool of worker cores.
+#[derive(Debug)]
+pub struct BudgetPool {
+    capacity: usize,
+    state: Mutex<PoolState>,
+    freed: Condvar,
+}
+
+/// Error for a lease request no pool state could ever satisfy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Workers requested.
+    pub requested: usize,
+    /// Pool capacity.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requested {} workers exceeds pool capacity {}",
+            self.requested, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+impl BudgetPool {
+    /// A pool with `capacity` worker cores.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            state: Mutex::new(PoolState {
+                in_use: 0,
+                peak_in_use: 0,
+            }),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// A pool sized to the cluster's total cores.
+    pub fn from_spec(spec: &ClusterSpec) -> Self {
+        Self::new(spec.total_cores())
+    }
+
+    /// Total worker cores in the pool.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Worker cores currently leased out.
+    pub fn in_use(&self) -> usize {
+        self.state.lock().expect("budget pool poisoned").in_use
+    }
+
+    /// Highest concurrent lease total ever observed — the number tests
+    /// compare against the cluster ceiling.
+    pub fn peak_in_use(&self) -> usize {
+        self.state.lock().expect("budget pool poisoned").peak_in_use
+    }
+
+    /// Lease `workers` cores, blocking until the pool can cover them.
+    /// Requests larger than the whole pool fail immediately — they would
+    /// deadlock every caller behind them.
+    pub fn acquire(&self, workers: usize) -> Result<BudgetLease<'_>, BudgetExceeded> {
+        if workers > self.capacity {
+            return Err(BudgetExceeded {
+                requested: workers,
+                capacity: self.capacity,
+            });
+        }
+        let mut state = self.state.lock().expect("budget pool poisoned");
+        while state.in_use + workers > self.capacity {
+            state = self.freed.wait(state).expect("budget pool poisoned");
+        }
+        state.in_use += workers;
+        state.peak_in_use = state.peak_in_use.max(state.in_use);
+        Ok(BudgetLease {
+            pool: self,
+            workers,
+        })
+    }
+}
+
+/// A live lease of worker cores; returns them to the pool on drop.
+#[derive(Debug)]
+pub struct BudgetLease<'a> {
+    pool: &'a BudgetPool,
+    workers: usize,
+}
+
+impl BudgetLease<'_> {
+    /// Workers covered by this lease.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl Drop for BudgetLease<'_> {
+    fn drop(&mut self) {
+        let mut state = self.pool.state.lock().expect("budget pool poisoned");
+        state.in_use -= self.workers;
+        drop(state);
+        self.pool.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn worker_budget_carves_fractions_with_floor_and_ceiling() {
+        let spec = ClusterSpec::tiny(4); // 32 cores
+        assert_eq!(spec.worker_budget(0.25), 8);
+        assert_eq!(spec.worker_budget(0.0), MIN_WORKER_BUDGET);
+        assert_eq!(spec.worker_budget(1.0), 32);
+        assert_eq!(spec.worker_budget(7.0), 32); // clamped fraction
+        assert_eq!(ClusterSpec::defiant().worker_budget(0.01), 23);
+    }
+
+    #[test]
+    fn leases_block_at_capacity_and_release_on_drop() {
+        let pool = BudgetPool::new(8);
+        let a = pool.acquire(5).unwrap();
+        assert_eq!(pool.in_use(), 5);
+        let b = pool.acquire(3).unwrap();
+        assert_eq!(pool.in_use(), 8);
+        assert_eq!(pool.peak_in_use(), 8);
+        drop(a);
+        assert_eq!(pool.in_use(), 3);
+        drop(b);
+        assert_eq!(pool.in_use(), 0);
+        assert_eq!(pool.peak_in_use(), 8);
+        assert_eq!(
+            pool.acquire(9).unwrap_err(),
+            BudgetExceeded {
+                requested: 9,
+                capacity: 8
+            }
+        );
+    }
+
+    #[test]
+    fn concurrent_leases_never_exceed_capacity() {
+        let pool = BudgetPool::new(16);
+        let over = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                let pool = &pool;
+                let over = &over;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let lease = pool.acquire(3 + i % 4).unwrap();
+                        if pool.in_use() > pool.capacity() {
+                            over.fetch_add(1, Ordering::Relaxed);
+                        }
+                        drop(lease);
+                    }
+                });
+            }
+        });
+        assert_eq!(over.load(Ordering::Relaxed), 0);
+        assert!(pool.peak_in_use() <= 16);
+        assert!(pool.peak_in_use() >= 6, "threads should have overlapped");
+        assert_eq!(pool.in_use(), 0);
+    }
+}

@@ -18,11 +18,13 @@
 //!   the contention model, recomputed whenever occupancy changes (the same
 //!   piecewise-constant-rate technique as the transfer flow network).
 
+pub mod budget;
 pub mod contention;
 pub mod exec;
 pub mod slurm;
 pub mod spec;
 
+pub use budget::{BudgetExceeded, BudgetLease, BudgetPool, MIN_WORKER_BUDGET};
 pub use contention::ContentionModel;
 pub use exec::{ClusterModel, HasCluster, TaskId};
 pub use slurm::{BlockId, SlurmProvider};

@@ -65,6 +65,39 @@ impl MultiDayReport {
     }
 }
 
+/// Run one day of `params` resumably under an explicit ledger `namespace`,
+/// compacting the day's journal once it completes.
+///
+/// This is the single admission quantum both multi-day scheduling and the
+/// multi-tenant campaign service are built from: open (or recover) the
+/// namespace's journal, run the single-day resumable driver for `date`,
+/// then bound the journal to snapshot + tail. Killing the process anywhere
+/// inside leaves a journal that resumes; rerunning a completed quantum
+/// replays it with zero re-execution.
+pub fn run_day_in_namespace(
+    params: &CampaignParams,
+    ledger: &Ledger,
+    namespace: &str,
+    date: CivilDate,
+) -> Result<DayRun, JournalError> {
+    let (journal, recovery) = ledger.open(namespace)?;
+    let day_params = CampaignParams {
+        start: date,
+        days: 1,
+        ..params.clone()
+    };
+    let report = run_campaign_resumable(day_params, journal)?;
+    // The day is durably complete: bound its journal to snapshot+tail.
+    let (mut journal, _) = ledger.open(namespace)?;
+    journal.compact()?;
+    Ok(DayRun {
+        date,
+        namespace: namespace.to_string(),
+        recovered_events: recovery.events,
+        report,
+    })
+}
+
 /// Run a multi-day batch campaign resumably against `ledger`.
 ///
 /// `params.days` consecutive days starting at `params.start` each run as
@@ -75,12 +108,16 @@ impl MultiDayReport {
 /// (same ledger, same params) completed days replay from their journals
 /// with zero re-execution and an interrupted day resumes mid-flight.
 ///
-/// Returns [`JournalError::Crashed`] when a day's journal hits its
-/// injected kill point; rerunning with the same ledger resumes.
+/// The ledger root is held exclusively for the duration of the run: a
+/// second concurrent caller over the same root gets a typed
+/// [`JournalError::Busy`] instead of the two schedulers interleaving day
+/// namespaces. Returns [`JournalError::Crashed`] when a day's journal hits
+/// its injected kill point; rerunning with the same ledger resumes.
 pub fn run_multi_day_resumable(
     params: CampaignParams,
     ledger: &Ledger,
 ) -> Result<MultiDayReport, JournalError> {
+    let _lock = ledger.lock_exclusive()?;
     let mut out = MultiDayReport {
         days: Vec::new(),
         granules: 0,
@@ -91,22 +128,7 @@ pub fn run_multi_day_resumable(
     };
     for date in params.start.iter_days(params.days) {
         let namespace = day_namespace(date);
-        let (journal, recovery) = ledger.open(&namespace)?;
-        let day_params = CampaignParams {
-            start: date,
-            days: 1,
-            ..params.clone()
-        };
-        let report = run_campaign_resumable(day_params, journal)?;
-        // The day is durably complete: bound its journal to snapshot+tail.
-        let (mut journal, _) = ledger.open(&namespace)?;
-        journal.compact()?;
-        out.push(DayRun {
-            date,
-            namespace,
-            recovered_events: recovery.events,
-            report,
-        });
+        out.push(run_day_in_namespace(&params, ledger, &namespace, date)?);
     }
     Ok(out)
 }
@@ -132,6 +154,7 @@ pub fn run_streaming_days_resumable(
     params: StreamingParams,
     ledger: &Ledger,
 ) -> Result<Vec<StreamingDayRun>, StreamingError> {
+    let _lock = ledger.lock_exclusive()?;
     let mut days = Vec::new();
     for date in params.base.start.iter_days(params.base.days) {
         let namespace = format!("stream-{date}");
@@ -283,6 +306,41 @@ mod tests {
         assert_eq!(resumed.labeled_files, uninterrupted.labeled_files);
         std::fs::remove_dir_all(&root_a).unwrap();
         std::fs::remove_dir_all(&root_b).unwrap();
+    }
+
+    #[test]
+    fn concurrent_callers_on_one_root_conflict_with_typed_error() {
+        let root = tempdir("conflict");
+        // Two Ledger values over the same root, driven from two threads:
+        // exactly one scheduler may own the root at a time; the loser gets
+        // a typed Busy error, never an interleaved/corrupted ledger.
+        let a = Ledger::new(&root).unwrap();
+        let b = Ledger::new(&root).unwrap();
+        let lock = a.lock_exclusive().unwrap();
+        let handle = std::thread::spawn(move || run_multi_day_resumable(params(2), &b));
+        match handle.join().unwrap() {
+            Err(JournalError::Busy(_)) => {}
+            other => panic!("expected Busy conflict, got {other:?}"),
+        }
+        // The losing caller wrote nothing.
+        assert_eq!(a.list().unwrap(), Vec::<String>::new());
+        drop(lock);
+        // Once the first caller releases the root, the run goes through
+        // and produces the normal day layout.
+        let report = run_multi_day_resumable(params(2), &a).unwrap();
+        assert_eq!(report.days.len(), 2);
+        assert_eq!(a.list().unwrap(), vec!["day-2022-01-01", "day-2022-01-02"]);
+        // Streaming takes the same root lock.
+        let lock = a.lock_exclusive().unwrap();
+        let c = Ledger::new(&root).unwrap();
+        let mut sp = StreamingParams::demo();
+        sp.base = params(1);
+        match run_streaming_days_resumable(sp, &c) {
+            Err(StreamingError::Journal(JournalError::Busy(_))) => {}
+            other => panic!("expected Busy conflict, got {other:?}"),
+        }
+        drop(lock);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

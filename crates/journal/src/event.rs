@@ -75,6 +75,16 @@ pub enum JournalEvent {
         /// "succeeded" or "failed: reason".
         status: String,
     },
+    /// Generic keyed record for long-lived services layered on the journal
+    /// (tenant registries, campaign lifecycle state, ...). The journal
+    /// treats the value as opaque: a non-null value upserts the key, a
+    /// `null` value deletes it. Interpretation lives with the service.
+    ServiceRecord {
+        /// Record key (e.g. `tenant/<id>`, `campaign/<tenant>/<name>`).
+        key: String,
+        /// Record payload; `Value::Null` removes the key.
+        value: Value,
+    },
     /// Periodic state snapshot; recovery replays only events after the
     /// latest one.
     Snapshot {
@@ -124,6 +134,9 @@ impl JournalEvent {
             }
             JournalEvent::FlowFinished { run, status } => {
                 json!({ "type": "flow_finished", "run": *run, "status": status })
+            }
+            JournalEvent::ServiceRecord { key, value } => {
+                json!({ "type": "service_record", "key": key, "value": value })
             }
             JournalEvent::Snapshot { state } => {
                 json!({ "type": "snapshot", "state": state })
@@ -181,6 +194,10 @@ impl JournalEvent {
             "flow_finished" => JournalEvent::FlowFinished {
                 run: u64_field("run")?,
                 status: str_field("status")?,
+            },
+            "service_record" => JournalEvent::ServiceRecord {
+                key: str_field("key")?,
+                value: v["value"].clone(),
             },
             "snapshot" => JournalEvent::Snapshot {
                 state: v["state"].clone(),
@@ -246,6 +263,14 @@ mod tests {
             JournalEvent::FlowFinished {
                 run: 7,
                 status: "succeeded".into(),
+            },
+            JournalEvent::ServiceRecord {
+                key: "campaign/acme/winter".into(),
+                value: json!({ "status": "queued", "days_done": 0 }),
+            },
+            JournalEvent::ServiceRecord {
+                key: "campaign/acme/winter".into(),
+                value: Value::Null,
             },
             JournalEvent::Snapshot {
                 state: json!({ "downloaded": ["a"] }),

@@ -19,11 +19,37 @@ use crate::storage::FileStorage;
 use crate::wal::{Journal, JournalError, RecoveryReport};
 use crate::CompactionReport;
 use eoml_obs::Obs;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// File name of every campaign journal inside its namespace directory.
 pub const WAL_FILE: &str = "wal.log";
+
+/// In-process registry of exclusively locked ledger roots (canonicalised).
+/// The lock is advisory and process-local: it catches two drivers in one
+/// process racing the same root (the common multi-tenant-service and
+/// multi-day-scheduler mistake); cross-process exclusion would need OS file
+/// locks and is out of scope.
+fn locked_roots() -> &'static Mutex<BTreeSet<PathBuf>> {
+    static ROOTS: OnceLock<Mutex<BTreeSet<PathBuf>>> = OnceLock::new();
+    ROOTS.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Exclusive in-process lock on a ledger root; released on drop.
+#[derive(Debug)]
+pub struct LedgerLock {
+    root: PathBuf,
+}
+
+impl Drop for LedgerLock {
+    fn drop(&mut self) {
+        locked_roots()
+            .lock()
+            .expect("ledger lock registry poisoned")
+            .remove(&self.root);
+    }
+}
 
 /// A directory of per-campaign journals.
 pub struct Ledger {
@@ -84,10 +110,30 @@ impl Ledger {
         if ok {
             Ok(())
         } else {
-            Err(JournalError::Io(format!(
-                "invalid campaign namespace {name:?} (want [A-Za-z0-9._-]+, not dot-led)"
-            )))
+            Err(JournalError::InvalidNamespace(name.to_string()))
         }
+    }
+
+    /// Take the exclusive in-process lock on this ledger's root. Returns
+    /// [`JournalError::Busy`] if another live [`LedgerLock`] (any `Ledger`
+    /// value, any thread) already covers the same root. Multi-campaign
+    /// drivers take this before interleaving namespaces so two concurrent
+    /// callers conflict with a typed error instead of corrupting each
+    /// other's day/campaign layout.
+    pub fn lock_exclusive(&self) -> Result<LedgerLock, JournalError> {
+        // Canonicalise so `./ledger` and `ledger` collide; the root exists
+        // (created by `new`), so canonicalisation only fails on I/O errors.
+        let root = self
+            .root
+            .canonicalize()
+            .map_err(|e| JournalError::Io(format!("canonicalize {}: {e}", self.root.display())))?;
+        let mut held = locked_roots()
+            .lock()
+            .expect("ledger lock registry poisoned");
+        if !held.insert(root.clone()) {
+            return Err(JournalError::Busy(root.display().to_string()));
+        }
+        Ok(LedgerLock { root })
     }
 
     /// The journal path a namespace maps to (`<root>/<campaign>/wal.log`).
@@ -100,8 +146,14 @@ impl Ledger {
         self.journal_path(campaign).exists()
     }
 
-    /// Campaign namespaces with a journal on disk, sorted.
-    pub fn campaigns(&self) -> Result<Vec<String>, JournalError> {
+    /// Campaign namespaces with a journal on disk.
+    ///
+    /// **Ordering guarantee:** the result is always sorted ascending by
+    /// byte-wise (lexicographic) namespace comparison, independent of
+    /// directory-entry order, creation order, or platform. Service `list`
+    /// APIs and tests rely on this being deterministic across calls and
+    /// across restarts.
+    pub fn list(&self) -> Result<Vec<String>, JournalError> {
         let mut out = Vec::new();
         let entries = std::fs::read_dir(&self.root)
             .map_err(|e| JournalError::Io(format!("list {}: {e}", self.root.display())))?;
@@ -116,8 +168,14 @@ impl Ledger {
                 out.push(name);
             }
         }
-        out.sort();
+        out.sort_unstable();
         Ok(out)
+    }
+
+    /// Alias for [`Ledger::list`] (kept for existing callers); same sorted
+    /// deterministic ordering guarantee.
+    pub fn campaigns(&self) -> Result<Vec<String>, JournalError> {
+        self.list()
     }
 
     /// Open (or create) the journal for `campaign`, recovering any durable
@@ -145,6 +203,66 @@ impl Ledger {
             journal.with_auto_compact(self.compact_every_snapshots),
             report,
         ))
+    }
+
+    /// Create the journal for a *new* campaign namespace. Unlike
+    /// [`Ledger::open`] (create-or-recover), this rejects a namespace that
+    /// already holds a journal with [`JournalError::DuplicateNamespace`],
+    /// so a service can refuse a duplicate `submit` gracefully instead of
+    /// silently resuming the earlier campaign's journal.
+    pub fn create(
+        &self,
+        campaign: &str,
+    ) -> Result<(Journal<FileStorage>, RecoveryReport), JournalError> {
+        Self::check_name(campaign)?;
+        if self.contains(campaign) {
+            return Err(JournalError::DuplicateNamespace(campaign.to_string()));
+        }
+        self.open(campaign)
+    }
+
+    /// Remove a campaign's namespace directory (journal, compaction
+    /// staging, everything) — the cleanup path for cancelled campaigns.
+    ///
+    /// The removal is atomic with respect to [`Ledger::list`]: the
+    /// directory is first renamed to a dot-led staging name (never listed),
+    /// then deleted, and the parent (root) directory is fsynced so the
+    /// disappearance is durable before this returns. Returns
+    /// [`JournalError::UnknownNamespace`] when the namespace holds no
+    /// journal.
+    pub fn remove(&self, campaign: &str) -> Result<(), JournalError> {
+        Self::check_name(campaign)?;
+        if !self.contains(campaign) {
+            return Err(JournalError::UnknownNamespace(campaign.to_string()));
+        }
+        let dir = self.root.join(campaign);
+        // Dot-led names fail `check_name`, so the staging directory can
+        // never appear in `list()` even if we crash between rename and
+        // delete; a unique-enough suffix avoids colliding with a previous
+        // crashed removal of the same namespace.
+        let staging = self.root.join(format!(
+            ".removing-{campaign}-{}",
+            std::process::id() as u64 ^ (dir.as_os_str().len() as u64) << 32
+        ));
+        if staging.exists() {
+            std::fs::remove_dir_all(&staging)
+                .map_err(|e| JournalError::Io(format!("clear {}: {e}", staging.display())))?;
+        }
+        std::fs::rename(&dir, &staging).map_err(|e| {
+            JournalError::Io(format!(
+                "stage removal {} -> {}: {e}",
+                dir.display(),
+                staging.display()
+            ))
+        })?;
+        std::fs::remove_dir_all(&staging)
+            .map_err(|e| JournalError::Io(format!("remove {}: {e}", staging.display())))?;
+        // Make the rename durable: fsync the parent directory.
+        let root = std::fs::File::open(&self.root)
+            .map_err(|e| JournalError::Io(format!("open {}: {e}", self.root.display())))?;
+        root.sync_all()
+            .map_err(|e| JournalError::Io(format!("fsync {}: {e}", self.root.display())))?;
+        Ok(())
     }
 
     /// Compact every journal in the ledger; returns per-campaign reports.
@@ -237,6 +355,89 @@ mod tests {
         }
         // Nothing was created as a side effect.
         assert_eq!(ledger.campaigns().unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn create_rejects_duplicate_namespace_with_typed_error() {
+        let root = tempdir("create");
+        let ledger = Ledger::new(&root).unwrap();
+        let (mut j, _) = ledger.create("winter").unwrap();
+        j.append(ev(0)).unwrap();
+        drop(j);
+        match ledger.create("winter") {
+            Err(JournalError::DuplicateNamespace(name)) => assert_eq!(name, "winter"),
+            Err(other) => panic!("expected DuplicateNamespace, got {other:?}"),
+            Ok(_) => panic!("duplicate create must fail"),
+        }
+        match ledger.create("a/b") {
+            Err(JournalError::InvalidNamespace(name)) => assert_eq!(name, "a/b"),
+            Err(other) => panic!("expected InvalidNamespace, got {other:?}"),
+            Ok(_) => panic!("invalid create must fail"),
+        }
+        // The duplicate rejection did not disturb the existing journal.
+        let (j, rep) = ledger.open("winter").unwrap();
+        assert_eq!(rep.events, 1);
+        assert!(j.state().is_downloaded("file-0.hdf"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn remove_drops_namespace_from_list_and_frees_size() {
+        let root = tempdir("remove");
+        let ledger = Ledger::new(&root).unwrap();
+        for ns in ["keep", "gone"] {
+            let (mut j, _) = ledger.open(ns).unwrap();
+            for i in 0..20 {
+                j.append(ev(i)).unwrap();
+            }
+        }
+        let before = ledger.total_size().unwrap();
+        assert_eq!(ledger.list().unwrap(), vec!["gone", "keep"]);
+
+        ledger.remove("gone").unwrap();
+        assert_eq!(ledger.list().unwrap(), vec!["keep"]);
+        assert!(!ledger.contains("gone"));
+        let after = ledger.total_size().unwrap();
+        assert!(after < before, "total size {before} -> {after}");
+        // Removing again (or removing a namespace that never existed) is a
+        // typed error, not a panic.
+        assert_eq!(
+            ledger.remove("gone").unwrap_err(),
+            JournalError::UnknownNamespace("gone".into())
+        );
+        assert_eq!(
+            ledger.remove("never").unwrap_err(),
+            JournalError::UnknownNamespace("never".into())
+        );
+        // The namespace is reusable after removal, starting empty.
+        let (j, rep) = ledger.open("gone").unwrap();
+        assert_eq!(rep.events, 0);
+        assert!(j.is_empty());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn lock_exclusive_conflicts_until_released() {
+        let root = tempdir("lock");
+        let ledger = Ledger::new(&root).unwrap();
+        // A second Ledger value over the same root (even via a relative
+        // alias) conflicts while the guard lives.
+        let alias = Ledger::new(&root).unwrap();
+        let guard = ledger.lock_exclusive().unwrap();
+        match alias.lock_exclusive() {
+            Err(JournalError::Busy(_)) => {}
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        drop(guard);
+        let again = alias.lock_exclusive().unwrap();
+        drop(again);
+        // Different roots never conflict.
+        let other_root = tempdir("lock2");
+        let other = Ledger::new(&other_root).unwrap();
+        let _a = ledger.lock_exclusive().unwrap();
+        let _b = other.lock_exclusive().unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+        std::fs::remove_dir_all(&other_root).unwrap();
     }
 
     #[test]

@@ -11,7 +11,7 @@ pub mod wal;
 
 pub use compact::CompactionReport;
 pub use event::JournalEvent;
-pub use ledger::Ledger;
+pub use ledger::{Ledger, LedgerLock};
 pub use state::CampaignState;
 pub use storage::{FileStorage, MemStorage, Storage};
 pub use wal::{Journal, JournalError, RecoveryReport};

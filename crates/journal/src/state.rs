@@ -32,6 +32,9 @@ pub struct CampaignState {
     pub flow_states: BTreeMap<u64, (String, Value)>,
     /// Terminal status per finished flow run.
     pub flows_finished: BTreeMap<u64, String>,
+    /// Keyed service records (tenant registries, campaign lifecycle, ...):
+    /// last write wins, `null` deletes. Opaque to the journal.
+    pub service_records: BTreeMap<String, Value>,
     /// Events folded into this state (snapshot bookkeeping).
     pub events_applied: u64,
 }
@@ -86,6 +89,13 @@ impl CampaignState {
             JournalEvent::FlowFinished { run, status } => {
                 self.flow_states.remove(run);
                 self.flows_finished.insert(*run, status.clone());
+            }
+            JournalEvent::ServiceRecord { key, value } => {
+                if value.is_null() {
+                    self.service_records.remove(key);
+                } else {
+                    self.service_records.insert(key.clone(), value.clone());
+                }
             }
             JournalEvent::Snapshot { .. } => {
                 // Snapshots carry state; they do not change it.
@@ -155,6 +165,12 @@ impl CampaignState {
                 self.flows_finished
                     .iter()
                     .map(|(run, status)| (run.to_string(), Value::String(status.clone())))
+                    .collect::<Map>(),
+            ),
+            "service_records": Value::Object(
+                self.service_records
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
                     .collect::<Map>(),
             ),
             "events_applied": self.events_applied,
@@ -232,6 +248,11 @@ impl CampaignState {
                     .as_str()
                     .ok_or_else(|| format!("snapshot flows_finished[{k}] not a string"))?;
                 s.flows_finished.insert(run, status.to_string());
+            }
+        }
+        if let Some(obj) = v["service_records"].as_object() {
+            for (k, entry) in obj.iter() {
+                s.service_records.insert(k.clone(), entry.clone());
             }
         }
         s.events_applied = v["events_applied"].as_u64().unwrap_or(0);
@@ -316,6 +337,38 @@ mod tests {
             s.flows_finished.get(&3).map(String::as_str),
             Some("succeeded")
         );
+    }
+
+    #[test]
+    fn service_records_upsert_delete_and_round_trip() {
+        let mut s = CampaignState::new();
+        s.apply(&JournalEvent::ServiceRecord {
+            key: "tenant/acme".into(),
+            value: json!({ "weight": 4 }),
+        });
+        s.apply(&JournalEvent::ServiceRecord {
+            key: "campaign/acme/winter".into(),
+            value: json!({ "status": "queued" }),
+        });
+        // Last write wins.
+        s.apply(&JournalEvent::ServiceRecord {
+            key: "campaign/acme/winter".into(),
+            value: json!({ "status": "running" }),
+        });
+        assert_eq!(
+            s.service_records["campaign/acme/winter"]["status"].as_str(),
+            Some("running")
+        );
+        // Round-trips through the snapshot form.
+        let back = CampaignState::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        // Null deletes.
+        s.apply(&JournalEvent::ServiceRecord {
+            key: "campaign/acme/winter".into(),
+            value: Value::Null,
+        });
+        assert!(!s.service_records.contains_key("campaign/acme/winter"));
+        assert!(s.service_records.contains_key("tenant/acme"));
     }
 
     #[test]

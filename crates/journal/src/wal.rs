@@ -24,6 +24,19 @@ pub enum JournalError {
     /// The injected crash point was reached (or a previous append crashed);
     /// no further events are accepted.
     Crashed,
+    /// A campaign namespace fails [`crate::Ledger`]'s naming rules
+    /// (`[A-Za-z0-9._-]+`, not dot-led, ≤128 bytes).
+    InvalidNamespace(String),
+    /// [`crate::Ledger::create`] found the namespace already holds a
+    /// journal; callers use this to reject a duplicate submit gracefully.
+    DuplicateNamespace(String),
+    /// The namespace holds no journal (e.g. [`crate::Ledger::remove`] of a
+    /// campaign that was never created or is already gone).
+    UnknownNamespace(String),
+    /// Another caller in this process holds the exclusive lock on the
+    /// ledger root (see [`crate::Ledger::lock_exclusive`]); concurrent
+    /// drivers over one root would interleave namespaces unpredictably.
+    Busy(String),
 }
 
 impl fmt::Display for JournalError {
@@ -31,6 +44,21 @@ impl fmt::Display for JournalError {
         match self {
             JournalError::Io(msg) => write!(f, "journal I/O error: {msg}"),
             JournalError::Crashed => write!(f, "journal crashed (injected kill point)"),
+            JournalError::InvalidNamespace(name) => {
+                write!(
+                    f,
+                    "invalid campaign namespace {name:?} (want [A-Za-z0-9._-]+, not dot-led, ≤128 bytes)"
+                )
+            }
+            JournalError::DuplicateNamespace(name) => {
+                write!(f, "campaign namespace {name:?} already exists")
+            }
+            JournalError::UnknownNamespace(name) => {
+                write!(f, "campaign namespace {name:?} does not exist")
+            }
+            JournalError::Busy(root) => {
+                write!(f, "ledger root {root:?} is locked by another caller")
+            }
         }
     }
 }

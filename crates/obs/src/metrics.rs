@@ -281,6 +281,35 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<(MetricKey, LogHistogram)>,
 }
 
+impl MetricsSnapshot {
+    /// The sub-snapshot whose stage labels start with `prefix` — the slice
+    /// a multi-tenant service uses to report one tenant (all its metrics
+    /// carry a `tenant:<id>`-style stage label) without the rest of the
+    /// registry bleeding in.
+    pub fn filter_stage_prefix(&self, prefix: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(k, _)| k.stage.starts_with(prefix))
+                .cloned()
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(k, _)| k.stage.starts_with(prefix))
+                .cloned()
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| k.stage.starts_with(prefix))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
 /// Thread-safe registry of counters, gauges, and histograms.
 #[derive(Default)]
 pub struct MetricsRegistry {

@@ -59,6 +59,21 @@ impl ObsReport {
         ObsReport::from_parts(spans, &MetricsSnapshot::default())
     }
 
+    /// The per-tenant slice of a shared hub: the report built only from
+    /// spans and metrics whose stage label starts with `prefix`. A
+    /// multi-tenant service records every tenant's telemetry under a
+    /// `tenant:<id>` stage label into one [`Obs`], then serves each tenant
+    /// its own report through this constructor.
+    pub fn for_stage_prefix(obs: &Obs, prefix: &str) -> ObsReport {
+        let spans: Vec<SpanRecord> = obs
+            .spans()
+            .into_iter()
+            .filter(|s| s.stage.starts_with(prefix))
+            .collect();
+        let snapshot = obs.metrics().snapshot().filter_stage_prefix(prefix);
+        ObsReport::from_parts(&spans, &snapshot)
+    }
+
     /// Build the report from a span snapshot plus a metrics snapshot.
     pub fn from_parts(spans: &[SpanRecord], snapshot: &MetricsSnapshot) -> ObsReport {
         let timelines = stage_timelines(spans);
@@ -346,6 +361,31 @@ mod tests {
             assert!(value.get("columns").is_some());
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stage_prefix_slice_isolates_one_tenant() {
+        let obs = build_obs(); // records download/preprocess/inference stages
+        for (tenant, a, b) in [
+            ("tenant:acme", 0.0, 5.0),
+            ("tenant:acme", 5.0, 6.0),
+            ("tenant:zip", 1.0, 2.0),
+        ] {
+            obs.record_sim_span_secs(tenant, "quantum", a, b);
+        }
+        obs.metrics().counter_add("granules", "tenant:acme", 7);
+        obs.metrics().counter_add("granules", "tenant:zip", 1);
+
+        let acme = ObsReport::for_stage_prefix(&obs, "tenant:acme");
+        assert_eq!(acme.stage_span_counts().len(), 1);
+        assert_eq!(acme.stage_span_counts()["tenant:acme"], 2);
+        // The slice verifies against the equally sliced registry, and the
+        // pipeline stages / other tenants are invisible in it.
+        let snap = obs.metrics().snapshot().filter_stage_prefix("tenant:acme");
+        assert!(acme.verify_against(&snap).is_empty());
+        assert_eq!(snap.counters.len(), 2); // granules + spans_closed
+        assert!(!acme.render_text(0).contains("tenant:zip"));
+        assert!(!acme.render_text(0).contains("download"));
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Typed service failure modes.
+
+use eoml_journal::JournalError;
+use std::fmt;
+
+/// Everything the campaign service can refuse or fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The underlying journal/ledger layer failed.
+    Journal(JournalError),
+    /// No tenant registered under this id.
+    UnknownTenant(String),
+    /// A tenant with this id is already registered.
+    DuplicateTenant(String),
+    /// No campaign with this name for this tenant.
+    UnknownCampaign {
+        /// Owning tenant.
+        tenant: String,
+        /// Campaign name.
+        campaign: String,
+    },
+    /// The tenant already has a campaign with this name (any status) —
+    /// duplicate submits are rejected, never silently merged.
+    DuplicateCampaign {
+        /// Owning tenant.
+        tenant: String,
+        /// Campaign name.
+        campaign: String,
+    },
+    /// The requested lifecycle transition is not legal from the campaign's
+    /// current status (e.g. resuming a cancelled campaign).
+    InvalidTransition {
+        /// Owning tenant.
+        tenant: String,
+        /// Campaign name.
+        campaign: String,
+        /// Status the campaign is in.
+        from: &'static str,
+        /// The operation that was attempted.
+        verb: &'static str,
+    },
+    /// A tenant id or campaign spec failed validation.
+    Invalid(String),
+    /// The injected kill point fired: the service "process" died
+    /// mid-storm. Reopen the service over the same root to recover.
+    Killed,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Journal(e) => write!(f, "journal: {e}"),
+            ServiceError::UnknownTenant(id) => write!(f, "unknown tenant {id:?}"),
+            ServiceError::DuplicateTenant(id) => write!(f, "tenant {id:?} already registered"),
+            ServiceError::UnknownCampaign { tenant, campaign } => {
+                write!(f, "tenant {tenant:?} has no campaign {campaign:?}")
+            }
+            ServiceError::DuplicateCampaign { tenant, campaign } => {
+                write!(
+                    f,
+                    "tenant {tenant:?} already submitted campaign {campaign:?}"
+                )
+            }
+            ServiceError::InvalidTransition {
+                tenant,
+                campaign,
+                from,
+                verb,
+            } => write!(
+                f,
+                "cannot {verb} campaign {tenant:?}/{campaign:?} from status {from}"
+            ),
+            ServiceError::Invalid(msg) => write!(f, "invalid: {msg}"),
+            ServiceError::Killed => write!(f, "service killed (injected kill point)"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<JournalError> for ServiceError {
+    fn from(e: JournalError) -> Self {
+        ServiceError::Journal(e)
+    }
+}

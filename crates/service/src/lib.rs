@@ -1,0 +1,41 @@
+//! `eoml-service` — a long-lived, in-process, multi-tenant campaign
+//! service over the resumable pipeline.
+//!
+//! The lower layers of this workspace run *one* campaign at a time: a
+//! driver owns a [`Ledger`](eoml_journal::Ledger), runs days, and exits.
+//! The facilities in the source paper don't work that way — a service
+//! fronts the cluster, many research groups submit campaigns
+//! concurrently, and the scheduler has to keep small interactive jobs
+//! flowing while month-scale reprocessing campaigns grind in the
+//! background. This crate is that service layer:
+//!
+//! * [`TenantSpec`] — identity, fair-share weight, worker budget.
+//! * [`CampaignSpec`] — the durable, journalable campaign description.
+//! * [`shard`] — FNV-sharded run queues with smooth weighted round-robin
+//!   admission (whales interleave with small tenants, never starve them).
+//! * [`CampaignService`] — tenant registration, journal-backed
+//!   `submit`/`pause`/`resume`/`cancel`/`status`/`list` lifecycle, worker
+//!   budget leasing from the cluster's core pool, and full restart
+//!   recovery: reopen the service over the same root and every tenant,
+//!   campaign, and queue position comes back.
+//!
+//! Everything is deterministic where it matters: shard assignment is a
+//! stable hash, admission order within a shard is seeded by submit
+//! sequence and tie-broken lexicographically, and a killed service
+//! recovers to byte-equivalent campaign outputs (the tenant-storm test
+//! asserts exactly that).
+
+pub mod error;
+pub mod service;
+pub mod shard;
+pub mod spec;
+pub mod tenant;
+
+pub use error::ServiceError;
+pub use service::{
+    Admission, CampaignRecord, CampaignService, CampaignStatus, CampaignTotals, KillPoint,
+    ServiceConfig, ServiceRecovery, ServiceReport,
+};
+pub use shard::{shard_of, ShardQueue};
+pub use spec::CampaignSpec;
+pub use tenant::TenantSpec;

@@ -1,0 +1,266 @@
+//! The serialisable campaign description a tenant submits.
+//!
+//! [`CampaignSpec`] is the durable subset of
+//! [`eoml_core::CampaignParams`]: everything needed to re-derive the
+//! deterministic world after a service restart, and nothing that cannot be
+//! journaled (no live observability handles, no fault injectors). The JSON
+//! form is the stable on-disk schema carried inside the service's control
+//! records.
+
+use eoml_cluster::MIN_WORKER_BUDGET;
+use eoml_core::CampaignParams;
+use eoml_modis::product::Platform;
+use eoml_transfer::faults::FaultPlan;
+use eoml_util::timebase::CivilDate;
+use serde_json::{json, Value};
+
+/// A tenant's campaign request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// World seed (campaign determinism + resume identity).
+    pub seed: u64,
+    /// Platform to pull data for.
+    pub platform: Platform,
+    /// First acquisition day.
+    pub start: CivilDate,
+    /// Days in the campaign — one day is one admission quantum.
+    pub days: usize,
+    /// Granule files per product per day (1..=288).
+    pub files_per_day: usize,
+    /// Requested download workers.
+    pub download_workers: usize,
+    /// Requested preprocess nodes.
+    pub nodes: usize,
+    /// Requested preprocess workers per node.
+    pub workers_per_node: usize,
+    /// Requested inference workers.
+    pub inference_workers: usize,
+    /// Inference throughput per worker, tiles/s.
+    pub inference_rate: f64,
+    /// Monitor poll period, seconds.
+    pub monitor_period_s: f64,
+    /// Bytes per tile in the output NetCDF.
+    pub tile_nc_bytes: u64,
+}
+
+impl CampaignSpec {
+    /// A one-day, one-file campaign — the "small tenant" shape of the
+    /// tenant-storm tests.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            platform: Platform::Terra,
+            start: CivilDate::new(2022, 1, 1).expect("valid date"),
+            days: 1,
+            files_per_day: 1,
+            download_workers: 1,
+            nodes: 1,
+            workers_per_node: 2,
+            inference_workers: 1,
+            inference_rate: 500.0,
+            monitor_period_s: 1.0,
+            tile_nc_bytes: 6 * 128 * 128 * 4 + 1024,
+        }
+    }
+
+    /// A multi-day, many-file campaign — the "whale tenant" shape.
+    pub fn whale(seed: u64, days: usize) -> Self {
+        Self {
+            days,
+            files_per_day: 6,
+            download_workers: 3,
+            nodes: 4,
+            workers_per_node: 8,
+            inference_workers: 2,
+            ..Self::small(seed)
+        }
+    }
+
+    /// Validate ranges; `Err` names the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.days == 0 {
+            return Err("days must be >= 1".into());
+        }
+        if self.files_per_day == 0 || self.files_per_day > 288 {
+            return Err(format!(
+                "files_per_day {} out of range 1..=288",
+                self.files_per_day
+            ));
+        }
+        if self.download_workers == 0
+            || self.nodes == 0
+            || self.workers_per_node == 0
+            || self.inference_workers == 0
+        {
+            return Err("every worker count must be >= 1".into());
+        }
+        let positive = |v: f64| v.is_finite() && v > 0.0;
+        if !positive(self.inference_rate) || !positive(self.monitor_period_s) {
+            return Err("inference_rate and monitor_period_s must be > 0".into());
+        }
+        Ok(())
+    }
+
+    /// Peak concurrent workers this spec can occupy: the three stages that
+    /// overlap in the paper's pipeline (download, preprocess, inference)
+    /// summed at their widest.
+    pub fn worker_demand(&self) -> usize {
+        self.download_workers + self.nodes * self.workers_per_node + self.inference_workers
+    }
+
+    /// The spec with worker counts reduced until [`worker_demand`] fits
+    /// `budget` (floor [`MIN_WORKER_BUDGET`]: one worker per concurrent
+    /// stage). The widest stage shrinks first, so the allocation shape
+    /// degrades proportionally and deterministically.
+    ///
+    /// [`worker_demand`]: CampaignSpec::worker_demand
+    pub fn clamped_to(&self, budget: usize) -> CampaignSpec {
+        let budget = budget.max(MIN_WORKER_BUDGET);
+        let mut s = self.clone();
+        while s.worker_demand() > budget {
+            let pre = s.nodes * s.workers_per_node;
+            if pre >= s.download_workers && pre >= s.inference_workers && pre > 1 {
+                if s.workers_per_node > 1 {
+                    s.workers_per_node -= 1;
+                } else {
+                    s.nodes -= 1;
+                }
+            } else if s.download_workers >= s.inference_workers && s.download_workers > 1 {
+                s.download_workers -= 1;
+            } else if s.inference_workers > 1 {
+                s.inference_workers -= 1;
+            } else {
+                break; // all stages at one worker: demand == 3
+            }
+        }
+        s
+    }
+
+    /// Lower to the runnable [`CampaignParams`] (no faults, no obs handle —
+    /// the service attaches its own tenant-labeled telemetry).
+    pub fn to_params(&self) -> CampaignParams {
+        CampaignParams {
+            seed: self.seed,
+            platform: self.platform,
+            start: self.start,
+            days: self.days,
+            files_per_day: self.files_per_day,
+            download_workers: self.download_workers,
+            nodes: self.nodes,
+            workers_per_node: self.workers_per_node,
+            inference_workers: self.inference_workers,
+            inference_rate: self.inference_rate,
+            monitor_period_s: self.monitor_period_s,
+            tile_nc_bytes: self.tile_nc_bytes,
+            faults: FaultPlan::none(),
+            obs: None,
+        }
+    }
+
+    /// The stable on-disk JSON form.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "seed": self.seed,
+            "platform": match self.platform { Platform::Terra => "Terra", Platform::Aqua => "Aqua" },
+            "start": { "year": self.start.year(), "month": self.start.month(), "day": self.start.day() },
+            "days": self.days,
+            "files_per_day": self.files_per_day,
+            "download_workers": self.download_workers,
+            "nodes": self.nodes,
+            "workers_per_node": self.workers_per_node,
+            "inference_workers": self.inference_workers,
+            "inference_rate": self.inference_rate,
+            "monitor_period_s": self.monitor_period_s,
+            "tile_nc_bytes": self.tile_nc_bytes,
+        })
+    }
+
+    /// Parse the on-disk JSON form; `Err` names the missing/invalid field.
+    pub fn from_json(v: &Value) -> Result<CampaignSpec, String> {
+        let u = |k: &str| -> Result<u64, String> {
+            v[k].as_u64().ok_or_else(|| format!("spec missing '{k}'"))
+        };
+        let f = |k: &str| -> Result<f64, String> {
+            v[k].as_f64().ok_or_else(|| format!("spec missing '{k}'"))
+        };
+        let platform = match v["platform"].as_str() {
+            Some("Aqua") => Platform::Aqua,
+            Some("Terra") => Platform::Terra,
+            other => return Err(format!("spec platform invalid: {other:?}")),
+        };
+        let start = CivilDate::new(
+            v["start"]["year"]
+                .as_i64()
+                .ok_or("spec missing start.year")? as i32,
+            v["start"]["month"]
+                .as_u64()
+                .ok_or("spec missing start.month")? as u8,
+            v["start"]["day"].as_u64().ok_or("spec missing start.day")? as u8,
+        )
+        .ok_or("spec start is not a valid date")?;
+        Ok(CampaignSpec {
+            seed: u("seed")?,
+            platform,
+            start,
+            days: u("days")? as usize,
+            files_per_day: u("files_per_day")? as usize,
+            download_workers: u("download_workers")? as usize,
+            nodes: u("nodes")? as usize,
+            workers_per_node: u("workers_per_node")? as usize,
+            inference_workers: u("inference_workers")? as usize,
+            inference_rate: f("inference_rate")?,
+            monitor_period_s: f("monitor_period_s")?,
+            tile_nc_bytes: u("tile_nc_bytes")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        for spec in [CampaignSpec::small(7), CampaignSpec::whale(8, 3)] {
+            let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(back, spec);
+        }
+        assert!(CampaignSpec::from_json(&json!({ "seed": 1 })).is_err());
+    }
+
+    #[test]
+    fn clamping_fits_budget_and_bottoms_out_at_minimum() {
+        let whale = CampaignSpec::whale(1, 2); // demand 3 + 32 + 2 = 37
+        assert_eq!(whale.worker_demand(), 37);
+        for budget in [40, 16, 8, 3, 0] {
+            let clamped = whale.clamped_to(budget);
+            assert!(
+                clamped.worker_demand() <= budget.max(MIN_WORKER_BUDGET),
+                "budget {budget}: demand {}",
+                clamped.worker_demand()
+            );
+            assert!(clamped.download_workers >= 1);
+            assert!(clamped.nodes * clamped.workers_per_node >= 1);
+            assert!(clamped.inference_workers >= 1);
+            assert!(clamped.validate().is_ok());
+        }
+        // A spec already inside its budget is untouched.
+        assert_eq!(whale.clamped_to(37), whale);
+        // Clamping is deterministic.
+        assert_eq!(whale.clamped_to(8), whale.clamped_to(8));
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        let mut s = CampaignSpec::small(1);
+        s.days = 0;
+        assert!(s.validate().is_err());
+        let mut s = CampaignSpec::small(1);
+        s.files_per_day = 289;
+        assert!(s.validate().is_err());
+        let mut s = CampaignSpec::small(1);
+        s.inference_workers = 0;
+        assert!(s.validate().is_err());
+        assert!(CampaignSpec::small(1).validate().is_ok());
+    }
+}

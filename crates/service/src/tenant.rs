@@ -1,0 +1,131 @@
+//! Tenant identity, fair-share weight, and worker budget.
+
+use eoml_cluster::MIN_WORKER_BUDGET;
+use serde_json::{json, Value};
+
+/// A registered tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant id: `[A-Za-z0-9_-]+`, not `_`-led (underscore-led names are
+    /// reserved for service internals), ≤48 bytes. Tenant ids and campaign
+    /// names combine into ledger namespaces, so both stay dot-free.
+    pub id: String,
+    /// Fair-share weight: a tenant with weight `w` receives `w` admission
+    /// quanta per weighted round-robin cycle of its shard.
+    pub weight: u32,
+    /// Worker budget: the peak concurrent workers any of this tenant's
+    /// campaign runs may occupy (carved from the cluster's cores; see
+    /// [`eoml_cluster::BudgetPool`]).
+    pub budget_workers: usize,
+}
+
+impl TenantSpec {
+    /// Build and validate a tenant spec.
+    pub fn new(id: &str, weight: u32, budget_workers: usize) -> Result<TenantSpec, String> {
+        let spec = TenantSpec {
+            id: id.to_string(),
+            weight,
+            budget_workers,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Validate id shape, weight, and budget floor.
+    pub fn validate(&self) -> Result<(), String> {
+        let id_ok = !self.id.is_empty()
+            && self.id.len() <= 48
+            && !self.id.starts_with('_')
+            && self
+                .id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_'));
+        if !id_ok {
+            return Err(format!(
+                "tenant id {:?} invalid (want [A-Za-z0-9_-]+, not _-led, <=48 bytes)",
+                self.id
+            ));
+        }
+        if self.weight == 0 {
+            return Err(format!("tenant {:?}: weight must be >= 1", self.id));
+        }
+        if self.budget_workers < MIN_WORKER_BUDGET {
+            return Err(format!(
+                "tenant {:?}: budget_workers {} below minimum {MIN_WORKER_BUDGET}",
+                self.id, self.budget_workers
+            ));
+        }
+        Ok(())
+    }
+
+    /// The stable on-disk JSON form (control-journal record payload).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "id": self.id,
+            "weight": self.weight,
+            "budget_workers": self.budget_workers,
+        })
+    }
+
+    /// Parse the on-disk JSON form.
+    pub fn from_json(v: &Value) -> Result<TenantSpec, String> {
+        Ok(TenantSpec {
+            id: v["id"].as_str().ok_or("tenant missing 'id'")?.to_string(),
+            weight: v["weight"].as_u64().ok_or("tenant missing 'weight'")? as u32,
+            budget_workers: v["budget_workers"]
+                .as_u64()
+                .ok_or("tenant missing 'budget_workers'")? as usize,
+        })
+    }
+}
+
+/// Validate a campaign name: same alphabet as tenant ids (the pair embeds
+/// into a ledger namespace `<campaign>-day-<date>` inside the tenant's
+/// ledger).
+pub fn check_campaign_name(name: &str) -> Result<(), String> {
+    let ok = !name.is_empty()
+        && name.len() <= 48
+        && !name.starts_with('_')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_'));
+    if ok {
+        Ok(())
+    } else {
+        Err(format!(
+            "campaign name {name:?} invalid (want [A-Za-z0-9_-]+, not _-led, <=48 bytes)"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_validation_and_round_trip() {
+        let t = TenantSpec::new("acme-01", 4, 16).unwrap();
+        assert_eq!(TenantSpec::from_json(&t.to_json()).unwrap(), t);
+        for (id, weight, budget) in [
+            ("", 1, 8),
+            ("_control", 1, 8),
+            ("a/b", 1, 8),
+            ("dots.bad", 1, 8),
+            ("ok", 0, 8),
+            ("ok", 1, 2),
+        ] {
+            assert!(
+                TenantSpec::new(id, weight, budget).is_err(),
+                "accepted {id:?}/{weight}/{budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_names_share_the_alphabet() {
+        assert!(check_campaign_name("winter-2022").is_ok());
+        for bad in ["", "_svc", "a.b", "a b", "x/y"] {
+            assert!(check_campaign_name(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

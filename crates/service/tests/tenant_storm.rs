@@ -1,0 +1,392 @@
+//! Tenant-storm stress tests: a thousand small tenants plus whale
+//! campaigns on one service, asserting the three service guarantees —
+//! fair-share admission bounds, worker-budget ceilings, and
+//! kill-and-recover equivalence.
+
+use eoml_service::{
+    shard_of, CampaignService, CampaignSpec, CampaignStatus, KillPoint, ServiceConfig,
+    ServiceError, TenantSpec,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "eoml-storm-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Totals keyed by (tenant, campaign) — the equivalence currency.
+fn totals_by_campaign(
+    service: &CampaignService,
+) -> BTreeMap<(String, String), (usize, usize, usize, String)> {
+    service
+        .list(None)
+        .into_iter()
+        .map(|rec| {
+            (
+                (rec.tenant, rec.name),
+                (
+                    rec.totals.granules,
+                    rec.totals.tile_files,
+                    rec.totals.labeled_files,
+                    rec.status.as_str().to_string(),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// The storm: 1000 small tenants (one 1-day campaign each) and 3 whale
+/// tenants (multi-day, many-file campaigns, weight 4) submitted together,
+/// drained by weighted round-robin across 4 shards.
+#[test]
+fn thousand_tenant_storm_fairness_and_budgets() {
+    let root = tempdir("storm");
+    let config = ServiceConfig::small();
+    let shards = config.shards;
+    let capacity = config.cluster.total_cores();
+    let (service, recovery) = CampaignService::open(&root, config).unwrap();
+    assert_eq!(recovery.tenants, 0, "fresh root recovers nothing");
+
+    const SMALL: usize = 1000;
+    const WHALES: usize = 3;
+    const WHALE_DAYS: usize = 3;
+    let mut weights: BTreeMap<String, u32> = BTreeMap::new();
+    for i in 0..SMALL {
+        let id = format!("small-{i:04}");
+        service
+            .register_tenant(TenantSpec::new(&id, 1, 8).unwrap())
+            .unwrap();
+        service
+            .submit(&id, "job", CampaignSpec::small(1000 + i as u64))
+            .unwrap();
+        weights.insert(id, 1);
+    }
+    for w in 0..WHALES {
+        let id = format!("whale-{w}");
+        service
+            .register_tenant(TenantSpec::new(&id, 4, 24).unwrap())
+            .unwrap();
+        service
+            .submit(
+                &id,
+                "reproc",
+                CampaignSpec::whale(77 + w as u64, WHALE_DAYS),
+            )
+            .unwrap();
+        weights.insert(id, 4);
+    }
+
+    let report = service.run_until_idle().unwrap();
+
+    // Everything completed.
+    assert_eq!(report.completed, SMALL + WHALES);
+    assert_eq!(report.pending, 0);
+    assert_eq!(report.quanta, SMALL + WHALES * WHALE_DAYS);
+    assert!(report.granules > 0 && report.tile_files > 0);
+
+    // --- Fairness: within each shard, every tenant's first admission
+    // lands inside the first weighted round-robin cycle (the sum of the
+    // shard's tenant weights). No tenant waits behind a whale's backlog.
+    let admissions = service.admissions();
+    assert_eq!(admissions.len(), report.quanta);
+    let cycle: BTreeMap<usize, i64> = (0..shards)
+        .map(|s| {
+            (
+                s,
+                weights
+                    .iter()
+                    .filter(|(t, _)| shard_of(t, shards) == s)
+                    .map(|(_, w)| *w as i64)
+                    .sum(),
+            )
+        })
+        .collect();
+    let mut first_admission: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for a in &admissions {
+        first_admission
+            .entry(a.tenant.as_str())
+            .or_insert((a.shard, a.shard_seq));
+    }
+    assert_eq!(
+        first_admission.len(),
+        SMALL + WHALES,
+        "every tenant admitted"
+    );
+    for (tenant, (shard, shard_seq)) in &first_admission {
+        let bound = cycle[shard] as usize;
+        assert!(
+            shard_seq < &bound,
+            "tenant {tenant} first admitted at shard_seq {shard_seq}, \
+             outside its shard's first WRR cycle of {bound}"
+        );
+    }
+    // And the whales interleave rather than burst: each whale's quanta are
+    // spread across its shard's admission order (its k-th quantum cannot
+    // appear before k-1 full small-tenant rounds have had their chance).
+    for w in 0..WHALES {
+        let id = format!("whale-{w}");
+        let seqs: Vec<usize> = admissions
+            .iter()
+            .filter(|a| a.tenant == id)
+            .map(|a| a.shard_seq)
+            .collect();
+        assert_eq!(seqs.len(), WHALE_DAYS);
+        assert!(
+            seqs.windows(2).all(|p| p[0] < p[1]),
+            "whale quanta admitted out of order: {seqs:?}"
+        );
+    }
+
+    // --- Budgets: no admission exceeds its tenant's budget, and the pool
+    // never leased past the cluster's cores.
+    for a in &admissions {
+        assert!(
+            a.workers <= a.budget_workers,
+            "admission {:?} leased {} workers over budget {}",
+            a.tenant,
+            a.workers,
+            a.budget_workers
+        );
+    }
+    let peak = service.pool().peak_in_use();
+    assert!(
+        peak > 0 && peak <= capacity,
+        "peak {peak} vs capacity {capacity}"
+    );
+    assert_eq!(service.pool().in_use(), 0, "all leases returned");
+
+    // Whale specs (demand 37) were clamped into their 24-worker budget.
+    let whale_adm = admissions.iter().find(|a| a.tenant == "whale-0").unwrap();
+    assert!(whale_adm.workers <= 24);
+
+    // --- Per-tenant metrics slices: one tenant's report carries only its
+    // own stages, and its counters survive the slice verification.
+    let slice = service
+        .obs()
+        .metrics()
+        .snapshot()
+        .filter_stage_prefix("tenant:whale-0");
+    assert!(
+        slice
+            .counters
+            .iter()
+            .all(|(k, _)| k.stage.starts_with("tenant:whale-0")),
+        "foreign stages leaked into the tenant slice"
+    );
+    let granules = slice
+        .counters
+        .iter()
+        .find(|(k, _)| k.name == "granules")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    let rec = &service.list(Some("whale-0"))[0];
+    assert_eq!(granules as usize, rec.totals.granules);
+    let report_slice = service.tenant_report("whale-0");
+    assert!(report_slice.verify_against(&slice).is_empty());
+    assert_eq!(
+        report_slice.stage_span_counts().get("tenant:whale-0"),
+        Some(&(WHALE_DAYS as u64)),
+        "one quantum span per whale day"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Submit the same population to two roots; kill one service mid-storm
+/// (both kill flavors), recover it by reopening the root, and require the
+/// recovered totals to equal the uninterrupted run's.
+#[test]
+fn kill_and_recover_matches_uninterrupted_run() {
+    const SMALL: usize = 40;
+    const WHALES: usize = 2;
+    const WHALE_DAYS: usize = 2;
+    let submit_all = |service: &CampaignService| {
+        for i in 0..SMALL {
+            let id = format!("s-{i:02}");
+            service
+                .register_tenant(TenantSpec::new(&id, 1, 8).unwrap())
+                .unwrap();
+            service
+                .submit(&id, "job", CampaignSpec::small(5000 + i as u64))
+                .unwrap();
+        }
+        for w in 0..WHALES {
+            let id = format!("w-{w}");
+            service
+                .register_tenant(TenantSpec::new(&id, 4, 24).unwrap())
+                .unwrap();
+            service
+                .submit(
+                    &id,
+                    "reproc",
+                    CampaignSpec::whale(900 + w as u64, WHALE_DAYS),
+                )
+                .unwrap();
+        }
+    };
+
+    // Reference: uninterrupted.
+    let ref_root = tempdir("ref");
+    let (reference, _) = CampaignService::open(&ref_root, ServiceConfig::small()).unwrap();
+    submit_all(&reference);
+    reference.run_until_idle().unwrap();
+    let want = totals_by_campaign(&reference);
+    drop(reference);
+
+    for (tag, kill) in [
+        ("after", KillPoint::AfterQuanta(13)),
+        (
+            "mid",
+            KillPoint::MidQuantum {
+                quantum: 9,
+                events: 7,
+            },
+        ),
+    ] {
+        let root = tempdir(tag);
+        let mut config = ServiceConfig::small();
+        config.kill = Some(kill);
+        let (victim, _) = CampaignService::open(&root, config).unwrap();
+        submit_all(&victim);
+
+        // A second service over a live root is refused with a typed error.
+        match CampaignService::open(&root, ServiceConfig::small()) {
+            Err(ServiceError::Journal(eoml_journal::JournalError::Busy(_))) => {}
+            Err(other) => panic!("expected Busy opening a live root, got {other}"),
+            Ok(_) => panic!("opening a live root must be refused"),
+        }
+
+        match victim.run_until_idle() {
+            Err(ServiceError::Killed) => {}
+            other => panic!("kill point never fired: {other:?}"),
+        }
+        let done_before = victim.service_report().quanta;
+        assert!(done_before < SMALL + WHALES * WHALE_DAYS);
+        drop(victim); // releases the root locks, like process death
+
+        // Recovery: reopen the same root; tenants, campaigns, and queue
+        // come back from the control journal alone.
+        let (recovered, recovery) = CampaignService::open(&root, ServiceConfig::small()).unwrap();
+        assert_eq!(recovery.tenants, SMALL + WHALES);
+        assert!(recovery.requeued > 0, "killed mid-storm: work must remain");
+        assert!(recovery.control_events > 0);
+        recovered.run_until_idle().unwrap();
+
+        let got = totals_by_campaign(&recovered);
+        assert_eq!(
+            got, want,
+            "{tag}-kill recovery diverged from the uninterrupted run"
+        );
+        drop(recovered);
+        std::fs::remove_dir_all(&root).ok();
+    }
+    std::fs::remove_dir_all(&ref_root).ok();
+}
+
+/// The journal-driven lifecycle: pause parks, resume re-queues, cancel is
+/// terminal and frees the campaign's ledger namespaces; illegal
+/// transitions and duplicates fail typed.
+#[test]
+fn lifecycle_transitions_and_typed_refusals() {
+    let root = tempdir("lifecycle");
+    let (service, _) = CampaignService::open(&root, ServiceConfig::small()).unwrap();
+    service
+        .register_tenant(TenantSpec::new("acme", 2, 16).unwrap())
+        .unwrap();
+
+    // Unknown tenant / bad names / duplicates are typed refusals.
+    match service.submit("ghost", "job", CampaignSpec::small(1)) {
+        Err(ServiceError::UnknownTenant(t)) => assert_eq!(t, "ghost"),
+        other => panic!("expected UnknownTenant, got {other:?}"),
+    }
+    match service.register_tenant(TenantSpec::new("acme", 1, 8).unwrap()) {
+        Err(ServiceError::DuplicateTenant(_)) => {}
+        other => panic!("expected DuplicateTenant, got {other:?}"),
+    }
+    assert!(matches!(
+        service.submit("acme", "bad.name", CampaignSpec::small(1)),
+        Err(ServiceError::Invalid(_))
+    ));
+
+    service
+        .submit("acme", "alpha", CampaignSpec::small(11))
+        .unwrap();
+    service
+        .submit("acme", "beta", CampaignSpec::small(12))
+        .unwrap();
+    service
+        .submit("acme", "gamma", CampaignSpec::whale(13, 2))
+        .unwrap();
+    match service.submit("acme", "alpha", CampaignSpec::small(11)) {
+        Err(ServiceError::DuplicateCampaign { campaign, .. }) => assert_eq!(campaign, "alpha"),
+        other => panic!("expected DuplicateCampaign, got {other:?}"),
+    }
+
+    // Pause one, cancel another, run: only the rest complete.
+    service.pause("acme", "alpha").unwrap();
+    service.cancel("acme", "gamma").unwrap();
+    service.run_until_idle().unwrap();
+    assert_eq!(
+        service.status("acme", "alpha").unwrap(),
+        CampaignStatus::Paused
+    );
+    assert_eq!(
+        service.status("acme", "beta").unwrap(),
+        CampaignStatus::Completed
+    );
+    assert_eq!(
+        service.status("acme", "gamma").unwrap(),
+        CampaignStatus::Cancelled
+    );
+
+    // Illegal transitions are typed, with the blocking status named.
+    match service.resume("acme", "gamma") {
+        Err(ServiceError::InvalidTransition { from, verb, .. }) => {
+            assert_eq!((from, verb), ("cancelled", "resume"));
+        }
+        other => panic!("expected InvalidTransition, got {other:?}"),
+    }
+    match service.pause("acme", "beta") {
+        Err(ServiceError::InvalidTransition { from, .. }) => assert_eq!(from, "completed"),
+        other => panic!("expected InvalidTransition, got {other:?}"),
+    }
+
+    // Resume the paused campaign; it completes on the next drain.
+    service.resume("acme", "alpha").unwrap();
+    service.run_until_idle().unwrap();
+    assert_eq!(
+        service.status("acme", "alpha").unwrap(),
+        CampaignStatus::Completed
+    );
+
+    // The cancelled campaign's quantum namespaces are gone from the
+    // tenant's ledger (its disk is reclaimed); completed ones remain.
+    let namespaces = eoml_journal::Ledger::new(root.join("tenants").join("acme"))
+        .unwrap()
+        .list()
+        .unwrap();
+    assert!(
+        namespaces.iter().all(|ns| !ns.starts_with("gamma-day-")),
+        "cancelled campaign left namespaces: {namespaces:?}"
+    );
+    assert!(namespaces.iter().any(|ns| ns.starts_with("alpha-day-")));
+
+    // Listing is per-tenant filtered, sorted, and deterministic.
+    let names: Vec<String> = service
+        .list(Some("acme"))
+        .into_iter()
+        .map(|r| r.name)
+        .collect();
+    assert_eq!(names, vec!["alpha", "beta", "gamma"]);
+
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,169 @@
+//! Tenant-storm demonstration of the multi-tenant campaign service:
+//! register a population of small tenants plus a few whales, drain the
+//! sharded fair-share queues, and report per-tenant outcomes. With a kill
+//! injected, the run dies mid-storm and a rerun over the same root
+//! recovers every tenant and campaign from the control journal.
+//!
+//! ```sh
+//! cargo run --release --example tenant_service
+//! ```
+//!
+//! Environment knobs (all optional):
+//! * `EOML_SERVICE_ROOT`   — service root directory (default: a temp dir;
+//!   set this to rerun over the same root and exercise recovery)
+//! * `EOML_STORM_TENANTS`  — small tenants to register (default 50)
+//! * `EOML_STORM_WHALES`   — whale tenants (default 2)
+//! * `EOML_STORM_KILL`     — kill the service after this many quanta; the
+//!   process exits with status 2 so a harness can observe the "crash"
+//! * `EOML_SERVICE_REPORT` — directory to write `SERVICE_storm.json` into
+
+use eoml::service::{CampaignService, CampaignSpec, KillPoint, ServiceConfig, TenantSpec};
+use std::process::ExitCode;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let root = std::env::var("EOML_SERVICE_ROOT").unwrap_or_else(|_| {
+        std::env::temp_dir()
+            .join(format!("eoml-service-{}", std::process::id()))
+            .display()
+            .to_string()
+    });
+    let tenants = env_usize("EOML_STORM_TENANTS", 50);
+    let whales = env_usize("EOML_STORM_WHALES", 2);
+    let kill = std::env::var("EOML_STORM_KILL")
+        .ok()
+        .and_then(|v| v.parse().ok());
+
+    let mut config = ServiceConfig::small();
+    config.kill = kill.map(KillPoint::AfterQuanta);
+    let (service, recovery) = CampaignService::open(&root, config).expect("open service");
+    println!(
+        "service root {root}: recovered {} tenants, {} campaigns requeued, \
+         {} completed, {} control events",
+        recovery.tenants, recovery.requeued, recovery.completed, recovery.control_events
+    );
+
+    // A fresh root gets the storm population; a recovered root already
+    // holds its tenants and queue — just drain it.
+    if recovery.tenants == 0 {
+        for i in 0..tenants {
+            let id = format!("small-{i:03}");
+            service
+                .register_tenant(TenantSpec::new(&id, 1, 8).expect("tenant"))
+                .expect("register");
+            service
+                .submit(&id, "job", CampaignSpec::small(4000 + i as u64))
+                .expect("submit");
+        }
+        for w in 0..whales {
+            let id = format!("whale-{w}");
+            service
+                .register_tenant(TenantSpec::new(&id, 4, 24).expect("tenant"))
+                .expect("register");
+            service
+                .submit(&id, "reproc", CampaignSpec::whale(800 + w as u64, 3))
+                .expect("submit");
+        }
+        println!("storm submitted: {tenants} small tenants + {whales} whales");
+    }
+
+    let report = match service.run_until_idle() {
+        Ok(report) => report,
+        Err(eoml::service::ServiceError::Killed) => {
+            let done = service.service_report().quanta;
+            println!("service killed after {done} quanta (injected)");
+            println!("rerun with the same EOML_SERVICE_ROOT to recover");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("service failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "storm complete: {} campaigns ({} completed, {} cancelled, {} paused), \
+         {} quanta this run",
+        report.campaigns.len(),
+        report.completed,
+        report.cancelled,
+        report.paused,
+        report.quanta
+    );
+    println!(
+        "totals: {} granules, {} tile files, {} labeled files",
+        report.granules, report.tile_files, report.labeled_files
+    );
+    println!(
+        "budget pool: peak {} / {} cores",
+        service.pool().peak_in_use(),
+        service.pool().capacity()
+    );
+
+    // Fairness evidence: the worst first-admission position across all
+    // tenants, in weighted-round-robin cycle units (1.0 = exactly one
+    // full cycle — the guarantee's edge).
+    let admissions = service.admissions();
+    if !admissions.is_empty() {
+        let mut first: std::collections::BTreeMap<&str, usize> = Default::default();
+        for a in &admissions {
+            first.entry(a.tenant.as_str()).or_insert(a.shard_seq);
+        }
+        let worst = first.values().max().copied().unwrap_or(0);
+        println!(
+            "fairness: {} tenants admitted, worst first-admission shard_seq {worst}",
+            first.len()
+        );
+    }
+
+    // One whale's per-tenant slice, as a tenant would see it.
+    if let Some(rec) = service
+        .list(None)
+        .iter()
+        .find(|r| r.tenant.starts_with("whale"))
+    {
+        let slice = service.tenant_report(&rec.tenant);
+        println!("tenant {} report:", rec.tenant);
+        print!("{}", slice.render_text(2));
+    }
+
+    if let Ok(dir) = std::env::var("EOML_SERVICE_REPORT") {
+        std::fs::create_dir_all(&dir).expect("report dir");
+        let campaigns: Vec<serde_json::Value> = report
+            .campaigns
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "tenant": r.tenant,
+                    "campaign": r.name,
+                    "status": r.status.as_str(),
+                    "days_done": r.days_done,
+                    "granules": r.totals.granules,
+                    "tile_files": r.totals.tile_files,
+                    "labeled_files": r.totals.labeled_files,
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "tenants": service.tenants().len(),
+            "quanta": report.quanta,
+            "completed": report.completed,
+            "granules": report.granules,
+            "tile_files": report.tile_files,
+            "labeled_files": report.labeled_files,
+            "peak_workers": service.pool().peak_in_use(),
+            "capacity": service.pool().capacity(),
+            "campaigns": campaigns,
+        });
+        let path = std::path::Path::new(&dir).join("SERVICE_storm.json");
+        std::fs::write(&path, doc.to_string()).expect("write report");
+        println!("report written to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -4,7 +4,8 @@
 //! subsystem: the five-stage multi-facility workflow ([`core`]), the
 //! synthetic MODIS archive ([`modis`]), the Parsl-like executor
 //! ([`executor`]), the Globus-like fabric ([`transfer`], [`compute`],
-//! [`flows`]), and the RICC/AICCA model ([`ricc`]).
+//! [`flows`]), the RICC/AICCA model ([`ricc`]), and the multi-tenant
+//! campaign service ([`service`]).
 
 pub use eoml_cluster as cluster;
 pub use eoml_compute as compute;
@@ -19,6 +20,7 @@ pub use eoml_ncdf as ncdf;
 pub use eoml_obs as obs;
 pub use eoml_preprocess as preprocess;
 pub use eoml_ricc as ricc;
+pub use eoml_service as service;
 pub use eoml_simtime as simtime;
 pub use eoml_transfer as transfer;
 pub use eoml_util as util;
