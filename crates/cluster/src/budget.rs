@@ -12,6 +12,7 @@
 
 use crate::spec::ClusterSpec;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// The smallest useful campaign allocation: one download worker, one
 /// preprocess worker, one inference worker.
@@ -34,6 +35,13 @@ impl ClusterSpec {
 struct PoolState {
     in_use: usize,
     peak_in_use: usize,
+    /// Live leases (grants minus drops) — the ops plane's outstanding
+    /// gauge.
+    outstanding: usize,
+    /// Leases ever granted.
+    leases_granted: u64,
+    /// Wall-clock seconds callers spent blocked in `acquire`, summed.
+    total_wait_s: f64,
 }
 
 /// A shared, blocking pool of worker cores.
@@ -73,6 +81,9 @@ impl BudgetPool {
             state: Mutex::new(PoolState {
                 in_use: 0,
                 peak_in_use: 0,
+                outstanding: 0,
+                leases_granted: 0,
+                total_wait_s: 0.0,
             }),
             freed: Condvar::new(),
         }
@@ -99,6 +110,28 @@ impl BudgetPool {
         self.state.lock().expect("budget pool poisoned").peak_in_use
     }
 
+    /// Live leases outstanding (granted and not yet dropped).
+    pub fn outstanding(&self) -> usize {
+        self.state.lock().expect("budget pool poisoned").outstanding
+    }
+
+    /// Leases ever granted.
+    pub fn leases_granted(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("budget pool poisoned")
+            .leases_granted
+    }
+
+    /// Total wall-clock seconds callers have spent blocked waiting for
+    /// capacity, across all grants.
+    pub fn total_wait_seconds(&self) -> f64 {
+        self.state
+            .lock()
+            .expect("budget pool poisoned")
+            .total_wait_s
+    }
+
     /// Lease `workers` cores, blocking until the pool can cover them.
     /// Requests larger than the whole pool fail immediately — they would
     /// deadlock every caller behind them.
@@ -109,15 +142,21 @@ impl BudgetPool {
                 capacity: self.capacity,
             });
         }
+        let entered = Instant::now();
         let mut state = self.state.lock().expect("budget pool poisoned");
         while state.in_use + workers > self.capacity {
             state = self.freed.wait(state).expect("budget pool poisoned");
         }
+        let wait_s = entered.elapsed().as_secs_f64();
         state.in_use += workers;
         state.peak_in_use = state.peak_in_use.max(state.in_use);
+        state.outstanding += 1;
+        state.leases_granted += 1;
+        state.total_wait_s += wait_s;
         Ok(BudgetLease {
             pool: self,
             workers,
+            wait_s,
         })
     }
 }
@@ -127,6 +166,7 @@ impl BudgetPool {
 pub struct BudgetLease<'a> {
     pool: &'a BudgetPool,
     workers: usize,
+    wait_s: f64,
 }
 
 impl BudgetLease<'_> {
@@ -134,12 +174,19 @@ impl BudgetLease<'_> {
     pub fn workers(&self) -> usize {
         self.workers
     }
+
+    /// Wall-clock seconds the acquiring caller spent blocked before
+    /// this lease was granted.
+    pub fn wait_seconds(&self) -> f64 {
+        self.wait_s
+    }
 }
 
 impl Drop for BudgetLease<'_> {
     fn drop(&mut self) {
         let mut state = self.pool.state.lock().expect("budget pool poisoned");
         state.in_use -= self.workers;
+        state.outstanding = state.outstanding.saturating_sub(1);
         drop(state);
         self.pool.freed.notify_all();
     }
@@ -180,6 +227,29 @@ mod tests {
                 capacity: 8
             }
         );
+    }
+
+    #[test]
+    fn pool_accounts_outstanding_grants_and_wait_time() {
+        let pool = BudgetPool::new(8);
+        assert_eq!(pool.outstanding(), 0);
+        let a = pool.acquire(8).unwrap();
+        assert_eq!(pool.outstanding(), 1);
+        assert_eq!(pool.leases_granted(), 1);
+        // An uncontended grant waits (essentially) no time.
+        assert!(a.wait_seconds() < 1.0);
+
+        // A contended acquire measures real blocking time.
+        let waited = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| pool.acquire(4).unwrap().wait_seconds());
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            drop(a);
+            handle.join().unwrap()
+        });
+        assert!(waited >= 0.02, "waited {waited}s");
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.leases_granted(), 2);
+        assert!(pool.total_wait_seconds() >= waited);
     }
 
     #[test]

@@ -80,6 +80,24 @@ pub fn run_day_in_namespace(
     namespace: &str,
     date: CivilDate,
 ) -> Result<DayRun, JournalError> {
+    run_day_in_namespace_ticked(params, ledger, namespace, date, None)
+}
+
+/// [`run_day_in_namespace`] with a per-quantum tick hook.
+///
+/// `tick` runs once, after the quantum durably completes (journal
+/// compacted) but before the result is returned — the seam the ops plane
+/// hangs on: the hook observes the finished [`DayRun`] (makespan advances
+/// the sim-time ops clock, counters roll into windows) exactly once per
+/// *completed* quantum, so a quantum killed mid-run contributes nothing
+/// and is observed on the post-restart replay instead.
+pub fn run_day_in_namespace_ticked(
+    params: &CampaignParams,
+    ledger: &Ledger,
+    namespace: &str,
+    date: CivilDate,
+    tick: Option<&dyn Fn(&DayRun)>,
+) -> Result<DayRun, JournalError> {
     let (journal, recovery) = ledger.open(namespace)?;
     let day_params = CampaignParams {
         start: date,
@@ -90,12 +108,16 @@ pub fn run_day_in_namespace(
     // The day is durably complete: bound its journal to snapshot+tail.
     let (mut journal, _) = ledger.open(namespace)?;
     journal.compact()?;
-    Ok(DayRun {
+    let day = DayRun {
         date,
         namespace: namespace.to_string(),
         recovered_events: recovery.events,
         report,
-    })
+    };
+    if let Some(tick) = tick {
+        tick(&day);
+    }
+    Ok(day)
 }
 
 /// Run a multi-day batch campaign resumably against `ledger`.
@@ -117,6 +139,16 @@ pub fn run_multi_day_resumable(
     params: CampaignParams,
     ledger: &Ledger,
 ) -> Result<MultiDayReport, JournalError> {
+    run_multi_day_resumable_ticked(params, ledger, None)
+}
+
+/// [`run_multi_day_resumable`] with a per-quantum tick hook (see
+/// [`run_day_in_namespace_ticked`] for the hook contract).
+pub fn run_multi_day_resumable_ticked(
+    params: CampaignParams,
+    ledger: &Ledger,
+    tick: Option<&dyn Fn(&DayRun)>,
+) -> Result<MultiDayReport, JournalError> {
     let _lock = ledger.lock_exclusive()?;
     let mut out = MultiDayReport {
         days: Vec::new(),
@@ -128,7 +160,9 @@ pub fn run_multi_day_resumable(
     };
     for date in params.start.iter_days(params.days) {
         let namespace = day_namespace(date);
-        out.push(run_day_in_namespace(&params, ledger, &namespace, date)?);
+        out.push(run_day_in_namespace_ticked(
+            &params, ledger, &namespace, date, tick,
+        )?);
     }
     Ok(out)
 }
@@ -236,6 +270,31 @@ mod tests {
             assert_eq!(day.report.total_tiles, single.total_tiles);
             assert_eq!(day.report.labeled_files, single.labeled_files);
         }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn tick_hook_fires_once_per_completed_quantum_with_its_makespan() {
+        let root = tempdir("ticked");
+        let ledger = Ledger::new(&root).unwrap();
+        let ticks = std::cell::RefCell::new(Vec::<(String, f64)>::new());
+        let tick = |day: &DayRun| {
+            ticks
+                .borrow_mut()
+                .push((day.namespace.clone(), day.report.makespan_s));
+        };
+        let report = run_multi_day_resumable_ticked(params(3), &ledger, Some(&tick)).unwrap();
+        let seen = ticks.borrow();
+        assert_eq!(seen.len(), 3);
+        // One tick per day namespace, carrying that day's makespan; the
+        // sum is the ops clock advance for the whole run.
+        for (day, (ns, makespan)) in report.days.iter().zip(seen.iter()) {
+            assert_eq!(&day.namespace, ns);
+            assert_eq!(day.report.makespan_s, *makespan);
+            assert!(*makespan > 0.0);
+        }
+        let total: f64 = seen.iter().map(|(_, m)| m).sum();
+        assert!((total - report.makespan_s).abs() < 1e-9);
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -10,7 +10,12 @@
 //! threshold. Drivers with their own clock (or fully quiesced pipelines)
 //! can pump [`ProgressSink::check_at`] explicitly.
 //!
-//! Each rule fires at most once — an alert is a page, not a log line.
+//! Alerts have **edge semantics**: a rule transitions to firing when its
+//! condition first holds and back to cleared when it stops holding — it
+//! never re-fires while already active, so identical `(rule, stage)`
+//! breaches are deduplicated into one [`Alert`] whose `cleared_at` is
+//! stamped on the falling edge. Consumers that want the raw transition
+//! stream (the ops log does) read [`ProgressSink::transitions`].
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -89,11 +94,49 @@ pub struct Alert {
     pub at_s: f64,
     /// Human-readable description with the numbers that tripped it.
     pub message: String,
+    /// Stream time the condition stopped holding; `None` while firing.
+    pub cleared_at: Option<f64>,
+}
+
+impl Alert {
+    /// Whether the alert is still in the firing state.
+    pub fn is_active(&self) -> bool {
+        self.cleared_at.is_none()
+    }
+}
+
+/// Direction of an alert edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertTransitionKind {
+    /// The rule's condition started holding.
+    Fired,
+    /// The rule's condition stopped holding.
+    Cleared,
+}
+
+/// One edge in the alert stream — what the ops log records instead of
+/// per-check spam.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTransition {
+    /// Edge direction.
+    pub kind: AlertTransitionKind,
+    /// Rule kind (`stage_stalled`, …).
+    pub rule: String,
+    /// Stage the rule watched.
+    pub stage: String,
+    /// Stream time of the edge, seconds.
+    pub at_s: f64,
+    /// The firing message (empty on clears).
+    pub message: String,
 }
 
 struct RuleState {
     rule: AlertRule,
-    fired: bool,
+    /// Whether the condition currently holds (we are between edges).
+    active: bool,
+    /// Index into the shared alert list of the alert opened by the most
+    /// recent rising edge, so the falling edge can stamp `cleared_at`.
+    last_alert_idx: Option<usize>,
     /// StragglerRate: rolling span durations.
     durations: VecDeque<f64>,
 }
@@ -115,6 +158,7 @@ pub struct StageProgress {
 pub struct ProgressSink {
     rules: Vec<RuleState>,
     alerts: Arc<Mutex<Vec<Alert>>>,
+    transitions: Arc<Mutex<Vec<AlertTransition>>>,
     /// Stream clock: latest span end seen anywhere.
     now_s: f64,
     /// Per-stage (spans closed, last span end).
@@ -130,6 +174,7 @@ impl ProgressSink {
         ProgressSink {
             rules: Vec::new(),
             alerts: Arc::new(Mutex::new(Vec::new())),
+            transitions: Arc::new(Mutex::new(Vec::new())),
             now_s: 0.0,
             stages: BTreeMap::new(),
             counters: BTreeMap::new(),
@@ -140,7 +185,8 @@ impl ProgressSink {
     pub fn with_rule(mut self, rule: AlertRule) -> ProgressSink {
         self.rules.push(RuleState {
             rule,
-            fired: false,
+            active: false,
+            last_alert_idx: None,
             durations: VecDeque::new(),
         });
         self
@@ -149,6 +195,12 @@ impl ProgressSink {
     /// Shared handle to the fired alerts (clone before `add_sink`).
     pub fn alerts(&self) -> Arc<Mutex<Vec<Alert>>> {
         Arc::clone(&self.alerts)
+    }
+
+    /// Shared handle to the edge stream (clone before `add_sink`).
+    /// Consumers may drain the vector; indices are not meaningful.
+    pub fn transitions(&self) -> Arc<Mutex<Vec<AlertTransition>>> {
+        Arc::clone(&self.transitions)
     }
 
     /// Per-stage progress digest at the current stream time.
@@ -173,15 +225,6 @@ impl ProgressSink {
         self.evaluate();
     }
 
-    fn fire(alerts: &Arc<Mutex<Vec<Alert>>>, rule: &AlertRule, at_s: f64, message: String) {
-        alerts.lock().expect("alert list poisoned").push(Alert {
-            rule: rule.kind().to_string(),
-            stage: rule.stage().to_string(),
-            at_s,
-            message,
-        });
-    }
-
     /// Counter total at stream time `t` (step interpolation).
     fn counter_at(history: &[(f64, u64)], t: f64) -> u64 {
         match history.partition_point(|&(ht, _)| ht <= t) {
@@ -190,91 +233,139 @@ impl ProgressSink {
         }
     }
 
+    /// Whether a rule's condition currently holds; `Some(message)` while
+    /// breached. Pure with respect to the rule state.
+    fn breach(
+        rule: &AlertRule,
+        durations: &VecDeque<f64>,
+        stages: &BTreeMap<String, (u64, f64)>,
+        counters: &BTreeMap<(String, String), Vec<(f64, u64)>>,
+        now: f64,
+    ) -> Option<String> {
+        match rule {
+            AlertRule::StageStalled { stage, idle_s } => {
+                let &(spans, last) = stages.get(stage)?;
+                let idle = now - last;
+                if spans > 0 && idle > *idle_s {
+                    Some(format!(
+                        "stage '{stage}' silent for {idle:.1}s \
+                         (threshold {idle_s:.1}s, {spans} spans closed)"
+                    ))
+                } else {
+                    None
+                }
+            }
+            AlertRule::StragglerRate {
+                stage,
+                multiple,
+                max_fraction,
+                min_samples,
+                ..
+            } => {
+                if durations.len() < (*min_samples).max(1) {
+                    return None;
+                }
+                let samples: Vec<f64> = durations.iter().copied().collect();
+                let median = Summary::from_samples(samples.clone()).median();
+                if median <= 0.0 {
+                    return None;
+                }
+                let over = samples.iter().filter(|&&d| d > multiple * median).count();
+                let fraction = over as f64 / samples.len() as f64;
+                if fraction > *max_fraction {
+                    Some(format!(
+                        "stage '{stage}': {over}/{} spans beyond \
+                         {multiple:.1}x median {median:.2}s \
+                         (fraction {fraction:.2} > {max_fraction:.2})",
+                        samples.len()
+                    ))
+                } else {
+                    None
+                }
+            }
+            AlertRule::ThroughputDrop {
+                counter,
+                stage,
+                window_s,
+                drop_fraction,
+            } => {
+                if now < 2.0 * window_s {
+                    return None;
+                }
+                let history = counters.get(&(counter.clone(), stage.clone()))?;
+                let at_now = Self::counter_at(history, now);
+                let at_mid = Self::counter_at(history, now - window_s);
+                let at_old = Self::counter_at(history, now - 2.0 * window_s);
+                let recent = (at_now - at_mid) as f64;
+                let previous = (at_mid - at_old) as f64;
+                if previous > 0.0 && recent < (1.0 - drop_fraction) * previous {
+                    Some(format!(
+                        "counter '{counter}' in stage '{stage}' dropped: \
+                         {recent:.0} vs {previous:.0} per {window_s:.0}s window"
+                    ))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     fn evaluate(&mut self) {
         let now = self.now_s;
         for state in &mut self.rules {
-            if state.fired {
-                continue;
-            }
-            match &state.rule {
-                AlertRule::StageStalled { stage, idle_s } => {
-                    if let Some(&(spans, last)) = self.stages.get(stage) {
-                        let idle = now - last;
-                        if spans > 0 && idle > *idle_s {
-                            state.fired = true;
-                            Self::fire(
-                                &self.alerts,
-                                &state.rule,
-                                now,
-                                format!(
-                                    "stage '{stage}' silent for {idle:.1}s \
-                                     (threshold {idle_s:.1}s, {spans} spans closed)"
-                                ),
-                            );
+            let breach = Self::breach(
+                &state.rule,
+                &state.durations,
+                &self.stages,
+                &self.counters,
+                now,
+            );
+            match (state.active, breach) {
+                // Rising edge: open an alert, record the transition.
+                (false, Some(message)) => {
+                    state.active = true;
+                    let mut alerts = self.alerts.lock().expect("alert list poisoned");
+                    state.last_alert_idx = Some(alerts.len());
+                    alerts.push(Alert {
+                        rule: state.rule.kind().to_string(),
+                        stage: state.rule.stage().to_string(),
+                        at_s: now,
+                        message: message.clone(),
+                        cleared_at: None,
+                    });
+                    self.transitions
+                        .lock()
+                        .expect("transition list poisoned")
+                        .push(AlertTransition {
+                            kind: AlertTransitionKind::Fired,
+                            rule: state.rule.kind().to_string(),
+                            stage: state.rule.stage().to_string(),
+                            at_s: now,
+                            message,
+                        });
+                }
+                // Falling edge: stamp `cleared_at`, record the transition.
+                (true, None) => {
+                    state.active = false;
+                    if let Some(idx) = state.last_alert_idx.take() {
+                        let mut alerts = self.alerts.lock().expect("alert list poisoned");
+                        if let Some(alert) = alerts.get_mut(idx) {
+                            alert.cleared_at = Some(now);
                         }
                     }
+                    self.transitions
+                        .lock()
+                        .expect("transition list poisoned")
+                        .push(AlertTransition {
+                            kind: AlertTransitionKind::Cleared,
+                            rule: state.rule.kind().to_string(),
+                            stage: state.rule.stage().to_string(),
+                            at_s: now,
+                            message: String::new(),
+                        });
                 }
-                AlertRule::StragglerRate {
-                    stage,
-                    multiple,
-                    max_fraction,
-                    min_samples,
-                    ..
-                } => {
-                    if state.durations.len() >= (*min_samples).max(1) {
-                        let samples: Vec<f64> = state.durations.iter().copied().collect();
-                        let median = Summary::from_samples(samples.clone()).median();
-                        if median > 0.0 {
-                            let over = samples.iter().filter(|&&d| d > multiple * median).count();
-                            let fraction = over as f64 / samples.len() as f64;
-                            if fraction > *max_fraction {
-                                state.fired = true;
-                                Self::fire(
-                                    &self.alerts,
-                                    &state.rule,
-                                    now,
-                                    format!(
-                                        "stage '{stage}': {over}/{} spans beyond \
-                                         {multiple:.1}x median {median:.2}s \
-                                         (fraction {fraction:.2} > {max_fraction:.2})",
-                                        samples.len()
-                                    ),
-                                );
-                            }
-                        }
-                    }
-                }
-                AlertRule::ThroughputDrop {
-                    counter,
-                    stage,
-                    window_s,
-                    drop_fraction,
-                } => {
-                    if now < 2.0 * window_s {
-                        continue;
-                    }
-                    let key = (counter.clone(), stage.clone());
-                    let Some(history) = self.counters.get(&key) else {
-                        continue;
-                    };
-                    let at_now = Self::counter_at(history, now);
-                    let at_mid = Self::counter_at(history, now - window_s);
-                    let at_old = Self::counter_at(history, now - 2.0 * window_s);
-                    let recent = (at_now - at_mid) as f64;
-                    let previous = (at_mid - at_old) as f64;
-                    if previous > 0.0 && recent < (1.0 - drop_fraction) * previous {
-                        state.fired = true;
-                        Self::fire(
-                            &self.alerts,
-                            &state.rule,
-                            now,
-                            format!(
-                                "counter '{counter}' in stage '{stage}' dropped: \
-                                 {recent:.0} vs {previous:.0} per {window_s:.0}s window"
-                            ),
-                        );
-                    }
-                }
+                // Steady state in either direction: no spam.
+                _ => {}
             }
         }
     }
@@ -425,6 +516,52 @@ mod tests {
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].rule, "throughput_drop");
         assert!(fired[0].message.contains("files"));
+    }
+
+    #[test]
+    fn alerts_clear_on_recovery_and_refire_as_distinct_edges() {
+        let sink = ProgressSink::new().with_rule(AlertRule::StageStalled {
+            stage: "preprocess".to_string(),
+            idle_s: 60.0,
+        });
+        let alerts = sink.alerts();
+        let transitions = sink.transitions();
+        let obs = Obs::new();
+        obs.add_sink(Box::new(sink));
+
+        // Stall: preprocess silent while downloads advance the clock.
+        record(&obs, "preprocess", 0.0, 10.0);
+        record(&obs, "download", 10.0, 120.0);
+        assert_eq!(alerts.lock().unwrap().len(), 1);
+        assert!(alerts.lock().unwrap()[0].is_active());
+
+        // Recovery: preprocess produces again — the alert clears in
+        // place instead of a new one being appended.
+        record(&obs, "preprocess", 120.0, 125.0);
+        {
+            let fired = alerts.lock().unwrap();
+            assert_eq!(fired.len(), 1);
+            assert_eq!(fired[0].cleared_at, Some(125.0));
+            assert!(!fired[0].is_active());
+        }
+
+        // A second stall is a fresh alert, not a duplicate of the first.
+        record(&obs, "download", 125.0, 300.0);
+        {
+            let fired = alerts.lock().unwrap();
+            assert_eq!(fired.len(), 2);
+            assert!(fired[1].is_active());
+        }
+        let kinds: Vec<AlertTransitionKind> =
+            transitions.lock().unwrap().iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                AlertTransitionKind::Fired,
+                AlertTransitionKind::Cleared,
+                AlertTransitionKind::Fired,
+            ]
+        );
     }
 
     #[test]

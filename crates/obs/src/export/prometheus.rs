@@ -5,7 +5,10 @@
 //! `_bucket`/`_sum`/`_count` triple with cumulative `le` bounds (plus
 //! `+Inf`). The `stage` label carries the pipeline stage. Metric names
 //! are sanitized to `[a-zA-Z0-9_]` so span names can double as metric
-//! families without further ceremony.
+//! families without further ceremony. Every family gets `# HELP` and
+//! `# TYPE` lines, and label values are escaped per the exposition
+//! format (`\` → `\\`, `"` → `\"`, newline → `\n`) so tenant ids with
+//! odd characters cannot corrupt the output.
 
 use crate::metrics::{LogHistogram, MetricKey, MetricsSnapshot};
 use std::fmt::Write;
@@ -34,6 +37,11 @@ fn escape_label(value: &str) -> String {
         .replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
+}
+
+/// Escape `# HELP` text (backslash and newline only, per the format).
+fn escape_help(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 fn family<V>(items: &[(MetricKey, V)]) -> Vec<(&str, &[(MetricKey, V)])> {
@@ -76,6 +84,11 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, group) in family(&snapshot.counters) {
         let fam = format!("eoml_{}_total", sanitize(name));
+        let _ = writeln!(
+            out,
+            "# HELP {fam} Monotonic total of '{}' events per stage.",
+            escape_help(name)
+        );
         let _ = writeln!(out, "# TYPE {fam} counter");
         for (key, value) in group {
             let _ = writeln!(
@@ -87,6 +100,11 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
     }
     for (name, group) in family(&snapshot.gauges) {
         let fam = format!("eoml_{}", sanitize(name));
+        let _ = writeln!(
+            out,
+            "# HELP {fam} Last observed value of '{}' per stage.",
+            escape_help(name)
+        );
         let _ = writeln!(out, "# TYPE {fam} gauge");
         for (key, value) in group {
             let _ = writeln!(
@@ -98,6 +116,11 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
     }
     for (name, group) in family(&snapshot.histograms) {
         let fam = format!("eoml_{}", sanitize(name));
+        let _ = writeln!(
+            out,
+            "# HELP {fam} Log-bucketed distribution of '{}' per stage.",
+            escape_help(name)
+        );
         let _ = writeln!(out, "# TYPE {fam} histogram");
         for (key, h) in group {
             write_histogram(&mut out, &fam, key, h);

@@ -52,6 +52,7 @@ pub mod baseline;
 mod collector;
 pub mod export;
 pub mod metrics;
+pub mod ops;
 pub mod profile;
 pub mod report;
 pub mod resource;
@@ -60,7 +61,7 @@ pub mod span;
 pub mod table;
 pub mod trace;
 
-pub use alert::{Alert, AlertRule, ProgressSink};
+pub use alert::{Alert, AlertRule, AlertTransition, AlertTransitionKind, ProgressSink};
 pub use analysis::{
     GranuleTrace, PathSegment, SegmentKind, StageAttribution, StageTimeline, Straggler,
     StragglerConfig, TraceAnalysis,
@@ -68,7 +69,15 @@ pub use analysis::{
 pub use baseline::{
     Baseline, BaselineStore, CellDelta, RunComparison, TableVerdict, Tolerance, Verdict,
 };
-pub use metrics::{LogHistogram, MergeError, MetricKey, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    stage_matches_prefix, LogHistogram, MergeError, MetricKey, MetricsRegistry, MetricsSnapshot,
+};
+pub use ops::audit::{AuditRecord, AuditRing};
+pub use ops::health::{HealthPolicy, HealthReport, HealthState};
+pub use ops::oplog::{read_all as read_ops_log, replay_final_health, OpsEvent, OpsLog};
+pub use ops::slo::{SloKind, SloSpec, SloStatus, SloTracker, SloWindowResult};
+pub use ops::window::{WindowDelta, WindowSpec, WindowedMetrics};
+pub use ops::{OpsConfig, OpsPlane};
 pub use profile::{parse_folded, HotPathEntry, SpanProfile};
 pub use report::ObsReport;
 pub use resource::{AllocSnapshot, CountingAlloc, ResourceGuard, ResourceReport};

@@ -253,6 +253,31 @@ impl LogHistogram {
         self.quantile(0.99)
     }
 
+    /// The histogram of observations recorded since `baseline` was taken
+    /// of this same histogram: bucket-wise saturating subtraction. Used by
+    /// rolling-window aggregators to answer "what did this window's
+    /// latency distribution look like" from two cumulative snapshots.
+    ///
+    /// The delta keeps no exact-sample buffer (samples cannot be
+    /// un-merged), and `max` is the cumulative maximum — an upper bound
+    /// on the window's true maximum, exact whenever the window contains
+    /// the all-time max.
+    pub fn saturating_diff(&self, baseline: &LogHistogram) -> LogHistogram {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c.saturating_sub(baseline.counts.get(i).copied().unwrap_or(0)))
+            .collect();
+        LogHistogram {
+            counts,
+            count: self.count.saturating_sub(baseline.count),
+            sum: (self.sum - baseline.sum).max(0.0),
+            max: self.max,
+            samples: None,
+        }
+    }
+
     /// Cumulative `(upper_bound, count ≤ bound)` pairs up to the highest
     /// occupied bucket — the Prometheus `le` series.
     pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
@@ -270,6 +295,18 @@ impl LogHistogram {
     }
 }
 
+/// Whether `stage` belongs to the slice named by `prefix`: either the
+/// exact stage, or a sub-stage extending it across a `/` boundary
+/// (`tenant:t1` matches `tenant:t1` and `tenant:t1/download`, but never
+/// `tenant:t10` — raw string prefixing would leak sibling labels that
+/// merely share leading characters).
+pub fn stage_matches_prefix(stage: &str, prefix: &str) -> bool {
+    match stage.strip_prefix(prefix) {
+        Some(rest) => rest.is_empty() || rest.starts_with('/'),
+        None => false,
+    }
+}
+
 /// Point-in-time copy of every metric, for exporters.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
@@ -282,28 +319,28 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// The sub-snapshot whose stage labels start with `prefix` — the slice
-    /// a multi-tenant service uses to report one tenant (all its metrics
-    /// carry a `tenant:<id>`-style stage label) without the rest of the
-    /// registry bleeding in.
+    /// The sub-snapshot whose stage labels match `prefix` (see
+    /// [`stage_matches_prefix`]) — the slice a multi-tenant service uses
+    /// to report one tenant (all its metrics carry a `tenant:<id>`-style
+    /// stage label) without the rest of the registry bleeding in.
     pub fn filter_stage_prefix(&self, prefix: &str) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: self
                 .counters
                 .iter()
-                .filter(|(k, _)| k.stage.starts_with(prefix))
+                .filter(|(k, _)| stage_matches_prefix(&k.stage, prefix))
                 .cloned()
                 .collect(),
             gauges: self
                 .gauges
                 .iter()
-                .filter(|(k, _)| k.stage.starts_with(prefix))
+                .filter(|(k, _)| stage_matches_prefix(&k.stage, prefix))
                 .cloned()
                 .collect(),
             histograms: self
                 .histograms
                 .iter()
-                .filter(|(k, _)| k.stage.starts_with(prefix))
+                .filter(|(k, _)| stage_matches_prefix(&k.stage, prefix))
                 .cloned()
                 .collect(),
         }
@@ -396,6 +433,42 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect(),
+        }
+    }
+
+    /// A lean snapshot for periodic pollers: every counter and gauge, but
+    /// histograms only for the named families. Rolling-window aggregators
+    /// snapshot on every scheduler quantum; cloning each histogram's
+    /// bucket array and sample buffer at that cadence would dominate the
+    /// roll cost, so they opt in per family instead.
+    pub fn snapshot_lean(&self, histogram_names: &[String]) -> MetricsSnapshot {
+        let histograms = if histogram_names.is_empty() {
+            Vec::new()
+        } else {
+            self.histograms
+                .lock()
+                .expect("histograms poisoned")
+                .iter()
+                .filter(|(k, _)| histogram_names.contains(&k.name))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        };
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("counters poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("gauges poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms,
         }
     }
 
@@ -633,6 +706,66 @@ mod tests {
         // Count and max stay exact across the crossover.
         assert_eq!(h.count(), EXACT_SAMPLE_CAP as u64 + 1);
         assert_eq!(h.max(), (EXACT_SAMPLE_CAP + 1) as f64);
+    }
+
+    #[test]
+    fn stage_prefix_matching_stops_at_the_delimiter_boundary() {
+        // The t1/t10 collision: raw starts_with would leak t10 into t1.
+        assert!(stage_matches_prefix("tenant:t1", "tenant:t1"));
+        assert!(stage_matches_prefix("tenant:t1/download", "tenant:t1"));
+        assert!(!stage_matches_prefix("tenant:t10", "tenant:t1"));
+        assert!(!stage_matches_prefix("tenant:t10/download", "tenant:t1"));
+        assert!(!stage_matches_prefix("tenant:t2", "tenant:t1"));
+
+        let reg = MetricsRegistry::default();
+        reg.counter_add("granules", "tenant:t1", 3);
+        reg.counter_add("granules", "tenant:t10", 40);
+        reg.gauge_set("queue_depth", "tenant:t10", 2.0);
+        reg.observe("lease_wait_seconds", "tenant:t10", 1.0);
+        let slice = reg.snapshot().filter_stage_prefix("tenant:t1");
+        assert_eq!(slice.counters.len(), 1);
+        assert_eq!(slice.counters[0].0.stage, "tenant:t1");
+        assert_eq!(slice.counters[0].1, 3);
+        assert!(slice.gauges.is_empty());
+        assert!(slice.histograms.is_empty());
+    }
+
+    #[test]
+    fn saturating_diff_isolates_the_window() {
+        let mut h = LogHistogram::default();
+        for v in [0.001, 0.01] {
+            h.observe(v);
+        }
+        let baseline = h.clone();
+        for v in [0.1, 1.0, 10.0] {
+            h.observe(v);
+        }
+        let delta = h.saturating_diff(&baseline);
+        assert_eq!(delta.count(), 3);
+        assert!((delta.sum() - 11.1).abs() < 1e-9);
+        // Quantiles reflect only the window's observations.
+        assert!(delta.p50() >= 0.1 * 0.8, "p50={}", delta.p50());
+        // The delta carries no sample buffer and diffing against a newer
+        // snapshot saturates at zero instead of underflowing.
+        assert!(delta.exact_samples().is_none());
+        let empty = baseline.saturating_diff(&h);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.sum(), 0.0);
+    }
+
+    #[test]
+    fn lean_snapshot_skips_unrequested_histograms() {
+        let reg = MetricsRegistry::default();
+        reg.counter_add("granules", "tenant:a", 2);
+        reg.gauge_set("queue_depth", "tenant:a", 1.0);
+        reg.observe("lease_wait_seconds", "tenant:a", 0.5);
+        reg.observe("file_seconds", "download", 2.0);
+        let lean = reg.snapshot_lean(&["lease_wait_seconds".to_string()]);
+        assert_eq!(lean.counters.len(), 1);
+        assert_eq!(lean.gauges.len(), 1);
+        assert_eq!(lean.histograms.len(), 1);
+        assert_eq!(lean.histograms[0].0.name, "lease_wait_seconds");
+        assert!(reg.snapshot_lean(&[]).histograms.is_empty());
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Health verdicts: alerts + SLO burn + fairness + recovery state rolled
+//! into one machine-readable report.
+//!
+//! [`evaluate`] is a pure function from observed signals to a
+//! [`HealthReport`], so the same code path produces the live verdict and
+//! the replayed-from-ops-log verdict the soak test compares against.
+
+use serde_json::{json, Value};
+
+use super::slo::SloStatus;
+
+/// The service's health state, worst-signal-wins.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthState {
+    /// All signals within policy.
+    Healthy,
+    /// Service is working but a signal is out of band.
+    Degraded {
+        /// Human-readable reasons, stable across replay.
+        reasons: Vec<String>,
+    },
+    /// Error budget is burning fast enough to need intervention.
+    Unhealthy {
+        /// Human-readable reasons, stable across replay.
+        reasons: Vec<String>,
+    },
+}
+
+impl HealthState {
+    /// Short label (`healthy` / `degraded` / `unhealthy`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded { .. } => "degraded",
+            HealthState::Unhealthy { .. } => "unhealthy",
+        }
+    }
+
+    /// The reasons, empty when healthy.
+    pub fn reasons(&self) -> &[String] {
+        match self {
+            HealthState::Healthy => &[],
+            HealthState::Degraded { reasons } | HealthState::Unhealthy { reasons } => reasons,
+        }
+    }
+}
+
+/// Thresholds that map signals to a [`HealthState`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthPolicy {
+    /// Burn at or above this degrades the service.
+    pub degraded_burn: f64,
+    /// Burn at or above this marks the service unhealthy.
+    pub unhealthy_burn: f64,
+    /// Jain's index below this (once admissions are meaningful) degrades.
+    pub min_fairness: f64,
+    /// Fairness is only judged after this many total admissions.
+    pub fairness_min_admissions: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> HealthPolicy {
+        HealthPolicy {
+            degraded_burn: 1.0,
+            unhealthy_burn: 4.0,
+            min_fairness: 0.5,
+            fairness_min_admissions: 8,
+        }
+    }
+}
+
+/// One health verdict with the signals that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// The verdict.
+    pub state: HealthState,
+    /// Ops-clock timestamp (sim seconds) of the evaluation.
+    pub at_s: f64,
+    /// Windows rolled so far.
+    pub windows: u64,
+    /// Jain's fairness index, if any admissions were recorded.
+    pub fairness: Option<f64>,
+    /// Per `(slo, stage)` burn statuses at evaluation time.
+    pub slos: Vec<SloStatus>,
+    /// Alerts currently in the firing state.
+    pub alerts_active: usize,
+    /// Whether the service is still re-running work recovered from the
+    /// journal after a restart.
+    pub recovering: bool,
+}
+
+impl HealthReport {
+    /// JSON form (`EOML_HEALTH` export and `health` ops-log events).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "state": self.state.label(),
+            "reasons": self.state.reasons().to_vec(),
+            "at_s": self.at_s,
+            "windows": self.windows,
+            "fairness": match self.fairness {
+                Some(f) => json!(f),
+                None => Value::Null,
+            },
+            "slos": self.slos.iter().map(|s| s.to_json()).collect::<Vec<_>>(),
+            "alerts_active": self.alerts_active as u64,
+            "recovering": self.recovering,
+        })
+    }
+
+    /// Parse the JSON form.
+    pub fn from_json(v: &Value) -> Result<HealthReport, String> {
+        let reasons: Vec<String> = v["reasons"]
+            .as_array()
+            .map(|a| {
+                a.iter()
+                    .filter_map(|r| r.as_str().map(|s| s.to_string()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let state = match v["state"].as_str() {
+            Some("healthy") => HealthState::Healthy,
+            Some("degraded") => HealthState::Degraded { reasons },
+            Some("unhealthy") => HealthState::Unhealthy { reasons },
+            other => return Err(format!("unknown health state {other:?}")),
+        };
+        let slos = match v["slos"].as_array() {
+            Some(a) => a
+                .iter()
+                .map(SloStatus::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+        Ok(HealthReport {
+            state,
+            at_s: v["at_s"].as_f64().unwrap_or(0.0),
+            windows: v["windows"].as_u64().unwrap_or(0),
+            fairness: v["fairness"].as_f64(),
+            slos,
+            alerts_active: v["alerts_active"].as_u64().unwrap_or(0) as usize,
+            recovering: v["recovering"].as_bool().unwrap_or(false),
+        })
+    }
+}
+
+/// Evaluate the current signals into a report. Pure: same inputs, same
+/// verdict — replaying logged signals reproduces the live report.
+#[allow(clippy::too_many_arguments)] // one positional slot per signal, deliberately
+pub fn evaluate(
+    policy: &HealthPolicy,
+    at_s: f64,
+    windows: u64,
+    fairness: Option<f64>,
+    total_admissions: u64,
+    slos: Vec<SloStatus>,
+    alerts_active: usize,
+    recovering: bool,
+) -> HealthReport {
+    let mut degraded: Vec<String> = Vec::new();
+    let mut unhealthy: Vec<String> = Vec::new();
+
+    for s in &slos {
+        if s.burn >= policy.unhealthy_burn {
+            unhealthy.push(format!(
+                "slo {} burn {:.2} >= {:.2} for {}",
+                s.slo, s.burn, policy.unhealthy_burn, s.stage
+            ));
+        } else if s.burn >= policy.degraded_burn {
+            degraded.push(format!(
+                "slo {} burn {:.2} >= {:.2} for {}",
+                s.slo, s.burn, policy.degraded_burn, s.stage
+            ));
+        }
+    }
+    if let Some(j) = fairness {
+        if total_admissions >= policy.fairness_min_admissions && j < policy.min_fairness {
+            degraded.push(format!(
+                "fairness {:.3} below floor {:.3}",
+                j, policy.min_fairness
+            ));
+        }
+    }
+    if alerts_active > 0 {
+        degraded.push(format!("{alerts_active} alert(s) firing"));
+    }
+    if recovering {
+        degraded.push("recovery in progress".to_string());
+    }
+
+    let state = if !unhealthy.is_empty() {
+        unhealthy.extend(degraded);
+        HealthState::Unhealthy { reasons: unhealthy }
+    } else if !degraded.is_empty() {
+        HealthState::Degraded { reasons: degraded }
+    } else {
+        HealthState::Healthy
+    };
+    HealthReport {
+        state,
+        at_s,
+        windows,
+        fairness,
+        slos,
+        alerts_active,
+        recovering,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slo(burn: f64) -> SloStatus {
+        SloStatus {
+            slo: "throughput".to_string(),
+            stage: "tenant:a".to_string(),
+            windows: 4,
+            bad: 2,
+            burn,
+        }
+    }
+
+    #[test]
+    fn worst_signal_wins_and_reasons_accumulate() {
+        let p = HealthPolicy::default();
+        let healthy = evaluate(&p, 10.0, 3, Some(0.99), 20, vec![slo(0.2)], 0, false);
+        assert_eq!(healthy.state, HealthState::Healthy);
+
+        let degraded = evaluate(&p, 10.0, 3, Some(0.3), 20, vec![slo(1.5)], 1, true);
+        match &degraded.state {
+            HealthState::Degraded { reasons } => assert_eq!(reasons.len(), 4),
+            other => panic!("expected degraded, got {other:?}"),
+        }
+
+        let unhealthy = evaluate(&p, 10.0, 3, Some(0.99), 20, vec![slo(5.0)], 1, false);
+        match &unhealthy.state {
+            HealthState::Unhealthy { reasons } => {
+                assert!(reasons[0].contains("burn 5.00"));
+                assert_eq!(reasons.len(), 2); // burn + firing alert
+            }
+            other => panic!("expected unhealthy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fairness_is_not_judged_before_enough_admissions() {
+        let p = HealthPolicy::default();
+        let early = evaluate(&p, 0.0, 0, Some(0.1), 2, Vec::new(), 0, false);
+        assert_eq!(early.state, HealthState::Healthy);
+        let later = evaluate(&p, 0.0, 0, Some(0.1), 100, Vec::new(), 0, false);
+        assert_eq!(later.state.label(), "degraded");
+    }
+
+    #[test]
+    fn reports_round_trip_through_json() {
+        let p = HealthPolicy::default();
+        for report in [
+            evaluate(&p, 7.5, 4, Some(0.93), 12, vec![slo(0.5)], 0, false),
+            evaluate(&p, 7.5, 4, None, 0, vec![slo(2.0)], 2, true),
+            evaluate(&p, 7.5, 4, Some(0.2), 50, vec![slo(9.0)], 0, false),
+        ] {
+            let back = HealthReport::from_json(&report.to_json()).unwrap();
+            assert_eq!(back, report);
+        }
+    }
+}

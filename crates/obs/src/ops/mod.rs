@@ -1,0 +1,511 @@
+//! Continuous ops plane: rolling windows, SLO burn, scheduler audit,
+//! health verdicts, and a durable ops event log.
+//!
+//! Everything in PRs 2–4 was batch-shaped — spans and metrics accumulate
+//! and are analyzed once at end-of-run. A long-lived campaign service
+//! needs the live counterparts: *what is the throughput right now*,
+//! *which tenant is burning its error budget*, *is the scheduler still
+//! fair*, and *is the service healthy* — answerable mid-run and across
+//! restarts. The [`OpsPlane`] composes the four pieces:
+//!
+//! - [`window::WindowedMetrics`] — registry snapshots diffed into a ring
+//!   of per-window deltas (rates per stage / tenant).
+//! - [`slo::SloTracker`] — declarative [`slo::SloSpec`]s evaluated per
+//!   window per active stage, with error-budget burn.
+//! - [`audit::AuditRing`] — WRR admissions and budget leases, live
+//!   Jain's fairness index.
+//! - [`oplog::OpsLog`] — size-rotated JSONL wide-event log written next
+//!   to the ledger root; a restarted service appends to the same history
+//!   and the plane **rehydrates** its windows, SLO state, and audit
+//!   tallies from it.
+//!
+//! [`health::evaluate`] folds alerts + SLO burn + fairness + recovery
+//! state into one [`health::HealthReport`]; because it is pure and every
+//! input is logged, replaying the ops log reproduces the same verdict —
+//! the property the service soak test asserts.
+
+pub mod audit;
+pub mod health;
+pub mod oplog;
+pub mod slo;
+pub mod window;
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use serde_json::Value;
+
+use crate::alert::{Alert, AlertRule, AlertTransition, AlertTransitionKind, ProgressSink};
+use crate::metrics::MetricsRegistry;
+use crate::Obs;
+
+use audit::{AuditRecord, AuditRing};
+use health::{HealthPolicy, HealthReport, HealthState};
+use oplog::{OpsEvent, OpsLog};
+use slo::{SloSpec, SloStatus, SloTracker};
+use window::{WindowDelta, WindowSpec, WindowedMetrics};
+
+/// Configuration for an [`OpsPlane`].
+#[derive(Debug, Clone)]
+pub struct OpsConfig {
+    /// Window length in ops-clock (sim) seconds; `0` rolls every tick.
+    pub window_s: f64,
+    /// Windows retained in the in-memory ring.
+    pub ring: usize,
+    /// Histogram families diffed per window (quantile SLO inputs).
+    pub histogram_names: Vec<String>,
+    /// Windows of good/bad history per `(slo, stage)`.
+    pub slo_lookback: usize,
+    /// Declared SLOs.
+    pub slos: Vec<SloSpec>,
+    /// Ops-log segment size before rotation.
+    pub oplog_max_bytes: u64,
+    /// Rotated ops-log segments retained.
+    pub oplog_keep: usize,
+    /// Audit-ring capacity (recent records; tallies are cumulative).
+    pub audit_ring: usize,
+    /// Health thresholds.
+    pub policy: HealthPolicy,
+    /// Alert rules attached to the hub via [`OpsPlane::attach_alerts`].
+    pub alert_rules: Vec<AlertRule>,
+}
+
+impl OpsConfig {
+    /// Small defaults matching `ServiceConfig::small()`: hourly windows,
+    /// no SLOs or alert rules (tests declare their own), lease-wait and
+    /// quantum-makespan histograms opted in.
+    pub fn small() -> OpsConfig {
+        OpsConfig {
+            window_s: 3600.0,
+            ring: 64,
+            histogram_names: vec![
+                "lease_wait_seconds".to_string(),
+                "quantum_makespan_s".to_string(),
+            ],
+            slo_lookback: 16,
+            slos: Vec::new(),
+            oplog_max_bytes: 1 << 20,
+            oplog_keep: 4,
+            audit_ring: 256,
+            policy: HealthPolicy::default(),
+            alert_rules: Vec::new(),
+        }
+    }
+}
+
+impl Default for OpsConfig {
+    fn default() -> OpsConfig {
+        OpsConfig::small()
+    }
+}
+
+/// The live ops plane: owns the window ring, SLO tracker, audit ring,
+/// and ops log, and produces [`HealthReport`]s.
+///
+/// Not internally synchronised — the owner (the campaign service) wraps
+/// it in its own mutex.
+#[derive(Debug)]
+pub struct OpsPlane {
+    config: OpsConfig,
+    windows: WindowedMetrics,
+    slos: SloTracker,
+    audit: AuditRing,
+    log: OpsLog,
+    last_health_state: Option<HealthState>,
+    recovering: bool,
+    alerts: Option<Arc<Mutex<Vec<Alert>>>>,
+    transitions: Option<Arc<Mutex<Vec<AlertTransition>>>>,
+}
+
+impl OpsPlane {
+    /// Open the plane over `dir`, rehydrating window history, SLO state,
+    /// and audit tallies from any ops log already there — a restarted
+    /// service continues the same operational history.
+    pub fn open(dir: &Path, config: OpsConfig) -> std::io::Result<OpsPlane> {
+        let log = OpsLog::open(dir, config.oplog_max_bytes, config.oplog_keep)?;
+        let mut windows = WindowedMetrics::new(WindowSpec {
+            window_s: config.window_s,
+            ring: config.ring,
+            histogram_names: config.histogram_names.clone(),
+        });
+        let mut slos = SloTracker::new(config.slos.clone(), config.slo_lookback);
+        let mut audit = AuditRing::new(config.audit_ring);
+        for event in oplog::read_all(dir) {
+            match event.kind.as_str() {
+                "window_roll" => {
+                    if let Ok(delta) = WindowDelta::from_json(&event.data) {
+                        windows.seed(delta);
+                    }
+                    if let Some(results) = event.data["slos"].as_array() {
+                        for r in results {
+                            if let Ok(r) = slo::SloWindowResult::from_json(r) {
+                                slos.record(&r.slo, &r.stage, r.good);
+                            }
+                        }
+                    }
+                }
+                "admission" | "lease_acquired" | "lease_released" => {
+                    if let Ok(record) = AuditRecord::from_json(&event.data) {
+                        audit.record(record);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(OpsPlane {
+            config,
+            windows,
+            slos,
+            audit,
+            log,
+            // Left `None` so the first `health()` after open always logs
+            // a baseline verdict, even when the state did not change
+            // across the restart.
+            last_health_state: None,
+            recovering: false,
+            alerts: None,
+            transitions: None,
+        })
+    }
+
+    /// Build a [`ProgressSink`] from the configured alert rules, attach
+    /// it to `obs`, and keep the alert/transition handles. Idempotent
+    /// per plane (later calls replace the handles).
+    pub fn attach_alerts(&mut self, obs: &Obs) {
+        let mut sink = ProgressSink::new();
+        for rule in &self.config.alert_rules {
+            sink = sink.with_rule(rule.clone());
+        }
+        self.alerts = Some(sink.alerts());
+        self.transitions = Some(sink.transitions());
+        obs.add_sink(Box::new(sink));
+    }
+
+    /// Mark whether the service is replaying journal-recovered work;
+    /// surfaced as a `Degraded` reason until cleared.
+    pub fn set_recovering(&mut self, recovering: bool) {
+        self.recovering = recovering;
+    }
+
+    /// Whether the plane currently reports recovery in progress.
+    pub fn recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// The ops-clock position, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.windows.now_s()
+    }
+
+    /// The window ring.
+    pub fn windows(&self) -> &WindowedMetrics {
+        &self.windows
+    }
+
+    /// The audit ring.
+    pub fn audit(&self) -> &AuditRing {
+        &self.audit
+    }
+
+    /// Live Jain's fairness index over weighted admissions.
+    pub fn fairness(&self) -> Option<f64> {
+        self.audit.fairness_jain()
+    }
+
+    /// Current per-`(slo, stage)` burn statuses.
+    pub fn slo_statuses(&self) -> Vec<SloStatus> {
+        self.slos.statuses()
+    }
+
+    /// Alerts currently in the firing state.
+    pub fn alerts_active(&self) -> usize {
+        self.alerts
+            .as_ref()
+            .map(|a| {
+                a.lock()
+                    .expect("alert list poisoned")
+                    .iter()
+                    .filter(|al| al.is_active())
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Append one lifecycle event (`submit`, `pause`, …) at the current
+    /// ops-clock time. Write errors are swallowed: the log is advisory
+    /// and must never fail the data path.
+    pub fn event(&mut self, kind: &str, data: Value) {
+        let at = self.windows.now_s();
+        let _ = self.log.append(kind, at, data);
+    }
+
+    /// Record one scheduler action into the audit ring and the ops log.
+    pub fn record_audit(&mut self, record: AuditRecord) {
+        let kind = match &record {
+            AuditRecord::Admission { .. } => "admission",
+            AuditRecord::LeaseAcquired { .. } => "lease_acquired",
+            AuditRecord::LeaseReleased { .. } => "lease_released",
+        };
+        let data = record.to_json();
+        self.audit.record(record);
+        let at = self.windows.now_s();
+        let _ = self.log.append(kind, at, data);
+    }
+
+    /// Move alert edges accumulated by the attached sink into the ops
+    /// log as `alert_fired` / `alert_cleared` events.
+    pub fn drain_alert_transitions(&mut self) {
+        let Some(handle) = self.transitions.as_ref() else {
+            return;
+        };
+        let drained: Vec<AlertTransition> = {
+            let mut t = handle.lock().expect("transition list poisoned");
+            std::mem::take(&mut *t)
+        };
+        for tr in drained {
+            let kind = match tr.kind {
+                AlertTransitionKind::Fired => "alert_fired",
+                AlertTransitionKind::Cleared => "alert_cleared",
+            };
+            let _ = self.log.append(
+                kind,
+                tr.at_s,
+                serde_json::json!({
+                    "rule": tr.rule,
+                    "stage": tr.stage,
+                    "message": tr.message,
+                }),
+            );
+        }
+    }
+
+    /// Advance the ops clock by `dt_s` and roll a window if due. On a
+    /// roll the SLOs are evaluated against `active_stages` and the
+    /// window (with its SLO results) is logged as a `window_roll` event.
+    pub fn tick(
+        &mut self,
+        dt_s: f64,
+        registry: &MetricsRegistry,
+        active_stages: &BTreeSet<String>,
+    ) -> Option<WindowDelta> {
+        let delta = self.windows.advance(dt_s, registry)?;
+        self.finish_roll(delta, active_stages)
+    }
+
+    /// Roll whatever has accumulated since the last boundary (drain /
+    /// idle path), evaluating SLOs as in [`OpsPlane::tick`].
+    pub fn force_roll(
+        &mut self,
+        registry: &MetricsRegistry,
+        active_stages: &BTreeSet<String>,
+    ) -> Option<WindowDelta> {
+        let delta = self.windows.force_roll(registry)?;
+        self.finish_roll(delta, active_stages)
+    }
+
+    fn finish_roll(
+        &mut self,
+        delta: WindowDelta,
+        active_stages: &BTreeSet<String>,
+    ) -> Option<WindowDelta> {
+        self.drain_alert_transitions();
+        let results = self.slos.observe_window(&delta, active_stages);
+        let mut data = delta.to_json();
+        if let Some(map) = data.as_object_mut() {
+            map.insert(
+                "slos".to_string(),
+                Value::Array(results.iter().map(|r| r.to_json()).collect()),
+            );
+        }
+        let at = delta.end_s;
+        let _ = self.log.append("window_roll", at, data);
+        Some(delta)
+    }
+
+    /// Evaluate health now. Logs a `health` event when the state differs
+    /// from the last logged one (or on the first call after open), so
+    /// the log records transitions, not heartbeats.
+    pub fn health(&mut self) -> HealthReport {
+        self.drain_alert_transitions();
+        let report = health::evaluate(
+            &self.config.policy,
+            self.windows.now_s(),
+            self.windows.windows_rolled(),
+            self.audit.fairness_jain(),
+            self.audit.total_admissions(),
+            self.slos.statuses(),
+            self.alerts_active(),
+            self.recovering,
+        );
+        let changed = self.last_health_state.as_ref() != Some(&report.state);
+        if changed {
+            let at = report.at_s;
+            let _ = self.log.append("health", at, report.to_json());
+            self.last_health_state = Some(report.state.clone());
+        }
+        report
+    }
+
+    /// The full recorded event history (rotations oldest-first).
+    pub fn events(&self) -> Vec<OpsEvent> {
+        oplog::read_all(self.log.dir())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("eoml-opsplane-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn config() -> OpsConfig {
+        OpsConfig {
+            window_s: 0.0,
+            slo_lookback: 8,
+            slos: vec![SloSpec {
+                id: "throughput".to_string(),
+                kind: slo::SloKind::RateAtLeast {
+                    name: "granules".to_string(),
+                    min_per_window: 1.0,
+                },
+                target: 0.5,
+            }],
+            ..OpsConfig::small()
+        }
+    }
+
+    #[test]
+    fn plane_rolls_windows_logs_events_and_transitions_health() {
+        let dir = tempdir("live");
+        let reg = MetricsRegistry::default();
+        let mut plane = OpsPlane::open(&dir, config()).unwrap();
+        let active: BTreeSet<String> = ["tenant:a".to_string()].into();
+
+        // Two idle windows: burn 2.0 >= degraded threshold.
+        plane.event("service_open", serde_json::json!({}));
+        assert!(plane.tick(1.0, &reg, &active).is_some());
+        assert!(plane.tick(1.0, &reg, &active).is_some());
+        let degraded = plane.health();
+        assert_eq!(degraded.state.label(), "degraded");
+
+        // Six productive windows dilute burn to 0.5: healthy again.
+        for _ in 0..6 {
+            reg.counter_add("granules", "tenant:a", 2);
+            plane.tick(1.0, &reg, &active).unwrap();
+        }
+        let healthy = plane.health();
+        assert_eq!(healthy.state, HealthState::Healthy);
+        assert_eq!(healthy.windows, 8);
+
+        // The log recorded the transition pair, and replaying it lands
+        // on the same final verdict.
+        let events = plane.events();
+        let states: Vec<String> = events
+            .iter()
+            .filter(|e| e.kind == "health")
+            .map(|e| e.data["state"].as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(states, vec!["degraded", "healthy"]);
+        let replayed = oplog::replay_final_health(&events).unwrap();
+        assert_eq!(replayed.state, healthy.state);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopened_plane_rehydrates_windows_slos_and_audit() {
+        let dir = tempdir("rehydrate");
+        let reg = MetricsRegistry::default();
+        let admission = AuditRecord::Admission {
+            tenant: "a".to_string(),
+            campaign: "c".to_string(),
+            day_index: 0,
+            shard: 0,
+            workers: 4,
+            weight: 2,
+        };
+        {
+            let mut plane = OpsPlane::open(&dir, config()).unwrap();
+            let active: BTreeSet<String> = ["tenant:a".to_string()].into();
+            plane.record_audit(admission.clone());
+            reg.counter_add("granules", "tenant:a", 3);
+            plane.tick(5.0, &reg, &active).unwrap();
+            plane.tick(5.0, &reg, &active).unwrap(); // idle window
+            let _ = plane.health();
+        }
+        // Fresh registry, fresh plane: state must come from the log.
+        let mut plane = OpsPlane::open(&dir, config()).unwrap();
+        assert_eq!(plane.windows().windows_rolled(), 2);
+        assert_eq!(plane.now_s(), 10.0);
+        assert_eq!(
+            plane.windows().trailing_rate("granules", "tenant:a", 8),
+            3.0 / 10.0
+        );
+        assert_eq!(plane.audit().tallies()["a"], (1, 2));
+        let statuses = plane.slo_statuses();
+        assert_eq!(statuses.len(), 1);
+        assert_eq!((statuses[0].windows, statuses[0].bad), (2, 1));
+        // Window indices continue, not restart.
+        let reg2 = MetricsRegistry::default();
+        let w = plane
+            .tick(1.0, &reg2, &BTreeSet::new())
+            .expect("window rolls");
+        assert_eq!(w.index, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attached_alert_edges_land_in_the_ops_log() {
+        let dir = tempdir("alerts");
+        let mut cfg = config();
+        cfg.alert_rules = vec![AlertRule::StageStalled {
+            stage: "preprocess".to_string(),
+            idle_s: 60.0,
+        }];
+        let mut plane = OpsPlane::open(&dir, cfg).unwrap();
+        let obs = Obs::new();
+        plane.attach_alerts(&obs);
+        assert_eq!(plane.alerts_active(), 0);
+
+        obs.record_sim_span(
+            "preprocess",
+            "work",
+            eoml_simtime::SimTime::ZERO,
+            eoml_simtime::SimTime::from_secs_f64(10.0),
+        );
+        obs.record_sim_span(
+            "download",
+            "work",
+            eoml_simtime::SimTime::from_secs_f64(10.0),
+            eoml_simtime::SimTime::from_secs_f64(120.0),
+        );
+        assert_eq!(plane.alerts_active(), 1);
+        let report = plane.health();
+        assert_eq!(report.alerts_active, 1);
+        assert_eq!(report.state.label(), "degraded");
+
+        obs.record_sim_span(
+            "preprocess",
+            "work",
+            eoml_simtime::SimTime::from_secs_f64(120.0),
+            eoml_simtime::SimTime::from_secs_f64(125.0),
+        );
+        assert_eq!(plane.alerts_active(), 0);
+        assert_eq!(plane.health().state, HealthState::Healthy);
+        let kinds: Vec<String> = plane.events().into_iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"alert_fired".to_string()));
+        assert!(kinds.contains(&"alert_cleared".to_string()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,286 @@
+//! Size-rotated JSONL ops event log.
+//!
+//! One wide-event stream per service instance, written as
+//! `<dir>/ops.jsonl` with rotations `ops.jsonl.1` (older) …
+//! `ops.jsonl.N`. A restarted service appends to the same history: the
+//! sequence number continues from the highest recovered `seq`, and
+//! [`read_all`] returns rotations oldest-first so the event order
+//! replays the service's whole operational life.
+//!
+//! Event kinds written by the service layer: `service_open`,
+//! `tenant_registered`, `submit`, `pause`, `resume`, `cancel`,
+//! `admission`, `lease_acquired`, `lease_released`, `window_roll`,
+//! `alert_fired`, `alert_cleared`, `health`, `idle`. The log is
+//! *advisory*: torn or unparseable trailing lines are skipped, never
+//! fatal — the control journal, not this log, is the source of truth for
+//! service state.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use serde_json::{json, Value};
+
+use super::health::HealthReport;
+
+/// File name of the active log segment inside the ops directory.
+pub const OPS_LOG_FILE: &str = "ops.jsonl";
+
+/// One structured ops event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpsEvent {
+    /// Monotone sequence number across restarts.
+    pub seq: u64,
+    /// Event kind (snake_case).
+    pub kind: String,
+    /// Ops-clock timestamp (sim seconds).
+    pub at_s: f64,
+    /// Kind-specific payload.
+    pub data: Value,
+}
+
+impl OpsEvent {
+    /// The JSONL line form.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "seq": self.seq,
+            "kind": self.kind,
+            "at_s": self.at_s,
+            "data": self.data,
+        })
+    }
+
+    /// Parse one JSONL line.
+    pub fn from_json(v: &Value) -> Result<OpsEvent, String> {
+        Ok(OpsEvent {
+            seq: v["seq"].as_u64().ok_or("ops event missing seq")?,
+            kind: v["kind"]
+                .as_str()
+                .ok_or("ops event missing kind")?
+                .to_string(),
+            at_s: v["at_s"].as_f64().unwrap_or(0.0),
+            data: v["data"].clone(),
+        })
+    }
+}
+
+/// Appender with size-based rotation.
+#[derive(Debug)]
+pub struct OpsLog {
+    dir: PathBuf,
+    max_bytes: u64,
+    keep: usize,
+    next_seq: u64,
+}
+
+impl OpsLog {
+    /// Open (or create) the log in `dir`, recovering the next sequence
+    /// number from whatever history is already there. Rotation happens
+    /// when the active segment exceeds `max_bytes`; `keep` rotated
+    /// segments are retained.
+    pub fn open(dir: &Path, max_bytes: u64, keep: usize) -> std::io::Result<OpsLog> {
+        std::fs::create_dir_all(dir)?;
+        let next_seq = read_all(dir).iter().map(|e| e.seq + 1).max().unwrap_or(0);
+        Ok(OpsLog {
+            dir: dir.to_path_buf(),
+            max_bytes: max_bytes.max(1024),
+            keep: keep.max(1),
+            next_seq,
+        })
+    }
+
+    /// Directory the log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The sequence number the next appended event will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Append one event, rotating first if the active segment is full.
+    /// Returns the event as written.
+    pub fn append(&mut self, kind: &str, at_s: f64, data: Value) -> std::io::Result<OpsEvent> {
+        let active = self.dir.join(OPS_LOG_FILE);
+        if let Ok(meta) = std::fs::metadata(&active) {
+            if meta.len() >= self.max_bytes {
+                self.rotate()?;
+            }
+        }
+        let event = OpsEvent {
+            seq: self.next_seq,
+            kind: kind.to_string(),
+            at_s,
+            data,
+        };
+        let mut f = OpenOptions::new().create(true).append(true).open(&active)?;
+        let line = serde_json::to_string(&event.to_json())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(f, "{line}")?;
+        self.next_seq += 1;
+        Ok(event)
+    }
+
+    /// Shift `ops.jsonl` → `.1` → `.2` …, dropping beyond `keep`.
+    fn rotate(&self) -> std::io::Result<()> {
+        let oldest = self.dir.join(format!("{OPS_LOG_FILE}.{}", self.keep));
+        if oldest.exists() {
+            std::fs::remove_file(&oldest)?;
+        }
+        for i in (1..self.keep).rev() {
+            let from = self.dir.join(format!("{OPS_LOG_FILE}.{i}"));
+            if from.exists() {
+                std::fs::rename(&from, self.dir.join(format!("{OPS_LOG_FILE}.{}", i + 1)))?;
+            }
+        }
+        let active = self.dir.join(OPS_LOG_FILE);
+        if active.exists() {
+            std::fs::rename(&active, self.dir.join(format!("{OPS_LOG_FILE}.1")))?;
+        }
+        Ok(())
+    }
+}
+
+/// Read the full event history in `dir`: rotated segments oldest-first,
+/// then the active segment. Unparseable lines (torn tail after a crash)
+/// are skipped.
+pub fn read_all(dir: &Path) -> Vec<OpsEvent> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    // Highest rotation index is oldest.
+    let mut rotated: Vec<(u64, PathBuf)> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().to_string();
+            if let Some(idx) = name.strip_prefix(&format!("{OPS_LOG_FILE}.")) {
+                if let Ok(i) = idx.parse::<u64>() {
+                    rotated.push((i, entry.path()));
+                }
+            }
+        }
+    }
+    rotated.sort_by_key(|(i, _)| std::cmp::Reverse(*i));
+    paths.extend(rotated.into_iter().map(|(_, p)| p));
+    paths.push(dir.join(OPS_LOG_FILE));
+
+    let mut events = Vec::new();
+    for path in paths {
+        let Ok(f) = File::open(&path) else { continue };
+        for line in BufReader::new(f).lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(v) = serde_json::from_str(&line) else {
+                continue;
+            };
+            if let Ok(e) = OpsEvent::from_json(&v) {
+                events.push(e);
+            }
+        }
+    }
+    events
+}
+
+/// Replay the event stream to the final health verdict: the last
+/// `health` event's report, which by the evaluation contract equals the
+/// live report at that moment.
+pub fn replay_final_health(events: &[OpsEvent]) -> Option<HealthReport> {
+    events
+        .iter()
+        .rev()
+        .find(|e| e.kind == "health")
+        .and_then(|e| HealthReport::from_json(&e.data).ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("eoml-oplog-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn sequence_numbers_continue_across_reopen() {
+        let dir = tempdir("reopen");
+        {
+            let mut log = OpsLog::open(&dir, 1 << 20, 2).unwrap();
+            for i in 0..5 {
+                log.append("tick", i as f64, json!({"i": i})).unwrap();
+            }
+        }
+        let mut log = OpsLog::open(&dir, 1 << 20, 2).unwrap();
+        assert_eq!(log.next_seq(), 5);
+        log.append("tick", 5.0, json!({"i": 5})).unwrap();
+        let events = read_all(&dir);
+        assert_eq!(events.len(), 6);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_keeps_bounded_segments_and_read_all_orders_oldest_first() {
+        let dir = tempdir("rotate");
+        // max_bytes is clamped to 1024, so ~60-byte lines rotate every
+        // ~17 events.
+        let mut log = OpsLog::open(&dir, 1, 2).unwrap();
+        for i in 0..200u64 {
+            log.append("tick", i as f64, json!({"i": i})).unwrap();
+        }
+        // Active + at most `keep` rotations.
+        assert!(dir.join(OPS_LOG_FILE).exists());
+        assert!(dir.join(format!("{OPS_LOG_FILE}.1")).exists());
+        assert!(!dir.join(format!("{OPS_LOG_FILE}.3")).exists());
+        let events = read_all(&dir);
+        // Old events were dropped with their segments, but what remains
+        // is strictly ordered and ends at the newest.
+        assert!(events.len() < 200);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(events.last().unwrap().seq, 199);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_lines_are_skipped_and_health_replays() {
+        let dir = tempdir("torn");
+        let mut log = OpsLog::open(&dir, 1 << 20, 2).unwrap();
+        log.append("service_open", 0.0, json!({})).unwrap();
+        let report = crate::ops::health::evaluate(
+            &crate::ops::health::HealthPolicy::default(),
+            3.0,
+            2,
+            Some(0.9),
+            10,
+            Vec::new(),
+            0,
+            false,
+        );
+        log.append("health", 3.0, report.to_json()).unwrap();
+        // Simulate a torn tail.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(OPS_LOG_FILE))
+            .unwrap();
+        write!(f, "{{\"seq\": 99, \"kind\": \"hea").unwrap();
+        drop(f);
+
+        let events = read_all(&dir);
+        assert_eq!(events.len(), 2);
+        let replayed = replay_final_health(&events).unwrap();
+        assert_eq!(replayed, report);
+        // Reopen continues after the torn line without inheriting it.
+        let log = OpsLog::open(&dir, 1 << 20, 2).unwrap();
+        assert_eq!(log.next_seq(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

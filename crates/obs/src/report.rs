@@ -60,15 +60,17 @@ impl ObsReport {
     }
 
     /// The per-tenant slice of a shared hub: the report built only from
-    /// spans and metrics whose stage label starts with `prefix`. A
-    /// multi-tenant service records every tenant's telemetry under a
-    /// `tenant:<id>` stage label into one [`Obs`], then serves each tenant
-    /// its own report through this constructor.
+    /// spans and metrics whose stage label matches `prefix` on a
+    /// delimiter-aware boundary (see
+    /// [`crate::metrics::stage_matches_prefix`] — tenant `t1` never
+    /// captures `t10`). A multi-tenant service records every tenant's
+    /// telemetry under a `tenant:<id>` stage label into one [`Obs`], then
+    /// serves each tenant its own report through this constructor.
     pub fn for_stage_prefix(obs: &Obs, prefix: &str) -> ObsReport {
         let spans: Vec<SpanRecord> = obs
             .spans()
             .into_iter()
-            .filter(|s| s.stage.starts_with(prefix))
+            .filter(|s| crate::metrics::stage_matches_prefix(&s.stage, prefix))
             .collect();
         let snapshot = obs.metrics().snapshot().filter_stage_prefix(prefix);
         ObsReport::from_parts(&spans, &snapshot)
@@ -386,6 +388,21 @@ mod tests {
         assert_eq!(snap.counters.len(), 2); // granules + spans_closed
         assert!(!acme.render_text(0).contains("tenant:zip"));
         assert!(!acme.render_text(0).contains("download"));
+    }
+
+    #[test]
+    fn stage_prefix_slice_never_captures_sibling_with_shared_prefix() {
+        let obs = Obs::new();
+        obs.record_sim_span_secs("tenant:t1", "quantum", 0.0, 5.0);
+        obs.record_sim_span_secs("tenant:t10", "quantum", 0.0, 50.0);
+        obs.metrics().counter_add("granules", "tenant:t1", 1);
+        obs.metrics().counter_add("granules", "tenant:t10", 99);
+        let t1 = ObsReport::for_stage_prefix(&obs, "tenant:t1");
+        assert_eq!(t1.stage_span_counts().len(), 1);
+        assert_eq!(t1.stage_span_counts()["tenant:t1"], 1);
+        assert!(!t1.render_text(0).contains("tenant:t10"));
+        let snap = obs.metrics().snapshot().filter_stage_prefix("tenant:t1");
+        assert!(t1.verify_against(&snap).is_empty());
     }
 
     #[test]

@@ -186,6 +186,68 @@ fn prometheus_text_round_trips_with_bucket_counts() {
 }
 
 #[test]
+fn prometheus_emits_help_and_type_for_every_family() {
+    let obs = Obs::new();
+    obs.counter_add("files", "download", 1);
+    obs.gauge_set("active_workers", "download", 2.0);
+    obs.observe("file_seconds", "download", 0.5);
+
+    let text = obs.prometheus_text();
+    for fam in [
+        "eoml_files_total",
+        "eoml_active_workers",
+        "eoml_file_seconds",
+    ] {
+        assert!(
+            text.contains(&format!("# HELP {fam} ")),
+            "missing HELP for {fam}"
+        );
+        assert!(
+            text.contains(&format!("# TYPE {fam} ")),
+            "missing TYPE for {fam}"
+        );
+    }
+    // HELP precedes TYPE precedes the first sample of each family.
+    let help_at = text.find("# HELP eoml_files_total").unwrap();
+    let type_at = text.find("# TYPE eoml_files_total").unwrap();
+    let sample_at = text.find("eoml_files_total{").unwrap();
+    assert!(help_at < type_at && type_at < sample_at);
+}
+
+#[test]
+fn odd_tenant_labels_are_escaped_and_round_trip() {
+    let obs = Obs::new();
+    // A stage label with every character the format must escape.
+    let stage = "tenant:we\"ird\\lab\nel";
+    obs.counter_add("granules", stage, 9);
+
+    let text = obs.prometheus_text();
+    // The exposition itself stays line-structured: every line is either
+    // a comment or a sample, and none is torn by the raw newline.
+    for line in text.lines() {
+        assert!(
+            line.starts_with('#') || line.contains(' '),
+            "torn line {line:?}"
+        );
+    }
+    assert!(text.contains("stage=\"tenant:we\\\"ird\\\\lab\\nel\""));
+
+    // Parse back and un-escape: the original stage survives the trip.
+    let samples = parse_prometheus(&text);
+    let (_, labels, value) = samples
+        .iter()
+        .find(|(n, _, _)| n == "eoml_granules_total")
+        .expect("counter sample present");
+    assert_eq!(*value, 9.0);
+    let escaped = &labels.iter().find(|(k, _)| k == "stage").unwrap().1;
+    let unescaped = escaped
+        .replace("\\n", "\n")
+        .replace("\\\"", "\"")
+        .replace("\\\\", "\\");
+    assert_eq!(unescaped, stage);
+}
+
+#[test]
 fn jsonl_lines_all_parse() {
     let obs = Obs::new();
     {

@@ -33,13 +33,15 @@ use crate::spec::CampaignSpec;
 use crate::tenant::{check_campaign_name, TenantSpec};
 use eoml_cluster::{BudgetPool, ClusterSpec};
 use eoml_core::campaign::run_campaign_resumable;
-use eoml_core::scheduler::run_day_in_namespace;
+use eoml_core::scheduler::{run_day_in_namespace_ticked, DayRun};
 use eoml_journal::{FileStorage, Journal};
 use eoml_journal::{JournalError, JournalEvent, Ledger, LedgerLock};
-use eoml_obs::{Obs, ObsReport};
+use eoml_obs::{
+    AuditRecord, HealthReport, Obs, ObsReport, OpsConfig, OpsEvent, OpsPlane, WindowDelta,
+};
 use eoml_util::timebase::CivilDate;
 use serde_json::{json, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -217,17 +219,21 @@ pub struct ServiceConfig {
     pub snapshot_every: usize,
     /// Injected kill point (tests only).
     pub kill: Option<KillPoint>,
+    /// Continuous ops plane (rolling windows, SLOs, fairness audit,
+    /// health, ops log under `<root>/ops/`); `None` disables it.
+    pub ops: Option<OpsConfig>,
 }
 
 impl ServiceConfig {
     /// A small deterministic config for tests: 4 shards over a 64-core
-    /// tiny cluster.
+    /// tiny cluster, ops plane on with its small defaults.
     pub fn small() -> Self {
         Self {
             shards: 4,
             cluster: ClusterSpec::tiny(8),
             snapshot_every: 64,
             kill: None,
+            ops: Some(OpsConfig::small()),
         }
     }
 }
@@ -342,6 +348,9 @@ pub struct CampaignService {
     quanta_admitted: AtomicUsize,
     quanta_done: AtomicUsize,
     halted: AtomicBool,
+    /// Continuous ops plane (None when disabled). Lock order: the
+    /// control mutex is never acquired while holding this one.
+    ops: Option<Mutex<OpsPlane>>,
     /// Exclusive in-process locks on the control root and every tenant
     /// ledger root, held for the service lifetime: a second service over
     /// the same root gets a typed [`JournalError::Busy`].
@@ -431,6 +440,32 @@ impl CampaignService {
         }
         recovery.requeued = requeue.len();
 
+        // Open the ops plane last: it rehydrates windows / SLO state /
+        // audit tallies from `<root>/ops/` and logs the reopen, so a
+        // restarted service continues the same operational history.
+        let ops = match config.ops.clone() {
+            Some(cfg) => {
+                let mut plane = OpsPlane::open(&root.join("ops"), cfg)
+                    .map_err(|e| ServiceError::Invalid(format!("ops plane: {e}")))?;
+                plane.attach_alerts(&obs);
+                plane.set_recovering(recovery.requeued > 0);
+                plane.event(
+                    "service_open",
+                    json!({
+                        "control_events": recovery.control_events as u64,
+                        "tenants": recovery.tenants as u64,
+                        "requeued": recovery.requeued as u64,
+                        "completed": recovery.completed as u64,
+                    }),
+                );
+                // Baseline verdict: always logged on open (recovery shows
+                // up as a Degraded reason until the drain completes).
+                let _ = plane.health();
+                Some(Mutex::new(plane))
+            }
+            None => None,
+        };
+
         let service = CampaignService {
             shard_seqs: (0..config.shards).map(|_| AtomicUsize::new(0)).collect(),
             root,
@@ -445,6 +480,7 @@ impl CampaignService {
             quanta_admitted: AtomicUsize::new(0),
             quanta_done: AtomicUsize::new(0),
             halted: AtomicBool::new(false),
+            ops,
             locks: Mutex::new(locks),
         };
         Ok((service, recovery))
@@ -470,6 +506,59 @@ impl CampaignService {
     /// The worker budget pool (capacity = cluster cores).
     pub fn pool(&self) -> &BudgetPool {
         &self.pool
+    }
+
+    /// Current health verdict, or `None` when the ops plane is disabled.
+    /// Evaluating logs a `health` ops event iff the state changed.
+    pub fn health(&self) -> Option<HealthReport> {
+        self.with_ops(|ops| ops.health())
+    }
+
+    /// The ops plane directory (`<root>/ops`, next to the ledger root).
+    pub fn ops_dir(&self) -> PathBuf {
+        self.root.join("ops")
+    }
+
+    /// The full ops event history (rotated segments oldest-first), empty
+    /// when the ops plane is disabled.
+    pub fn ops_log(&self) -> Vec<OpsEvent> {
+        self.with_ops(|ops| ops.events()).unwrap_or_default()
+    }
+
+    /// Rolled metric windows currently held in the ring (oldest first).
+    pub fn ops_windows(&self) -> Vec<WindowDelta> {
+        self.with_ops(|ops| ops.windows().windows().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Live Jain's fairness index over weighted admissions.
+    pub fn fairness(&self) -> Option<f64> {
+        self.with_ops(|ops| ops.fairness()).flatten()
+    }
+
+    /// Run `f` under the ops-plane lock, if the plane is enabled.
+    fn with_ops<R>(&self, f: impl FnOnce(&mut OpsPlane) -> R) -> Option<R> {
+        self.ops
+            .as_ref()
+            .map(|o| f(&mut o.lock().expect("ops plane poisoned")))
+    }
+
+    /// Append a lifecycle event to the ops log, if enabled.
+    fn ops_event(&self, kind: &str, data: Value) {
+        self.with_ops(|ops| ops.event(kind, data));
+    }
+
+    /// Stages with live work: tenants owning at least one Running or
+    /// Paused campaign. Paused counts as active on purpose — a parked
+    /// whale should keep accruing (bad) SLO windows, which is exactly the
+    /// induced-degradation signal the soak test exercises.
+    fn active_stages(&self) -> BTreeSet<String> {
+        self.lock_control()
+            .campaigns
+            .values()
+            .filter(|r| matches!(r.status, CampaignStatus::Running | CampaignStatus::Paused))
+            .map(|r| Self::tenant_stage(&r.tenant))
+            .collect()
     }
 
     /// The obs stage label carrying one tenant's metrics.
@@ -513,7 +602,14 @@ impl CampaignService {
             &Self::tenant_stage(&spec.id),
             spec.budget_workers as f64,
         );
+        let event = json!({
+            "tenant": spec.id,
+            "weight": spec.weight as u64,
+            "budget_workers": spec.budget_workers as u64,
+        });
         control.tenants.insert(spec.id.clone(), spec);
+        drop(control);
+        self.ops_event("tenant_registered", event);
         Ok(())
     }
 
@@ -582,6 +678,10 @@ impl CampaignService {
             .insert(key, Instant::now());
         self.obs.counter_add("submitted", &stage, 1);
         self.obs.gauge_set("queue_depth", &stage, depth as f64);
+        self.ops_event(
+            "submit",
+            json!({ "tenant": tenant, "campaign": campaign, "shard": shard as u64 }),
+        );
         Ok(())
     }
 
@@ -591,7 +691,9 @@ impl CampaignService {
         self.transition(tenant, campaign, "pause", |status| match status {
             CampaignStatus::Queued | CampaignStatus::Running => Some(CampaignStatus::Paused),
             _ => None,
-        })
+        })?;
+        self.ops_event("pause", json!({ "tenant": tenant, "campaign": campaign }));
+        Ok(())
     }
 
     /// Resume a paused campaign: back onto its shard queue.
@@ -614,6 +716,7 @@ impl CampaignService {
             .lock()
             .expect("enqueued poisoned")
             .insert((tenant.to_string(), campaign.to_string()), Instant::now());
+        self.ops_event("resume", json!({ "tenant": tenant, "campaign": campaign }));
         Ok(())
     }
 
@@ -634,6 +737,7 @@ impl CampaignService {
         // the namespaces when it observes the cancelled status; otherwise
         // clean up now.
         self.cleanup_campaign_namespaces(tenant, campaign)?;
+        self.ops_event("cancel", json!({ "tenant": tenant, "campaign": campaign }));
         Ok(())
     }
 
@@ -730,7 +834,21 @@ impl CampaignService {
         let mut errors = worker_errors.into_inner().expect("errors poisoned");
         match errors.pop() {
             Some(e) => Err(e),
-            None => Ok(self.service_report()),
+            None => {
+                // Quiesced cleanly: close out the partial window, clear
+                // the recovery flag, and log the (possibly transitioned)
+                // health verdict plus an idle marker.
+                if self.ops.is_some() {
+                    let active = self.active_stages();
+                    self.with_ops(|ops| {
+                        ops.force_roll(self.obs.metrics(), &active);
+                        ops.set_recovering(false);
+                        let _ = ops.health();
+                        ops.event("idle", json!({}));
+                    });
+                }
+                Ok(self.service_report())
+            }
         }
     }
 
@@ -894,6 +1012,16 @@ impl CampaignService {
         self.obs.counter_add("admitted", &stage, 1);
         self.obs
             .gauge_set("budget_utilization", &stage, demand as f64 / budget as f64);
+        self.with_ops(|ops| {
+            ops.record_audit(AuditRecord::Admission {
+                tenant: tenant.to_string(),
+                campaign: campaign.to_string(),
+                day_index: rec.days_done,
+                shard,
+                workers: demand,
+                weight: weight as u64,
+            })
+        });
 
         // Lease workers from the cluster pool (blocks until available),
         // then run the quantum through the single-day resumable driver.
@@ -901,6 +1029,21 @@ impl CampaignService {
             .pool
             .acquire(demand)
             .map_err(|e| ServiceError::Invalid(e.to_string()))?;
+        self.obs
+            .observe("lease_wait_seconds", &stage, lease.wait_seconds());
+        self.obs
+            .gauge_set("pool_in_use", "pool", self.pool.in_use() as f64);
+        self.obs
+            .gauge_set("pool_outstanding", "pool", self.pool.outstanding() as f64);
+        self.with_ops(|ops| {
+            ops.record_audit(AuditRecord::LeaseAcquired {
+                tenant: tenant.to_string(),
+                campaign: campaign.to_string(),
+                workers: demand,
+                wait_s: lease.wait_seconds(),
+                in_use: self.pool.in_use(),
+            })
+        });
         let ledger = self.tenant_ledger(tenant)?;
         let mut day_params = clamped.to_params();
         day_params.start = date;
@@ -909,6 +1052,13 @@ impl CampaignService {
         let armed = match self.config.kill {
             Some(KillPoint::MidQuantum { quantum, events }) if quantum == seq => Some(events),
             _ => None,
+        };
+        // Per-quantum tick hook: observe the quantum's makespan into the
+        // tenant's histogram the moment the day durably completes.
+        let tick_obs = Arc::clone(&self.obs);
+        let tick_stage = stage.clone();
+        let tick = move |day: &DayRun| {
+            tick_obs.observe("quantum_makespan_s", &tick_stage, day.report.makespan_s);
         };
         let day_run = {
             let _span = self.obs.span(&stage, "quantum");
@@ -927,14 +1077,31 @@ impl CampaignService {
                         // The kill point never fired (journal already past
                         // it); fall through via the normal path to compact
                         // and produce the DayRun bookkeeping.
-                        run_day_in_namespace(&day_params, &ledger, &namespace, date)?
+                        run_day_in_namespace_ticked(
+                            &day_params,
+                            &ledger,
+                            &namespace,
+                            date,
+                            Some(&tick),
+                        )?
                     }
                 }
             } else {
-                run_day_in_namespace(&day_params, &ledger, &namespace, date)?
+                run_day_in_namespace_ticked(&day_params, &ledger, &namespace, date, Some(&tick))?
             }
         };
         drop(lease);
+        self.obs
+            .gauge_set("pool_in_use", "pool", self.pool.in_use() as f64);
+        self.obs
+            .gauge_set("pool_outstanding", "pool", self.pool.outstanding() as f64);
+        self.with_ops(|ops| {
+            ops.record_audit(AuditRecord::LeaseReleased {
+                tenant: tenant.to_string(),
+                campaign: campaign.to_string(),
+                workers: demand,
+            })
+        });
 
         // Injected whole-service death between a quantum completing and
         // its control record landing — the worst-case recovery window.
@@ -985,6 +1152,17 @@ impl CampaignService {
                 self.obs
                     .observe("ttfg_seconds", &stage, enqueued.elapsed().as_secs_f64());
             }
+        }
+
+        // Advance the ops clock by this quantum's makespan — *after* the
+        // control record and counters landed, so a window never contains
+        // work that a kill could still retract. Control lock first (in
+        // active_stages), then the plane lock, never nested.
+        if self.ops.is_some() {
+            let active = self.active_stages();
+            self.with_ops(|ops| {
+                ops.tick(report.makespan_s, self.obs.metrics(), &active);
+            });
         }
 
         match status_now {

@@ -1,0 +1,315 @@
+//! Ops-plane soak tests: a multi-day, multi-tenant run with the
+//! continuous ops plane enabled must roll windows with real per-tenant
+//! throughput, keep the scheduler fair, transition Degraded → Healthy
+//! when a paused whale resumes, and write an ops log whose replay lands
+//! on the same final health verdict — including across a kill/restart,
+//! without double-counting the killed quantum's work.
+
+use eoml_obs::{
+    replay_final_health, stage_matches_prefix, HealthState, OpsConfig, SloKind, SloSpec,
+};
+use eoml_service::{
+    CampaignService, CampaignSpec, KillPoint, ServiceConfig, ServiceError, TenantSpec,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "eoml-opsplane-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One shard (deterministic window sequence), per-quantum windows, and a
+/// per-tenant throughput SLO: every active tenant must move at least one
+/// granule per window, half the windows must comply.
+fn ops_service_config() -> ServiceConfig {
+    let mut config = ServiceConfig::small();
+    config.shards = 1;
+    config.ops = Some(OpsConfig {
+        window_s: 0.0,
+        slo_lookback: 8,
+        slos: vec![SloSpec {
+            id: "tenant-throughput".to_string(),
+            kind: SloKind::RateAtLeast {
+                name: "granules".to_string(),
+                min_per_window: 1.0,
+            },
+            target: 0.5,
+        }],
+        ..OpsConfig::small()
+    });
+    config
+}
+
+/// Per-tenant granule totals summed out of the `window_roll` ops events
+/// (the windows' own accounting, not the campaign records).
+fn windowed_granules_by_tenant(
+    events: &[eoml_obs::OpsEvent],
+    tenants: &[String],
+) -> BTreeMap<String, u64> {
+    let mut sums: BTreeMap<String, u64> = BTreeMap::new();
+    for event in events.iter().filter(|e| e.kind == "window_roll") {
+        let Some(counters) = event.data["counters"].as_array() else {
+            continue;
+        };
+        for c in counters {
+            if c["name"].as_str() != Some("granules") {
+                continue;
+            }
+            let stage = c["stage"].as_str().unwrap_or("");
+            let delta = c["delta"].as_u64().unwrap_or(0);
+            for tenant in tenants {
+                if stage_matches_prefix(stage, &format!("tenant:{tenant}")) {
+                    *sums.entry(tenant.clone()).or_default() += delta;
+                }
+            }
+        }
+    }
+    sums
+}
+
+/// The soak: eight small tenants drain while a whale sits paused — every
+/// window is bad for the whale, its error budget burns to 2.0, and the
+/// idle health verdict degrades. Resuming the whale produces six good
+/// windows, dilutes the burn below 1.0, and the service recovers. The
+/// ops log records exactly that healthy → degraded → healthy arc and
+/// replays to the live verdict.
+#[test]
+fn paused_whale_degrades_then_recovers_and_the_ops_log_replays_it() {
+    const SMALL: usize = 8;
+    const WHALE_DAYS: usize = 6;
+    let root = tempdir("soak");
+    let (service, recovery) = CampaignService::open(&root, ops_service_config()).unwrap();
+    assert_eq!(recovery.tenants, 0);
+
+    service
+        .register_tenant(TenantSpec::new("whale", 4, 24).unwrap())
+        .unwrap();
+    service
+        .submit("whale", "reproc", CampaignSpec::whale(42, WHALE_DAYS))
+        .unwrap();
+    service.pause("whale", "reproc").unwrap();
+    for i in 0..SMALL {
+        let id = format!("s-{i}");
+        service
+            .register_tenant(TenantSpec::new(&id, 1, 8).unwrap())
+            .unwrap();
+        service
+            .submit(&id, "job", CampaignSpec::small(100 + i as u64))
+            .unwrap();
+    }
+
+    // Phase 1: the smalls drain; the paused whale stays active for SLO
+    // purposes and never moves a granule.
+    let report = service.run_until_idle().unwrap();
+    assert_eq!(report.completed, SMALL);
+    assert_eq!(report.quanta, SMALL);
+
+    let degraded = service.health().expect("ops plane is enabled");
+    assert_eq!(degraded.state.label(), "degraded");
+    assert!(
+        degraded
+            .state
+            .reasons()
+            .iter()
+            .any(|r| r.contains("tenant-throughput") && r.contains("tenant:whale")),
+        "whale burn must be the degradation reason: {:?}",
+        degraded.state.reasons()
+    );
+    let whale_burn = degraded
+        .slos
+        .iter()
+        .find(|s| s.stage == "tenant:whale")
+        .expect("whale is still scored while paused");
+    assert!((whale_burn.burn - 2.0).abs() < 1e-9, "all windows bad");
+
+    // Per-quantum windows with real per-tenant throughput: each small's
+    // quantum is its own window, so well over the required three windows
+    // carry non-zero tenant granule deltas.
+    let windows = service.ops_windows();
+    assert_eq!(windows.len(), SMALL);
+    let productive = windows
+        .iter()
+        .filter(|w| {
+            w.counters
+                .iter()
+                .any(|(k, v)| k.name == "granules" && k.stage.starts_with("tenant:") && *v > 0)
+        })
+        .count();
+    assert!(productive >= 3, "only {productive} productive windows");
+    for i in 0..SMALL {
+        let prefix = format!("tenant:s-{i}");
+        assert!(
+            windows
+                .iter()
+                .map(|w| w.counter_prefix("granules", &prefix))
+                .sum::<u64>()
+                > 0,
+            "{prefix} produced nothing in any window"
+        );
+    }
+
+    // Phase 2: the whale resumes and its six days roll six good windows.
+    service.resume("whale", "reproc").unwrap();
+    let report = service.run_until_idle().unwrap();
+    assert_eq!(report.completed, SMALL + 1);
+    assert_eq!(report.quanta, SMALL + WHALE_DAYS);
+
+    let healthy = service.health().unwrap();
+    assert_eq!(healthy.state, HealthState::Healthy);
+    assert_eq!(healthy.windows, (SMALL + WHALE_DAYS) as u64);
+
+    // Fairness stays within the storm's WRR bounds: weighted admission
+    // shares are near-uniform (8 smalls at x=1, the whale at 6/4).
+    let jain = service.fairness().expect("admissions were recorded");
+    assert!(
+        jain > 0.9 && jain <= 1.0,
+        "Jain index {jain} outside WRR bounds"
+    );
+    // And nobody's first admission fell outside the single shard's first
+    // weighted round-robin cycle (total weight 8*1 + 4 = 12).
+    let mut first_seq: BTreeMap<&str, usize> = BTreeMap::new();
+    let admissions = service.admissions();
+    for a in &admissions {
+        first_seq.entry(a.tenant.as_str()).or_insert(a.shard_seq);
+    }
+    assert_eq!(first_seq.len(), SMALL + 1);
+    assert!(first_seq.values().all(|seq| *seq < 12));
+
+    // The ops log recorded the exact health arc — the open baseline, the
+    // paused-whale degradation, and the recovery — and replaying it
+    // reproduces the live verdict, reasons included.
+    let events = service.ops_log();
+    let health_states: Vec<String> = events
+        .iter()
+        .filter(|e| e.kind == "health")
+        .map(|e| e.data["state"].as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(health_states, vec!["healthy", "degraded", "healthy"]);
+    let replayed = replay_final_health(&events).unwrap();
+    assert_eq!(replayed.state, healthy.state);
+    assert_eq!(replayed.state.reasons(), healthy.state.reasons());
+    assert_eq!(replayed.windows, healthy.windows);
+
+    // The windows' own accounting matches the campaign ledger exactly.
+    let tenants: Vec<String> = (0..SMALL)
+        .map(|i| format!("s-{i}"))
+        .chain(std::iter::once("whale".to_string()))
+        .collect();
+    let windowed = windowed_granules_by_tenant(&events, &tenants);
+    for rec in service.list(None) {
+        assert_eq!(
+            windowed.get(&rec.tenant).copied().unwrap_or(0),
+            rec.totals.granules as u64,
+            "windowed granules diverge from ledger for {}",
+            rec.tenant
+        );
+    }
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Kill the service mid-storm, reopen the same root, and require the
+/// ops plane to continue the same history: the window ring rehydrates
+/// from the ops log, indices keep increasing, recovery shows up as a
+/// Degraded phase that clears on drain, and summing granule deltas over
+/// every window (pre- and post-kill) equals the final campaign totals —
+/// the killed quantum's work is counted exactly once.
+#[test]
+fn windows_resume_across_restart_without_double_counting() {
+    let root = tempdir("restart");
+    let mut config = ops_service_config();
+    config.kill = Some(KillPoint::AfterQuanta(3));
+    let (victim, _) = CampaignService::open(&root, config).unwrap();
+
+    for i in 0..2 {
+        let id = format!("s-{i}");
+        victim
+            .register_tenant(TenantSpec::new(&id, 1, 8).unwrap())
+            .unwrap();
+        victim
+            .submit(&id, "job", CampaignSpec::small(500 + i as u64))
+            .unwrap();
+    }
+    victim
+        .register_tenant(TenantSpec::new("w", 4, 24).unwrap())
+        .unwrap();
+    victim
+        .submit("w", "reproc", CampaignSpec::whale(900, 4))
+        .unwrap();
+
+    match victim.run_until_idle() {
+        Err(ServiceError::Killed) => {}
+        other => panic!("kill point never fired: {other:?}"),
+    }
+    let windows_before = victim.ops_windows();
+    assert!(
+        !windows_before.is_empty(),
+        "some windows must roll before the kill"
+    );
+    drop(victim);
+
+    // Reopen: the plane rehydrates the ring from the ops log and flags
+    // the journal replay as a Degraded "recovery in progress" phase.
+    let (recovered, recovery) = CampaignService::open(&root, ops_service_config()).unwrap();
+    assert!(recovery.requeued > 0, "killed mid-storm: work must remain");
+    let rehydrated = recovered.ops_windows();
+    assert_eq!(rehydrated.len(), windows_before.len());
+    for (a, b) in rehydrated.iter().zip(&windows_before) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.counters, b.counters);
+    }
+    let during_recovery = recovered.health().unwrap();
+    assert_eq!(during_recovery.state.label(), "degraded");
+    assert!(during_recovery.recovering);
+    assert!(during_recovery
+        .state
+        .reasons()
+        .iter()
+        .any(|r| r.contains("recovery in progress")));
+
+    recovered.run_until_idle().unwrap();
+    let final_health = recovered.health().unwrap();
+    assert_eq!(final_health.state, HealthState::Healthy);
+    assert!(!final_health.recovering);
+
+    // One continuous window history: indices are exactly 0..n across
+    // both service lifetimes.
+    let events = recovered.ops_log();
+    let indices: Vec<u64> = events
+        .iter()
+        .filter(|e| e.kind == "window_roll")
+        .map(|e| e.data["index"].as_u64().unwrap())
+        .collect();
+    let expected: Vec<u64> = (0..indices.len() as u64).collect();
+    assert_eq!(indices, expected);
+    assert!(indices.len() > windows_before.len());
+
+    // No double-counting: the killed quantum's granules appear in
+    // exactly one window, so the windowed sums equal the ledger totals.
+    let tenants = vec!["s-0".to_string(), "s-1".to_string(), "w".to_string()];
+    let windowed = windowed_granules_by_tenant(&events, &tenants);
+    for rec in recovered.list(None) {
+        assert!(rec.totals.granules > 0);
+        assert_eq!(
+            windowed.get(&rec.tenant).copied().unwrap_or(0),
+            rec.totals.granules as u64,
+            "windowed granules diverge from ledger for {} after restart",
+            rec.tenant
+        );
+    }
+
+    // The replayed final verdict is the live one.
+    let replayed = replay_final_health(&events).unwrap();
+    assert_eq!(replayed.state, final_health.state);
+
+    std::fs::remove_dir_all(&root).ok();
+}

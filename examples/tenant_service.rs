@@ -16,6 +16,12 @@
 //! * `EOML_STORM_KILL`     — kill the service after this many quanta; the
 //!   process exits with status 2 so a harness can observe the "crash"
 //! * `EOML_SERVICE_REPORT` — directory to write `SERVICE_storm.json` into
+//! * `EOML_HEALTH`         — file to write the final health verdict JSON
+//!   into (written on the killed path too, so a harness can watch the
+//!   Degraded → Healthy recovery arc across reruns)
+//! * `EOML_SERVICE_PROM`   — file to write the Prometheus exposition into
+//! * `EOML_OPS_WINDOW_S`   — ops-plane window length in sim seconds
+//!   (default 3600; `0` rolls one window per scheduler quantum)
 
 use eoml::service::{CampaignService, CampaignSpec, KillPoint, ServiceConfig, TenantSpec};
 use std::process::ExitCode;
@@ -25,6 +31,46 @@ fn env_usize(key: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Write the current health verdict to `EOML_HEALTH` (if set) and print
+/// a one-line ops summary either way.
+fn report_ops(service: &CampaignService) {
+    let Some(health) = service.health() else {
+        return; // ops plane disabled
+    };
+    let windows = service.ops_windows();
+    println!(
+        "ops: health {} ({} windows, fairness {}, {} ops events in {})",
+        health.state.label(),
+        health.windows,
+        health
+            .fairness
+            .map(|j| format!("{j:.3}"))
+            .unwrap_or_else(|| "n/a".to_string()),
+        service.ops_log().len(),
+        service.ops_dir().display(),
+    );
+    for reason in health.state.reasons() {
+        println!("ops:   reason: {reason}");
+    }
+    if let Some(last) = windows.last() {
+        println!(
+            "ops:   window {} [{:.0}s..{:.0}s]: {} counter deltas",
+            last.index,
+            last.start_s,
+            last.end_s,
+            last.counters.len()
+        );
+    }
+    if let Ok(path) = std::env::var("EOML_HEALTH") {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(dir).expect("health dir");
+        }
+        let text = serde_json::to_string(&health.to_json()).expect("health json");
+        std::fs::write(&path, text).expect("write health");
+        println!("ops: health verdict written to {path}");
+    }
 }
 
 fn main() -> ExitCode {
@@ -42,6 +88,14 @@ fn main() -> ExitCode {
 
     let mut config = ServiceConfig::small();
     config.kill = kill.map(KillPoint::AfterQuanta);
+    if let Some(window_s) = std::env::var("EOML_OPS_WINDOW_S")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        if let Some(ops) = config.ops.as_mut() {
+            ops.window_s = window_s;
+        }
+    }
     let (service, recovery) = CampaignService::open(&root, config).expect("open service");
     println!(
         "service root {root}: recovered {} tenants, {} campaigns requeued, \
@@ -79,6 +133,7 @@ fn main() -> ExitCode {
             let done = service.service_report().quanta;
             println!("service killed after {done} quanta (injected)");
             println!("rerun with the same EOML_SERVICE_ROOT to recover");
+            report_ops(&service);
             return ExitCode::from(2);
         }
         Err(e) => {
@@ -120,6 +175,15 @@ fn main() -> ExitCode {
             "fairness: {} tenants admitted, worst first-admission shard_seq {worst}",
             first.len()
         );
+    }
+
+    report_ops(&service);
+    if let Ok(path) = std::env::var("EOML_SERVICE_PROM") {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(dir).expect("prom dir");
+        }
+        std::fs::write(&path, service.obs().prometheus_text()).expect("write prometheus");
+        println!("prometheus exposition written to {path}");
     }
 
     // One whale's per-tenant slice, as a tenant would see it.
