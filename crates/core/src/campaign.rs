@@ -19,6 +19,9 @@ use eoml_modis::product::{Platform, ProductKind};
 use eoml_obs::{GranuleTrace, Obs, TraceAnalysis, TraceContext};
 use eoml_simtime::{SimTime, Simulation};
 use eoml_transfer::faults::FaultPlan;
+use eoml_transfer::manifest::{
+    synthetic_digest, ArtifactEntry, JournalDigest, LineageRecord, ShipmentManifest,
+};
 use eoml_transfer::pool::{DownloadPool, DownloadReport, FileTiming};
 use eoml_transfer::service::{submit_transfer, TransferOptions, TransferReport, TransferTaskId};
 use eoml_util::rng::{Rng64, SplitMix64, Xoshiro256};
@@ -35,11 +38,21 @@ use std::time::Duration;
 pub trait JournalSink {
     /// Append one event durably.
     fn append(&mut self, event: JournalEvent) -> Result<(), JournalError>;
+
+    /// The journal's `(events, checksum)` state digest for shipment
+    /// manifests; `None` for sinks that cannot summarise their state.
+    fn state_digest(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 impl<S: Storage> JournalSink for Journal<S> {
     fn append(&mut self, event: JournalEvent) -> Result<(), JournalError> {
         Journal::append(self, event)
+    }
+
+    fn state_digest(&self) -> Option<(u64, u64)> {
+        Some(Journal::state_digest(self))
     }
 }
 
@@ -201,6 +214,9 @@ pub struct CampaignReport {
     pub makespan_s: f64,
     /// Artifact lineage across all five stages.
     pub provenance: crate::provenance::ProvenanceLog,
+    /// The stage-5 shipment manifest the destination facility verifies
+    /// against: per-artifact digests, lineage slice, journal digest.
+    pub manifest: Option<ShipmentManifest>,
 }
 
 impl CampaignReport {
@@ -262,6 +278,10 @@ impl CampaignReport {
             },
             "makespan_s": self.makespan_s,
             "telemetry": self.telemetry.to_json(),
+            "manifest": match &self.manifest {
+                Some(m) => m.to_json(),
+                None => serde_json::Value::Null,
+            },
         })
     }
 }
@@ -300,6 +320,7 @@ struct Progress {
     inference_queue: VecDeque<(String, f64)>,
     inference_active: usize,
     labeled: Vec<(String, ByteSize)>,
+    manifest: Option<ShipmentManifest>,
     // control
     shipped: bool,
     // journaling (None → plain in-memory campaign, identical to the
@@ -435,6 +456,7 @@ fn run_inner(
         inference_queue: VecDeque::new(),
         inference_active: 0,
         labeled: Vec::new(),
+        manifest: None,
         shipped: false,
         journal,
         resume,
@@ -460,6 +482,7 @@ fn run_inner(
     let total_tiles = p.total_tiles();
     Ok(CampaignReport {
         provenance: world.provenance,
+        manifest: p.manifest,
         labeled_files: p.labeled.len(),
         download: p.download.expect("download stage ran"),
         shipment: p.shipment.expect("shipment stage ran"),
@@ -1130,6 +1153,62 @@ fn pump_inference(sim: &mut Simulation<World>, progress: &P) {
 
 // --------------------------------------------------------- stage 5: shipment
 
+/// Assemble the shipment's manifest: one [`ArtifactEntry`] per shipped file
+/// (synthetic content digest + granule trace id), the upstream lineage
+/// slice behind each artifact from the provenance log, and the journal's
+/// compaction-invariant state digest when the campaign is journaled.
+pub(crate) fn build_shipment_manifest(
+    source: &str,
+    destination: &str,
+    files: &[(String, ByteSize)],
+    prov: &crate::provenance::ProvenanceLog,
+    journal: Option<(u64, u64)>,
+    now_s: f64,
+) -> ShipmentManifest {
+    let mut manifest = ShipmentManifest::new(source, destination, now_s);
+    manifest.journal = journal.map(|(events, checksum)| JournalDigest { events, checksum });
+    // Artifact order feeds the manifest id; sort by name so an interrupted
+    // and resumed campaign (whose completion order differs) still produces
+    // the same id — the destination's idempotency key.
+    let mut files: Vec<&(String, ByteSize)> = files.iter().collect();
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut seen: std::collections::BTreeSet<(String, String)> = std::collections::BTreeSet::new();
+    for (name, bytes) in files {
+        manifest.artifacts.push(ArtifactEntry {
+            name: name.clone(),
+            bytes: bytes.as_u64(),
+            digest: synthetic_digest(name, bytes.as_u64()),
+            trace_id: granule_trace_id(name),
+        });
+        // The lineage slice: the destination-side record plus everything
+        // upstream of it, deduplicated — shared ancestors (a granule's
+        // three MODIS products, say) appear once.
+        let shipped = format!("orion:{name}");
+        let mut chain = vec![shipped.clone()];
+        chain.extend(prov.lineage(&shipped));
+        for artifact in &chain {
+            for rec in prov.producers(artifact) {
+                if seen.insert((rec.artifact.clone(), rec.activity.clone())) {
+                    manifest.lineage.push(LineageRecord {
+                        artifact: rec.artifact.clone(),
+                        activity: rec.activity.clone(),
+                        inputs: rec.inputs.clone(),
+                        agent: rec.agent.clone(),
+                        at_s: rec.at_s,
+                    });
+                }
+            }
+        }
+    }
+    manifest
+}
+
+/// The campaign journal's `(events, checksum)` digest, if journaled.
+fn journal_digest(progress: &P) -> Option<(u64, u64)> {
+    let sink = progress.borrow().journal.clone();
+    sink.and_then(|j| j.borrow().state_digest())
+}
+
 fn maybe_ship(sim: &mut Simulation<World>, progress: &P) {
     if is_halted(progress) {
         return;
@@ -1173,6 +1252,14 @@ fn maybe_ship(sim: &mut Simulation<World>, progress: &P) {
                 .map(|(n, _)| (n.clone(), started, started))
                 .collect(),
         };
+        let manifest = build_shipment_manifest(
+            "ace-defiant",
+            "frontier-orion",
+            &files,
+            &sim.state().provenance,
+            journal_digest(progress),
+            started.as_secs_f64(),
+        );
         let mut p = progress.borrow_mut();
         p.stages.push(StageReport {
             name: "shipment".into(),
@@ -1182,6 +1269,7 @@ fn maybe_ship(sim: &mut Simulation<World>, progress: &P) {
             bytes: report.bytes,
         });
         p.shipment = Some(report);
+        p.manifest = Some(manifest);
         return;
     }
     let progress2 = Rc::clone(progress);
@@ -1240,6 +1328,18 @@ fn maybe_ship(sim: &mut Simulation<World>, progress: &P) {
                     );
                 }
             }
+            let journal = journal_digest(&progress2);
+            let manifest = {
+                let p = progress2.borrow();
+                build_shipment_manifest(
+                    "ace-defiant",
+                    "frontier-orion",
+                    &p.labeled,
+                    &sim.state().provenance,
+                    journal,
+                    now.as_secs_f64(),
+                )
+            };
             let mut p = progress2.borrow_mut();
             p.stages.push(StageReport {
                 name: "shipment".into(),
@@ -1249,6 +1349,7 @@ fn maybe_ship(sim: &mut Simulation<World>, progress: &P) {
                 bytes: report.bytes,
             });
             p.shipment = Some(report);
+            p.manifest = Some(manifest);
         },
     );
 }
@@ -1475,6 +1576,69 @@ mod tests {
         assert_eq!(s0["name"], serde_json::json!(r.stages[0].name));
         assert_eq!(s0["items"], serde_json::json!(r.stages[0].items));
         assert!(j["telemetry"]["spans"].as_array().is_some());
+    }
+
+    #[test]
+    fn shipment_manifest_covers_every_labeled_file() {
+        let r = run_campaign(CampaignParams {
+            files_per_day: 24,
+            ..CampaignParams::small()
+        });
+        assert!(r.labeled_files > 0, "need labeled files to ship");
+        let m = r.manifest.as_ref().expect("campaign produced a manifest");
+        assert_eq!(m.source, "ace-defiant");
+        assert_eq!(m.destination, "frontier-orion");
+        assert_eq!(m.len(), r.labeled_files);
+        assert!(m.journal.is_none(), "journal-free run has no digest");
+        for a in &m.artifacts {
+            assert_eq!(a.digest, synthetic_digest(&a.name, a.bytes));
+            assert!(
+                a.name.starts_with("tiles-") || a.trace_id.is_some(),
+                "{} has no trace id",
+                a.name
+            );
+            // The lineage slice reaches the LAADS archive for this artifact.
+            assert!(
+                m.lineage
+                    .iter()
+                    .any(|l| l.artifact == format!("orion:{}", a.name)),
+                "no shipment lineage record for {}",
+                a.name
+            );
+        }
+        assert!(m
+            .lineage
+            .iter()
+            .any(|l| l.activity == "download" && l.inputs.iter().any(|i| i.starts_with("laads:"))));
+        // Shared ancestors appear once.
+        let mut keys: Vec<_> = m
+            .lineage
+            .iter()
+            .map(|l| (l.artifact.clone(), l.activity.clone()))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), m.lineage.len(), "duplicate lineage records");
+    }
+
+    #[test]
+    fn manifest_id_is_stable_across_crash_resume() {
+        use eoml_journal::MemStorage;
+        let (journal, _) = Journal::open(MemStorage::new()).unwrap();
+        let uninterrupted = run_campaign_resumable(CampaignParams::small(), journal).unwrap();
+        let m0 = uninterrupted.manifest.as_ref().expect("manifest");
+        assert!(m0.journal.is_some(), "journaled run records a digest");
+
+        let store = MemStorage::new();
+        let (mut journal, _) = Journal::open(store.clone()).unwrap();
+        journal.crash_after(9);
+        assert!(run_campaign_resumable(CampaignParams::small(), journal).is_err());
+        let (journal, _) = Journal::open(store).unwrap();
+        let resumed = run_campaign_resumable(CampaignParams::small(), journal).unwrap();
+        let m1 = resumed.manifest.as_ref().expect("manifest");
+        // The id — the destination's idempotency key — must not change just
+        // because the source crashed and resumed mid-campaign.
+        assert_eq!(m0.id(), m1.id());
     }
 
     #[test]

@@ -231,6 +231,48 @@ mod tests {
     }
 
     #[test]
+    fn reshipped_granule_does_not_duplicate_closure_records() {
+        // A failed ingest makes the source re-ship the granule: a second
+        // shipment record lands for the same orion: artifact. The closures
+        // must stay duplicate-free — multi-input joins (the three MODIS
+        // products feeding one tile file) plus a re-ship is exactly the
+        // shape that makes a naive BFS emit an artifact twice.
+        let mut log = pipeline_log();
+        log.record(
+            "orion:tiles-MOD.A2022001.0005.nc",
+            "shipment",
+            vec!["labeled:tiles-MOD.A2022001.0005.nc".into()],
+            "globus-transfer",
+            75.0,
+        );
+        assert_eq!(log.producers("orion:tiles-MOD.A2022001.0005.nc").len(), 2);
+        assert!(log.is_acyclic());
+
+        // Downstream of any archive original, the re-shipped artifact
+        // appears exactly once.
+        let down = log.downstream("laads:MOD021KM.A2022001.0005");
+        assert_eq!(
+            down.iter()
+                .filter(|a| *a == "orion:tiles-MOD.A2022001.0005.nc")
+                .count(),
+            1
+        );
+        let mut dedup = down.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), down.len(), "duplicate downstream records");
+
+        // Upstream of the re-shipped artifact, each ancestor — including
+        // the shared multi-input MODIS products — appears exactly once.
+        let lineage = log.lineage("orion:tiles-MOD.A2022001.0005.nc");
+        let mut dedup = lineage.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), lineage.len(), "duplicate lineage records");
+        assert_eq!(lineage.len(), 8, "re-ship must not grow the lineage");
+    }
+
+    #[test]
     fn acyclicity_detection() {
         let mut log = pipeline_log();
         assert!(log.is_acyclic());

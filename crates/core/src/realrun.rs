@@ -37,6 +37,7 @@ use eoml_preprocess::writer::{append_labels, read_tiles_nc};
 use eoml_ricc::aicca::AiccaModel;
 use eoml_ricc::autoencoder::AeConfig;
 use eoml_ricc::tensor::Tensor;
+use eoml_transfer::manifest::{content_digest, ArtifactEntry, JournalDigest, ShipmentManifest};
 use serde_json::json;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -105,6 +106,10 @@ pub struct RealRunReport {
     /// Wall-clock seconds per stage: synthesize ("download"), preprocess,
     /// monitor+inference, shipment.
     pub stage_secs: [f64; 4],
+    /// Shipment manifest over the outbox: *real* content digests of the
+    /// shipped bytes (not synthetic), plus the journal digest when run
+    /// resumably.
+    pub manifest: Option<ShipmentManifest>,
 }
 
 impl RealRunReport {
@@ -716,6 +721,28 @@ impl RealPipeline {
             )?;
         }
         stage_finished(journal, "shipment")?;
+        // The manifest hashes the real shipped bytes — what a destination
+        // facility would verify against after the WAN hop.
+        let mut manifest =
+            ShipmentManifest::new("ace-defiant", "frontier-orion", t0.elapsed().as_secs_f64());
+        for path in &shipped {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .ok_or("bad file name")?
+                .to_string();
+            let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+            manifest.artifacts.push(ArtifactEntry {
+                name: name.clone(),
+                bytes: bytes.len() as u64,
+                digest: content_digest(&bytes),
+                trace_id: crate::campaign::granule_trace_id(&name),
+            });
+        }
+        manifest.journal = journal
+            .as_ref()
+            .and_then(|j| j.state_digest())
+            .map(|(events, checksum)| JournalDigest { events, checksum });
         if let Some(mut span) = stage_span {
             span.attr("files", shipped.len());
         }
@@ -736,6 +763,7 @@ impl RealPipeline {
             label_histogram: histogram,
             outbox: shipped,
             stage_secs: [synth_secs, preprocess_secs, infer_secs, ship_secs],
+            manifest: Some(manifest),
         })
     }
 }
@@ -839,6 +867,25 @@ mod tests {
         // The tiles directory is empty (everything shipped).
         let left = std::fs::read_dir(dir.join("tiles")).unwrap().count();
         assert_eq!(left, 0);
+        // The manifest hashes the real outbox bytes, and a faithful
+        // destination-side ingest verifies cleanly against it.
+        let manifest = report.manifest.as_ref().expect("manifest");
+        assert_eq!(manifest.len(), 2);
+        assert!(manifest.journal.is_none(), "plain run has no journal");
+        for a in &manifest.artifacts {
+            let bytes = std::fs::read(dir.join("outbox").join(&a.name)).unwrap();
+            assert_eq!(a.bytes, bytes.len() as u64);
+            assert_eq!(a.digest, content_digest(&bytes));
+            assert!(a.trace_id.is_some(), "{} untraced", a.name);
+        }
+        let received: Vec<_> = manifest
+            .artifacts
+            .iter()
+            .map(eoml_transfer::ReceivedArtifact::faithful)
+            .collect();
+        let ingest =
+            eoml_transfer::Ingestor::new("frontier-orion").ingest(manifest, &received, 0.0);
+        assert!(ingest.ok(), "clean ingest failed: {:?}", ingest.errors);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -974,6 +1021,8 @@ mod tests {
         assert_eq!(journaled.labeled_tiles, plain.labeled_tiles);
         assert_eq!(journaled.label_histogram, plain.label_histogram);
         assert_eq!(journaled.outbox.len(), plain.outbox.len());
+        let manifest = journaled.manifest.as_ref().expect("manifest");
+        assert!(manifest.journal.is_some(), "journaled run records a digest");
 
         // Replaying the finished journal re-executes nothing and appends
         // no new completion events.

@@ -19,7 +19,8 @@
 //! queue.
 
 use crate::campaign::{
-    granule_tiles, granule_trace_id, preprocess_key, CampaignParams, JournalSink, StageReport,
+    build_shipment_manifest, granule_tiles, granule_trace_id, preprocess_key, CampaignParams,
+    JournalSink, StageReport,
 };
 use crate::world::World;
 use eoml_cluster::exec::submit_task;
@@ -31,6 +32,7 @@ use eoml_modis::product::ProductKind;
 use eoml_obs::TraceContext;
 use eoml_simtime::{SimTime, Simulation};
 use eoml_transfer::flownet::start_flow;
+use eoml_transfer::manifest::ShipmentManifest;
 use eoml_util::units::ByteSize;
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -137,6 +139,9 @@ pub struct StreamingReport {
     pub stages: Vec<StageReport>,
     /// Telemetry (activity shows the pipeline overlap).
     pub telemetry: crate::telemetry::Telemetry,
+    /// The shipment manifest covering every shipped file — built once the
+    /// pipeline drains, including files replayed from the journal.
+    pub manifest: Option<ShipmentManifest>,
 }
 
 struct StState {
@@ -165,8 +170,13 @@ struct StState {
     shipping: usize,
     shipped_files: usize,
     shipped: ByteSize,
+    /// Every shipped `(file, bytes)` pair — manifest input; seeded with
+    /// journal-replayed shipments so a resumed run's manifest still covers
+    /// the whole campaign.
+    ship_log: Vec<(String, ByteSize)>,
     last_ship: SimTime,
     finished: bool,
+    manifest: Option<ShipmentManifest>,
     // journaling
     journal: Option<Rc<RefCell<dyn JournalSink>>>,
     resume: CampaignState,
@@ -293,6 +303,7 @@ fn run_streaming_inner(
     let mut labeled = 0usize;
     let mut shipped_files = 0usize;
     let mut shipped = ByteSize::ZERO;
+    let mut ship_log: Vec<(String, ByteSize)> = Vec::new();
     for &g in &all {
         let tiles = granule_tiles(seed, g);
         let key = preprocess_key(g, tiles);
@@ -312,6 +323,7 @@ fn run_streaming_inner(
             labeled += 1;
             shipped_files += 1;
             shipped += ByteSize::bytes(bytes);
+            ship_log.push((key, ByteSize::bytes(bytes)));
         } else if resume.has_tile_file(&key) {
             // Preprocessed but not labeled: re-enter at inference.
             granules_downloaded += 1;
@@ -358,8 +370,10 @@ fn run_streaming_inner(
         shipping: 0,
         shipped_files,
         shipped,
+        ship_log,
         last_ship: SimTime::ZERO,
         finished: false,
+        manifest: None,
         journal,
         resume,
         halted: false,
@@ -440,6 +454,7 @@ fn run_streaming_inner(
         makespan_s,
         stages,
         telemetry: world.telemetry,
+        manifest: s.manifest,
     })
 }
 
@@ -758,6 +773,7 @@ fn pump_inference(sim: &mut Simulation<World>, st: &S) {
                             s.labeled += 1;
                             s.shipped_files += 1;
                             s.shipped += size;
+                            s.ship_log.push((file.clone(), size));
                             s.last_ship = sim.now();
                         }
                     }
@@ -779,7 +795,7 @@ fn pump_inference(sim: &mut Simulation<World>, st: &S) {
     }
 }
 
-fn maybe_finish(_sim: &mut Simulation<World>, st: &S) {
+fn maybe_finish(sim: &mut Simulation<World>, st: &S) {
     {
         let s = st.borrow();
         if s.finished || s.halted {
@@ -804,7 +820,24 @@ fn maybe_finish(_sim: &mut Simulation<World>, st: &S) {
     if !st_record(st, JournalEvent::ShipmentFinished { files, bytes }) {
         return;
     }
-    st.borrow_mut().finished = true;
+    let journal = {
+        let sink = st.borrow().journal.clone();
+        sink.and_then(|j| j.borrow().state_digest())
+    };
+    let manifest = {
+        let s = st.borrow();
+        build_shipment_manifest(
+            "ace-defiant",
+            "frontier-orion",
+            &s.ship_log,
+            &sim.state().provenance,
+            journal,
+            sim.now().as_secs_f64(),
+        )
+    };
+    let mut s = st.borrow_mut();
+    s.manifest = Some(manifest);
+    s.finished = true;
 }
 
 #[cfg(test)]
@@ -925,6 +958,34 @@ mod tests {
             assert_eq!(r.downloaded, baseline.downloaded, "kill {kill_at}");
             assert_eq!(r.shipped, baseline.shipped, "kill {kill_at}");
         }
+    }
+
+    #[test]
+    fn streaming_manifest_covers_shipped_files_and_survives_resume() {
+        let plain = run_streaming_campaign(small());
+        let m = plain.manifest.as_ref().expect("manifest");
+        assert_eq!(m.len(), plain.shipped_files);
+        assert_eq!(m.total_bytes(), plain.shipped.as_u64());
+        assert!(m.journal.is_none(), "journal-free run has no digest");
+
+        // Journaled, uninterrupted: the reference manifest id.
+        let (journal, _) = Journal::open(MemStorage::new()).unwrap();
+        let j0 = run_streaming_campaign_resumable(small(), journal).unwrap();
+        let m0 = j0.manifest.as_ref().expect("manifest");
+        assert!(m0.journal.is_some(), "journaled run records a digest");
+
+        // Crash mid-pipeline, resume: replayed shipments still appear in
+        // the manifest and the id — the destination's idempotency key —
+        // is unchanged.
+        let store = MemStorage::new();
+        let (mut journal, _) = Journal::open(store.clone()).unwrap();
+        journal.crash_after(40);
+        let _ = run_streaming_campaign_resumable(small(), journal);
+        let (journal, _) = Journal::open(store).unwrap();
+        let r = run_streaming_campaign_resumable(small(), journal).unwrap();
+        let m1 = r.manifest.as_ref().expect("manifest");
+        assert_eq!(m1.len(), plain.shipped_files);
+        assert_eq!(m1.id(), m0.id());
     }
 
     #[test]

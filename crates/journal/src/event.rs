@@ -59,6 +59,29 @@ pub enum JournalEvent {
         /// Bytes shipped.
         bytes: u64,
     },
+    /// A destination facility verified a shipment manifest end-to-end
+    /// and acknowledged it. Replaying this makes re-ships idempotent.
+    IngestAcked {
+        /// Manifest id (stable across re-ships of the same content).
+        manifest: String,
+        /// Acknowledging (destination) facility.
+        facility: String,
+        /// Artifacts verified.
+        files: u64,
+        /// Bytes verified.
+        bytes: u64,
+    },
+    /// A destination facility rejected a shipment (digest mismatch,
+    /// missing artifact, ...). Recorded so the failure is durable and
+    /// auditable — a rejected manifest is *not* acked.
+    IngestRejected {
+        /// Manifest id.
+        manifest: String,
+        /// Rejecting facility.
+        facility: String,
+        /// First verification error, human-readable.
+        reason: String,
+    },
     /// A flow run moved to a new state with its post-transition context.
     FlowTransition {
         /// Flow run id.
@@ -125,6 +148,21 @@ impl JournalEvent {
             JournalEvent::ShipmentFinished { files, bytes } => {
                 json!({ "type": "shipment_finished", "files": *files, "bytes": *bytes })
             }
+            JournalEvent::IngestAcked {
+                manifest,
+                facility,
+                files,
+                bytes,
+            } => {
+                json!({ "type": "ingest_acked", "manifest": manifest, "facility": facility, "files": *files, "bytes": *bytes })
+            }
+            JournalEvent::IngestRejected {
+                manifest,
+                facility,
+                reason,
+            } => {
+                json!({ "type": "ingest_rejected", "manifest": manifest, "facility": facility, "reason": reason })
+            }
             JournalEvent::FlowTransition {
                 run,
                 state,
@@ -185,6 +223,17 @@ impl JournalEvent {
             "shipment_finished" => JournalEvent::ShipmentFinished {
                 files: u64_field("files")?,
                 bytes: u64_field("bytes")?,
+            },
+            "ingest_acked" => JournalEvent::IngestAcked {
+                manifest: str_field("manifest")?,
+                facility: str_field("facility")?,
+                files: u64_field("files")?,
+                bytes: u64_field("bytes")?,
+            },
+            "ingest_rejected" => JournalEvent::IngestRejected {
+                manifest: str_field("manifest")?,
+                facility: str_field("facility")?,
+                reason: str_field("reason")?,
             },
             "flow_transition" => JournalEvent::FlowTransition {
                 run: u64_field("run")?,
@@ -254,6 +303,17 @@ mod tests {
             JournalEvent::ShipmentFinished {
                 files: 12,
                 bytes: 60_000_000,
+            },
+            JournalEvent::IngestAcked {
+                manifest: "ace-defiant-00ab54a98ceb1f0a".into(),
+                facility: "frontier-orion".into(),
+                files: 12,
+                bytes: 60_000_000,
+            },
+            JournalEvent::IngestRejected {
+                manifest: "ace-defiant-00ab54a98ceb1f0a".into(),
+                facility: "frontier-orion".into(),
+                reason: "digest mismatch on tiles_0001.nc".into(),
             },
             JournalEvent::FlowTransition {
                 run: 7,

@@ -28,6 +28,11 @@ pub struct CampaignState {
     pub labeled: BTreeMap<String, (u64, u64)>,
     /// Completed final shipment, if any: (files, bytes).
     pub shipped: Option<(u64, u64)>,
+    /// Acknowledged ingest manifests → (files, bytes) verified. Keyed by
+    /// manifest id; re-ships of an acked manifest are idempotent no-ops.
+    pub ingests_acked: BTreeMap<String, (u64, u64)>,
+    /// Ingest rejections per facility (durable audit of loud failures).
+    pub ingest_rejections: BTreeMap<String, u64>,
     /// Last recorded state + context per in-flight flow run.
     pub flow_states: BTreeMap<u64, (String, Value)>,
     /// Terminal status per finished flow run.
@@ -77,6 +82,18 @@ impl CampaignState {
             }
             JournalEvent::ShipmentFinished { files, bytes } => {
                 self.shipped = Some((*files, *bytes));
+            }
+            JournalEvent::IngestAcked {
+                manifest,
+                files,
+                bytes,
+                ..
+            } => {
+                self.ingests_acked
+                    .insert(manifest.clone(), (*files, *bytes));
+            }
+            JournalEvent::IngestRejected { facility, .. } => {
+                *self.ingest_rejections.entry(facility.clone()).or_insert(0) += 1;
             }
             JournalEvent::FlowTransition {
                 run,
@@ -128,6 +145,12 @@ impl CampaignState {
         self.stages_finished.contains(stage)
     }
 
+    /// Whether a shipment manifest was already acknowledged by its
+    /// destination (the idempotency check for re-ships).
+    pub fn is_ingest_acked(&self, manifest: &str) -> bool {
+        self.ingests_acked.contains_key(manifest)
+    }
+
     /// Serialise for a snapshot event.
     pub fn to_json(&self) -> Value {
         let pairs = |m: &BTreeMap<String, u64>| -> Value {
@@ -153,6 +176,15 @@ impl CampaignState {
                 .shipped
                 .map(|(files, bytes)| json!({ "files": files, "bytes": bytes }))
                 .unwrap_or(Value::Null),
+            "ingests_acked": Value::Object(
+                self.ingests_acked
+                    .iter()
+                    .map(|(k, (files, bytes))| {
+                        (k.clone(), json!({ "files": *files, "bytes": *bytes }))
+                    })
+                    .collect::<Map>(),
+            ),
+            "ingest_rejections": pairs(&self.ingest_rejections),
             "flow_states": Value::Object(
                 self.flow_states
                     .iter()
@@ -231,6 +263,18 @@ impl CampaignState {
                 .ok_or("snapshot shipped missing bytes")?;
             s.shipped = Some((files, bytes));
         }
+        if let Some(obj) = v["ingests_acked"].as_object() {
+            for (k, entry) in obj.iter() {
+                let files = entry["files"]
+                    .as_u64()
+                    .ok_or_else(|| format!("snapshot ingests_acked[{k}] missing files"))?;
+                let bytes = entry["bytes"]
+                    .as_u64()
+                    .ok_or_else(|| format!("snapshot ingests_acked[{k}] missing bytes"))?;
+                s.ingests_acked.insert(k.clone(), (files, bytes));
+            }
+        }
+        s.ingest_rejections = u64_map("ingest_rejections")?;
         if let Some(obj) = v["flow_states"].as_object() {
             for (k, entry) in obj.iter() {
                 let run: u64 = k.parse().map_err(|_| format!("bad flow run id {k}"))?;
@@ -369,6 +413,41 @@ mod tests {
         });
         assert!(!s.service_records.contains_key("campaign/acme/winter"));
         assert!(s.service_records.contains_key("tenant/acme"));
+    }
+
+    #[test]
+    fn ingest_acks_and_rejections_fold_and_round_trip() {
+        let mut s = populated();
+        assert!(!s.is_ingest_acked("ace-defiant-0001"));
+        s.apply(&JournalEvent::IngestRejected {
+            manifest: "ace-defiant-0001".into(),
+            facility: "frontier-orion".into(),
+            reason: "digest mismatch on t.nc".into(),
+        });
+        assert!(
+            !s.is_ingest_acked("ace-defiant-0001"),
+            "rejection is not an ack"
+        );
+        assert_eq!(s.ingest_rejections["frontier-orion"], 1);
+        s.apply(&JournalEvent::IngestAcked {
+            manifest: "ace-defiant-0001".into(),
+            facility: "frontier-orion".into(),
+            files: 1,
+            bytes: 777,
+        });
+        assert!(s.is_ingest_acked("ace-defiant-0001"));
+        assert_eq!(s.ingests_acked["ace-defiant-0001"], (1, 777));
+        // Replaying the same ack is idempotent on the map.
+        s.apply(&JournalEvent::IngestAcked {
+            manifest: "ace-defiant-0001".into(),
+            facility: "frontier-orion".into(),
+            files: 1,
+            bytes: 777,
+        });
+        assert_eq!(s.ingests_acked.len(), 1);
+        let back = CampaignState::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.ingests_acked, s.ingests_acked);
+        assert_eq!(back.ingest_rejections, s.ingest_rejections);
     }
 
     #[test]

@@ -267,6 +267,27 @@ impl<S: Storage> Journal<S> {
         &self.state
     }
 
+    /// `(events, checksum)` digest of this journal for shipment
+    /// manifests. The checksum is FNV-1a over the *materialised state's*
+    /// canonical JSON, so it is invariant under compaction: a compacted
+    /// journal and the full history it summarises digest identically
+    /// (event count aside — which is why both numbers travel). Two
+    /// campaigns that durably completed the same work agree; any
+    /// divergence in completed work changes the checksum.
+    pub fn state_digest(&self) -> (u64, u64) {
+        // events_applied is replay bookkeeping, not completed work — zero
+        // it so the checksum only moves when the *work* does.
+        let mut canon_state = self.state.clone();
+        canon_state.events_applied = 0;
+        let canon = canon_state.to_json().to_string();
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in canon.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        (self.events.len() as u64, h)
+    }
+
     /// Append one event durably (written and fsynced before this returns,
     /// for storage that can sync at all).
     pub fn append(&mut self, event: JournalEvent) -> Result<(), JournalError> {
@@ -360,6 +381,32 @@ mod tests {
         assert_eq!(rep2.truncated_bytes, 0);
         assert_eq!(j2.events(), j.events());
         assert_eq!(j2.state(), j.state());
+    }
+
+    #[test]
+    fn state_digest_tracks_work_and_survives_compaction() {
+        let store = MemStorage::new();
+        let (mut j, _) = Journal::open(store.clone()).unwrap();
+        for i in 0..20 {
+            j.append(ev(i)).unwrap();
+        }
+        let (events, checksum) = j.state_digest();
+        assert_eq!(events, j.len() as u64);
+        // A second journal that did the same work digests identically.
+        let (mut twin, _) = Journal::open(MemStorage::new()).unwrap();
+        for i in 0..20 {
+            twin.append(ev(i)).unwrap();
+        }
+        assert_eq!(twin.state_digest().1, checksum);
+        // Different completed work → different checksum.
+        twin.append(ev(99)).unwrap();
+        assert_ne!(twin.state_digest().1, checksum);
+        // Compaction rewrites history but not the work: the checksum is
+        // invariant (the event count legitimately shrinks).
+        j.compact().unwrap();
+        let (events_after, checksum_after) = j.state_digest();
+        assert_eq!(checksum_after, checksum);
+        assert!(events_after < events);
     }
 
     #[test]

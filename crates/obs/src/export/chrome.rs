@@ -24,6 +24,10 @@ fn ts_us(span: &SpanRecord) -> (f64, f64) {
 }
 
 fn event(span: &SpanRecord) -> Value {
+    event_with_pid(span, 1.0)
+}
+
+fn event_with_pid(span: &SpanRecord, pid: f64) -> Value {
     let (ts, dur) = ts_us(span);
     let mut args = Map::new();
     args.insert("span_id".to_string(), Value::from(span.id as f64));
@@ -56,7 +60,7 @@ fn event(span: &SpanRecord) -> Value {
     ev.insert("name".to_string(), Value::from(span.name.as_str()));
     ev.insert("cat".to_string(), Value::from(span.stage.as_str()));
     ev.insert("ph".to_string(), Value::from("X"));
-    ev.insert("pid".to_string(), Value::from(1.0));
+    ev.insert("pid".to_string(), Value::from(pid));
     ev.insert("tid".to_string(), Value::from(span.tid as f64));
     ev.insert("ts".to_string(), Value::from(ts));
     ev.insert("dur".to_string(), Value::from(dur));
@@ -75,6 +79,45 @@ pub fn render(spans: &[SpanRecord]) -> String {
             .then(a.id.cmp(&b.id))
     });
     let events: Vec<Value> = ordered.into_iter().map(event).collect();
+    finish(events)
+}
+
+/// Render several span stores as **separate process lanes** of one
+/// Chrome trace: lane *i* gets pid *i+1*, named via a `ph:"M"`
+/// `process_name` metadata event, so Perfetto shows e.g. each facility
+/// as its own process row. Used by `crate::xfac` for stitched
+/// cross-facility timelines.
+pub fn render_processes(lanes: &[(&str, Vec<&SpanRecord>)]) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    for (i, (name, _)) in lanes.iter().enumerate() {
+        let pid = (i + 1) as f64;
+        let mut args = Map::new();
+        args.insert("name".to_string(), Value::from(*name));
+        let mut meta = Map::new();
+        meta.insert("name".to_string(), Value::from("process_name"));
+        meta.insert("ph".to_string(), Value::from("M"));
+        meta.insert("pid".to_string(), Value::from(pid));
+        meta.insert("tid".to_string(), Value::from(0.0));
+        meta.insert("args".to_string(), Value::Object(args));
+        events.push(Value::Object(meta));
+    }
+    let mut ordered: Vec<(f64, &SpanRecord)> = Vec::new();
+    for (i, (_, spans)) in lanes.iter().enumerate() {
+        let pid = (i + 1) as f64;
+        ordered.extend(spans.iter().map(|s| (pid, *s)));
+    }
+    ordered.sort_by(|a, b| {
+        ts_us(a.1)
+            .0
+            .partial_cmp(&ts_us(b.1).0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.id.cmp(&b.1.id))
+    });
+    events.extend(ordered.into_iter().map(|(pid, s)| event_with_pid(s, pid)));
+    finish(events)
+}
+
+fn finish(events: Vec<Value>) -> String {
     let mut root = Map::new();
     root.insert("traceEvents".to_string(), Value::from(events));
     root.insert("displayTimeUnit".to_string(), Value::from("ms"));

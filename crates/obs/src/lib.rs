@@ -60,6 +60,7 @@ pub mod sink;
 pub mod span;
 pub mod table;
 pub mod trace;
+pub mod xfac;
 
 pub use alert::{Alert, AlertRule, AlertTransition, AlertTransitionKind, ProgressSink};
 pub use analysis::{
@@ -73,7 +74,7 @@ pub use metrics::{
     stage_matches_prefix, LogHistogram, MergeError, MetricKey, MetricsRegistry, MetricsSnapshot,
 };
 pub use ops::audit::{AuditRecord, AuditRing};
-pub use ops::health::{HealthPolicy, HealthReport, HealthState};
+pub use ops::health::{FacilityStatus, HealthPolicy, HealthReport, HealthState};
 pub use ops::oplog::{read_all as read_ops_log, replay_final_health, OpsEvent, OpsLog};
 pub use ops::slo::{SloKind, SloSpec, SloStatus, SloTracker, SloWindowResult};
 pub use ops::window::{WindowDelta, WindowSpec, WindowedMetrics};
@@ -85,6 +86,7 @@ pub use sink::{EventSink, MemorySink, ObsEvent, StageHealth};
 pub use span::{SpanGuard, SpanRecord};
 pub use table::{Cell, Table};
 pub use trace::TraceContext;
+pub use xfac::{tag_facility, FacilitySpans, WanBreakdown, XfacAnalysis, FACILITY_ATTR};
 
 use collector::Collector;
 use eoml_simtime::SimTime;

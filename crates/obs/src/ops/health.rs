@@ -56,6 +56,11 @@ pub struct HealthPolicy {
     pub min_fairness: f64,
     /// Fairness is only judged after this many total admissions.
     pub fairness_min_admissions: u64,
+    /// A facility whose ingest lag exceeds this many seconds degrades.
+    pub max_ingest_lag_s: f64,
+    /// A facility whose verification-failure rate reaches this fraction
+    /// is unhealthy (any failure at all already degrades).
+    pub unhealthy_verify_failure_rate: f64,
 }
 
 impl Default for HealthPolicy {
@@ -65,7 +70,58 @@ impl Default for HealthPolicy {
             unhealthy_burn: 4.0,
             min_fairness: 0.5,
             fairness_min_admissions: 8,
+            max_ingest_lag_s: 900.0,
+            unhealthy_verify_failure_rate: 0.5,
         }
+    }
+}
+
+/// One destination facility's ingest signals, as fed to [`evaluate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FacilityStatus {
+    /// Facility name (e.g. `"frontier-orion"`).
+    pub facility: String,
+    /// Seconds between shipment completion at the source and the latest
+    /// ingest acknowledgement at this facility.
+    pub ingest_lag_s: f64,
+    /// Artifacts that verified clean.
+    pub verified: u64,
+    /// Verification failures (missing / corrupt / unexpected artifacts).
+    pub verify_failures: u64,
+}
+
+impl FacilityStatus {
+    /// Fraction of verification outcomes that failed (0 when idle).
+    pub fn failure_rate(&self) -> f64 {
+        let total = self.verified + self.verify_failures;
+        if total == 0 {
+            0.0
+        } else {
+            self.verify_failures as f64 / total as f64
+        }
+    }
+
+    /// JSON form.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "facility": self.facility,
+            "ingest_lag_s": self.ingest_lag_s,
+            "verified": self.verified,
+            "verify_failures": self.verify_failures,
+        })
+    }
+
+    /// Parse the JSON form.
+    pub fn from_json(v: &Value) -> Result<FacilityStatus, String> {
+        Ok(FacilityStatus {
+            facility: v["facility"]
+                .as_str()
+                .ok_or("facility status: missing 'facility'")?
+                .to_string(),
+            ingest_lag_s: v["ingest_lag_s"].as_f64().unwrap_or(0.0),
+            verified: v["verified"].as_u64().unwrap_or(0),
+            verify_failures: v["verify_failures"].as_u64().unwrap_or(0),
+        })
     }
 }
 
@@ -87,6 +143,8 @@ pub struct HealthReport {
     /// Whether the service is still re-running work recovered from the
     /// journal after a restart.
     pub recovering: bool,
+    /// Per-destination-facility ingest signals the verdict folded in.
+    pub facilities: Vec<FacilityStatus>,
 }
 
 impl HealthReport {
@@ -104,6 +162,7 @@ impl HealthReport {
             "slos": self.slos.iter().map(|s| s.to_json()).collect::<Vec<_>>(),
             "alerts_active": self.alerts_active as u64,
             "recovering": self.recovering,
+            "facilities": self.facilities.iter().map(|f| f.to_json()).collect::<Vec<_>>(),
         })
     }
 
@@ -130,6 +189,15 @@ impl HealthReport {
                 .collect::<Result<Vec<_>, _>>()?,
             None => Vec::new(),
         };
+        // Reports logged before the facility dimension existed parse to
+        // an empty facility list.
+        let facilities = match v["facilities"].as_array() {
+            Some(a) => a
+                .iter()
+                .map(FacilityStatus::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
         Ok(HealthReport {
             state,
             at_s: v["at_s"].as_f64().unwrap_or(0.0),
@@ -138,6 +206,7 @@ impl HealthReport {
             slos,
             alerts_active: v["alerts_active"].as_u64().unwrap_or(0) as usize,
             recovering: v["recovering"].as_bool().unwrap_or(false),
+            facilities,
         })
     }
 }
@@ -154,6 +223,7 @@ pub fn evaluate(
     slos: Vec<SloStatus>,
     alerts_active: usize,
     recovering: bool,
+    facilities: Vec<FacilityStatus>,
 ) -> HealthReport {
     let mut degraded: Vec<String> = Vec::new();
     let mut unhealthy: Vec<String> = Vec::new();
@@ -185,6 +255,30 @@ pub fn evaluate(
     if recovering {
         degraded.push("recovery in progress".to_string());
     }
+    // A silent or failing destination must surface here, not vanish past
+    // the shipment stage: any verification failure degrades, a failure
+    // rate at/over the policy threshold is unhealthy, and ingest lag
+    // beyond the bound degrades even with clean verifications.
+    for f in &facilities {
+        let rate = f.failure_rate();
+        if f.verify_failures > 0 && rate >= policy.unhealthy_verify_failure_rate {
+            unhealthy.push(format!(
+                "facility {} verify-failure rate {:.2} >= {:.2} ({} failure(s))",
+                f.facility, rate, policy.unhealthy_verify_failure_rate, f.verify_failures
+            ));
+        } else if f.verify_failures > 0 {
+            degraded.push(format!(
+                "facility {} has {} verification failure(s)",
+                f.facility, f.verify_failures
+            ));
+        }
+        if f.ingest_lag_s > policy.max_ingest_lag_s {
+            degraded.push(format!(
+                "facility {} ingest lag {:.1}s exceeds {:.1}s",
+                f.facility, f.ingest_lag_s, policy.max_ingest_lag_s
+            ));
+        }
+    }
 
     let state = if !unhealthy.is_empty() {
         unhealthy.extend(degraded);
@@ -202,6 +296,7 @@ pub fn evaluate(
         slos,
         alerts_active,
         recovering,
+        facilities,
     }
 }
 
@@ -219,19 +314,58 @@ mod tests {
         }
     }
 
+    fn facility(lag: f64, verified: u64, failures: u64) -> FacilityStatus {
+        FacilityStatus {
+            facility: "frontier-orion".to_string(),
+            ingest_lag_s: lag,
+            verified,
+            verify_failures: failures,
+        }
+    }
+
     #[test]
     fn worst_signal_wins_and_reasons_accumulate() {
         let p = HealthPolicy::default();
-        let healthy = evaluate(&p, 10.0, 3, Some(0.99), 20, vec![slo(0.2)], 0, false);
+        let healthy = evaluate(
+            &p,
+            10.0,
+            3,
+            Some(0.99),
+            20,
+            vec![slo(0.2)],
+            0,
+            false,
+            Vec::new(),
+        );
         assert_eq!(healthy.state, HealthState::Healthy);
 
-        let degraded = evaluate(&p, 10.0, 3, Some(0.3), 20, vec![slo(1.5)], 1, true);
+        let degraded = evaluate(
+            &p,
+            10.0,
+            3,
+            Some(0.3),
+            20,
+            vec![slo(1.5)],
+            1,
+            true,
+            Vec::new(),
+        );
         match &degraded.state {
             HealthState::Degraded { reasons } => assert_eq!(reasons.len(), 4),
             other => panic!("expected degraded, got {other:?}"),
         }
 
-        let unhealthy = evaluate(&p, 10.0, 3, Some(0.99), 20, vec![slo(5.0)], 1, false);
+        let unhealthy = evaluate(
+            &p,
+            10.0,
+            3,
+            Some(0.99),
+            20,
+            vec![slo(5.0)],
+            1,
+            false,
+            Vec::new(),
+        );
         match &unhealthy.state {
             HealthState::Unhealthy { reasons } => {
                 assert!(reasons[0].contains("burn 5.00"));
@@ -244,22 +378,108 @@ mod tests {
     #[test]
     fn fairness_is_not_judged_before_enough_admissions() {
         let p = HealthPolicy::default();
-        let early = evaluate(&p, 0.0, 0, Some(0.1), 2, Vec::new(), 0, false);
+        let early = evaluate(&p, 0.0, 0, Some(0.1), 2, Vec::new(), 0, false, Vec::new());
         assert_eq!(early.state, HealthState::Healthy);
-        let later = evaluate(&p, 0.0, 0, Some(0.1), 100, Vec::new(), 0, false);
+        let later = evaluate(&p, 0.0, 0, Some(0.1), 100, Vec::new(), 0, false, Vec::new());
         assert_eq!(later.state.label(), "degraded");
+    }
+
+    #[test]
+    fn facility_verdicts_fold_into_the_overall_state() {
+        let p = HealthPolicy::default();
+        // A clean, prompt destination stays healthy.
+        let ok = evaluate(
+            &p,
+            0.0,
+            0,
+            None,
+            0,
+            Vec::new(),
+            0,
+            false,
+            vec![facility(30.0, 10, 0)],
+        );
+        assert_eq!(ok.state, HealthState::Healthy);
+        // One verification failure out of many degrades — loudly, with
+        // the facility named.
+        let degraded = evaluate(
+            &p,
+            0.0,
+            0,
+            None,
+            0,
+            Vec::new(),
+            0,
+            false,
+            vec![facility(30.0, 10, 1)],
+        );
+        assert_eq!(degraded.state.label(), "degraded");
+        assert!(degraded.state.reasons()[0].contains("frontier-orion"));
+        // Majority-failing verification is unhealthy.
+        let unhealthy = evaluate(
+            &p,
+            0.0,
+            0,
+            None,
+            0,
+            Vec::new(),
+            0,
+            false,
+            vec![facility(30.0, 1, 3)],
+        );
+        assert_eq!(unhealthy.state.label(), "unhealthy");
+        // Stale ingest degrades even with clean verifications.
+        let laggy = evaluate(
+            &p,
+            0.0,
+            0,
+            None,
+            0,
+            Vec::new(),
+            0,
+            false,
+            vec![facility(2000.0, 10, 0)],
+        );
+        assert_eq!(laggy.state.label(), "degraded");
+        assert!(laggy.state.reasons()[0].contains("ingest lag"));
+        // An idle facility (no outcomes yet) carries no verdict.
+        assert_eq!(facility(0.0, 0, 0).failure_rate(), 0.0);
     }
 
     #[test]
     fn reports_round_trip_through_json() {
         let p = HealthPolicy::default();
         for report in [
-            evaluate(&p, 7.5, 4, Some(0.93), 12, vec![slo(0.5)], 0, false),
-            evaluate(&p, 7.5, 4, None, 0, vec![slo(2.0)], 2, true),
-            evaluate(&p, 7.5, 4, Some(0.2), 50, vec![slo(9.0)], 0, false),
+            evaluate(
+                &p,
+                7.5,
+                4,
+                Some(0.93),
+                12,
+                vec![slo(0.5)],
+                0,
+                false,
+                Vec::new(),
+            ),
+            evaluate(&p, 7.5, 4, None, 0, vec![slo(2.0)], 2, true, Vec::new()),
+            evaluate(
+                &p,
+                7.5,
+                4,
+                Some(0.2),
+                50,
+                vec![slo(9.0)],
+                0,
+                false,
+                vec![facility(12.0, 8, 2)],
+            ),
         ] {
             let back = HealthReport::from_json(&report.to_json()).unwrap();
             assert_eq!(back, report);
         }
+        // Pre-facility reports (no "facilities" key) still parse.
+        let legacy = json!({ "state": "healthy", "at_s": 1.0 });
+        let parsed = HealthReport::from_json(&legacy).unwrap();
+        assert!(parsed.facilities.is_empty());
     }
 }

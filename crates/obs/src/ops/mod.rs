@@ -30,7 +30,7 @@ pub mod oplog;
 pub mod slo;
 pub mod window;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
@@ -41,7 +41,7 @@ use crate::metrics::MetricsRegistry;
 use crate::Obs;
 
 use audit::{AuditRecord, AuditRing};
-use health::{HealthPolicy, HealthReport, HealthState};
+use health::{FacilityStatus, HealthPolicy, HealthReport, HealthState};
 use oplog::{OpsEvent, OpsLog};
 use slo::{SloSpec, SloStatus, SloTracker};
 use window::{WindowDelta, WindowSpec, WindowedMetrics};
@@ -112,6 +112,8 @@ pub struct OpsPlane {
     slos: SloTracker,
     audit: AuditRing,
     log: OpsLog,
+    /// Latest per-destination-facility ingest signals, keyed by facility.
+    facilities: BTreeMap<String, FacilityStatus>,
     last_health_state: Option<HealthState>,
     recovering: bool,
     alerts: Option<Arc<Mutex<Vec<Alert>>>>,
@@ -131,6 +133,7 @@ impl OpsPlane {
         });
         let mut slos = SloTracker::new(config.slos.clone(), config.slo_lookback);
         let mut audit = AuditRing::new(config.audit_ring);
+        let mut facilities = BTreeMap::new();
         for event in oplog::read_all(dir) {
             match event.kind.as_str() {
                 "window_roll" => {
@@ -150,6 +153,11 @@ impl OpsPlane {
                         audit.record(record);
                     }
                 }
+                "facility" => {
+                    if let Ok(status) = FacilityStatus::from_json(&event.data) {
+                        facilities.insert(status.facility.clone(), status);
+                    }
+                }
                 _ => {}
             }
         }
@@ -159,6 +167,7 @@ impl OpsPlane {
             slos,
             audit,
             log,
+            facilities,
             // Left `None` so the first `health()` after open always logs
             // a baseline verdict, even when the state did not change
             // across the restart.
@@ -216,6 +225,22 @@ impl OpsPlane {
     /// Current per-`(slo, stage)` burn statuses.
     pub fn slo_statuses(&self) -> Vec<SloStatus> {
         self.slos.statuses()
+    }
+
+    /// Record (or refresh) one destination facility's ingest signals —
+    /// lag and verification outcomes become SLO-able health inputs. The
+    /// update is logged as a `facility` event so a restarted plane
+    /// rehydrates the same per-facility picture.
+    pub fn record_facility(&mut self, status: FacilityStatus) {
+        let data = status.to_json();
+        self.facilities.insert(status.facility.clone(), status);
+        let at = self.windows.now_s();
+        let _ = self.log.append("facility", at, data);
+    }
+
+    /// Latest per-facility signals, in facility order.
+    pub fn facilities(&self) -> Vec<&FacilityStatus> {
+        self.facilities.values().collect()
     }
 
     /// Alerts currently in the firing state.
@@ -337,6 +362,7 @@ impl OpsPlane {
             self.slos.statuses(),
             self.alerts_active(),
             self.recovering,
+            self.facilities.values().cloned().collect(),
         );
         let changed = self.last_health_state.as_ref() != Some(&report.state);
         if changed {
@@ -462,6 +488,42 @@ mod tests {
             .tick(1.0, &reg2, &BTreeSet::new())
             .expect("window rolls");
         assert_eq!(w.index, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn facility_signals_roll_into_health_and_rehydrate() {
+        let dir = tempdir("facility");
+        {
+            let mut plane = OpsPlane::open(&dir, config()).unwrap();
+            assert_eq!(plane.health().state, HealthState::Healthy);
+            // A failing destination surfaces as Degraded, not silence.
+            plane.record_facility(FacilityStatus {
+                facility: "frontier-orion".to_string(),
+                ingest_lag_s: 12.0,
+                verified: 9,
+                verify_failures: 1,
+            });
+            let report = plane.health();
+            assert_eq!(report.state.label(), "degraded");
+            assert!(report.state.reasons()[0].contains("frontier-orion"));
+            assert_eq!(report.facilities.len(), 1);
+            // A later clean refresh of the same facility recovers.
+            plane.record_facility(FacilityStatus {
+                facility: "frontier-orion".to_string(),
+                ingest_lag_s: 3.0,
+                verified: 10,
+                verify_failures: 0,
+            });
+            assert_eq!(plane.health().state, HealthState::Healthy);
+        }
+        // Reopen: the last-written facility status survives the restart.
+        let mut plane = OpsPlane::open(&dir, config()).unwrap();
+        let facs = plane.facilities();
+        assert_eq!(facs.len(), 1);
+        assert_eq!(facs[0].verified, 10);
+        assert_eq!(facs[0].verify_failures, 0);
+        assert_eq!(plane.health().state, HealthState::Healthy);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -251,6 +251,83 @@ mod tests {
     }
 
     #[test]
+    fn seq_stays_monotone_across_rotation_boundaries_and_reopens() {
+        let dir = tempdir("rotate-seq");
+        // Tiny max_bytes (clamped to 1024) with a generous keep so no
+        // segment is dropped: every event survives across ~6 rotations.
+        {
+            let mut log = OpsLog::open(&dir, 1, 10).unwrap();
+            for i in 0..60u64 {
+                log.append("tick", i as f64, json!({"i": i})).unwrap();
+            }
+        }
+        assert!(
+            dir.join(format!("{OPS_LOG_FILE}.1")).exists(),
+            "test must actually span a rotation"
+        );
+        // Reopen mid-history: the recovered seq continues from the
+        // highest across *all* segments, not just the active one.
+        {
+            let mut log = OpsLog::open(&dir, 1, 10).unwrap();
+            assert_eq!(log.next_seq(), 60);
+            for i in 60..120u64 {
+                log.append("tick", i as f64, json!({"i": i})).unwrap();
+            }
+        }
+        let events = read_all(&dir);
+        assert_eq!(events.len(), 120, "no events lost across rotations");
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "seq gap or reorder at {i}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_final_health_reads_across_rotated_segments() {
+        let dir = tempdir("rotate-health");
+        let policy = crate::ops::health::HealthPolicy::default();
+        let early = crate::ops::health::evaluate(
+            &policy,
+            1.0,
+            1,
+            None,
+            0,
+            Vec::new(),
+            1, // firing alert → degraded
+            false,
+            Vec::new(),
+        );
+        let late = crate::ops::health::evaluate(
+            &policy,
+            50.0,
+            5,
+            None,
+            0,
+            Vec::new(),
+            0,
+            false,
+            Vec::new(),
+        );
+        let mut log = OpsLog::open(&dir, 1, 10).unwrap();
+        log.append("health", 1.0, early.to_json()).unwrap();
+        // Push the early health event into a rotated segment.
+        for i in 0..40u64 {
+            log.append("tick", i as f64, json!({"i": i})).unwrap();
+        }
+        log.append("health", 50.0, late.to_json()).unwrap();
+        assert!(dir.join(format!("{OPS_LOG_FILE}.1")).exists());
+
+        let events = read_all(&dir);
+        let replayed = replay_final_health(&events).unwrap();
+        assert_eq!(replayed, late, "latest verdict wins across segments");
+        assert_eq!(replayed.state.label(), "healthy");
+        // The early verdict is still in the history (oldest-first).
+        let first_health = events.iter().find(|e| e.kind == "health").unwrap();
+        assert_eq!(first_health.data["state"].as_str(), Some("degraded"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn torn_lines_are_skipped_and_health_replays() {
         let dir = tempdir("torn");
         let mut log = OpsLog::open(&dir, 1 << 20, 2).unwrap();
@@ -264,6 +341,7 @@ mod tests {
             Vec::new(),
             0,
             false,
+            Vec::new(),
         );
         log.append("health", 3.0, report.to_json()).unwrap();
         // Simulate a torn tail.

@@ -63,6 +63,77 @@ impl FaultPlan {
     }
 }
 
+/// Default seed for [`FaultInjector`] when neither the builder nor
+/// `EOML_FAULT_SEED` picks one.
+pub const DEFAULT_FAULT_SEED: u64 = 0xfa17_0b5e_ed00_0001;
+
+/// A [`FaultPlan`] bundled with its own deterministically seeded RNG —
+/// the reproducible fault source the ingest-verification path samples.
+///
+/// Seed resolution, in priority order:
+/// 1. an explicit [`FaultInjector::with_seed`] builder call,
+/// 2. the `EOML_FAULT_SEED` environment variable,
+/// 3. [`DEFAULT_FAULT_SEED`].
+///
+/// Two injectors built from the same plan and seed produce the same
+/// outcome sequence, so a failing corruption/loss test reruns
+/// identically under `EOML_FAULT_SEED=<n>`.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    seed: u64,
+    rng: Xoshiro256,
+}
+
+impl FaultInjector {
+    /// Injector over `plan`, seeded from `EOML_FAULT_SEED` when set,
+    /// else [`DEFAULT_FAULT_SEED`].
+    pub fn new(plan: FaultPlan) -> Self {
+        let seed = std::env::var("EOML_FAULT_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(DEFAULT_FAULT_SEED);
+        Self::seeded(plan, seed)
+    }
+
+    /// Builder: replace the seed (and reset the stream).
+    pub fn with_seed(self, seed: u64) -> Self {
+        Self::seeded(self.plan, seed)
+    }
+
+    fn seeded(plan: FaultPlan, seed: u64) -> Self {
+        Self {
+            plan,
+            seed,
+            rng: Xoshiro256::seed_from(seed),
+        }
+    }
+
+    /// The seed this injector's stream started from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan being sampled.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Sample the next flow outcome.
+    pub fn sample(&mut self) -> FlowOutcome {
+        self.plan.sample(&mut self.rng)
+    }
+
+    /// Deterministically perturb a content digest — how a
+    /// [`FlowOutcome::ChecksumMismatch`] corrupts a virtual artifact
+    /// whose payload exists only as a digest. Never returns `digest`
+    /// unchanged.
+    pub fn corrupt_digest(&mut self, digest: u64) -> u64 {
+        let noise = self.rng.next_u64() | 1; // non-zero ⇒ always differs
+        digest ^ noise
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +176,33 @@ mod tests {
         assert!(FlowOutcome::Success.is_success());
         assert!(!FlowOutcome::ConnectionDropped.is_success());
         assert!(!FlowOutcome::ChecksumMismatch.is_success());
+    }
+
+    #[test]
+    fn injectors_with_the_same_seed_replay_the_same_stream() {
+        let plan = FaultPlan {
+            drop_probability: 0.3,
+            corrupt_probability: 0.3,
+        };
+        let mut a = FaultInjector::new(plan).with_seed(77);
+        let mut b = FaultInjector::new(plan).with_seed(77);
+        assert_eq!(a.seed(), 77);
+        for _ in 0..200 {
+            assert_eq!(a.sample(), b.sample());
+        }
+        assert_eq!(a.corrupt_digest(0x1234), b.corrupt_digest(0x1234));
+        // A different seed diverges somewhere in the stream.
+        let mut c = FaultInjector::new(plan).with_seed(78);
+        let mut a = FaultInjector::new(plan).with_seed(77);
+        let diverged = (0..200).any(|_| a.sample() != c.sample());
+        assert!(diverged, "seeds 77 and 78 produced identical streams");
+    }
+
+    #[test]
+    fn corrupt_digest_always_differs() {
+        let mut inj = FaultInjector::new(FaultPlan::none()).with_seed(5);
+        for d in [0u64, 1, u64::MAX, 0xabcd] {
+            assert_ne!(inj.corrupt_digest(d), d);
+        }
     }
 }

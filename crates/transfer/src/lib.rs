@@ -19,16 +19,28 @@
 //!   automatic retry) built on the flow network;
 //! * [`pool`] — the LAADS download pool: N workers pulling catalog files
 //!   off a shared queue, one flow each, exactly the structure of the
-//!   paper's remotely executed download function.
+//!   paper's remotely executed download function;
+//! * [`manifest`] — the [`manifest::ShipmentManifest`] that travels with
+//!   every shipment: per-artifact content digests, the provenance slice,
+//!   originating trace ids, and a source-journal digest;
+//! * [`ingest`] — destination-side verification against the manifest:
+//!   typed [`ingest::IngestError`]s, facility-tagged spans, and an
+//!   idempotent acked-manifest set.
 
 pub mod endpoint;
 pub mod faults;
 pub mod flownet;
+pub mod ingest;
+pub mod manifest;
 pub mod pool;
 pub mod service;
 
 pub use endpoint::{Endpoint, EndpointId};
-pub use faults::{FaultPlan, FlowOutcome};
+pub use faults::{FaultInjector, FaultPlan, FlowOutcome, DEFAULT_FAULT_SEED};
 pub use flownet::{FlowId, FlowNetwork, HasNetwork};
+pub use ingest::{receive, IngestError, IngestReport, Ingestor, ReceivedArtifact};
+pub use manifest::{
+    content_digest, synthetic_digest, ArtifactEntry, JournalDigest, LineageRecord, ShipmentManifest,
+};
 pub use pool::{DownloadPool, DownloadReport, FileTiming};
 pub use service::{submit_transfer, TransferOptions, TransferReport, TransferTaskId};

@@ -391,4 +391,135 @@ fn main() {
         }
         Err(_) => println!("  set EOML_LEDGER=<dir> to journal a two-day campaign to disk"),
     }
+
+    // 11) Cross-facility observability: ship the observed campaign's
+    //     manifest to the destination facility, verify it there against
+    //     the per-artifact digests, roll the outcome into facility
+    //     health, and stitch both facilities' span stores into one
+    //     Chrome trace with a process lane per facility.
+    //     EOML_XFAC_CORRUPT=1 injects deterministic WAN damage (seeded;
+    //     override with EOML_FAULT_SEED), EOML_XFAC_TRACE=<path> writes
+    //     the stitched trace, EOML_XFAC_REPORT=<path> the ingest report.
+    println!();
+    println!("== two-facility shipment, ingest, and stitched trace ==");
+    let manifest = observed.manifest.as_ref().expect("campaign manifest");
+    println!(
+        "  two-facility: manifest {} covers {} artifacts ({} bytes, {} lineage records)",
+        manifest.id(),
+        manifest.len(),
+        manifest.total_bytes(),
+        manifest.lineage.len()
+    );
+    let dst_obs = eoml::obs::Obs::shared();
+    let mut ingestor =
+        eoml::transfer::Ingestor::new("frontier-orion").with_obs(std::sync::Arc::clone(&dst_obs));
+    let corrupt = std::env::var("EOML_XFAC_CORRUPT").is_ok();
+    let plan = if corrupt {
+        eoml::transfer::FaultPlan {
+            drop_probability: 0.15,
+            corrupt_probability: 0.25,
+        }
+    } else {
+        FaultPlan::none()
+    };
+    let mut faults = eoml::transfer::FaultInjector::new(plan);
+    println!(
+        "  two-facility: WAN fault seed {} (corrupt={corrupt})",
+        faults.seed()
+    );
+    let received = eoml::transfer::receive(manifest, &mut faults);
+    let ingest = ingestor.ingest(manifest, &received, manifest.created_s + 5.0);
+    if ingest.ok() {
+        println!(
+            "  two-facility: ingest ok — {} artifacts verified at {} in {:.2}s",
+            ingest.verified.len(),
+            ingest.facility,
+            ingest.verify_seconds
+        );
+    } else {
+        println!(
+            "  two-facility: ingest FAILED — {} error(s) at {}, first: {}",
+            ingest.errors.len(),
+            ingest.facility,
+            ingest.first_error().expect("errors nonempty")
+        );
+    }
+    // Per-facility health rollup from the destination's verify counters.
+    let stage_key = format!("facility:{}", ingest.facility);
+    let status = eoml::obs::FacilityStatus {
+        facility: ingest.facility.clone(),
+        ingest_lag_s: 5.0,
+        verified: dst_obs
+            .metrics()
+            .counter_value("artifacts_verified", &stage_key)
+            .unwrap_or(0),
+        verify_failures: dst_obs
+            .metrics()
+            .counter_value("verify_failures", &stage_key)
+            .unwrap_or(0),
+    };
+    let health = eoml::obs::ops::health::evaluate(
+        &eoml::obs::HealthPolicy::default(),
+        manifest.created_s + 5.0,
+        1,
+        None,
+        0,
+        Vec::new(),
+        0,
+        false,
+        vec![status],
+    );
+    match &health.state {
+        eoml::obs::HealthState::Healthy => println!("  two-facility: health Healthy"),
+        eoml::obs::HealthState::Degraded { reasons } => {
+            println!("  two-facility: health Degraded — {}", reasons.join("; "))
+        }
+        eoml::obs::HealthState::Unhealthy { reasons } => {
+            println!("  two-facility: health Unhealthy — {}", reasons.join("; "))
+        }
+    }
+    // Stitch source + destination spans into one cross-facility timeline.
+    let x = eoml::obs::XfacAnalysis::stitch(&[
+        eoml::obs::FacilitySpans::capture("ace-defiant", &obs),
+        eoml::obs::FacilitySpans::capture("frontier-orion", &dst_obs),
+    ]);
+    let stitched = x.stitched_trace_ids();
+    println!(
+        "  two-facility: {} granule trace(s) cross the WAN",
+        stitched.len()
+    );
+    if let Some(id) = stitched.first() {
+        let wan = x.wan_breakdown(id).expect("stitched trace analysable");
+        println!(
+            "  two-facility: {id} wan breakdown — queue {:.2}s, wire {:.2}s, verify {:.2}s",
+            wan.queue_s, wan.wire_s, wan.verify_s
+        );
+    }
+    match std::env::var("EOML_XFAC_TRACE") {
+        Ok(path) => {
+            std::fs::write(&path, x.chrome_trace()).expect("write stitched trace");
+            println!("  two-facility: wrote stitched Chrome trace to {path}");
+        }
+        Err(_) => println!("  set EOML_XFAC_TRACE=<path> to export the stitched trace"),
+    }
+    match std::env::var("EOML_XFAC_REPORT") {
+        Ok(path) => {
+            std::fs::write(&path, ingest.to_json().to_string()).expect("write ingest report");
+            println!("  two-facility: wrote ingest report to {path}");
+        }
+        Err(_) => println!("  set EOML_XFAC_REPORT=<path> to export the ingest report JSON"),
+    }
+    if corrupt {
+        assert!(!ingest.ok(), "injected corruption must fail verification");
+        // A clean re-ship after the loud failure verifies and acks — the
+        // damage was on the wire, not in the manifest.
+        let clean: Vec<_> = manifest
+            .artifacts
+            .iter()
+            .map(eoml::transfer::ReceivedArtifact::faithful)
+            .collect();
+        let retry = ingestor.ingest(manifest, &clean, manifest.created_s + 30.0);
+        assert!(retry.ok() && !retry.duplicate, "clean re-ship must ack");
+        println!("  two-facility: clean re-ship verified and acked after the failure");
+    }
 }
