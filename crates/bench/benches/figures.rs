@@ -6,6 +6,7 @@
 //! cargo bench -p eoml-bench --bench figures -- --json    # + BENCH_*.json
 //! cargo bench -p eoml-bench --bench figures -- --json=out fig3
 //! cargo bench -p eoml-bench --bench figures -- --compare # gate vs baselines
+//! cargo bench -p eoml-bench --bench figures -- --archive=dir # freeze a RunArchive
 //! ```
 //!
 //! Each experiment prints the same rows/series the paper reports, plus the
@@ -52,6 +53,13 @@
 //! deliberately *excluded* from the baseline surface: allocation byte
 //! counts are not stable across rustc versions or platforms, so they are
 //! reported as text only.
+//!
+//! With `--archive[=DIR]` (default `bench-archive`) the whole run is
+//! additionally frozen as an [`eoml_obs::RunArchive`]: the campaign
+//! experiments (fig6/fig7) report into a shared hub whose span store,
+//! folded profile, and every emitted table land under a digested
+//! manifest. Two such archives — e.g. this PR vs main — feed
+//! `eoml-obsctl diff` for ranked regression attribution.
 
 use eoml_bench::TILES_PER_FILE;
 use eoml_cluster::contention::ContentionModel;
@@ -62,7 +70,7 @@ use eoml_executor::simexec::{run_batch, BatchReport};
 use eoml_modis::catalog::Catalog;
 use eoml_modis::product::Platform;
 use eoml_obs::table::{Cell, Table};
-use eoml_obs::{BaselineStore, Tolerance};
+use eoml_obs::{config_digest, BaselineStore, Obs, RunArchive, RunMeta, Tolerance};
 use eoml_simtime::{SimTime, Simulation};
 use eoml_transfer::endpoint::Endpoint;
 use eoml_transfer::faults::FaultPlan;
@@ -73,6 +81,7 @@ use eoml_util::timebase::CivilDate;
 use eoml_util::units::ByteSize;
 use std::cell::RefCell;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 // The counting allocator attributes bench memory traffic; its numbers are
 // reported as text only (see the header: never part of the baselines).
@@ -81,16 +90,26 @@ eoml_obs::install_counting_allocator!();
 /// Table output: always the aligned text form; with `--json[=DIR]` also a
 /// `BENCH_<name>.json` document per table. Every emitted table is retained
 /// for the `--compare` / `--write-baselines` pass at the end of the run.
+///
+/// `--json` emissions carry a self-describing `meta` block (git describe,
+/// sim seed, host cores, archive schema version). The committed baselines
+/// never do — `--write-baselines` goes through [`BaselineStore::write`],
+/// and comparisons are meta-blind either way, so the 12 committed seeds
+/// stay byte-identical.
 struct Emit {
     json_dir: Option<PathBuf>,
     tables: RefCell<Vec<Table>>,
+    /// Shared hub the campaign experiments report into when this run is
+    /// being archived (`--archive`); `None` keeps the legacy path.
+    obs: Option<Arc<Obs>>,
+    meta: RunMeta,
 }
 
 impl Emit {
     fn table(&self, table: &Table) {
         print!("{}", table.render_text(0));
         if let Some(dir) = &self.json_dir {
-            match table.write_json(dir) {
+            match table.write_json_with_meta(dir, &self.meta.to_json()) {
                 Ok(path) => println!("[wrote {}]", path.display()),
                 Err(e) => eprintln!("[failed to write BENCH_{}.json: {e}]", table.name),
             }
@@ -105,6 +124,7 @@ struct Cli {
     json_dir: Option<PathBuf>,
     compare_dir: Option<PathBuf>,
     write_dir: Option<PathBuf>,
+    archive_dir: Option<PathBuf>,
 }
 
 const DEFAULT_BASELINE_DIR: &str = "bench/baselines";
@@ -115,6 +135,7 @@ fn parse_cli(args: &[String]) -> Cli {
         json_dir: None,
         compare_dir: None,
         write_dir: None,
+        archive_dir: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -137,6 +158,10 @@ fn parse_cli(args: &[String]) -> Cli {
             cli.write_dir = Some(PathBuf::from(DEFAULT_BASELINE_DIR));
         } else if let Some(d) = a.strip_prefix("--write-baselines=") {
             cli.write_dir = Some(PathBuf::from(d));
+        } else if a == "--archive" {
+            cli.archive_dir = Some(PathBuf::from("bench-archive"));
+        } else if let Some(d) = a.strip_prefix("--archive=") {
+            cli.archive_dir = Some(PathBuf::from(d));
         } else if !a.starts_with("--") {
             cli.explicit.push(a.clone());
         }
@@ -164,9 +189,24 @@ fn main() {
     let cli = parse_cli(&args);
     let explicit = cli.explicit.clone();
     let want = |name: &str| explicit.is_empty() || explicit.iter().any(|a| a.as_str() == name);
+    // The bench identity: the paper-demo seed plus the experiment
+    // selection. Two bench runs with equal digests are the same
+    // experiment set and must diff clean.
+    let selection = if explicit.is_empty() {
+        "all".to_string()
+    } else {
+        explicit.join(",")
+    };
+    let meta = RunMeta::new(
+        "figures-bench",
+        &config_digest(&format!("figures-bench selection={selection}")),
+        CampaignParams::paper_demo().seed,
+    );
     let emit = Emit {
         json_dir: cli.json_dir,
         tables: RefCell::new(Vec::new()),
+        obs: cli.archive_dir.as_ref().map(|_| Arc::new(Obs::new())),
+        meta,
     };
     println!("eoml — paper figure/table reproduction harness");
     println!("================================================");
@@ -194,6 +234,8 @@ fn main() {
     if want("fig7") {
         fig7_latency_breakdown(&emit);
     }
+    // `headline` follows fig6/fig7 so the archived span store (when
+    // `--archive` attached a hub above) covers the campaign experiments.
     if want("headline") {
         headline_12k_tiles(&emit);
     }
@@ -210,6 +252,28 @@ fn main() {
     }
 
     let tables = emit.tables.borrow();
+    // Freeze the run as a diffable archive *before* the compare pass, so
+    // a failed gate still leaves the artifacts behind for attribution.
+    if let Some(dir) = &cli.archive_dir {
+        let spans = emit.obs.as_ref().map(|o| o.spans()).unwrap_or_default();
+        let snapshot = emit
+            .obs
+            .as_ref()
+            .map(|o| o.metrics().snapshot())
+            .unwrap_or_default();
+        match RunArchive::record(dir, &emit.meta, &spans, &snapshot, &tables, &[]) {
+            Ok(archive) => println!(
+                "\narchived run under {} ({} spans, {} tables)",
+                archive.dir.display(),
+                archive.spans.len(),
+                archive.tables.len()
+            ),
+            Err(e) => {
+                eprintln!("failed to record archive under {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some(dir) = cli.write_dir {
         let dir = resolve_baseline_dir(dir);
         match BaselineStore::write(&dir, &tables, Tolerance::default()) {
@@ -548,6 +612,7 @@ fn fig6_timeline(emit: &Emit) {
         files_per_day: 32,
         nodes: 4,
         workers_per_node: 8,
+        obs: emit.obs.clone(),
         ..CampaignParams::paper_demo()
     });
     let t_end = SimTime::from_secs_f64(report.makespan_s);
@@ -592,6 +657,7 @@ fn fig7_latency_breakdown(emit: &Emit) {
         files_per_day: 32,
         nodes: 4,
         workers_per_node: 8,
+        obs: emit.obs.clone(),
         ..CampaignParams::paper_demo()
     });
     let tel = &report.telemetry;

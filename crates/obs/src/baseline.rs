@@ -451,6 +451,31 @@ mod tests {
     }
 
     #[test]
+    fn meta_block_in_bench_json_is_ignored_by_the_gate() {
+        // A fresh run now emits BENCH_*.json with a self-describing
+        // `meta` block; the 12 committed seeds carry none. Loading and
+        // comparing across that difference must be meta-blind in both
+        // directions, or every meta change would fail the gate.
+        let dir = std::env::temp_dir().join(format!("eoml_meta_gate_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let meta = crate::archive::RunMeta::new("bench", "cfg", 2022).to_json();
+        sample_table(1.0)
+            .write_json_with_meta(&dir, &meta)
+            .expect("write with meta");
+        let store = BaselineStore::load(&dir).expect("load");
+        // Emitted file really carries the block...
+        let body = std::fs::read_to_string(dir.join("BENCH_fig_demo.json")).unwrap();
+        assert!(body.contains("\"meta\""));
+        assert!(body.contains("\"sim_seed\""));
+        // ...and the comparison is unaffected, metaless side either way.
+        assert_eq!(store.compare(&sample_table(1.0)).verdict, Verdict::Ok);
+        let metaless = store_with(sample_table(1.0), Tolerance::default());
+        let loaded = store.get("fig_demo").expect("baseline").table.clone();
+        assert_eq!(metaless.compare(&loaded).verdict, Verdict::Ok);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn doubled_values_regress_in_both_directions() {
         let store = store_with(sample_table(1.0), Tolerance::default());
         let slow = store.compare(&sample_table(2.0));

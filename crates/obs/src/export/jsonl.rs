@@ -2,9 +2,15 @@
 //! first (open order), then counters, gauges, and histogram summaries.
 //! The format a quick `jq`/Python script wants when neither a trace
 //! viewer nor a Prometheus scraper is at hand.
+//!
+//! [`parse`] is the inverse for the span/counter/gauge lines, so a
+//! [`crate::archive::RunArchive`] can reload a dumped store and diff it
+//! offline. Histogram summary lines are lossy by construction (they hold
+//! percentiles, not samples) and are skipped on the way back in.
 
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{MetricKey, MetricsSnapshot};
 use crate::span::SpanRecord;
+use eoml_simtime::SimTime;
 use serde_json::{Map, Value};
 
 fn span_line(span: &SpanRecord) -> Value {
@@ -110,6 +116,129 @@ pub fn render(spans: &[SpanRecord], snapshot: &MetricsSnapshot) -> String {
     out
 }
 
+/// A JSONL dump parsed back into structured telemetry: the spans plus the
+/// counter/gauge registry values (histogram summaries are not
+/// reconstructable and are skipped).
+#[derive(Debug, Clone, Default)]
+pub struct ParsedJsonl {
+    /// Span records, in dump order.
+    pub spans: Vec<SpanRecord>,
+    /// Counter values by `(name, stage)`.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// Gauge values by `(name, stage)`.
+    pub gauges: Vec<(MetricKey, f64)>,
+}
+
+impl ParsedJsonl {
+    /// Rebuild a [`MetricsSnapshot`] (histograms empty) — enough for the
+    /// memory/alloc accounting that rides on counters and gauges.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: Vec::new(),
+        }
+    }
+}
+
+fn parse_span(obj: &Map, lineno: usize) -> Result<SpanRecord, String> {
+    let err = |what: &str| format!("line {lineno}: span missing {what}");
+    let num = |key: &str| obj.get(key).and_then(Value::as_f64);
+    let sim = |key: &str| {
+        obj.get(key)
+            .filter(|v| !matches!(v, Value::Null))
+            .and_then(Value::as_f64)
+            .map(|s| SimTime::from_secs_f64(s.max(0.0)))
+    };
+    Ok(SpanRecord {
+        id: num("id").ok_or_else(|| err("id"))? as u64,
+        parent: obj
+            .get("parent")
+            .filter(|v| !matches!(v, Value::Null))
+            .and_then(Value::as_f64)
+            .map(|p| p as u64),
+        stage: obj
+            .get("stage")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("stage"))?
+            .to_string(),
+        name: obj
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("name"))?
+            .to_string(),
+        tid: num("tid").unwrap_or(0.0) as u64,
+        sim_start: sim("sim_start_s"),
+        sim_end: sim("sim_end_s"),
+        wall_start_ns: (num("wall_start_s").unwrap_or(0.0) * 1e9).round() as u64,
+        wall_end_ns: (num("wall_end_s").unwrap_or(0.0) * 1e9).round() as u64,
+        trace_id: obj
+            .get("trace_id")
+            .and_then(Value::as_str)
+            .map(str::to_string),
+        attrs: obj
+            .get("attrs")
+            .and_then(Value::as_object)
+            .map(|attrs| {
+                attrs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.as_str().unwrap_or_default().to_string()))
+                    .collect()
+            })
+            .unwrap_or_default(),
+    })
+}
+
+fn parse_metric_key(obj: &Map, lineno: usize) -> Result<MetricKey, String> {
+    let field = |what: &str| {
+        obj.get(what)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("line {lineno}: metric missing {what}"))
+    };
+    Ok(MetricKey {
+        name: field("name")?,
+        stage: field("stage")?,
+    })
+}
+
+/// Parse a [`render`]ed document back into spans, counters, and gauges.
+///
+/// Wall-clock bounds round-trip through seconds (sub-nanosecond loss
+/// only); `attrs` come back key-sorted. Histogram lines are skipped —
+/// their summaries cannot rebuild the sample distribution. Unknown line
+/// types are ignored (forward compatibility); malformed lines error.
+pub fn parse(text: &str) -> Result<ParsedJsonl, String> {
+    let mut out = ParsedJsonl::default();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value =
+            serde_json::from_str(line).map_err(|e| format!("line {lineno}: {e:?}"))?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| format!("line {lineno}: not an object"))?;
+        match obj.get("type").and_then(Value::as_str) {
+            Some("span") => out.spans.push(parse_span(obj, lineno)?),
+            Some("counter") => {
+                let key = parse_metric_key(obj, lineno)?;
+                let v = obj.get("value").and_then(Value::as_f64).unwrap_or(0.0);
+                out.counters.push((key, v.round() as u64));
+            }
+            Some("gauge") => {
+                let key = parse_metric_key(obj, lineno)?;
+                let v = obj.get("value").and_then(Value::as_f64).unwrap_or(0.0);
+                out.gauges.push((key, v));
+            }
+            Some(_) => {} // histogram summaries and future line types
+            None => return Err(format!("line {lineno}: object without a type")),
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +314,62 @@ mod tests {
             rel <= 0.19,
             "approx={approx_p50} exact={exact_p50} rel={rel}"
         );
+    }
+
+    #[test]
+    fn dump_round_trips_spans_counters_and_gauges() {
+        use crate::TraceContext;
+        use eoml_simtime::SimTime;
+        let obs = crate::Obs::new();
+        obs.record_sim_span_traced(
+            "download",
+            "file",
+            SimTime::from_secs_f64(1.5),
+            SimTime::from_secs_f64(4.0),
+            Some(&TraceContext::new("MOD.A2022001.0610")),
+            &[("file", "MOD021KM.A2022001.0610.hdf")],
+        );
+        {
+            let _guard = obs.span("preprocess", "wall_only");
+        }
+        obs.counter_add("alloc_bytes", "preprocess", 4096);
+        obs.gauge_set("alloc_peak_bytes", "preprocess", 2048.0);
+
+        let parsed = parse(&obs.jsonl()).expect("round trip");
+        assert_eq!(parsed.spans.len(), 2);
+        let sim = &parsed.spans[0];
+        assert_eq!(sim.stage, "download");
+        assert_eq!(sim.sim_seconds(), Some(2.5));
+        assert_eq!(sim.trace_id.as_deref(), Some("MOD.A2022001.0610"));
+        assert_eq!(sim.attr("file"), Some("MOD021KM.A2022001.0610.hdf"));
+        let wall = &parsed.spans[1];
+        assert!(wall.sim_start.is_none() && wall.parent.is_none());
+        // Durations survive in whichever clock the span carried.
+        let originals = obs.spans();
+        for (a, b) in originals.iter().zip(&parsed.spans) {
+            assert!((a.duration_seconds() - b.duration_seconds()).abs() < 1e-8);
+        }
+        let snap = parsed.metrics_snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(k, v)| k.name == "alloc_bytes" && k.stage == "preprocess" && *v == 4096));
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(k, v)| k.name == "alloc_peak_bytes" && *v == 2048.0));
+        // Histogram lines exist in the dump but are skipped on parse.
+        assert!(obs.jsonl().contains("\"type\":\"histogram\""));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("not json").is_err());
+        assert!(parse("{\"no\":\"type\"}").is_err());
+        assert!(parse("{\"type\":\"span\"}").is_err(), "span without id");
+        // Unknown types and blank lines are tolerated.
+        let ok = parse("{\"type\":\"future_thing\",\"x\":1}\n\n").unwrap();
+        assert!(ok.spans.is_empty() && ok.counters.is_empty());
     }
 
     #[test]

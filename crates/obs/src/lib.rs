@@ -48,8 +48,10 @@
 
 pub mod alert;
 pub mod analysis;
+pub mod archive;
 pub mod baseline;
 mod collector;
+pub mod diff;
 pub mod export;
 pub mod metrics;
 pub mod ops;
@@ -67,8 +69,13 @@ pub use analysis::{
     GranuleTrace, PathSegment, SegmentKind, StageAttribution, StageTimeline, Straggler,
     StragglerConfig, TraceAnalysis,
 };
+pub use archive::{config_digest, RunArchive, RunMeta, ARCHIVE_SCHEMA_VERSION};
 pub use baseline::{
     Baseline, BaselineStore, CellDelta, RunComparison, TableVerdict, Tolerance, Verdict,
+};
+pub use diff::{
+    diff_archives, flame_diff, AllocDelta, AttributionEntry, AttributionReport, CompositionRow,
+    HeadlineDelta, SelfTimeDelta, DEFAULT_DIFF_TOLERANCE,
 };
 pub use metrics::{
     stage_matches_prefix, LogHistogram, MergeError, MetricKey, MetricsRegistry, MetricsSnapshot,

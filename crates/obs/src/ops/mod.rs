@@ -34,7 +34,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
-use serde_json::Value;
+use serde_json::{Map, Value};
 
 use crate::alert::{Alert, AlertRule, AlertTransition, AlertTransitionKind, ProgressSink};
 use crate::metrics::MetricsRegistry;
@@ -265,6 +265,28 @@ impl OpsPlane {
         let _ = self.log.append(kind, at, data);
     }
 
+    /// Log a pointer to a recorded [`crate::archive::RunArchive`]: an
+    /// `archive_recorded` event carrying the archive path and the
+    /// manifest identity (schema version, config digest, sim seed,
+    /// label). Operators replaying the ops log can then locate the
+    /// frozen artifacts of any historical run and `eoml-obsctl diff`
+    /// them offline.
+    pub fn record_archive(&mut self, path: &str, meta: &crate::archive::RunMeta) {
+        let mut data = Map::new();
+        data.insert("path".to_string(), Value::from(path));
+        data.insert(
+            "schema_version".to_string(),
+            Value::from(meta.schema_version as f64),
+        );
+        data.insert(
+            "config_digest".to_string(),
+            Value::from(meta.config_digest.as_str()),
+        );
+        data.insert("sim_seed".to_string(), Value::from(meta.sim_seed as f64));
+        data.insert("label".to_string(), Value::from(meta.label.as_str()));
+        self.event("archive_recorded", Value::Object(data));
+    }
+
     /// Record one scheduler action into the audit ring and the ops log.
     pub fn record_audit(&mut self, record: AuditRecord) {
         let kind = match &record {
@@ -446,6 +468,33 @@ mod tests {
         assert_eq!(states, vec!["degraded", "healthy"]);
         let replayed = oplog::replay_final_health(&events).unwrap();
         assert_eq!(replayed.state, healthy.state);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn archive_pointer_events_survive_the_log() {
+        let dir = tempdir("archive-ptr");
+        let mut plane = OpsPlane::open(&dir, config()).unwrap();
+        let meta = crate::archive::RunMeta::new("campaign-42", "deadbeef00000000", 2022);
+        plane.record_archive("/data/archives/campaign-42", &meta);
+        drop(plane);
+        // A fresh plane (or offline `read_ops_log`) sees the pointer.
+        let plane = OpsPlane::open(&dir, config()).unwrap();
+        let events = plane.events();
+        let ptr = events
+            .iter()
+            .find(|e| e.kind == "archive_recorded")
+            .expect("archive pointer logged");
+        assert_eq!(
+            ptr.data["path"].as_str(),
+            Some("/data/archives/campaign-42")
+        );
+        assert_eq!(ptr.data["config_digest"].as_str(), Some("deadbeef00000000"));
+        assert_eq!(ptr.data["sim_seed"].as_f64(), Some(2022.0));
+        assert_eq!(
+            ptr.data["schema_version"].as_f64(),
+            Some(crate::archive::ARCHIVE_SCHEMA_VERSION as f64)
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

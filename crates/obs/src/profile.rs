@@ -193,11 +193,13 @@ impl SpanProfile {
     }
 }
 
-/// One collapsed-stack frame: `stage:name`, with the separator characters
-/// of the folded format (`;` between frames, space before the count)
-/// replaced so frames always round-trip.
+/// One collapsed-stack frame: `stage:name`, with the structural
+/// characters of the folded format (`;` between frames, space before the
+/// count, and the newline that terminates a stack line) replaced so
+/// frames always round-trip — a hostile span name must corrupt at most
+/// its own label, never the frame boundaries of the document.
 fn frame_label(span: &SpanRecord) -> String {
-    let clean = |s: &str| s.replace([';', ' '], "_");
+    let clean = |s: &str| s.replace([';', ' ', '\n', '\r'], "_");
     format!("{}:{}", clean(&span.stage), clean(&span.name))
 }
 
@@ -314,6 +316,40 @@ mod tests {
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].0, vec!["weird_stage:a_b_c"]);
         assert_eq!(parsed[0].1, 1_000_000);
+    }
+
+    #[test]
+    fn hostile_names_with_newlines_cannot_break_frame_boundaries() {
+        // A span name smuggling the folded format's own structure: frame
+        // separators, a sample-count separator, and a forged second line
+        // claiming a bogus stack. All of it must stay inside one label.
+        let spans = vec![
+            sim_span(
+                1,
+                None,
+                "stage\nls",
+                "evil;frame 99\nfake:stack 1",
+                0.0,
+                2.0,
+            ),
+            sim_span(2, Some(1), "child", "with\r\ncrlf", 0.0, 1.0),
+        ];
+        let p = SpanProfile::from_spans(&spans);
+        let doc = p.folded();
+        // Exactly the two real stacks — the forged newline produced no
+        // extra document line.
+        assert_eq!(doc.lines().count(), 2);
+        let parsed = parse_folded(&doc).expect("hostile names still round-trip");
+        assert_eq!(parsed.len(), 2);
+        let flat: Vec<(String, u64)> = parsed
+            .iter()
+            .map(|(frames, micros)| (frames.join(";"), *micros))
+            .collect();
+        assert!(flat.contains(&("stage_ls:evil_frame_99_fake:stack_1".to_string(), 1_000_000)));
+        assert!(flat.contains(&(
+            "stage_ls:evil_frame_99_fake:stack_1;child:with__crlf".to_string(),
+            1_000_000
+        )));
     }
 
     #[test]

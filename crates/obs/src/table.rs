@@ -251,6 +251,31 @@ impl Table {
         )?;
         Ok(path)
     }
+
+    /// [`Table::write_json`] with a `meta` block (git describe, sim seed,
+    /// host cores, schema version — see [`crate::archive::RunMeta`])
+    /// attached at the top level, making the emitted `BENCH_*.json`
+    /// self-describing. `meta` is an *extra* key: [`Table::from_json`]
+    /// and therefore [`crate::BaselineStore`] comparisons ignore it, so
+    /// committed baselines never need regenerating when meta changes.
+    pub fn write_json_with_meta(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+        meta: &Value,
+    ) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        let path = dir.as_ref().join(format!("BENCH_{}.json", self.name));
+        let mut obj = match self.to_json() {
+            Value::Object(obj) => obj,
+            _ => unreachable!("Table::to_json returns an object"),
+        };
+        obj.insert("meta".to_string(), meta.clone());
+        std::fs::write(
+            &path,
+            serde_json::to_string(&Value::Object(obj)).expect("table serialization is infallible"),
+        )?;
+        Ok(path)
+    }
 }
 
 #[cfg(test)]

@@ -141,6 +141,36 @@ impl XfacAnalysis {
             .collect()
     }
 
+    /// Trace ids that were **shipped but never ingested**: a
+    /// `shipment`-stage span exists but the trace's spans sit in a single
+    /// facility — the destination never recorded the granule. These are
+    /// exactly the granules a WAN audit must flag; they still have a
+    /// [`XfacAnalysis::wan_breakdown`] (wire + source-side queue, zero
+    /// verify) rather than silently vanishing from the stitched view.
+    pub fn orphaned_shipments(&self) -> Vec<&str> {
+        let mut facs: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        let mut shipped: BTreeMap<&str, bool> = BTreeMap::new();
+        for s in &self.spans {
+            let Some(id) = s.trace_id.as_deref() else {
+                continue;
+            };
+            if s.stage == "shipment" {
+                shipped.insert(id, true);
+            }
+            if let Some(fac) = s.attr(FACILITY_ATTR) {
+                let lanes = facs.entry(id).or_default();
+                if !lanes.contains(&fac) {
+                    lanes.push(fac);
+                }
+            }
+        }
+        shipped
+            .into_iter()
+            .filter(|(id, _)| facs.get(id).map(Vec::len).unwrap_or(0) <= 1)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
     /// WAN attribution for one granule's stitched critical path: queue
     /// (waiting on `shipment`/`ingest`), wire (`shipment` service),
     /// verify (`ingest` service). `None` when the trace is unknown.
@@ -161,17 +191,22 @@ impl XfacAnalysis {
     }
 
     /// Render the stitched store as a single Chrome trace with one
-    /// process lane per facility.
+    /// process lane per facility. Lanes are sorted (and deduplicated) by
+    /// facility name before pid assignment, so the rendered document is
+    /// byte-stable regardless of stitch order — CI artifact diffs of two
+    /// stitched traces compare content, not capture order.
     pub fn chrome_trace(&self) -> String {
-        let lanes: Vec<(&str, Vec<&SpanRecord>)> = self
-            .facilities
-            .iter()
+        let mut ordered: Vec<&str> = self.facilities.iter().map(String::as_str).collect();
+        ordered.sort_unstable();
+        ordered.dedup();
+        let lanes: Vec<(&str, Vec<&SpanRecord>)> = ordered
+            .into_iter()
             .map(|f| {
                 (
-                    f.as_str(),
+                    f,
                     self.spans
                         .iter()
-                        .filter(|s| s.attr(FACILITY_ATTR) == Some(f.as_str()))
+                        .filter(|s| s.attr(FACILITY_ATTR) == Some(f))
                         .collect(),
                 )
             })
@@ -242,6 +277,82 @@ mod tests {
         assert!((wan.queue_s - 5.0).abs() < 1e-9);
         assert!((wan.total_s() - 15.0).abs() < 1e-9);
         assert!(x.wan_breakdown("nope").is_none());
+    }
+
+    #[test]
+    fn shipped_but_never_ingested_granule_is_reported_as_orphan() {
+        // g1 completes the WAN hop; g2 ships but the destination never
+        // records an ingest span — a lost/failed transfer.
+        let src = Obs::new();
+        span(&src, "download", "file", 0.0, 10.0, "g1");
+        span(&src, "shipment", "file", 12.0, 20.0, "g1");
+        span(&src, "download", "file", 0.0, 11.0, "g2");
+        span(&src, "shipment", "file", 13.0, 21.0, "g2");
+        let dst = Obs::new();
+        span(&dst, "ingest", "verify", 23.0, 25.0, "g1");
+        let x = XfacAnalysis::stitch(&[
+            FacilitySpans {
+                facility: "ace-defiant".into(),
+                spans: src.spans(),
+            },
+            FacilitySpans {
+                facility: "frontier-orion".into(),
+                spans: dst.spans(),
+            },
+        ]);
+        // The orphan is reported, not dropped.
+        assert_eq!(x.orphaned_shipments(), vec!["g2"]);
+        assert_eq!(x.stitched_trace_ids(), vec!["g1"]);
+        // And its WAN breakdown still attributes the source side: wire
+        // 13..21, queue 11..13, verify necessarily zero.
+        let wan = x.wan_breakdown("g2").expect("orphan keeps a breakdown");
+        assert!((wan.wire_s - 8.0).abs() < 1e-9);
+        assert!((wan.queue_s - 2.0).abs() < 1e-9);
+        assert_eq!(wan.verify_s, 0.0);
+        // A fully-stitched store reports no orphans.
+        assert!(two_facility_fixture().orphaned_shipments().is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_is_byte_stable_across_stitch_order() {
+        let src = Obs::new();
+        span(&src, "download", "file", 0.0, 10.0, "g1");
+        span(&src, "shipment", "file", 12.0, 20.0, "g1");
+        let dst = Obs::new();
+        span(&dst, "ingest", "verify", 23.0, 25.0, "g1");
+        let fwd = XfacAnalysis::stitch(&[
+            FacilitySpans {
+                facility: "ace-defiant".into(),
+                spans: src.spans(),
+            },
+            FacilitySpans {
+                facility: "frontier-orion".into(),
+                spans: dst.spans(),
+            },
+        ]);
+        let rev = XfacAnalysis::stitch(&[
+            FacilitySpans {
+                facility: "frontier-orion".into(),
+                spans: dst.spans(),
+            },
+            FacilitySpans {
+                facility: "ace-defiant".into(),
+                spans: src.spans(),
+            },
+        ]);
+        // Same document bytes either way: lanes sort by facility name
+        // before pid assignment.
+        assert_eq!(fwd.chrome_trace(), rev.chrome_trace());
+        let v: serde_json::Value = serde_json::from_str(&rev.chrome_trace()).unwrap();
+        let lane = v["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| {
+                e["ph"].as_str() == Some("M") && e["args"]["name"].as_str() == Some("ace-defiant")
+            })
+            .expect("lane metadata");
+        assert_eq!(lane["pid"].as_f64(), Some(1.0), "alphabetical pid");
     }
 
     #[test]

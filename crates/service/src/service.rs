@@ -525,6 +525,15 @@ impl CampaignService {
         self.with_ops(|ops| ops.events()).unwrap_or_default()
     }
 
+    /// Log a pointer to a recorded run archive into the ops log (no-op
+    /// when the ops plane is disabled). The archive itself lives
+    /// wherever the recorder put it; the ops log only remembers where,
+    /// so a later `eoml-obsctl diff` can find any historical run's
+    /// frozen artifacts from the durable event history alone.
+    pub fn record_archive_pointer(&self, path: &Path, meta: &eoml_obs::RunMeta) {
+        self.with_ops(|ops| ops.record_archive(&path.display().to_string(), meta));
+    }
+
     /// Rolled metric windows currently held in the ring (oldest first).
     pub fn ops_windows(&self) -> Vec<WindowDelta> {
         self.with_ops(|ops| ops.windows().windows().cloned().collect())

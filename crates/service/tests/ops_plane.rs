@@ -313,3 +313,28 @@ fn windows_resume_across_restart_without_double_counting() {
 
     std::fs::remove_dir_all(&root).ok();
 }
+
+#[test]
+fn archive_pointers_land_in_the_durable_ops_log() {
+    let root = tempdir("archive-ptr");
+    let (service, _) = CampaignService::open(&root, ops_service_config()).unwrap();
+    let meta = eoml_obs::RunMeta::new("nightly", "cafebabe12345678", 2022);
+    service.record_archive_pointer(&root.join("archives/nightly"), &meta);
+    drop(service);
+
+    // A reopened service replays the pointer out of the rotated log.
+    let (service, _) = CampaignService::open(&root, ops_service_config()).unwrap();
+    let events = service.ops_log();
+    let ptr = events
+        .iter()
+        .find(|e| e.kind == "archive_recorded")
+        .expect("archive pointer survives restart");
+    assert!(ptr.data["path"]
+        .as_str()
+        .unwrap()
+        .ends_with("archives/nightly"));
+    assert_eq!(ptr.data["config_digest"].as_str(), Some("cafebabe12345678"));
+    assert_eq!(ptr.data["label"].as_str(), Some("nightly"));
+
+    std::fs::remove_dir_all(&root).ok();
+}

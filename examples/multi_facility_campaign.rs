@@ -9,6 +9,9 @@
 //! # with collapsed-stack profile + per-stage memory accounting:
 //! EOML_FOLDED=profile.folded cargo run --release \
 //!     --example multi_facility_campaign --features alloc-profile
+//! # freeze the observed run as a diffable archive:
+//! EOML_ARCHIVE=run-archive cargo run --release \
+//!     --example multi_facility_campaign
 //! ```
 
 use eoml::core::campaign::{run_campaign, run_campaign_resumable, CampaignParams};
@@ -345,6 +348,28 @@ fn main() {
         println!("{}", memory.render_text(2));
     } else {
         println!("  build with --features alloc-profile for per-stage memory accounting");
+    }
+    // EOML_ARCHIVE=<dir> freezes the observed run as a self-describing
+    // RunArchive (manifest + spans + folded profile + tables) that
+    // `eoml-obsctl diff` can attribute against any other archive offline.
+    match std::env::var("EOML_ARCHIVE") {
+        Ok(dir) => {
+            let digest = eoml::obs::config_digest("multi_facility_campaign files_per_day=24");
+            let meta = eoml::obs::RunMeta::new("example-campaign", &digest, 2022);
+            let tables = vec![
+                report.fig6_timeline.clone(),
+                report.stage_stats.clone(),
+                report.fig7_breakdown.clone(),
+                report.profile_hot.clone(),
+            ];
+            let archive = eoml::obs::RunArchive::record_obs(&dir, &meta, &obs, &tables, &[])
+                .expect("record archive");
+            println!(
+                "  archived run under {dir} ({} spans; diff offline with `eoml-obsctl diff`)",
+                archive.spans.len()
+            );
+        }
+        Err(_) => println!("  set EOML_ARCHIVE=<dir> to freeze this run as a diffable archive"),
     }
 
     // 10) Durable multi-day scheduling: with EOML_LEDGER=<dir> set, run a

@@ -1,0 +1,334 @@
+//! `eoml-obsctl` — offline analysis of recorded run archives.
+//!
+//! The observability layer records runs into self-describing
+//! [`RunArchive`] directories (span store, folded profile, tables, ops
+//! slice, manifest). This tool drives everything you can do with them
+//! after the run is gone:
+//!
+//! ```text
+//! eoml-obsctl record --out DIR [--label L] [--seed N] [--files N]
+//!                    [--nodes N] [--workers-per-node N]
+//!                    [--download-workers N] [--days N]
+//!     run the simulated campaign and freeze it as an archive
+//!
+//! eoml-obsctl diff BASE CUR [--json PATH] [--rel R] [--abs A]
+//!     ranked attribution of what changed; exit 0 clean, 2 attributed
+//!
+//! eoml-obsctl top ARCHIVE [--by self_time|alloc] [-n N]
+//!     hottest components of one archive
+//!
+//! eoml-obsctl flame-diff BASE CUR [--out PATH]
+//!     differential collapsed stacks (stack base_µs cur_µs)
+//!
+//! eoml-obsctl attribute --baseline-dir DIR --archive CUR
+//!                       [--baseline-archive BASE] [--json PATH]
+//!     join a BaselineStore verdict to the archive deltas behind it
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use eoml::core::campaign::{run_campaign, CampaignParams};
+use eoml::obs::archive::RunArchive;
+use eoml::obs::diff::{diff_archives, flame_diff, DEFAULT_DIFF_TOLERANCE};
+use eoml::obs::{config_digest, BaselineStore, Cell, Obs, ObsReport, RunMeta, Table, Tolerance};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: eoml-obsctl <record|diff|top|flame-diff|attribute> [args]\n\
+         \n\
+         record     --out DIR [--label L] [--seed N] [--files N] [--nodes N]\n\
+         \u{20}           [--workers-per-node N] [--download-workers N] [--days N]\n\
+         diff       BASE CUR [--json PATH] [--rel R] [--abs A]\n\
+         top        ARCHIVE [--by self_time|alloc] [-n N]\n\
+         flame-diff BASE CUR [--out PATH]\n\
+         attribute  --baseline-dir DIR --archive CUR [--baseline-archive BASE] [--json PATH]"
+    );
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "record" => cmd_record(rest),
+        "diff" => cmd_diff(rest),
+        "top" => cmd_top(rest),
+        "flame-diff" => cmd_flame_diff(rest),
+        "attribute" => cmd_attribute(rest),
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("eoml-obsctl {cmd}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// Pull `--flag value` out of `args`, leaving positional arguments.
+struct Opts {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} expects a value"))?;
+                flags.push((name.to_string(), value.clone()));
+            } else if arg == "-n" {
+                let value = it.next().ok_or("-n expects a value")?;
+                flags.push(("n".to_string(), value.clone()));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Opts { positional, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad value {v:?}")),
+        }
+    }
+}
+
+fn open_archive(path: &str) -> Result<RunArchive, String> {
+    RunArchive::open(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_or_print(path: Option<&str>, body: &str) -> Result<(), String> {
+    match path {
+        Some(path) => {
+            if let Some(parent) = Path::new(path)
+                .parent()
+                .filter(|p| !p.as_os_str().is_empty())
+            {
+                std::fs::create_dir_all(parent).map_err(|e| format!("{path}: {e}"))?;
+            }
+            std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))
+        }
+        None => {
+            print!("{body}");
+            Ok(())
+        }
+    }
+}
+
+/// `record`: run the simulated campaign with an attached hub and freeze
+/// the result. The config digest covers every parameter that shapes the
+/// run, so `diff` can tell same-config noise from a real config change.
+fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args)?;
+    let out = opts.get("out").ok_or("record: --out DIR is required")?;
+    let label = opts.get("label").unwrap_or("run").to_string();
+    let mut params = CampaignParams::paper_demo();
+    params.seed = opts.num("seed", params.seed)?;
+    params.days = opts.num("days", params.days)?;
+    params.files_per_day = opts.num("files", params.files_per_day)?;
+    params.nodes = opts.num("nodes", params.nodes)?;
+    params.workers_per_node = opts.num("workers-per-node", params.workers_per_node)?;
+    params.download_workers = opts.num("download-workers", params.download_workers)?;
+
+    let digest = config_digest(&campaign_config_description(&params));
+    let meta = RunMeta::new(&label, &digest, params.seed);
+    let obs = Arc::new(Obs::new());
+    params.obs = Some(Arc::clone(&obs));
+    let report = run_campaign(params);
+
+    let obs_report = ObsReport::from_obs(&obs);
+    let mut tables = vec![
+        obs_report.fig6_timeline.clone(),
+        obs_report.stage_stats.clone(),
+        obs_report.fig7_breakdown.clone(),
+        obs_report.profile_hot.clone(),
+    ];
+    if !obs_report.memory.rows.is_empty() {
+        tables.push(obs_report.memory.clone());
+    }
+    let mut summary = Table::new("run_summary", &["metric", "value"]);
+    summary.row(vec![
+        Cell::str("granules"),
+        Cell::int(report.granules as i64),
+    ]);
+    summary.row(vec![
+        Cell::str("tile_files"),
+        Cell::int(report.tile_files as i64),
+    ]);
+    summary.row(vec![
+        Cell::str("total_tiles"),
+        Cell::num(report.total_tiles, 0),
+    ]);
+    summary.row(vec![
+        Cell::str("labeled_files"),
+        Cell::int(report.labeled_files as i64),
+    ]);
+    summary.row(vec![
+        Cell::str("makespan_s"),
+        Cell::num(report.makespan_s, 3),
+    ]);
+    let tiles_per_s = if report.makespan_s > 0.0 {
+        report.total_tiles / report.makespan_s
+    } else {
+        0.0
+    };
+    summary.row(vec![Cell::str("tiles_per_s"), Cell::num(tiles_per_s, 3)]);
+    tables.push(summary);
+
+    let archive = RunArchive::record_obs(out, &meta, &obs, &tables, &[])
+        .map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "recorded {} ({} spans, {} tables, seed {}, config {})",
+        archive.dir.display(),
+        archive.spans.len(),
+        archive.tables.len(),
+        archive.meta.sim_seed,
+        archive.meta.config_digest
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The canonical parameter string behind the config digest.
+fn campaign_config_description(p: &CampaignParams) -> String {
+    format!(
+        "seed={} days={} files_per_day={} download_workers={} nodes={} workers_per_node={} \
+         inference_workers={} inference_rate={} monitor_period_s={} tile_nc_bytes={}",
+        p.seed,
+        p.days,
+        p.files_per_day,
+        p.download_workers,
+        p.nodes,
+        p.workers_per_node,
+        p.inference_workers,
+        p.inference_rate,
+        p.monitor_period_s,
+        p.tile_nc_bytes
+    )
+}
+
+fn tolerance_from(opts: &Opts) -> Result<Tolerance, String> {
+    Ok(Tolerance {
+        rel: opts.num("rel", DEFAULT_DIFF_TOLERANCE.rel)?,
+        abs: opts.num("abs", DEFAULT_DIFF_TOLERANCE.abs)?,
+    })
+}
+
+/// `diff`: ranked attribution between two archives. Exit 0 when clean,
+/// 2 when deltas were attributed (1 is reserved for usage/IO errors).
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args)?;
+    let [base, cur] = opts.positional.as_slice() else {
+        return Err("diff: expected BASE and CUR archive directories".to_string());
+    };
+    let base = open_archive(base)?;
+    let cur = open_archive(cur)?;
+    let report = diff_archives(&base, &cur, tolerance_from(&opts)?);
+    if let Some(path) = opts.get("json") {
+        let body = serde_json::to_string(&report.to_json()).expect("report serialization");
+        write_or_print(Some(path), &body)?;
+    }
+    print!("{}", report.render_text());
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+/// `top`: hottest components of one archive by self time or allocation.
+fn cmd_top(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err("top: expected one ARCHIVE directory".to_string());
+    };
+    let n: usize = opts.num("n", 15)?;
+    let archive = open_archive(path)?;
+    match opts.get("by").unwrap_or("self_time") {
+        "self_time" => {
+            print!("{}", archive.profile().top_table(n).render_text(0));
+        }
+        "alloc" => {
+            let mem = archive.memory_table();
+            if mem.rows.is_empty() {
+                println!(
+                    "no allocator accounting in this archive (record with --features alloc-profile)"
+                );
+            } else {
+                print!("{}", mem.render_text(0));
+            }
+        }
+        other => return Err(format!("top: unknown --by {other:?} (self_time|alloc)")),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `flame-diff`: differential collapsed-stack document.
+fn cmd_flame_diff(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args)?;
+    let [base, cur] = opts.positional.as_slice() else {
+        return Err("flame-diff: expected BASE and CUR archive directories".to_string());
+    };
+    let base = open_archive(base)?;
+    let cur = open_archive(cur)?;
+    let doc = flame_diff(&base, &cur)?;
+    write_or_print(opts.get("out"), &doc)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `attribute`: compare an archive's tables against a committed
+/// `BaselineStore`; on regression, join the verdict to the archive-level
+/// deltas (when a baseline archive is available). Exit 0 when the gate
+/// passes, 2 when it regressed.
+fn cmd_attribute(args: &[String]) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args)?;
+    let baseline_dir = opts
+        .get("baseline-dir")
+        .ok_or("attribute: --baseline-dir DIR is required")?;
+    let archive_dir = opts
+        .get("archive")
+        .ok_or("attribute: --archive DIR is required")?;
+    let archive = open_archive(archive_dir)?;
+    let store = BaselineStore::load(baseline_dir).map_err(|e| format!("{baseline_dir}: {e}"))?;
+    let comparison = store.compare_all(&archive.tables);
+    print!("{}", comparison.render_text(0));
+    let regressed = comparison.regressed();
+
+    if let Some(base_dir) = opts.get("baseline-archive") {
+        let base = open_archive(base_dir)?;
+        let report = diff_archives(&base, &archive, tolerance_from(&opts)?);
+        println!("--");
+        print!("{}", report.render_text());
+        if let Some(path) = opts.get("json") {
+            let body = serde_json::to_string(&report.to_json()).expect("report serialization");
+            write_or_print(Some(path), &body)?;
+        }
+    } else if regressed {
+        println!("(no --baseline-archive given: verdict only, no hot-path attribution available)");
+    }
+    Ok(if regressed {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
+}

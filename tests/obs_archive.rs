@@ -1,0 +1,113 @@
+//! Differential observability acceptance: two archives recorded from the
+//! same seed/config diff to **zero attributed deltas**, and archives from
+//! deliberately different worker counts produce a deterministic, ranked
+//! `AttributionReport` whose top entry names the stage that actually
+//! changed (preprocess — the node sweep moves its workers).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use eoml::core::campaign::{run_campaign, CampaignParams};
+use eoml::obs::archive::RunArchive;
+use eoml::obs::diff::{diff_archives, flame_diff, DEFAULT_DIFF_TOLERANCE};
+use eoml::obs::{config_digest, Obs, RunMeta};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eoml_obsarch_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Run the simulated campaign with an attached hub and freeze it.
+fn record(tag: &str, label: &str, nodes: usize) -> RunArchive {
+    let obs = Arc::new(Obs::new());
+    let params = CampaignParams {
+        files_per_day: 8,
+        nodes,
+        obs: Some(Arc::clone(&obs)),
+        ..CampaignParams::paper_demo()
+    };
+    let digest = config_digest(&format!(
+        "seed={} files_per_day=8 nodes={nodes}",
+        params.seed
+    ));
+    let meta = RunMeta::new(label, &digest, params.seed);
+    let report = run_campaign(params);
+    assert!(report.granules > 0, "campaign must do real work");
+    RunArchive::record_obs(tmpdir(tag), &meta, &obs, &[], &[]).expect("record archive")
+}
+
+#[test]
+fn same_seed_and_config_archives_diff_to_zero_attributed_deltas() {
+    let a = record("same_a", "baseline", 4);
+    let b = record("same_b", "repeat", 4);
+    // The archives are distinct recordings of the same deterministic
+    // simulation: equal config digests, equal span counts.
+    assert_eq!(a.meta.config_digest, b.meta.config_digest);
+    assert_eq!(a.spans.len(), b.spans.len());
+    let report = diff_archives(&a, &b, DEFAULT_DIFF_TOLERANCE);
+    assert!(
+        report.is_clean(),
+        "same-config runs must diff clean:\n{}",
+        report.render_text()
+    );
+    assert_eq!(report.attributed_count(), 0);
+    assert!(!report.config_changed());
+    // The folded profiles are identical, so the flame diff is all ties.
+    let doc = flame_diff(&a, &b).expect("flame diff");
+    for line in doc.lines() {
+        let mut cols = line.rsplitn(3, ' ');
+        let cur: u64 = cols.next().unwrap().parse().unwrap();
+        let base: u64 = cols.next().unwrap().parse().unwrap();
+        assert_eq!(base, cur, "flame stack moved in a same-config diff: {line}");
+    }
+    std::fs::remove_dir_all(&a.dir).ok();
+    std::fs::remove_dir_all(&b.dir).ok();
+}
+
+#[test]
+fn different_worker_counts_produce_a_ranked_deterministic_attribution() {
+    let base = record("workers_base", "nodes8", 8);
+    let cur = record("workers_cur", "nodes1", 1);
+    assert!(base.meta.config_digest != cur.meta.config_digest);
+    let report = diff_archives(&base, &cur, DEFAULT_DIFF_TOLERANCE);
+    assert!(!report.is_clean(), "a 8x worker cut must attribute deltas");
+
+    // The ranking is well-formed: rank 1..n, shares sum to ~100 %.
+    for (i, e) in report.entries.iter().enumerate() {
+        assert_eq!(e.rank, i + 1);
+    }
+    let share_sum: f64 = report.entries.iter().map(|e| e.share_pct).sum();
+    assert!(
+        (share_sum - 100.0).abs() < 1e-6,
+        "shares sum to {share_sum}"
+    );
+
+    // The top entry names the stage that actually changed: preprocess is
+    // the only stage whose worker count moved (8 nodes -> 1 node).
+    let top = &report.entries[0];
+    assert_eq!(
+        top.stage,
+        "preprocess",
+        "top attribution must be the changed stage:\n{}",
+        report.render_text()
+    );
+    assert!(
+        top.delta_s() > 0.0,
+        "fewer workers must attribute as a slowdown"
+    );
+    assert!(report.config_changed());
+
+    // Deterministic: diffing the same archives again (and re-opening
+    // them from disk) reproduces the identical report and JSON.
+    let reopened_base = RunArchive::open(&base.dir).expect("reopen");
+    let reopened_cur = RunArchive::open(&cur.dir).expect("reopen");
+    let again = diff_archives(&reopened_base, &reopened_cur, DEFAULT_DIFF_TOLERANCE);
+    assert_eq!(report, again);
+    assert_eq!(
+        serde_json::to_string(&report.to_json()).unwrap(),
+        serde_json::to_string(&again.to_json()).unwrap()
+    );
+    std::fs::remove_dir_all(&base.dir).ok();
+    std::fs::remove_dir_all(&cur.dir).ok();
+}
