@@ -153,6 +153,7 @@ fn bench_transfer_streams(c: &mut Criterion) {
             TransferOptions {
                 parallel_streams: streams,
                 retry_limit: 10,
+                ..TransferOptions::default()
             },
             |sim, r| sim.state_mut().done = Some(r.duration_s()),
         );

@@ -24,6 +24,7 @@ use eoml_transfer::manifest::{
 };
 use eoml_transfer::pool::{DownloadPool, DownloadReport, FileTiming};
 use eoml_transfer::service::{submit_transfer, TransferOptions, TransferReport, TransferTaskId};
+use eoml_transfer::sync::JournalSync;
 use eoml_util::rng::{Rng64, SplitMix64, Xoshiro256};
 use eoml_util::timebase::CivilDate;
 use eoml_util::units::ByteSize;
@@ -44,6 +45,13 @@ pub trait JournalSink {
     fn state_digest(&self) -> Option<(u64, u64)> {
         None
     }
+
+    /// Canonical JSON of the journal's materialised state, shipped to the
+    /// destination as the journal-sync payload; `None` for sinks that
+    /// cannot export one.
+    fn export_state(&self) -> Option<serde_json::Value> {
+        None
+    }
 }
 
 impl<S: Storage> JournalSink for Journal<S> {
@@ -53,6 +61,10 @@ impl<S: Storage> JournalSink for Journal<S> {
 
     fn state_digest(&self) -> Option<(u64, u64)> {
         Some(Journal::state_digest(self))
+    }
+
+    fn export_state(&self) -> Option<serde_json::Value> {
+        Some(self.state().to_json())
     }
 }
 
@@ -217,6 +229,12 @@ pub struct CampaignReport {
     /// The stage-5 shipment manifest the destination facility verifies
     /// against: per-artifact digests, lineage slice, journal digest.
     pub manifest: Option<ShipmentManifest>,
+    /// The journal-sync payload shipped alongside the data (journaled
+    /// campaigns only): the source's compacted control-journal state plus
+    /// its digest, against which the destination runs the typed
+    /// completeness check and from which a second site can resume the
+    /// whole campaign after the source is lost.
+    pub journal_sync: Option<JournalSync>,
 }
 
 impl CampaignReport {
@@ -321,6 +339,7 @@ struct Progress {
     inference_active: usize,
     labeled: Vec<(String, ByteSize)>,
     manifest: Option<ShipmentManifest>,
+    journal_sync: Option<JournalSync>,
     // control
     shipped: bool,
     // journaling (None → plain in-memory campaign, identical to the
@@ -457,6 +476,7 @@ fn run_inner(
         inference_active: 0,
         labeled: Vec::new(),
         manifest: None,
+        journal_sync: None,
         shipped: false,
         journal,
         resume,
@@ -483,6 +503,7 @@ fn run_inner(
     Ok(CampaignReport {
         provenance: world.provenance,
         manifest: p.manifest,
+        journal_sync: p.journal_sync,
         labeled_files: p.labeled.len(),
         download: p.download.expect("download stage ran"),
         shipment: p.shipment.expect("shipment stage ran"),
@@ -1209,6 +1230,17 @@ fn journal_digest(progress: &P) -> Option<(u64, u64)> {
     sink.and_then(|j| j.borrow().state_digest())
 }
 
+/// Package the journal-sync payload that travels with the shipment: the
+/// ship-time digest plus the full compacted state. `None` for unjournaled
+/// campaigns or sinks that cannot export their state.
+fn build_journal_sync(progress: &P) -> Option<JournalSync> {
+    let sink = progress.borrow().journal.clone()?;
+    let sink = sink.borrow();
+    let (events, checksum) = sink.state_digest()?;
+    let state = sink.export_state()?;
+    Some(JournalSync::from_parts(events, checksum, state))
+}
+
 fn maybe_ship(sim: &mut Simulation<World>, progress: &P) {
     if is_halted(progress) {
         return;
@@ -1260,6 +1292,7 @@ fn maybe_ship(sim: &mut Simulation<World>, progress: &P) {
             journal_digest(progress),
             started.as_secs_f64(),
         );
+        let sync = build_journal_sync(progress);
         let mut p = progress.borrow_mut();
         p.stages.push(StageReport {
             name: "shipment".into(),
@@ -1270,6 +1303,7 @@ fn maybe_ship(sim: &mut Simulation<World>, progress: &P) {
         });
         p.shipment = Some(report);
         p.manifest = Some(manifest);
+        p.journal_sync = sync;
         return;
     }
     let progress2 = Rc::clone(progress);
@@ -1340,6 +1374,10 @@ fn maybe_ship(sim: &mut Simulation<World>, progress: &P) {
                     now.as_secs_f64(),
                 )
             };
+            // Snapshot the journal-sync payload at the same point the
+            // manifest's digest is taken — the two must agree for the
+            // destination's completeness check to pass.
+            let sync = build_journal_sync(&progress2);
             let mut p = progress2.borrow_mut();
             p.stages.push(StageReport {
                 name: "shipment".into(),
@@ -1350,6 +1388,7 @@ fn maybe_ship(sim: &mut Simulation<World>, progress: &P) {
             });
             p.shipment = Some(report);
             p.manifest = Some(manifest);
+            p.journal_sync = sync;
         },
     );
 }

@@ -32,6 +32,7 @@
 
 pub mod atlas;
 pub mod campaign;
+pub mod chaos;
 pub mod provenance;
 pub mod realrun;
 pub mod scheduler;
@@ -41,6 +42,7 @@ pub mod world;
 
 pub use atlas::{Atlas, ClassStats};
 pub use campaign::{run_campaign, CampaignParams, CampaignReport, StageReport};
+pub use chaos::{run_chaos_campaign, ChaosOutcome, ChaosReport, ChaosSchedule, InjectionPoint};
 pub use provenance::{ProvRecord, ProvenanceLog};
 pub use realrun::{RealPipeline, RealRunError, RealRunReport};
 pub use scheduler::{

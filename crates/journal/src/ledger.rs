@@ -44,9 +44,12 @@ pub struct LedgerLock {
 
 impl Drop for LedgerLock {
     fn drop(&mut self) {
+        // Never panic in Drop: a poisoned registry during unwind would turn
+        // one panic into an abort. The set itself is always valid (BTreeSet
+        // ops can't leave it half-mutated), so poison recovery is safe.
         locked_roots()
             .lock()
-            .expect("ledger lock registry poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .remove(&self.root);
     }
 }
@@ -127,9 +130,10 @@ impl Ledger {
             .root
             .canonicalize()
             .map_err(|e| JournalError::Io(format!("canonicalize {}: {e}", self.root.display())))?;
-        let mut held = locked_roots()
-            .lock()
-            .expect("ledger lock registry poisoned");
+        // Recover from poisoning rather than panic: the registry is a plain
+        // BTreeSet, so a panic elsewhere while holding the mutex cannot have
+        // left it inconsistent.
+        let mut held = locked_roots().lock().unwrap_or_else(|e| e.into_inner());
         if !held.insert(root.clone()) {
             return Err(JournalError::Busy(root.display().to_string()));
         }
@@ -471,5 +475,30 @@ mod tests {
             assert!(j.state().is_downloaded("file-59.hdf"));
             assert!(rep.replayed <= 4 + 1, "{ns}: replayed {}", rep.replayed);
         }
+    }
+
+    #[test]
+    fn lock_registry_recovers_from_poisoning() {
+        // Poison the global registry mutex: panic while holding its guard.
+        let _ = std::panic::catch_unwind(|| {
+            let _guard = locked_roots().lock().unwrap();
+            panic!("poison the ledger lock registry");
+        });
+        assert!(locked_roots().is_poisoned());
+
+        // Locking still works through the poison, and releasing the lock in
+        // Drop neither panics nor aborts.
+        let root = tempdir("poisoned");
+        let ledger = Ledger::new(&root).unwrap();
+        let lock = ledger.lock_exclusive().expect("lock through poison");
+        assert!(matches!(
+            ledger.lock_exclusive(),
+            Err(JournalError::Busy(_))
+        ));
+        drop(lock);
+        // Root released: a fresh lock succeeds again.
+        let relock = ledger.lock_exclusive().expect("relock after drop");
+        drop(relock);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 }

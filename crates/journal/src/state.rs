@@ -151,6 +151,27 @@ impl CampaignState {
         self.ingests_acked.contains_key(manifest)
     }
 
+    /// FNV-1a checksum of this state's canonical JSON with
+    /// `events_applied` zeroed — the *work checksum* behind
+    /// [`Journal::state_digest`](crate::Journal::state_digest) and the
+    /// shipment-manifest `JournalDigest`. Replay bookkeeping is excluded,
+    /// so the checksum is invariant under compaction and crash/resume:
+    /// two journals that durably completed the same work agree, and any
+    /// divergence in completed work changes it. A destination facility
+    /// recomputes this over a synced state payload to detect tampering or
+    /// truncation before trusting it for failover.
+    pub fn work_checksum(&self) -> u64 {
+        let mut canon = self.clone();
+        canon.events_applied = 0;
+        let canon = canon.to_json().to_string();
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in canon.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
     /// Serialise for a snapshot event.
     pub fn to_json(&self) -> Value {
         let pairs = |m: &BTreeMap<String, u64>| -> Value {

@@ -126,6 +126,29 @@ impl<S: Storage> Journal<S> {
         Self::open_with_snapshot_every(storage, 64)
     }
 
+    /// Open empty `storage` pre-seeded with `state` — the failover entry
+    /// point. A second compute site reconstructs a lost facility's
+    /// campaign journal from a synced state payload alone: the state is
+    /// written as the journal's first snapshot frame, so a resumed run
+    /// replays from exactly the synced work and the reconstruction is
+    /// itself durable. Refuses storage that already holds events — a real
+    /// journal must never be silently overwritten by a failover seed.
+    pub fn open_seeded(
+        storage: S,
+        state: CampaignState,
+    ) -> Result<(Journal<S>, RecoveryReport), JournalError> {
+        let (mut journal, report) = Self::open(storage)?;
+        if !journal.is_empty() {
+            return Err(JournalError::Io(format!(
+                "open_seeded: storage already holds {} journaled events; refusing to overwrite",
+                journal.len()
+            )));
+        }
+        journal.state = state;
+        journal.snapshot()?;
+        Ok((journal, report))
+    }
+
     /// [`Journal::open`] with an explicit auto-snapshot cadence.
     pub fn open_with_snapshot_every(
         mut storage: S,
@@ -275,17 +298,7 @@ impl<S: Storage> Journal<S> {
     /// campaigns that durably completed the same work agree; any
     /// divergence in completed work changes the checksum.
     pub fn state_digest(&self) -> (u64, u64) {
-        // events_applied is replay bookkeeping, not completed work — zero
-        // it so the checksum only moves when the *work* does.
-        let mut canon_state = self.state.clone();
-        canon_state.events_applied = 0;
-        let canon = canon_state.to_json().to_string();
-        let mut h: u64 = 0xcbf29ce484222325;
-        for &b in canon.as_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-        (self.events.len() as u64, h)
+        (self.events.len() as u64, self.state.work_checksum())
     }
 
     /// Append one event durably (written and fsynced before this returns,
@@ -407,6 +420,40 @@ mod tests {
         let (events_after, checksum_after) = j.state_digest();
         assert_eq!(checksum_after, checksum);
         assert!(events_after < events);
+    }
+
+    #[test]
+    fn open_seeded_reconstructs_a_journal_from_synced_state() {
+        // A "source facility" does some work, then is lost for good; only
+        // its materialised state survives (synced over the WAN).
+        let (mut src, _) = Journal::open(MemStorage::new()).unwrap();
+        for i in 0..12 {
+            src.append(ev(i)).unwrap();
+        }
+        let synced = src.state().clone();
+        let work = synced.work_checksum();
+
+        // A second site seeds a fresh journal from the synced state alone.
+        let store = MemStorage::new();
+        let (j, rep) = Journal::open_seeded(store.clone(), synced).unwrap();
+        assert_eq!(rep.events, 0);
+        assert!(j.state().is_downloaded("file-11.hdf"));
+        assert_eq!(j.state_digest().1, work);
+
+        // The seed is durable: reopening replays the same work, and the
+        // journal accepts new events on top of it.
+        let (mut j2, rep2) = Journal::open(store.clone()).unwrap();
+        assert!(rep2.snapshot_used, "seed snapshot must drive recovery");
+        assert_eq!(j2.state_digest().1, work);
+        j2.append(ev(12)).unwrap();
+        assert_ne!(j2.state_digest().1, work);
+
+        // Refuses to clobber a journal that already holds events.
+        match Journal::open_seeded(store, CampaignState::default()) {
+            Err(JournalError::Io(msg)) => assert!(msg.contains("refusing"), "{msg}"),
+            Err(e) => panic!("unexpected error {e:?}"),
+            Ok(_) => panic!("open_seeded must refuse a non-empty journal"),
+        }
     }
 
     #[test]

@@ -61,6 +61,9 @@ pub struct HealthPolicy {
     /// A facility whose verification-failure rate reaches this fraction
     /// is unhealthy (any failure at all already degrades).
     pub unhealthy_verify_failure_rate: f64,
+    /// Downloads abandoned after retry exhaustion beyond this count
+    /// degrade the service (0 = any abandoned file degrades).
+    pub max_abandoned_files: u64,
 }
 
 impl Default for HealthPolicy {
@@ -72,6 +75,7 @@ impl Default for HealthPolicy {
             fairness_min_admissions: 8,
             max_ingest_lag_s: 900.0,
             unhealthy_verify_failure_rate: 0.5,
+            max_abandoned_files: 0,
         }
     }
 }
@@ -143,6 +147,9 @@ pub struct HealthReport {
     /// Whether the service is still re-running work recovered from the
     /// journal after a restart.
     pub recovering: bool,
+    /// Files the download stage abandoned after exhausting their retry
+    /// budget (the `files_abandoned{stage="download"}` counter).
+    pub downloads_abandoned: u64,
     /// Per-destination-facility ingest signals the verdict folded in.
     pub facilities: Vec<FacilityStatus>,
 }
@@ -162,6 +169,7 @@ impl HealthReport {
             "slos": self.slos.iter().map(|s| s.to_json()).collect::<Vec<_>>(),
             "alerts_active": self.alerts_active as u64,
             "recovering": self.recovering,
+            "downloads_abandoned": self.downloads_abandoned,
             "facilities": self.facilities.iter().map(|f| f.to_json()).collect::<Vec<_>>(),
         })
     }
@@ -206,6 +214,9 @@ impl HealthReport {
             slos,
             alerts_active: v["alerts_active"].as_u64().unwrap_or(0) as usize,
             recovering: v["recovering"].as_bool().unwrap_or(false),
+            // Reports logged before the abandonment signal existed parse
+            // to zero.
+            downloads_abandoned: v["downloads_abandoned"].as_u64().unwrap_or(0),
             facilities,
         })
     }
@@ -223,6 +234,7 @@ pub fn evaluate(
     slos: Vec<SloStatus>,
     alerts_active: usize,
     recovering: bool,
+    downloads_abandoned: u64,
     facilities: Vec<FacilityStatus>,
 ) -> HealthReport {
     let mut degraded: Vec<String> = Vec::new();
@@ -254,6 +266,12 @@ pub fn evaluate(
     }
     if recovering {
         degraded.push("recovery in progress".to_string());
+    }
+    if downloads_abandoned > policy.max_abandoned_files {
+        degraded.push(format!(
+            "{downloads_abandoned} download(s) abandoned after retry exhaustion (policy allows {})",
+            policy.max_abandoned_files
+        ));
     }
     // A silent or failing destination must surface here, not vanish past
     // the shipment stage: any verification failure degrades, a failure
@@ -296,6 +314,7 @@ pub fn evaluate(
         slos,
         alerts_active,
         recovering,
+        downloads_abandoned,
         facilities,
     }
 }
@@ -335,6 +354,7 @@ mod tests {
             vec![slo(0.2)],
             0,
             false,
+            0,
             Vec::new(),
         );
         assert_eq!(healthy.state, HealthState::Healthy);
@@ -348,6 +368,7 @@ mod tests {
             vec![slo(1.5)],
             1,
             true,
+            0,
             Vec::new(),
         );
         match &degraded.state {
@@ -364,6 +385,7 @@ mod tests {
             vec![slo(5.0)],
             1,
             false,
+            0,
             Vec::new(),
         );
         match &unhealthy.state {
@@ -378,10 +400,63 @@ mod tests {
     #[test]
     fn fairness_is_not_judged_before_enough_admissions() {
         let p = HealthPolicy::default();
-        let early = evaluate(&p, 0.0, 0, Some(0.1), 2, Vec::new(), 0, false, Vec::new());
+        let early = evaluate(
+            &p,
+            0.0,
+            0,
+            Some(0.1),
+            2,
+            Vec::new(),
+            0,
+            false,
+            0,
+            Vec::new(),
+        );
         assert_eq!(early.state, HealthState::Healthy);
-        let later = evaluate(&p, 0.0, 0, Some(0.1), 100, Vec::new(), 0, false, Vec::new());
+        let later = evaluate(
+            &p,
+            0.0,
+            0,
+            Some(0.1),
+            100,
+            Vec::new(),
+            0,
+            false,
+            0,
+            Vec::new(),
+        );
         assert_eq!(later.state.label(), "degraded");
+    }
+
+    #[test]
+    fn abandoned_downloads_degrade_past_the_policy_allowance() {
+        let p = HealthPolicy::default();
+        let ok = evaluate(&p, 0.0, 0, None, 0, Vec::new(), 0, false, 0, Vec::new());
+        assert_eq!(ok.state, HealthState::Healthy);
+        // Default policy tolerates zero abandonments: a single file given up
+        // on after retry exhaustion is lost science, and must be visible.
+        let bad = evaluate(&p, 0.0, 0, None, 0, Vec::new(), 0, false, 2, Vec::new());
+        assert_eq!(bad.state.label(), "degraded");
+        assert!(bad.state.reasons()[0].contains("abandoned"));
+        assert_eq!(bad.downloads_abandoned, 2);
+        // A lenient policy can grant a small abandonment budget.
+        let lenient = HealthPolicy {
+            max_abandoned_files: 5,
+            ..HealthPolicy::default()
+        };
+        let tolerated = evaluate(
+            &lenient,
+            0.0,
+            0,
+            None,
+            0,
+            Vec::new(),
+            0,
+            false,
+            5,
+            Vec::new(),
+        );
+        assert_eq!(tolerated.state, HealthState::Healthy);
     }
 
     #[test]
@@ -397,6 +472,7 @@ mod tests {
             Vec::new(),
             0,
             false,
+            0,
             vec![facility(30.0, 10, 0)],
         );
         assert_eq!(ok.state, HealthState::Healthy);
@@ -411,6 +487,7 @@ mod tests {
             Vec::new(),
             0,
             false,
+            0,
             vec![facility(30.0, 10, 1)],
         );
         assert_eq!(degraded.state.label(), "degraded");
@@ -425,6 +502,7 @@ mod tests {
             Vec::new(),
             0,
             false,
+            0,
             vec![facility(30.0, 1, 3)],
         );
         assert_eq!(unhealthy.state.label(), "unhealthy");
@@ -438,6 +516,7 @@ mod tests {
             Vec::new(),
             0,
             false,
+            0,
             vec![facility(2000.0, 10, 0)],
         );
         assert_eq!(laggy.state.label(), "degraded");
@@ -459,9 +538,10 @@ mod tests {
                 vec![slo(0.5)],
                 0,
                 false,
+                0,
                 Vec::new(),
             ),
-            evaluate(&p, 7.5, 4, None, 0, vec![slo(2.0)], 2, true, Vec::new()),
+            evaluate(&p, 7.5, 4, None, 0, vec![slo(2.0)], 2, true, 3, Vec::new()),
             evaluate(
                 &p,
                 7.5,
@@ -471,6 +551,7 @@ mod tests {
                 vec![slo(9.0)],
                 0,
                 false,
+                0,
                 vec![facility(12.0, 8, 2)],
             ),
         ] {

@@ -114,6 +114,9 @@ pub struct OpsPlane {
     log: OpsLog,
     /// Latest per-destination-facility ingest signals, keyed by facility.
     facilities: BTreeMap<String, FacilityStatus>,
+    /// Running count of files abandoned after retry exhaustion — the
+    /// download pool's terminal give-up signal, fed into health.
+    downloads_abandoned: u64,
     last_health_state: Option<HealthState>,
     recovering: bool,
     alerts: Option<Arc<Mutex<Vec<Alert>>>>,
@@ -134,6 +137,7 @@ impl OpsPlane {
         let mut slos = SloTracker::new(config.slos.clone(), config.slo_lookback);
         let mut audit = AuditRing::new(config.audit_ring);
         let mut facilities = BTreeMap::new();
+        let mut downloads_abandoned = 0u64;
         for event in oplog::read_all(dir) {
             match event.kind.as_str() {
                 "window_roll" => {
@@ -158,6 +162,9 @@ impl OpsPlane {
                         facilities.insert(status.facility.clone(), status);
                     }
                 }
+                "downloads_abandoned" => {
+                    downloads_abandoned += event.data["count"].as_u64().unwrap_or(0);
+                }
                 _ => {}
             }
         }
@@ -168,6 +175,7 @@ impl OpsPlane {
             audit,
             log,
             facilities,
+            downloads_abandoned,
             // Left `None` so the first `health()` after open always logs
             // a baseline verdict, even when the state did not change
             // across the restart.
@@ -241,6 +249,28 @@ impl OpsPlane {
     /// Latest per-facility signals, in facility order.
     pub fn facilities(&self) -> Vec<&FacilityStatus> {
         self.facilities.values().collect()
+    }
+
+    /// Record `count` files abandoned by the download pool after retry
+    /// exhaustion. The increment is logged as a `downloads_abandoned`
+    /// event so a restarted plane carries the same lost-file tally, and
+    /// the running total degrades health past the policy allowance.
+    pub fn record_abandoned(&mut self, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.downloads_abandoned += count;
+        let at = self.windows.now_s();
+        let _ = self.log.append(
+            "downloads_abandoned",
+            at,
+            serde_json::json!({ "count": count, "total": self.downloads_abandoned }),
+        );
+    }
+
+    /// Running count of abandoned downloads (rehydrated across restarts).
+    pub fn downloads_abandoned(&self) -> u64 {
+        self.downloads_abandoned
     }
 
     /// Alerts currently in the firing state.
@@ -384,6 +414,7 @@ impl OpsPlane {
             self.slos.statuses(),
             self.alerts_active(),
             self.recovering,
+            self.downloads_abandoned,
             self.facilities.values().cloned().collect(),
         );
         let changed = self.last_health_state.as_ref() != Some(&report.state);

@@ -295,6 +295,7 @@ mod tests {
             Vec::new(),
             1, // firing alert → degraded
             false,
+            0,
             Vec::new(),
         );
         let late = crate::ops::health::evaluate(
@@ -306,6 +307,7 @@ mod tests {
             Vec::new(),
             0,
             false,
+            0,
             Vec::new(),
         );
         let mut log = OpsLog::open(&dir, 1, 10).unwrap();
@@ -341,6 +343,7 @@ mod tests {
             Vec::new(),
             0,
             false,
+            0,
             Vec::new(),
         );
         log.append("health", 3.0, report.to_json()).unwrap();

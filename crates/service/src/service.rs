@@ -1111,6 +1111,13 @@ impl CampaignService {
                 workers: demand,
             })
         });
+        // Files the download pool gave up on after its retry budget are
+        // lost science: fold them into the plane's running tally so
+        // health degrades past the policy allowance.
+        let abandoned = day_run.report.download.failed.len() as u64;
+        if abandoned > 0 {
+            self.with_ops(|ops| ops.record_abandoned(abandoned));
+        }
 
         // Injected whole-service death between a quantum completing and
         // its control record landing — the worst-case recovery window.

@@ -85,15 +85,44 @@ pub struct FaultInjector {
     rng: Xoshiro256,
 }
 
+/// Resolve the `EOML_FAULT_SEED` override: `Ok(None)` when unset (or set
+/// to the empty string), `Ok(Some(seed))` for a valid decimal u64, and a
+/// descriptive `Err` for anything else. A malformed seed must fail loudly:
+/// silently falling back to [`DEFAULT_FAULT_SEED`] would let a typo'd
+/// reproduction run "reproduce" a different fault stream than the one the
+/// user asked for.
+fn parse_env_seed(raw: Option<&str>) -> Result<Option<u64>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    trimmed.parse::<u64>().map(Some).map_err(|e| {
+        format!("EOML_FAULT_SEED={raw:?} is not a valid u64 fault seed ({e}); unset it or pass a decimal integer")
+    })
+}
+
 impl FaultInjector {
     /// Injector over `plan`, seeded from `EOML_FAULT_SEED` when set,
     /// else [`DEFAULT_FAULT_SEED`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when `EOML_FAULT_SEED` is set
+    /// but malformed — a typo'd seed must never silently reproduce the
+    /// default stream. Use [`FaultInjector::try_new`] for a typed error.
     pub fn new(plan: FaultPlan) -> Self {
-        let seed = std::env::var("EOML_FAULT_SEED")
-            .ok()
-            .and_then(|s| s.trim().parse::<u64>().ok())
-            .unwrap_or(DEFAULT_FAULT_SEED);
-        Self::seeded(plan, seed)
+        Self::try_new(plan).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`FaultInjector::new`] with the malformed-`EOML_FAULT_SEED` case
+    /// surfaced as a typed error instead of a panic.
+    pub fn try_new(plan: FaultPlan) -> Result<Self, String> {
+        let env = std::env::var("EOML_FAULT_SEED").ok();
+        let seed = parse_env_seed(env.as_deref())?.unwrap_or(DEFAULT_FAULT_SEED);
+        Ok(Self::seeded(plan, seed))
     }
 
     /// Builder: replace the seed (and reset the stream).
@@ -196,6 +225,27 @@ mod tests {
         let mut a = FaultInjector::new(plan).with_seed(77);
         let diverged = (0..200).any(|_| a.sample() != c.sample());
         assert!(diverged, "seeds 77 and 78 produced identical streams");
+    }
+
+    #[test]
+    fn env_seed_parsing_rejects_malformed_values() {
+        // Unset and empty both mean "no override".
+        assert_eq!(parse_env_seed(None), Ok(None));
+        assert_eq!(parse_env_seed(Some("")), Ok(None));
+        assert_eq!(parse_env_seed(Some("   ")), Ok(None));
+        // Valid decimal seeds pass through (whitespace tolerated).
+        assert_eq!(parse_env_seed(Some("42")), Ok(Some(42)));
+        assert_eq!(parse_env_seed(Some(" 99 ")), Ok(Some(99)));
+        assert_eq!(
+            parse_env_seed(Some("18446744073709551615")),
+            Ok(Some(u64::MAX))
+        );
+        // Malformed values are errors, never a silent default fallback.
+        for bad in ["0x10", "12abc", "-3", "1e9", "18446744073709551616"] {
+            let err = parse_env_seed(Some(bad)).unwrap_err();
+            assert!(err.contains("EOML_FAULT_SEED"), "{err}");
+            assert!(err.contains(bad), "{err} should name the bad value");
+        }
     }
 
     #[test]

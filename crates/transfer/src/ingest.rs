@@ -346,6 +346,12 @@ impl Ingestor {
         &self.facility
     }
 
+    /// The attached hub, for sibling modules that record extra
+    /// facility-tagged counters (the journal-sync completeness check).
+    pub(crate) fn obs_hub(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
+    }
+
     /// Seed the acked set from durable state (journaled `IngestAcked`
     /// manifest ids) — how a restarted destination stays idempotent.
     pub fn restore_acked<I: IntoIterator<Item = String>>(&mut self, ids: I) {

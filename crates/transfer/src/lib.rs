@@ -25,8 +25,15 @@
 //!   originating trace ids, and a source-journal digest;
 //! * [`ingest`] — destination-side verification against the manifest:
 //!   typed [`ingest::IngestError`]s, facility-tagged spans, and an
-//!   idempotent acked-manifest set.
+//!   idempotent acked-manifest set;
+//! * [`backoff`] — deterministic bounded exponential backoff applied to
+//!   every retried flow and re-shipped manifest;
+//! * [`sync`] — the journal-sync leg of a shipment: the source's compacted
+//!   control-journal state travels with the data, and the destination runs
+//!   a typed completeness check before ingesting (and can fail the whole
+//!   campaign over to a second site from the synced state alone).
 
+pub mod backoff;
 pub mod endpoint;
 pub mod faults;
 pub mod flownet;
@@ -34,7 +41,9 @@ pub mod ingest;
 pub mod manifest;
 pub mod pool;
 pub mod service;
+pub mod sync;
 
+pub use backoff::BackoffPolicy;
 pub use endpoint::{Endpoint, EndpointId};
 pub use faults::{FaultInjector, FaultPlan, FlowOutcome, DEFAULT_FAULT_SEED};
 pub use flownet::{FlowId, FlowNetwork, HasNetwork};
@@ -44,3 +53,6 @@ pub use manifest::{
 };
 pub use pool::{DownloadPool, DownloadReport, FileTiming};
 pub use service::{submit_transfer, TransferOptions, TransferReport, TransferTaskId};
+pub use sync::{
+    ingest_synced, reship_with_backoff, JournalSync, ReshipOutcome, SyncCheck, SyncError,
+};

@@ -7,6 +7,7 @@
 //! This module reproduces that structure on the flow network, and records
 //! the per-worker activity timeline the paper's Fig. 6 plots.
 
+use crate::backoff::BackoffPolicy;
 use crate::faults::FlowOutcome;
 use crate::flownet::{start_flow, HasNetwork};
 use eoml_obs::{Obs, TraceContext};
@@ -16,6 +17,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Timing of one delivered file.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,7 +116,13 @@ struct PoolState<S> {
     src: String,
     dst: String,
     retry_limit: usize,
+    backoff: BackoffPolicy,
+    workers: usize,
     queue: VecDeque<(String, ByteSize, usize)>,
+    /// Failed files waiting out a backoff delay before requeueing. The
+    /// pool is not finished while any of these are outstanding, even if
+    /// the queue is empty and every worker is idle.
+    pending_retries: usize,
     active: usize,
     files: Vec<FileTiming>,
     failed: Vec<String>,
@@ -131,6 +139,18 @@ struct PoolState<S> {
 impl<S: HasNetwork> DownloadPool<S> {
     /// Start `workers` download workers pulling `files` from `src` into
     /// `dst`. `on_done` fires when the last worker terminates.
+    ///
+    /// **Retry semantics** (identical across all four constructors):
+    /// `retry_limit` is the number of *re*-attempts granted per file after
+    /// its first try, so a file is attempted at most `retry_limit + 1`
+    /// times in total and [`FileTiming::attempts`] counts total tries
+    /// (`1` = delivered on the first attempt, no retries). Retries wait
+    /// out a bounded exponential backoff ([`BackoffPolicy::wan_default`];
+    /// use [`DownloadPool::run_traced_with_backoff`] to override). Files
+    /// that exhaust the budget are *abandoned*: listed in
+    /// [`DownloadReport::failed`] and counted on the
+    /// `files_abandoned{stage="download"}` counter that feeds the ops
+    /// plane's `health::evaluate`.
     pub fn run(
         sim: &mut Simulation<S>,
         src: &str,
@@ -155,7 +175,9 @@ impl<S: HasNetwork> DownloadPool<S> {
     /// [`DownloadPool::run`] with a per-file hook: `on_file` fires once per
     /// successfully delivered file, as soon as it lands. Journaling drivers
     /// use this to make each completed download durable before the pool
-    /// finishes.
+    /// finishes. Retry semantics as documented on [`DownloadPool::run`]:
+    /// `retry_limit` re-attempts per file beyond the first, backoff
+    /// between them, abandoned files reported and counted.
     #[allow(clippy::too_many_arguments)]
     pub fn run_with_hook(
         sim: &mut Simulation<S>,
@@ -183,9 +205,12 @@ impl<S: HasNetwork> DownloadPool<S> {
     /// [`DownloadPool::run_with_hook`] with an observability hub: each
     /// delivered file becomes a `download/file` span (whose duration
     /// feeds the `file{stage="download"}` histogram) plus per-file
-    /// counters (`files`, `bytes`, `retries`, `files_failed`) and a
-    /// `file_attempts` histogram, and the live worker count drives the
-    /// `active_workers{stage="download"}` gauge.
+    /// counters (`files`, `bytes`, `retries`, `files_failed`,
+    /// `files_abandoned`) and a `file_attempts` histogram, and the live
+    /// worker count drives the `active_workers{stage="download"}` gauge.
+    /// Retry semantics as documented on [`DownloadPool::run`]:
+    /// `retry_limit` re-attempts per file beyond the first, backoff
+    /// between them, abandoned files reported and counted.
     #[allow(clippy::too_many_arguments)]
     pub fn run_observed(
         sim: &mut Simulation<S>,
@@ -216,7 +241,10 @@ impl<S: HasNetwork> DownloadPool<S> {
     /// `trace_for` maps a file name to the [`TraceContext`] of the
     /// pipeline item it belongs to, and each `download/file` span is
     /// tagged with it so the trace-analysis layer can stitch downloads
-    /// into end-to-end granule traces.
+    /// into end-to-end granule traces. Retry semantics as documented on
+    /// [`DownloadPool::run`]: `retry_limit` re-attempts per file beyond
+    /// the first, backoff between them, abandoned files reported and
+    /// counted.
     #[allow(clippy::too_many_arguments)]
     pub fn run_traced(
         sim: &mut Simulation<S>,
@@ -230,12 +258,48 @@ impl<S: HasNetwork> DownloadPool<S> {
         on_file: impl FnMut(&mut Simulation<S>, &FileTiming) + 'static,
         on_done: impl FnOnce(&mut Simulation<S>, DownloadReport) + 'static,
     ) {
+        Self::run_traced_with_backoff(
+            sim,
+            src,
+            dst,
+            files,
+            workers,
+            retry_limit,
+            BackoffPolicy::wan_default(),
+            obs,
+            trace_for,
+            on_file,
+            on_done,
+        );
+    }
+
+    /// [`DownloadPool::run_traced`] with an explicit [`BackoffPolicy`]
+    /// governing the wait before each retry ([`BackoffPolicy::immediate`]
+    /// restores the legacy no-wait loop). Retry semantics as documented
+    /// on [`DownloadPool::run`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_traced_with_backoff(
+        sim: &mut Simulation<S>,
+        src: &str,
+        dst: &str,
+        files: Vec<(String, ByteSize)>,
+        workers: usize,
+        retry_limit: usize,
+        backoff: BackoffPolicy,
+        obs: Option<Arc<Obs>>,
+        trace_for: impl Fn(&str) -> Option<TraceContext> + 'static,
+        on_file: impl FnMut(&mut Simulation<S>, &FileTiming) + 'static,
+        on_done: impl FnOnce(&mut Simulation<S>, DownloadReport) + 'static,
+    ) {
         assert!(workers > 0, "need at least one worker");
         let inner = Rc::new(RefCell::new(PoolState {
             src: src.to_string(),
             dst: dst.to_string(),
             retry_limit,
+            backoff,
+            workers,
             queue: files.into_iter().map(|(n, s)| (n, s, 1)).collect(),
+            pending_retries: 0,
             active: 0,
             files: Vec::new(),
             failed: Vec::new(),
@@ -336,10 +400,34 @@ impl<S: HasNetwork> DownloadPool<S> {
                         if let Some(obs) = &st.obs {
                             obs.counter_add("retries", "download", 1);
                         }
-                        st.queue.push_back((name, size, attempt + 1));
+                        // Retry number == attempt (attempt 1 failing earns
+                        // retry 1). Zero-delay policies requeue in place;
+                        // otherwise the file waits out the backoff and a
+                        // worker is revived for it if the pool went idle.
+                        let delay = st.backoff.delay_s(attempt);
+                        if delay <= 0.0 {
+                            st.queue.push_back((name, size, attempt + 1));
+                        } else {
+                            st.pending_retries += 1;
+                            let inner3 = Rc::clone(inner);
+                            sim.schedule_in(Duration::from_secs_f64(delay), move |sim| {
+                                let revive = {
+                                    let mut st = inner3.borrow_mut();
+                                    st.pending_retries -= 1;
+                                    st.queue.push_back((name, size, attempt + 1));
+                                    st.active < st.workers
+                                };
+                                if revive {
+                                    Self::worker_take_next(sim, &inner3);
+                                }
+                            });
+                        }
                     } else {
                         if let Some(obs) = &st.obs {
                             obs.counter_add("files_failed", "download", 1);
+                            // Abandonment is a health signal: this counter
+                            // feeds the ops plane's `health::evaluate`.
+                            obs.counter_add("files_abandoned", "download", 1);
                         }
                         st.failed.push(name);
                     }
@@ -364,7 +452,11 @@ impl<S: HasNetwork> DownloadPool<S> {
     fn maybe_finish(sim: &mut Simulation<S>, inner: &Rc<RefCell<PoolState<S>>>) {
         let done = {
             let mut st = inner.borrow_mut();
-            if st.active > 0 || !st.queue.is_empty() || st.on_done.is_none() {
+            if st.active > 0
+                || !st.queue.is_empty()
+                || st.pending_retries > 0
+                || st.on_done.is_none()
+            {
                 None
             } else {
                 let on_done = st.on_done.take().expect("checked");

@@ -6,6 +6,7 @@
 //! `retry_limit` times, and reports aggregate statistics — the behaviour the
 //! paper's stage 5 (shipment to Frontier's Orion) relies on.
 
+use crate::backoff::BackoffPolicy;
 use crate::faults::FlowOutcome;
 use crate::flownet::{start_flow, HasNetwork};
 use eoml_simtime::{SimTime, Simulation};
@@ -13,6 +14,7 @@ use eoml_util::units::ByteSize;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::time::Duration as StdDuration;
 
 eoml_util::typed_id!(
     /// Identifier of a submitted transfer task.
@@ -25,8 +27,15 @@ eoml_util::typed_id!(
 pub struct TransferOptions {
     /// Maximum concurrent file flows (Globus's `parallelism`).
     pub parallel_streams: usize,
-    /// Retry budget per file.
+    /// Retry budget per file *after* its first attempt: a file is tried
+    /// at most `retry_limit + 1` times in total before it counts as
+    /// failed — the same convention as
+    /// [`DownloadPool::run`](crate::pool::DownloadPool::run).
     pub retry_limit: usize,
+    /// Wait applied before each retry. The default is the bounded
+    /// exponential [`BackoffPolicy::wan_default`]; use
+    /// [`BackoffPolicy::immediate`] for the legacy no-wait loop.
+    pub backoff: BackoffPolicy,
 }
 
 impl Default for TransferOptions {
@@ -34,6 +43,7 @@ impl Default for TransferOptions {
         Self {
             parallel_streams: 4,
             retry_limit: 3,
+            backoff: BackoffPolicy::wan_default(),
         }
     }
 }
@@ -84,7 +94,12 @@ struct TaskState<S> {
     id: TransferTaskId,
     src: String,
     dst: String,
-    queue: VecDeque<(String, ByteSize, usize)>, // name, size, attempts so far
+    // name, size, attempt number (1-based: first try is attempt 1, the
+    // same convention as the download pool).
+    queue: VecDeque<(String, ByteSize, usize)>,
+    /// Failed files waiting out a backoff delay before requeueing; the
+    /// task is not finished while any are outstanding.
+    pending_retries: usize,
     in_flight: usize,
     options: TransferOptions,
     files_ok: usize,
@@ -114,7 +129,8 @@ pub fn submit_transfer<S: HasNetwork>(
         id,
         src: src.to_string(),
         dst: dst.to_string(),
-        queue: files.into_iter().map(|(n, s)| (n, s, 0)).collect(),
+        queue: files.into_iter().map(|(n, s)| (n, s, 1)).collect(),
+        pending_retries: 0,
         in_flight: 0,
         options,
         files_ok: 0,
@@ -147,12 +163,12 @@ fn pump<S: HasNetwork>(sim: &mut Simulation<S>, state: &Rc<RefCell<TaskState<S>>
                 None
             }
         };
-        let Some((src, dst, (name, size, attempts))) = next else {
+        let Some((src, dst, (name, size, attempt))) = next else {
             break;
         };
         let state2 = Rc::clone(state);
         start_flow(sim, &src, &dst, size, move |sim, outcome| {
-            on_flow_done(sim, &state2, name, size, attempts, outcome);
+            on_flow_done(sim, &state2, name, size, attempt, outcome);
         });
     }
     maybe_finish(sim, state);
@@ -163,7 +179,7 @@ fn on_flow_done<S: HasNetwork>(
     state: &Rc<RefCell<TaskState<S>>>,
     name: String,
     size: ByteSize,
-    attempts: usize,
+    attempt: usize,
     outcome: FlowOutcome,
 ) {
     {
@@ -179,9 +195,25 @@ fn on_flow_done<S: HasNetwork>(
                 st.file_times.push((name, elapsed));
             }
             FlowOutcome::ConnectionDropped | FlowOutcome::ChecksumMismatch => {
-                if attempts < st.options.retry_limit {
+                // attempt is 1-based, so `attempt <= retry_limit` grants
+                // exactly `retry_limit` retries beyond the first try.
+                if attempt <= st.options.retry_limit {
                     st.retries += 1;
-                    st.queue.push_back((name, size, attempts + 1));
+                    let delay = st.options.backoff.delay_s(attempt);
+                    if delay <= 0.0 {
+                        st.queue.push_back((name, size, attempt + 1));
+                    } else {
+                        st.pending_retries += 1;
+                        let state3 = Rc::clone(state);
+                        sim.schedule_in(StdDuration::from_secs_f64(delay), move |sim| {
+                            {
+                                let mut st = state3.borrow_mut();
+                                st.pending_retries -= 1;
+                                st.queue.push_back((name, size, attempt + 1));
+                            }
+                            pump(sim, &state3);
+                        });
+                    }
                 } else {
                     st.files_failed += 1;
                 }
@@ -197,7 +229,11 @@ fn on_flow_done<S: HasNetwork>(
 fn maybe_finish<S: HasNetwork>(sim: &mut Simulation<S>, state: &Rc<RefCell<TaskState<S>>>) {
     let report = {
         let mut st = state.borrow_mut();
-        if st.in_flight > 0 || !st.queue.is_empty() || st.on_done.is_none() {
+        if st.in_flight > 0
+            || !st.queue.is_empty()
+            || st.pending_retries > 0
+            || st.on_done.is_none()
+        {
             return;
         }
         let on_done = st.on_done.take().expect("checked");
@@ -297,6 +333,7 @@ mod tests {
             TransferOptions {
                 parallel_streams: 1,
                 retry_limit: 0,
+                ..TransferOptions::default()
             },
             |sim, r| sim.state_mut().report = Some(r),
         );
@@ -322,6 +359,7 @@ mod tests {
             TransferOptions {
                 parallel_streams: 4,
                 retry_limit: 50,
+                ..TransferOptions::default()
             },
             |sim, r| sim.state_mut().report = Some(r),
         );
@@ -350,6 +388,7 @@ mod tests {
             TransferOptions {
                 parallel_streams: 2,
                 retry_limit: 2,
+                ..TransferOptions::default()
             },
             |sim, r| sim.state_mut().report = Some(r),
         );

@@ -492,6 +492,7 @@ fn main() {
         Vec::new(),
         0,
         false,
+        0,
         vec![status],
     );
     match &health.state {

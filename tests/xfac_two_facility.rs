@@ -192,6 +192,7 @@ fn corrupt_shipment_fails_loudly_and_degrades_facility_health() {
         Vec::new(),
         0,
         false,
+        0,
         vec![status],
     );
     assert!(
